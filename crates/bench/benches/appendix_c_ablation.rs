@@ -1,0 +1,87 @@
+//! Ablation benchmark for the Appendix C optimisations: Algorithm 2 with
+//! each search-space restriction toggled off, on a negative instance
+//! (where the whole space is enumerated and the restrictions matter most).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp::Control;
+use logk::{EngineConfig, LogKEngine};
+use std::hint::black_box;
+use workloads::families;
+
+fn bench_ablation(c: &mut Criterion) {
+    // A negative instance: C_9 at k = 1 — exhaustive search.
+    let hg = families::cycle(9);
+    let mut g = c.benchmark_group("appendix_c/ablation_negative_c9_k1");
+
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        ("all_optimisations", EngineConfig::sequential(1)),
+        (
+            "no_parent_restriction",
+            EngineConfig {
+                restrict_parent_search: false,
+                ..EngineConfig::sequential(1)
+            },
+        ),
+        (
+            "no_allowed_edges",
+            EngineConfig {
+                use_allowed_edges: false,
+                ..EngineConfig::sequential(1)
+            },
+        ),
+        (
+            "neither",
+            EngineConfig {
+                restrict_parent_search: false,
+                use_allowed_edges: false,
+                ..EngineConfig::sequential(1)
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                let engine = LogKEngine::new(black_box(&hg), &ctrl, cfg);
+                assert!(engine.decompose().unwrap().is_none());
+            })
+        });
+    }
+    g.finish();
+
+    // A positive instance where the basic Algorithm 1 is measurably
+    // slower than Algorithm 2 (the value of child-first + root handling).
+    let hg2 = families::cycle(8);
+    let mut g2 = c.benchmark_group("appendix_c/alg1_vs_alg2_c8_k2");
+    g2.bench_function("algorithm2", |b| {
+        b.iter(|| {
+            let ctrl = Control::unlimited();
+            black_box(
+                LogKEngine::new(&hg2, &ctrl, EngineConfig::sequential(2))
+                    .decompose()
+                    .unwrap(),
+            )
+        })
+    });
+    g2.bench_function("algorithm1_reference", |b| {
+        b.iter(|| {
+            let ctrl = Control::unlimited();
+            black_box(logk::decompose_basic(&hg2, 2, &ctrl).unwrap())
+        })
+    });
+    g2.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablation
+}
+criterion_main!(benches);

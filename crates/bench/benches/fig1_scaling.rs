@@ -1,0 +1,45 @@
+//! Figure 1 as a Criterion benchmark: the same solve with 1, 2, … worker
+//! threads (separator-search partitioning per Appendix D.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp::Control;
+use logk::LogK;
+use std::hint::black_box;
+use workloads::{known_width, KnownWidthConfig};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let (hg, _) = known_width(KnownWidthConfig::new(31, 55, 3));
+    let max_threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut g = c.benchmark_group("fig1/threads");
+    for t in 1..=max_threads.min(6) {
+        let solver = LogK::parallel(t);
+        g.bench_function(format!("logk_{t}threads"), |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(solver.decompose(black_box(&hg), 3, &ctrl).unwrap())
+            })
+        });
+        let hybrid = LogK::hybrid(t);
+        g.bench_function(format!("hybrid_{t}threads"), |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(hybrid.decompose(black_box(&hg), 3, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thread_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Figure 3 / Tables 3–5 supporting benchmark: how each solver's cost
+//! grows with instance size (the edges × vertices scatter of the paper,
+//! reduced to a size sweep), plus the SAT baseline's budget cliff
+//! (Table 5) and the Yannakakis payoff for the intro's motivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp::Control;
+use logk::LogK;
+use std::hint::black_box;
+use workloads::{families, known_width, KnownWidthConfig};
+
+/// Size sweep for the HD solvers (Figure 3's x-axis).
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/size_sweep");
+    for m in [20usize, 40, 80] {
+        let (hg, _) = known_width(KnownWidthConfig::new(77, m, 3));
+        let hybrid = LogK::hybrid(2);
+        g.bench_with_input(BenchmarkId::new("logk_hybrid", m), &hg, |b, hg| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(hybrid.decompose(black_box(hg), 3, &ctrl).unwrap())
+            })
+        });
+        if m <= 40 {
+            g.bench_with_input(BenchmarkId::new("detk", m), &hg, |b, hg| {
+                b.iter(|| {
+                    let ctrl = Control::unlimited();
+                    black_box(detk::decompose_detk(black_box(hg), 3, &ctrl).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Table 5's knob: the SAT baseline under growing instance size — the
+/// n³ encoding growth is the cliff that extra timeout budget climbs.
+fn bench_sat_encoding_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5/htdsat_size");
+    for n in [8u32, 10, 12] {
+        let hg = families::cycle(n);
+        g.bench_with_input(BenchmarkId::new("cycle", n), &hg, |b, hg| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(htdsat::decide_ghw(black_box(hg), 2, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The intro's motivation, measured: Yannakakis over an HD vs the naive
+/// join plan on a cyclic query.
+fn bench_cq_evaluation(c: &mut Criterion) {
+    use cqeval::{evaluate_naive, evaluate_yannakakis, ConjunctiveQuery, Database};
+    let q = ConjunctiveQuery::parse(
+        "r0(x0,x1), r1(x1,x2), r2(x2,x3), r3(x3,x4), r4(x4,x5), r5(x5,x0)",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    let mut v = 1u64;
+    for i in 0..6 {
+        let tuples: Vec<Vec<u64>> = (0..300)
+            .map(|_| {
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                vec![(v >> 33) % 30, (v >> 13) % 30]
+            })
+            .collect();
+        db.insert(&format!("r{i}"), tuples);
+    }
+    let hg = q.hypergraph();
+    let hd = LogK::sequential()
+        .decompose(&hg, 2, &Control::unlimited())
+        .unwrap()
+        .unwrap();
+    let mut g = c.benchmark_group("intro/cq_evaluation");
+    g.bench_function("naive_join", |b| {
+        b.iter(|| black_box(evaluate_naive(&q, &db).unwrap()))
+    });
+    g.bench_function("yannakakis_over_hd", |b| {
+        b.iter(|| black_box(evaluate_yannakakis(&q, &db, &hd).unwrap()))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_size_sweep, bench_sat_encoding_growth, bench_cq_evaluation
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Micro benchmarks for the substrate hot paths: bitset algebra,
+//! `[U]`-component computation, and bounded-subset enumeration — the three
+//! loops every solver in the workspace spends its time in.
+
+use std::ops::ControlFlow;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypergraph::subsets::for_each_subset;
+use hypergraph::{separate, Edge, SpecialArena, Subproblem, Vertex, VertexSet};
+use std::hint::black_box;
+use workloads::families;
+
+fn bench_bitsets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/bitset");
+    let a = VertexSet::from_iter(4096, (0..4096).step_by(3).map(Vertex));
+    let b = VertexSet::from_iter(4096, (0..4096).step_by(5).map(Vertex));
+    let u = VertexSet::from_iter(4096, (0..4096).step_by(7).map(Vertex));
+    g.bench_function("intersects_outside_4096", |bch| {
+        bch.iter(|| black_box(&a).intersects_outside(black_box(&b), black_box(&u)))
+    });
+    g.bench_function("union_4096", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.union_with(black_box(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("iter_4096", |bch| {
+        bch.iter(|| black_box(&a).iter().map(|v| v.0 as u64).sum::<u64>())
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/components");
+    for (name, hg) in [
+        ("cycle100", families::cycle(100)),
+        ("grid6x6", families::grid(6, 6)),
+        ("csp100", families::random_csp(7, 120, 100, 4)),
+    ] {
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        // Separator: the union of three spread-out edges.
+        let mut sep = hg.vertex_set();
+        for e in [0u32, hg.num_edges() as u32 / 3, 2 * hg.num_edges() as u32 / 3] {
+            sep.union_with(hg.edge(Edge(e)));
+        }
+        g.bench_function(name, |bch| {
+            bch.iter(|| separate(black_box(&hg), &arena, &sub, black_box(&sep)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_subsets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/subsets");
+    let cands: Vec<Edge> = (0..30).map(Edge).collect();
+    g.bench_function("enumerate_30_choose_le2", |bch| {
+        bch.iter(|| {
+            let mut n = 0u64;
+            for_each_subset::<()>(black_box(&cands), 2, |s| {
+                n += s.len() as u64;
+                ControlFlow::Continue(())
+            });
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_gyo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/gyo");
+    for (name, hg) in [
+        ("chain60", families::chain(60, 3)),
+        ("cycle60", families::cycle(60)),
+    ] {
+        g.bench_function(name, |bch| bch.iter(|| hypergraph::is_acyclic(black_box(&hg))));
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo
+}
+criterion_main!(benches);

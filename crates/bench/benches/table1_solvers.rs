@@ -1,0 +1,97 @@
+//! Table 1 as a Criterion benchmark: the competing methods on
+//! representative instances from each corpus family (optimal-width
+//! search, like the paper's per-instance runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp::Control;
+use logk::LogK;
+use std::hint::black_box;
+use workloads::{families, known_width, KnownWidthConfig};
+
+fn instances() -> Vec<(&'static str, hypergraph::Hypergraph, usize)> {
+    vec![
+        // (name, hypergraph, k_max to search)
+        ("app_chain30", families::chain(30, 3), 2),
+        ("app_cycle20", families::cycle(20), 3),
+        ("syn_bounded40_k3", known_width(KnownWidthConfig::new(5, 40, 3)).0, 4),
+        ("syn_grid3x4", families::grid(3, 4), 3),
+    ]
+}
+
+fn bench_logk_hybrid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/logk_hybrid");
+    for (name, hg, kmax) in instances() {
+        let solver = LogK::hybrid(2);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(solver.minimal_width(black_box(&hg), kmax, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_logk_pure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/logk");
+    for (name, hg, kmax) in instances() {
+        let solver = LogK::sequential();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(solver.minimal_width(black_box(&hg), kmax, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_detk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/detk");
+    for (name, hg, kmax) in instances() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                for k in 1..=kmax {
+                    if detk::decompose_detk(black_box(&hg), k, &ctrl).unwrap().is_some() {
+                        return k;
+                    }
+                }
+                kmax
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_htdsat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/htdsat");
+    // The SAT baseline is orders of magnitude slower; use the small
+    // instances only (the paper's Table 1 shows the same cliff).
+    for (name, hg, kmax) in [
+        ("app_cycle10", families::cycle(10), 3),
+        ("syn_bounded12_k2", known_width(KnownWidthConfig::new(6, 12, 2)).0, 3),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(htdsat::optimal_ghw(black_box(&hg), kmax, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_logk_hybrid, bench_logk_pure, bench_detk, bench_htdsat
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Table 2 as a Criterion benchmark: hybrid metrics and thresholds on an
+//! HB_large-style instance (the WeightedCount-vs-EdgeCount ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decomp::Control;
+use logk::{HybridConfig, HybridMetric, LogK};
+use std::hint::black_box;
+use workloads::{known_width, KnownWidthConfig};
+
+fn bench_thresholds(c: &mut Criterion) {
+    let (hg, _) = known_width(KnownWidthConfig::new(21, 60, 3));
+    let mut g = c.benchmark_group("table2/hybrid_metric");
+    let configs: Vec<(String, Option<HybridConfig>)> = vec![
+        ("no_hybrid".into(), None),
+        (
+            "weighted_200".into(),
+            Some(HybridConfig {
+                metric: HybridMetric::WeightedCount,
+                threshold: 200.0,
+            }),
+        ),
+        (
+            "weighted_400".into(),
+            Some(HybridConfig {
+                metric: HybridMetric::WeightedCount,
+                threshold: 400.0,
+            }),
+        ),
+        (
+            "weighted_600".into(),
+            Some(HybridConfig {
+                metric: HybridMetric::WeightedCount,
+                threshold: 600.0,
+            }),
+        ),
+        (
+            "edgecount_20".into(),
+            Some(HybridConfig {
+                metric: HybridMetric::EdgeCount,
+                threshold: 20.0,
+            }),
+        ),
+        (
+            "edgecount_40".into(),
+            Some(HybridConfig {
+                metric: HybridMetric::EdgeCount,
+                threshold: 40.0,
+            }),
+        ),
+        (
+            "edgecount_80".into(),
+            Some(HybridConfig {
+                metric: HybridMetric::EdgeCount,
+                threshold: 80.0,
+            }),
+        ),
+    ];
+    for (name, hybrid) in configs {
+        let solver = LogK::sequential().with_hybrid(hybrid);
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(solver.decompose(black_box(&hg), 3, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_thresholds
+}
+criterion_main!(benches);

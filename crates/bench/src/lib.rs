@@ -1,0 +1,5 @@
+//! Criterion benchmark suite for the workspace — see `benches/`.
+//!
+//! This crate intentionally contains no library code; it exists to host the
+//! Criterion bench targets that regenerate every table and figure of the
+//! paper at micro/meso scale.

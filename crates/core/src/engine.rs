@@ -1,0 +1,587 @@
+//! The optimised `log-k-decomp` engine — Algorithm 2 of the paper with all
+//! Appendix C optimisations, optional hybridisation (Appendix D.2) and
+//! parallel separator search (Appendix D.1).
+//!
+//! Optimisations implemented (names from Appendix C):
+//!
+//! * **Extension of the base case** — `|E'| = 0 ∧ |Sp| > 1` fails fast.
+//! * **Searching for child nodes first** — the outer loop guesses λc and
+//!   rejects unbalanced candidates before any parent is considered.
+//! * **Root of the HD-fragment** — if `Conn ⊆ ⋃λc`, the candidate is the
+//!   root of the current fragment and no parent is needed.
+//! * **Allowed edges** — the recursion for the part *above* the child may
+//!   not use edges from components below it (`A_up = A \ comp_down.E`).
+//! * **Speeding up the parent search** — λp is drawn only from edges that
+//!   intersect `⋃λc` (Theorem C.1 shows completeness is preserved).
+//!
+//! Parallelisation follows Appendix D.1: the λc search space is partitioned
+//! by lead edge across a rayon pool, and sibling branches are pruned as
+//! soon as one candidate succeeds. Special edges are arena-allocated with
+//! stack discipline: a `Decomp` call restores the arena to its entry length
+//! before returning, so a returned fragment only ever references special
+//! edges of its own subproblem — which is what makes cloning the arena
+//! into parallel branches cheap and sound.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use decomp::{Control, Decomposition, Fragment, Interrupted};
+use detk::DetKDecomp;
+use hypergraph::subsets::{for_each_subset, for_each_subset_with_lead};
+use hypergraph::{
+    separate, Component, Edge, EdgeSet, Hypergraph, SpecialArena, Subproblem, VertexSet,
+};
+
+/// Complexity metric steering the hybrid handoff to `det-k-decomp`
+/// (Appendix D.2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum HybridMetric {
+    /// `|E(H')|` (special edges counted like edges).
+    EdgeCount,
+    /// `|E(H')| · k / avg_{e ∈ E(H')} |e|`.
+    WeightedCount,
+}
+
+impl HybridMetric {
+    /// Evaluates the metric on a subproblem.
+    pub fn evaluate(
+        self,
+        hg: &Hypergraph,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        k: usize,
+    ) -> f64 {
+        let m = sub.size();
+        match self {
+            HybridMetric::EdgeCount => m as f64,
+            HybridMetric::WeightedCount => {
+                if m == 0 {
+                    return 0.0;
+                }
+                let total: usize = sub.edges.iter().map(|e| hg.edge(e).len()).sum::<usize>()
+                    + sub.specials.iter().map(|&s| arena.get(s).len()).sum::<usize>();
+                let avg = total as f64 / m as f64;
+                if avg == 0.0 {
+                    return 0.0;
+                }
+                m as f64 * k as f64 / avg
+            }
+        }
+    }
+}
+
+/// Hybridisation policy: below `threshold` the engine switches to
+/// `det-k-decomp` on the subproblem.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Which complexity metric to use.
+    pub metric: HybridMetric,
+    /// Switch threshold `T`: handoff when `metric(H') < T`.
+    pub threshold: f64,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Width bound `k ≥ 1`.
+    pub k: usize,
+    /// Recursion depths `< parallel_depth` race the λc search across the
+    /// current rayon pool; `0` disables parallelism.
+    pub parallel_depth: usize,
+    /// Hybrid handoff policy, if any.
+    pub hybrid: Option<HybridConfig>,
+    /// Also try the parent/child pair search for a λc whose `⋃λc` covers
+    /// `Conn` after its root-mode attempt failed. Algorithm 2 as printed
+    /// does not (`continue ChildLoop`); differential testing against
+    /// Algorithm 1 backs the printed behaviour, and this flag exists to
+    /// keep that claim continuously tested.
+    pub root_fallthrough: bool,
+    /// Ablation: restrict the λp search space to edges intersecting `⋃λc`
+    /// (the "speeding up the parent search" optimisation, Theorem C.1).
+    /// On by default; turning it off only enlarges the search space.
+    pub restrict_parent_search: bool,
+    /// Ablation: shrink the allowed-edge set for the fragment above the
+    /// child (`A_up = A \ comp_down.E`, the "allowed edges" optimisation).
+    /// On by default.
+    pub use_allowed_edges: bool,
+}
+
+impl EngineConfig {
+    /// Sequential Algorithm 2 with width bound `k` and no hybridisation.
+    pub fn sequential(k: usize) -> Self {
+        EngineConfig {
+            k,
+            parallel_depth: 0,
+            hybrid: None,
+            root_fallthrough: false,
+            restrict_parent_search: true,
+            use_allowed_edges: true,
+        }
+    }
+}
+
+/// Internal stop reasons: external interruption or sibling-branch pruning.
+#[derive(Clone, Copy, Debug)]
+enum Stop {
+    External(Interrupted),
+    Pruned,
+}
+
+/// Chain of prune flags for nested parallel races: a branch is dead if any
+/// enclosing race has already found a winner.
+#[derive(Clone, Copy)]
+struct Prune<'a> {
+    flag: &'a AtomicBool,
+    parent: Option<&'a Prune<'a>>,
+}
+
+impl Prune<'_> {
+    fn is_set(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.parent {
+            Some(p) => p.is_set(),
+            None => false,
+        }
+    }
+}
+
+fn poll(ctrl: &Control, prune: Option<&Prune<'_>>) -> Result<(), Stop> {
+    ctrl.checkpoint().map_err(Stop::External)?;
+    if prune.is_some_and(|p| p.is_set()) {
+        return Err(Stop::Pruned);
+    }
+    Ok(())
+}
+
+/// Search statistics, collected during a solve.
+///
+/// `max_depth` is the deepest `Decomp` recursion reached — Theorem 4.1
+/// bounds it by `O(log |E(H)|)`, and the test suite asserts that bound
+/// empirically on scalable families.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Deepest recursion level of `Decomp`.
+    pub max_depth: std::sync::atomic::AtomicUsize,
+    /// Total number of `Decomp` invocations.
+    pub decomp_calls: std::sync::atomic::AtomicU64,
+}
+
+impl EngineStats {
+    /// Snapshot of the deepest recursion level.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the call count.
+    pub fn decomp_calls(&self) -> u64 {
+        self.decomp_calls.load(Ordering::Relaxed)
+    }
+}
+
+/// The Algorithm 2 engine. Immutable once built; all mutable search state
+/// (the special-edge arena) is threaded through the recursion explicitly.
+pub struct LogKEngine<'h> {
+    hg: &'h Hypergraph,
+    ctrl: &'h Control,
+    cfg: EngineConfig,
+    stats: EngineStats,
+}
+
+type FragResult = Result<Option<Fragment>, Stop>;
+type Found = ControlFlow<Result<Fragment, Stop>>;
+
+impl<'h> LogKEngine<'h> {
+    /// Creates an engine over `hg` with the given configuration.
+    pub fn new(hg: &'h Hypergraph, ctrl: &'h Control, cfg: EngineConfig) -> Self {
+        assert!(cfg.k >= 1, "width parameter k must be at least 1");
+        LogKEngine {
+            hg,
+            ctrl,
+            cfg,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Search statistics of the last [`Self::decompose`] call.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Decides `hw(H) ≤ k`, materialising a witness HD on success.
+    ///
+    /// Per the "no special treatment of the root" optimisation, this is a
+    /// single call `Decomp(⟨E(H), ∅⟩, ∅, E(H))`: the search starts with a
+    /// balanced separator right away.
+    pub fn decompose(&self) -> Result<Option<Decomposition>, Interrupted> {
+        if self.hg.num_edges() == 0 {
+            return Ok(Some(Decomposition::singleton(vec![], self.hg.vertex_set())));
+        }
+        let mut arena = SpecialArena::new();
+        let sub = Subproblem::whole(self.hg);
+        let conn = self.hg.vertex_set();
+        let allowed = self.hg.all_edges();
+        match self.decomp(&mut arena, &sub, &conn, &allowed, 0, None) {
+            Ok(Some(frag)) => Ok(Some(
+                frag.into_decomposition()
+                    .expect("whole-graph fragments have no special leaves"),
+            )),
+            Ok(None) => Ok(None),
+            Err(Stop::External(e)) => Err(e),
+            Err(Stop::Pruned) => unreachable!("no enclosing race at the top level"),
+        }
+    }
+
+    /// Function `Decomp(H', Conn, A)` of Algorithm 2.
+    fn decomp(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+    ) -> FragResult {
+        poll(self.ctrl, prune)?;
+        self.stats.max_depth.fetch_max(depth + 1, Ordering::Relaxed);
+        self.stats.decomp_calls.fetch_add(1, Ordering::Relaxed);
+
+        // Base cases (lines 5–10).
+        if sub.edges.len() <= self.cfg.k && sub.specials.is_empty() {
+            let lambda: Vec<Edge> = sub.edges.iter().collect();
+            let chi = self.hg.union_of(&sub.edges);
+            return Ok(Some(Fragment::leaf(lambda, chi)));
+        }
+        if sub.edges.is_empty() && sub.specials.len() == 1 {
+            let s = sub.specials[0];
+            return Ok(Some(Fragment::special_leaf(s, arena.get(s).clone())));
+        }
+        if sub.edges.is_empty() && sub.specials.len() > 1 {
+            return Ok(None); // negative base case
+        }
+
+        // Hybrid handoff (Appendix D.2): once the subproblem is simple,
+        // delegate to det-k-decomp (extended to special edges).
+        if let Some(h) = self.cfg.hybrid {
+            if h.metric.evaluate(self.hg, arena, sub, self.cfg.k) < h.threshold {
+                let mut detk = DetKDecomp::new(self.hg, self.cfg.k, self.ctrl);
+                return detk.decompose(arena, sub, conn).map_err(Stop::External);
+            }
+        }
+
+        let vsub = sub.vertices(self.hg, arena);
+        // λc candidates: allowed edges touching the subproblem. Edges
+        // disjoint from V(H') cannot contribute to χc, to balance checks or
+        // to Conn coverage, so dropping them preserves completeness.
+        let cands: Vec<Edge> = allowed
+            .iter()
+            .filter(|&e| self.hg.edge(e).intersects(&vsub))
+            .collect();
+
+        let checkpoint = arena.len();
+        let result = if depth < self.cfg.parallel_depth && cands.len() > 1 {
+            self.child_loop_parallel(arena, sub, conn, allowed, depth, prune, &vsub, &cands)
+        } else {
+            let found = for_each_subset(&cands, self.cfg.k, |lam_c| {
+                self.try_child(arena, sub, conn, allowed, depth, prune, &vsub, lam_c)
+            });
+            match found {
+                Some(Ok(f)) => Ok(Some(f)),
+                Some(Err(e)) => Err(e),
+                None => Ok(None), // line 44: exhausted search space
+            }
+        };
+        // Stack discipline: whatever happened below, only specials that
+        // existed on entry may be referenced by the returned fragment.
+        arena.truncate(checkpoint);
+        result
+    }
+
+    /// Races the λc search space across the rayon pool, partitioned by the
+    /// lead (smallest) candidate index — the partitioning scheme of
+    /// Appendix D.1.
+    #[allow(clippy::too_many_arguments)]
+    fn child_loop_parallel(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        vsub: &VertexSet,
+        cands: &[Edge],
+    ) -> FragResult {
+        use rayon::prelude::*;
+        let won = AtomicBool::new(false);
+        let race = Prune {
+            flag: &won,
+            parent: prune,
+        };
+        let hit = (0..cands.len())
+            .into_par_iter()
+            .find_map_any(|lead| {
+                if race.is_set() {
+                    return None;
+                }
+                let mut branch_arena = arena.clone();
+                let found = for_each_subset_with_lead(cands, lead, self.cfg.k, |lam_c| {
+                    self.try_child(
+                        &mut branch_arena,
+                        sub,
+                        conn,
+                        allowed,
+                        depth,
+                        Some(&race),
+                        vsub,
+                        lam_c,
+                    )
+                });
+                match found {
+                    Some(Ok(frag)) => {
+                        won.store(true, Ordering::Relaxed);
+                        Some(Ok(Some(frag)))
+                    }
+                    Some(Err(Stop::Pruned)) => None, // a sibling won or an outer race ended
+                    Some(Err(e @ Stop::External(_))) => Some(Err(e)),
+                    None => None,
+                }
+            });
+        match hit {
+            Some(r) => r,
+            None => {
+                // Either exhausted, or pruned by an *outer* race.
+                if prune.is_some_and(|p| p.is_set()) {
+                    Err(Stop::Pruned)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// One iteration of `ChildLoop` (Algorithm 2, lines 11–43).
+    #[allow(clippy::too_many_arguments)]
+    fn try_child(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        vsub: &VertexSet,
+        lam_c: &[Edge],
+    ) -> Found {
+        if let Err(e) = poll(self.ctrl, prune) {
+            return ControlFlow::Break(Err(e));
+        }
+        // λc must contain a "new" edge (progress, Def. 3.5(2)).
+        if !lam_c.iter().any(|e| sub.edges.contains(*e)) {
+            return ControlFlow::Continue(());
+        }
+        let union_c = self.hg.union_of_slice(lam_c);
+        // Line 12: [λc]-components of H'.
+        let seps_c = separate(self.hg, arena, sub, &union_c);
+        // Line 13: χc must be a balanced separator of H'. (⋃λc
+        // over-approximates χc: if ⋃λc is unbalanced, so is χc.)
+        if seps_c.components.iter().any(|c| 2 * c.size() > sub.size()) {
+            return ControlFlow::Continue(()); // line 14
+        }
+
+        // Lines 15–21: root case — λc covers the interface to the part
+        // above, so c is the root of this HD-fragment.
+        if conn.is_subset_of(&union_c) {
+            match self.try_as_root(arena, sub, conn, allowed, depth, prune, vsub, lam_c, &seps_c)
+            {
+                Ok(Some(frag)) => return ControlFlow::Break(Ok(frag)),
+                Ok(None) => {
+                    if !self.cfg.root_fallthrough {
+                        return ControlFlow::Continue(()); // line 20
+                    }
+                    // fall through to the pair search below
+                }
+                Err(e) => return ControlFlow::Break(Err(e)),
+            }
+        }
+
+        // Lines 22–43: parent/child pair search.
+        // λp candidates: allowed edges intersecting ⋃λc (Theorem C.1) that
+        // also touch the subproblem.
+        let cands_p: Vec<Edge> = allowed
+            .iter()
+            .filter(|&e| {
+                (!self.cfg.restrict_parent_search || self.hg.edge(e).intersects(&union_c))
+                    && self.hg.edge(e).intersects(vsub)
+            })
+            .collect();
+        let found = for_each_subset(&cands_p, self.cfg.k, |lam_p| {
+            self.try_parent(arena, sub, conn, allowed, depth, prune, lam_c, &union_c, lam_p)
+        });
+        match found {
+            Some(r) => ControlFlow::Break(r),
+            None => ControlFlow::Continue(()),
+        }
+    }
+
+    /// Lines 15–21: treat `c` as the root of the current HD-fragment.
+    #[allow(clippy::too_many_arguments)]
+    fn try_as_root(
+        &self,
+        arena: &mut SpecialArena,
+        _sub: &Subproblem,
+        _conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        vsub: &VertexSet,
+        lam_c: &[Edge],
+        seps_c: &hypergraph::Separation,
+    ) -> FragResult {
+        // Line 16: χc = ⋃λc ∩ V(H').
+        let chi_c = self.hg.union_of_slice(lam_c).intersection(vsub);
+        let mut children = Vec::with_capacity(seps_c.components.len());
+        for y in &seps_c.components {
+            let conn_y = y.vertices.intersection(&chi_c); // line 18
+            match self.decomp(arena, &y.to_subproblem(), &conn_y, allowed, depth + 1, prune)? {
+                Some(f) => children.push(f),
+                None => return Ok(None), // line 20
+            }
+        }
+        let mut frag = Fragment::leaf(lam_c.to_vec(), chi_c);
+        for f in children {
+            frag.attach_under(0, f);
+        }
+        for &s in &seps_c.covered_specials {
+            frag.attach_under(0, Fragment::special_leaf(s, arena.get(s).clone()));
+        }
+        Ok(Some(frag)) // line 21
+    }
+
+    /// One iteration of `ParentLoop` (lines 22–43).
+    #[allow(clippy::too_many_arguments)]
+    fn try_parent(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        lam_c: &[Edge],
+        union_c: &VertexSet,
+        lam_p: &[Edge],
+    ) -> Found {
+        if let Err(e) = poll(self.ctrl, prune) {
+            return ControlFlow::Break(Err(e));
+        }
+        // λp must also contain a "new" edge (Appendix C, allowed edges).
+        if !lam_p.iter().any(|e| sub.edges.contains(*e)) {
+            return ControlFlow::Continue(());
+        }
+        let union_p = self.hg.union_of_slice(lam_p);
+        // Line 23: [λp]-components of H'.
+        let seps_p = separate(self.hg, arena, sub, &union_p);
+        // Lines 24–27: the oversized component becomes comp_down.
+        let Some(i) = seps_p.oversized_component(sub.size()) else {
+            return ControlFlow::Continue(());
+        };
+        let comp_down = &seps_p.components[i];
+        // Line 28: χc = ⋃λc ∩ V(comp_down).
+        let chi_c = union_c.intersection(&comp_down.vertices);
+        // Lines 29–30: Conn connectedness against λp.
+        if !comp_down.vertices.intersection(conn).is_subset_of(&union_p) {
+            return ControlFlow::Continue(());
+        }
+        // Lines 31–32: λp's trace on comp_down must lie inside χc.
+        if !comp_down.vertices.intersection(&union_p).is_subset_of(&chi_c) {
+            return ControlFlow::Continue(());
+        }
+
+        match self.finish_pair(arena, sub, conn, allowed, depth, prune, lam_c, &chi_c, comp_down)
+        {
+            Ok(Some(frag)) => ControlFlow::Break(Ok(frag)),
+            Ok(None) => ControlFlow::Continue(()), // lines 37/42: reject parent
+            Err(e) => ControlFlow::Break(Err(e)),
+        }
+    }
+
+    /// Lines 33–43: recurse below `c` and above `c`, then stitch.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_pair(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        lam_c: &[Edge],
+        chi_c: &VertexSet,
+        comp_down: &Component,
+    ) -> FragResult {
+        // Line 33: [χc]-components of comp_down.
+        let down_sub = comp_down.to_subproblem();
+        let seps = separate(self.hg, arena, &down_sub, chi_c);
+        // Balance of these components follows from the line-13 check
+        // (they refine the [λc]-components of H' — Corollary 3.8).
+        debug_assert!(seps
+            .components
+            .iter()
+            .all(|c| 2 * c.size() <= sub.size()));
+
+        // Lines 34–37: recurse below.
+        let mut below = Vec::with_capacity(seps.components.len());
+        for x in &seps.components {
+            let conn_x = x.vertices.intersection(chi_c); // line 35
+            match self.decomp(arena, &x.to_subproblem(), &conn_x, allowed, depth + 1, prune)? {
+                Some(f) => below.push(f),
+                None => return Ok(None),
+            }
+        }
+
+        // Lines 38–40: comp_up := H' \ comp_down plus the new special χc;
+        // the fragment above may not use edges from below (allowed edges).
+        let mut comp_up = Subproblem {
+            edges: sub.edges.difference(&comp_down.edges),
+            specials: sub
+                .specials
+                .iter()
+                .copied()
+                .filter(|s| !comp_down.specials.contains(s))
+                .collect(),
+        };
+        let mark = arena.len();
+        let sc = arena.push(chi_c.clone());
+        comp_up.specials.push(sc);
+        let allowed_up = if self.cfg.use_allowed_edges {
+            allowed.difference(&comp_down.edges)
+        } else {
+            allowed.clone()
+        };
+
+        // Lines 41–42: recurse above.
+        let up = self.decomp(arena, &comp_up, conn, &allowed_up, depth + 1, prune);
+        // The special edge χc is consumed here either way: on success the
+        // stitching below replaces its leaf, on failure nothing references
+        // it. Popping it keeps the arena from accumulating garbage across
+        // the (potentially huge) candidate enumeration.
+        arena.truncate(mark);
+        let Some(mut up_frag) = up? else {
+            return Ok(None);
+        };
+
+        // Stitch (soundness proof, Appendix A): replace the special leaf
+        // for χc by the real node c, attach the below-fragments and leaves
+        // for comp_down's covered specials.
+        let c_idx = up_frag.replace_special_leaf(sc, lam_c.to_vec(), chi_c.clone());
+        for f in below {
+            up_frag.attach_under(c_idx, f);
+        }
+        for &s in &seps.covered_specials {
+            up_frag.attach_under(c_idx, Fragment::special_leaf(s, arena.get(s).clone()));
+        }
+        Ok(Some(up_frag)) // line 43
+    }
+}

@@ -1,0 +1,24 @@
+//! `log-k-decomp` — fast parallel hypertree decompositions in logarithmic
+//! recursion depth (Gottlob, Lanzinger, Okulmus, Pichler — PODS 2022).
+//!
+//! Engines, in increasing practicality:
+//!
+//! * [`basic`] — Algorithm 1 verbatim; the trusted reference oracle.
+//! * [`engine`] — Algorithm 2 with all Appendix C optimisations, optional
+//!   parallel separator search (Appendix D.1) and hybridisation with
+//!   `det-k-decomp` (Appendix D.2).
+//! * [`solver`] — the configurable [`LogK`] façade used by examples,
+//!   benchmarks and the experiment harness.
+
+pub mod basic;
+pub mod engine;
+pub mod solver;
+
+#[cfg(test)]
+mod tests_engine;
+#[cfg(test)]
+mod tests_theory;
+
+pub use basic::{decide_basic, decompose_basic, SolveResult};
+pub use engine::{EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine};
+pub use solver::{LogK, SolveStats, Variant};

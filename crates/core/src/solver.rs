@@ -1,0 +1,216 @@
+//! High-level façade over the `log-k-decomp` engines.
+//!
+//! A [`LogK`] value captures *how* to search (sequential / parallel /
+//! hybrid, cf. Sections 5.2 and Appendix D of the paper); the width bound
+//! `k` is a per-call argument, matching the paper's usage where one
+//! instance is solved for `k = 1, 2, …` until the optimum is certified.
+
+use decomp::{Control, Decomposition, Interrupted};
+use hypergraph::Hypergraph;
+
+use crate::engine::{EngineConfig, HybridConfig, HybridMetric, LogKEngine};
+
+/// Search strategy selection.
+#[derive(Clone, Copy, Debug)]
+pub enum Variant {
+    /// Algorithm 1, verbatim (reference oracle; exponentially slower).
+    Basic,
+    /// Algorithm 2, sequential.
+    Optimized,
+    /// Algorithm 2 with the separator search raced across a rayon pool.
+    Parallel,
+}
+
+/// Configurable `log-k-decomp` solver.
+#[derive(Clone, Copy, Debug)]
+pub struct LogK {
+    /// Which engine to run.
+    pub variant: Variant,
+    /// Worker threads for [`Variant::Parallel`]; `None` uses the ambient
+    /// rayon pool (all cores).
+    pub threads: Option<usize>,
+    /// Recursion depths that race their separator search in parallel.
+    pub parallel_depth: usize,
+    /// Hybrid handoff to `det-k-decomp` (Appendix D.2), if any.
+    pub hybrid: Option<HybridConfig>,
+    /// See [`EngineConfig::root_fallthrough`].
+    pub root_fallthrough: bool,
+}
+
+impl LogK {
+    /// Sequential Algorithm 2 without hybridisation.
+    pub fn sequential() -> Self {
+        LogK {
+            variant: Variant::Optimized,
+            threads: None,
+            parallel_depth: 0,
+            hybrid: None,
+            root_fallthrough: false,
+        }
+    }
+
+    /// Algorithm 1 (reference oracle).
+    pub fn basic() -> Self {
+        LogK {
+            variant: Variant::Basic,
+            ..Self::sequential()
+        }
+    }
+
+    /// Parallel Algorithm 2 on `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        LogK {
+            variant: Variant::Parallel,
+            threads: Some(threads),
+            parallel_depth: 2,
+            ..Self::sequential()
+        }
+    }
+
+    /// The paper's Hybrid configuration: parallel `log-k-decomp` with a
+    /// `det-k-decomp` handoff. `WeightedCount` with threshold 400 performed
+    /// best in Table 2 of the paper.
+    pub fn hybrid(threads: usize) -> Self {
+        LogK {
+            hybrid: Some(HybridConfig {
+                metric: HybridMetric::WeightedCount,
+                threshold: 400.0,
+            }),
+            ..Self::parallel(threads)
+        }
+    }
+
+    /// Replaces the hybrid policy.
+    pub fn with_hybrid(mut self, cfg: Option<HybridConfig>) -> Self {
+        self.hybrid = cfg;
+        self
+    }
+
+    /// Decides `hw(H) ≤ k`, returning a validated-by-construction witness.
+    pub fn decompose(
+        &self,
+        hg: &Hypergraph,
+        k: usize,
+        ctrl: &Control,
+    ) -> Result<Option<Decomposition>, Interrupted> {
+        match self.variant {
+            Variant::Basic => crate::basic::decompose_basic(hg, k, ctrl),
+            Variant::Optimized => {
+                let cfg = EngineConfig {
+                    hybrid: self.hybrid,
+                    root_fallthrough: self.root_fallthrough,
+                    ..EngineConfig::sequential(k)
+                };
+                LogKEngine::new(hg, ctrl, cfg).decompose()
+            }
+            Variant::Parallel => {
+                let cfg = EngineConfig {
+                    parallel_depth: self.parallel_depth,
+                    hybrid: self.hybrid,
+                    root_fallthrough: self.root_fallthrough,
+                    ..EngineConfig::sequential(k)
+                };
+                match self.threads {
+                    None => LogKEngine::new(hg, ctrl, cfg).decompose(),
+                    Some(n) => {
+                        let pool = rayon::ThreadPoolBuilder::new()
+                            .num_threads(n)
+                            .build()
+                            .expect("rayon pool construction cannot fail for sane sizes");
+                        pool.install(|| LogKEngine::new(hg, ctrl, cfg).decompose())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decision-only variant of [`Self::decompose`].
+    pub fn decide(&self, hg: &Hypergraph, k: usize, ctrl: &Control) -> Result<bool, Interrupted> {
+        Ok(self.decompose(hg, k, ctrl)?.is_some())
+    }
+
+    /// Like [`Self::decompose`], additionally returning search statistics
+    /// (recursion depth, `Decomp` call count). Only meaningful for the
+    /// Algorithm 2 engines; [`Variant::Basic`] reports zeros.
+    pub fn decompose_with_stats(
+        &self,
+        hg: &Hypergraph,
+        k: usize,
+        ctrl: &Control,
+    ) -> Result<(Option<Decomposition>, SolveStats), Interrupted> {
+        match self.variant {
+            Variant::Basic => {
+                let d = crate::basic::decompose_basic(hg, k, ctrl)?;
+                Ok((d, SolveStats::default()))
+            }
+            Variant::Optimized | Variant::Parallel => {
+                let cfg = EngineConfig {
+                    parallel_depth: if matches!(self.variant, Variant::Parallel) {
+                        self.parallel_depth
+                    } else {
+                        0
+                    },
+                    hybrid: self.hybrid,
+                    root_fallthrough: self.root_fallthrough,
+                    ..EngineConfig::sequential(k)
+                };
+                let run = |engine: &LogKEngine<'_>| -> Result<
+                    (Option<Decomposition>, SolveStats),
+                    Interrupted,
+                > {
+                    let d = engine.decompose()?;
+                    let stats = SolveStats {
+                        max_depth: engine.stats().max_depth(),
+                        decomp_calls: engine.stats().decomp_calls(),
+                    };
+                    Ok((d, stats))
+                };
+                match self.threads {
+                    Some(n) if matches!(self.variant, Variant::Parallel) => {
+                        let pool = rayon::ThreadPoolBuilder::new()
+                            .num_threads(n)
+                            .build()
+                            .expect("rayon pool construction cannot fail for sane sizes");
+                        let engine = LogKEngine::new(hg, ctrl, cfg);
+                        pool.install(|| run(&engine))
+                    }
+                    _ => run(&LogKEngine::new(hg, ctrl, cfg)),
+                }
+            }
+        }
+    }
+
+    /// Computes the exact hypertree width by solving `k = 1, 2, …, k_max`.
+    ///
+    /// Returns the optimal width with its witness, or `None` if
+    /// `hw(H) > k_max`. Failing runs for `k < hw(H)` are what certifies
+    /// optimality, exactly as in the paper's experiments.
+    pub fn minimal_width(
+        &self,
+        hg: &Hypergraph,
+        k_max: usize,
+        ctrl: &Control,
+    ) -> Result<Option<(usize, Decomposition)>, Interrupted> {
+        for k in 1..=k_max {
+            if let Some(d) = self.decompose(hg, k, ctrl)? {
+                return Ok(Some((k, d)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Default for LogK {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Search statistics returned by [`LogK::decompose_with_stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Deepest `Decomp` recursion level — `O(log |E(H)|)` by Theorem 4.1.
+    pub max_depth: usize,
+    /// Total `Decomp` invocations.
+    pub decomp_calls: u64,
+}

@@ -1,0 +1,21 @@
+//! Mini relational engine: conjunctive-query evaluation guided by
+//! hypertree decompositions.
+//!
+//! This crate demonstrates the downstream application that motivates the
+//! paper: once an HD of low width is available, any CQ is evaluated in
+//! polynomial time by Yannakakis' algorithm over the decomposition's join
+//! tree (joins of at most *width* relations per node, then semijoin
+//! reduction). See `examples/query_evaluation.rs` for the end-to-end flow
+//! `CQ → hypergraph → log-k-decomp → Yannakakis`.
+//!
+//! * [`relation`] — set-semantics relations with join/semijoin/project;
+//! * [`query`] — CQ parsing, query hypergraphs (`H_φ`), databases;
+//! * [`yannakakis`] — HD-guided evaluation plus the naive-join baseline.
+
+pub mod query;
+pub mod relation;
+pub mod yannakakis;
+
+pub use query::{Atom, ConjunctiveQuery, Database};
+pub use relation::{Attr, Relation, Value};
+pub use yannakakis::{evaluate_naive, evaluate_yannakakis, is_satisfiable};

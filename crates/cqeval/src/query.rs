@@ -1,0 +1,224 @@
+//! Conjunctive queries, their hypergraphs, and databases.
+
+use std::collections::HashMap;
+
+use hypergraph::{Hypergraph, HypergraphBuilder};
+
+use crate::relation::{Attr, Relation, Value};
+
+/// One atom `R(x, y, …)` of a conjunctive query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Variables, as indices into [`ConjunctiveQuery::variables`].
+    pub vars: Vec<Attr>,
+}
+
+/// A Boolean conjunctive query: a conjunction of atoms.
+#[derive(Clone, Debug, Default)]
+pub struct ConjunctiveQuery {
+    /// Variable names; `Attr` values index into this vector.
+    pub variables: Vec<String>,
+    /// The atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Parses `"r1(x,y), r2(y,z)"`-style atom lists.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut q = ConjunctiveQuery::default();
+        let mut var_ids: HashMap<String, Attr> = HashMap::new();
+        for piece in split_atoms(text)? {
+            let open = piece.find('(').ok_or("atom without '('")?;
+            let name = piece[..open].trim();
+            if name.is_empty() {
+                return Err("empty relation name".into());
+            }
+            let close = piece.rfind(')').ok_or("atom without ')'")?;
+            let vars: Vec<Attr> = piece[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|v| {
+                    *var_ids.entry(v.to_string()).or_insert_with(|| {
+                        q.variables.push(v.to_string());
+                        (q.variables.len() - 1) as Attr
+                    })
+                })
+                .collect();
+            if vars.is_empty() {
+                return Err(format!("atom {name} has no variables"));
+            }
+            q.atoms.push(Atom {
+                relation: name.to_string(),
+                vars,
+            });
+        }
+        if q.atoms.is_empty() {
+            return Err("no atoms".into());
+        }
+        Ok(q)
+    }
+
+    /// The query hypergraph `H_φ`: vertices = variables, edges = atoms
+    /// (Section 2 of the paper). Atom order matches edge-id order.
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let names: Vec<&str> = atom
+                .vars
+                .iter()
+                .map(|&v| self.variables[v as usize].as_str())
+                .collect();
+            b.add_edge(&format!("{}#{i}", atom.relation), &names);
+        }
+        // Variables are interned in first-occurrence order, matching Attr.
+        b.build()
+    }
+}
+
+fn split_atoms(text: &str) -> Result<Vec<&str>, String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.checked_sub(1).ok_or("unbalanced ')'")?,
+            ',' if depth == 0 => {
+                out.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced '('".into());
+    }
+    let last = text[start..].trim().trim_end_matches('.').trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    Ok(out.into_iter().filter(|s| !s.is_empty()).collect())
+}
+
+/// A database: named relation instances. An atom `R(x,y)` is matched
+/// against the instance stored under `R` with columns bound positionally.
+#[derive(Clone, Default, Debug)]
+pub struct Database {
+    relations: HashMap<String, Vec<Vec<Value>>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (replaces) a relation instance.
+    pub fn insert(&mut self, name: &str, tuples: Vec<Vec<Value>>) {
+        self.relations.insert(name.to_string(), tuples);
+    }
+
+    /// Returns the tuples of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Vec<Vec<Value>>> {
+        self.relations.get(name)
+    }
+
+    /// Materialises an atom as a [`Relation`] over its variables.
+    /// Repeated variables within an atom act as equality selections.
+    pub fn atom_relation(&self, atom: &Atom) -> Result<Relation, String> {
+        let tuples = self
+            .relations
+            .get(&atom.relation)
+            .ok_or_else(|| format!("unknown relation {}", atom.relation))?;
+        // Distinct variables, first-occurrence positions.
+        let mut schema: Vec<Attr> = Vec::new();
+        let mut first_pos: Vec<usize> = Vec::new();
+        for (i, &v) in atom.vars.iter().enumerate() {
+            if !schema.contains(&v) {
+                schema.push(v);
+                first_pos.push(i);
+            }
+        }
+        let mut rows = Vec::new();
+        'tuples: for t in tuples {
+            if t.len() != atom.vars.len() {
+                return Err(format!(
+                    "arity mismatch for {}: tuple has {} values, atom has {} variables",
+                    atom.relation,
+                    t.len(),
+                    atom.vars.len()
+                ));
+            }
+            // Enforce repeated-variable equality.
+            for (i, &v) in atom.vars.iter().enumerate() {
+                let first = atom.vars.iter().position(|&x| x == v).expect("present");
+                if t[i] != t[first] {
+                    continue 'tuples;
+                }
+            }
+            rows.push(first_pos.iter().map(|&p| t[p]).collect());
+        }
+        Ok(Relation::new(schema, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_and_builds_hypergraph() {
+        let q = ConjunctiveQuery::parse("r1(x,y), r2(y,z), r3(z,x).").unwrap();
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.variables, vec!["x", "y", "z"]);
+        let hg = q.hypergraph();
+        assert_eq!(hg.num_edges(), 3);
+        assert_eq!(hg.num_vertices(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ConjunctiveQuery::parse("").is_err());
+        assert!(ConjunctiveQuery::parse("r1(x,y").is_err());
+        assert!(ConjunctiveQuery::parse("r1()").is_err());
+    }
+
+    #[test]
+    fn atom_relation_binds_positionally() {
+        let q = ConjunctiveQuery::parse("r(x,y)").unwrap();
+        let mut db = Database::new();
+        db.insert("r", vec![vec![1, 2], vec![3, 4]]);
+        let rel = db.atom_relation(&q.atoms[0]).unwrap();
+        assert_eq!(rel.schema, vec![0, 1]);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variables_select_equal_columns() {
+        let q = ConjunctiveQuery::parse("r(x,x)").unwrap();
+        let mut db = Database::new();
+        db.insert("r", vec![vec![1, 1], vec![1, 2], vec![3, 3]]);
+        let rel = db.atom_relation(&q.atoms[0]).unwrap();
+        assert_eq!(rel.rows, vec![vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let q = ConjunctiveQuery::parse("r(x,y)").unwrap();
+        let db = Database::new();
+        assert!(db.atom_relation(&q.atoms[0]).is_err());
+    }
+
+    #[test]
+    fn same_relation_twice_is_fine() {
+        let q = ConjunctiveQuery::parse("e(x,y), e(y,z)").unwrap();
+        let hg = q.hypergraph();
+        assert_eq!(hg.num_edges(), 2);
+        // Edge names are disambiguated by atom index.
+        assert!(hg.edge_by_name("e#0").is_some());
+        assert!(hg.edge_by_name("e#1").is_some());
+    }
+}

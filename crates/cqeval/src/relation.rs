@@ -1,0 +1,240 @@
+//! Set-semantics relations over integer domains, with the three operators
+//! Yannakakis' algorithm needs: natural join, semijoin and projection.
+
+use std::collections::{HashMap, HashSet};
+
+/// An attribute (CQ variable) identifier.
+pub type Attr = u32;
+
+/// A domain value.
+pub type Value = u64;
+
+/// A relation instance: a schema of attributes and a set of rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    /// Attribute of each column; no duplicates.
+    pub schema: Vec<Attr>,
+    /// Rows, deduplicated (set semantics).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Creates a relation, deduplicating rows.
+    pub fn new(schema: Vec<Attr>, mut rows: Vec<Vec<Value>>) -> Self {
+        debug_assert!(
+            {
+                let mut s = schema.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate attribute in schema"
+        );
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        rows.sort_unstable();
+        rows.dedup();
+        Relation { schema, rows }
+    }
+
+    /// The empty relation over a schema.
+    pub fn empty(schema: Vec<Attr>) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The relation with zero attributes and one (empty) row — the join
+    /// identity.
+    pub fn unit() -> Self {
+        Relation {
+            schema: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn positions_of(&self, attrs: &[Attr]) -> Vec<usize> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.schema
+                    .iter()
+                    .position(|x| x == a)
+                    .expect("attribute present in schema")
+            })
+            .collect()
+    }
+
+    /// Attributes shared with `other`, in this relation's schema order.
+    pub fn shared_attrs(&self, other: &Relation) -> Vec<Attr> {
+        self.schema
+            .iter()
+            .copied()
+            .filter(|a| other.schema.contains(a))
+            .collect()
+    }
+
+    /// Natural join (hash join on the shared attributes).
+    pub fn join(&self, other: &Relation) -> Relation {
+        let shared = self.shared_attrs(other);
+        let my_pos = self.positions_of(&shared);
+        let their_pos = other.positions_of(&shared);
+        // Output schema: self's schema ++ other's private attributes.
+        let mut schema = self.schema.clone();
+        let their_private: Vec<(usize, Attr)> = other
+            .schema
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !shared.contains(a))
+            .map(|(i, &a)| (i, a))
+            .collect();
+        schema.extend(their_private.iter().map(|&(_, a)| a));
+
+        // Hash the smaller side.
+        let mut index: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+        for row in &other.rows {
+            let key: Vec<Value> = their_pos.iter().map(|&p| row[p]).collect();
+            index.entry(key).or_default().push(row);
+        }
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            let key: Vec<Value> = my_pos.iter().map(|&p| row[p]).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut out = row.clone();
+                    out.extend(their_private.iter().map(|&(i, _)| m[i]));
+                    rows.push(out);
+                }
+            }
+        }
+        Relation::new(schema, rows)
+    }
+
+    /// Semijoin: rows of `self` with a matching row in `other`.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared = self.shared_attrs(other);
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Relation::empty(self.schema.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let my_pos = self.positions_of(&shared);
+        let their_pos = other.positions_of(&shared);
+        let keys: HashSet<Vec<Value>> = other
+            .rows
+            .iter()
+            .map(|row| their_pos.iter().map(|&p| row[p]).collect())
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|row| {
+                let key: Vec<Value> = my_pos.iter().map(|&p| row[p]).collect();
+                keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Projection onto `attrs` (which must be a subset of the schema),
+    /// with deduplication.
+    pub fn project(&self, attrs: &[Attr]) -> Relation {
+        let pos = self.positions_of(attrs);
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| pos.iter().map(|&p| row[p]).collect())
+            .collect();
+        Relation::new(attrs.to_vec(), rows)
+    }
+
+    /// Canonical form for comparisons in tests: sorted schema + rows.
+    pub fn canonical(&self) -> Relation {
+        let mut order: Vec<usize> = (0..self.schema.len()).collect();
+        order.sort_by_key(|&i| self.schema[i]);
+        let schema: Vec<Attr> = order.iter().map(|&i| self.schema[i]).collect();
+        let rows: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .map(|r| order.iter().map(|&i| r[i]).collect())
+            .collect();
+        Relation::new(schema, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[u32], rows: &[&[u64]]) -> Relation {
+        Relation::new(schema.to_vec(), rows.iter().map(|r| r.to_vec()).collect())
+    }
+
+    #[test]
+    fn join_on_shared_attribute() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
+        let j = r.join(&s);
+        assert_eq!(j.schema, vec![0, 1, 2]);
+        assert_eq!(j.rows, vec![vec![1, 2, 5], vec![1, 2, 6]]);
+    }
+
+    #[test]
+    fn join_without_shared_attributes_is_cross_product() {
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[7]]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4], &[5, 2]]);
+        let s = rel(&[1], &[&[2]]);
+        let f = r.semijoin(&s);
+        assert_eq!(f.rows, vec![vec![1, 2], vec![5, 2]]);
+    }
+
+    #[test]
+    fn semijoin_disjoint_schema_checks_emptiness() {
+        let r = rel(&[0], &[&[1]]);
+        let nonempty = rel(&[9], &[&[1]]);
+        let empty = Relation::empty(vec![9]);
+        assert_eq!(r.semijoin(&nonempty), r);
+        assert!(r.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = rel(&[0, 1], &[&[1, 2], &[1, 3]]);
+        let p = r.project(&[0]);
+        assert_eq!(p.rows, vec![vec![1]]);
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        assert_eq!(Relation::unit().join(&r).canonical(), r.canonical());
+    }
+
+    #[test]
+    fn new_dedups_rows() {
+        let r = rel(&[0], &[&[1], &[1], &[2]]);
+        assert_eq!(r.len(), 2);
+    }
+}

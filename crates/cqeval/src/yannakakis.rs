@@ -1,0 +1,203 @@
+//! CQ evaluation guided by a hypertree decomposition — the application the
+//! paper's introduction motivates: an HD of width k reduces any CQ to an
+//! acyclic instance solvable by Yannakakis' algorithm with joins of at
+//! most k relations per decomposition node.
+
+use decomp::{Decomposition, NodeId};
+use hypergraph::Edge;
+
+use crate::query::{ConjunctiveQuery, Database};
+use crate::relation::{Attr, Relation};
+
+/// Naive baseline: left-deep join of all atom relations. Exponential
+/// intermediate results on cyclic queries — the foil for Yannakakis.
+pub fn evaluate_naive(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, String> {
+    let mut acc = Relation::unit();
+    for atom in &q.atoms {
+        acc = acc.join(&db.atom_relation(atom)?);
+    }
+    Ok(acc.canonical())
+}
+
+/// Full enumeration via Yannakakis' algorithm over the decomposition:
+/// per-node joins (≤ width atoms), full semijoin reduction (up then down),
+/// then one bottom-up join pass. Returns the set of satisfying assignments
+/// over all query variables.
+pub fn evaluate_yannakakis(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    d: &Decomposition,
+) -> Result<Relation, String> {
+    let reduced = reduce(q, db, d)?;
+    // Bottom-up join along the tree.
+    let mut joined: Vec<Option<Relation>> = vec![None; d.num_nodes()];
+    for u in d.postorder() {
+        let mut acc = reduced[u.0 as usize].clone();
+        for &c in &d.node(u).children {
+            acc = acc.join(joined[c.0 as usize].as_ref().expect("postorder"));
+        }
+        joined[u.0 as usize] = Some(acc);
+    }
+    let root = joined[d.root().0 as usize].take().expect("root joined");
+    Ok(root.canonical())
+}
+
+/// Boolean evaluation: satisfiability only, skipping the final join pass
+/// (linear in the data, as in the classic algorithm).
+pub fn is_satisfiable(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    d: &Decomposition,
+) -> Result<bool, String> {
+    let reduced = reduce(q, db, d)?;
+    Ok(!reduced[d.root().0 as usize].is_empty())
+}
+
+/// Builds the per-node relations and performs the two semijoin passes.
+fn reduce(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    d: &Decomposition,
+) -> Result<Vec<Relation>, String> {
+    // Atom relations, indexed like the hypergraph's edges.
+    let atom_rels: Vec<Relation> = q
+        .atoms
+        .iter()
+        .map(|a| db.atom_relation(a))
+        .collect::<Result<_, _>>()?;
+
+    // Per-node relation: ⋈ λ(u) projected onto χ(u).
+    let mut rels: Vec<Relation> = Vec::with_capacity(d.num_nodes());
+    for u in 0..d.num_nodes() {
+        let node = d.node(NodeId(u as u32));
+        let mut acc = Relation::unit();
+        for &Edge(e) in &node.lambda {
+            acc = acc.join(&atom_rels[e as usize]);
+        }
+        let chi_attrs: Vec<Attr> = node.chi.iter().map(|v| v.0).collect();
+        // χ(u) ⊆ ⋃λ(u) for valid decompositions, so the projection is
+        // well-defined; `positions_of` would panic otherwise.
+        rels.push(acc.project(&chi_attrs));
+    }
+
+    // Enforce every atom at a covering node (condition (1) of HDs
+    // guarantees one exists).
+    'atoms: for (e, atom_rel) in atom_rels.iter().enumerate() {
+        let vars = &q.atoms[e].vars;
+        for u in d.preorder() {
+            let chi = &d.node(u).chi;
+            if vars.iter().all(|&v| chi.contains(hypergraph::Vertex(v))) {
+                rels[u.0 as usize] = rels[u.0 as usize].semijoin(atom_rel);
+                continue 'atoms;
+            }
+        }
+        return Err(format!(
+            "decomposition does not cover atom {}",
+            q.atoms[e].relation
+        ));
+    }
+
+    // Bottom-up semijoin pass.
+    for u in d.postorder() {
+        for &c in &d.node(u).children {
+            let child = rels[c.0 as usize].clone();
+            rels[u.0 as usize] = rels[u.0 as usize].semijoin(&child);
+        }
+    }
+    // Top-down semijoin pass.
+    for u in d.preorder() {
+        let parent = rels[u.0 as usize].clone();
+        for &c in &d.node(u).children {
+            rels[c.0 as usize] = rels[c.0 as usize].semijoin(&parent);
+        }
+    }
+    Ok(rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::Control;
+    use logk::LogK;
+
+    fn decompose(q: &ConjunctiveQuery, k: usize) -> Decomposition {
+        let hg = q.hypergraph();
+        LogK::sequential()
+            .decompose(&hg, k, &Control::unlimited())
+            .unwrap()
+            .expect("query decomposable at this width")
+    }
+
+    #[test]
+    fn triangle_query_matches_naive() {
+        let q = ConjunctiveQuery::parse("r(x,y), s(y,z), t(z,x)").unwrap();
+        let mut db = Database::new();
+        db.insert("r", vec![vec![1, 2], vec![2, 3], vec![4, 5]]);
+        db.insert("s", vec![vec![2, 3], vec![3, 1], vec![5, 6]]);
+        db.insert("t", vec![vec![3, 1], vec![1, 2], vec![6, 4]]);
+        let d = decompose(&q, 2);
+        let naive = evaluate_naive(&q, &db).unwrap();
+        let yann = evaluate_yannakakis(&q, &db, &d).unwrap();
+        assert_eq!(naive, yann);
+        assert!(!naive.is_empty());
+        assert!(is_satisfiable(&q, &db, &d).unwrap());
+    }
+
+    #[test]
+    fn empty_answer_detected() {
+        let q = ConjunctiveQuery::parse("r(x,y), s(y,z)").unwrap();
+        let mut db = Database::new();
+        db.insert("r", vec![vec![1, 2]]);
+        db.insert("s", vec![vec![3, 4]]); // no joining value
+        let d = decompose(&q, 1);
+        assert!(!is_satisfiable(&q, &db, &d).unwrap());
+        assert!(evaluate_yannakakis(&q, &db, &d).unwrap().is_empty());
+        assert!(evaluate_naive(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chain_query_matches_naive() {
+        let q = ConjunctiveQuery::parse("a(x,y), b(y,z), c(z,w)").unwrap();
+        let mut db = Database::new();
+        db.insert("a", vec![vec![1, 2], vec![9, 2], vec![5, 5]]);
+        db.insert("b", vec![vec![2, 3], vec![5, 5]]);
+        db.insert("c", vec![vec![3, 4], vec![5, 5], vec![3, 7]]);
+        let d = decompose(&q, 1);
+        assert_eq!(
+            evaluate_naive(&q, &db).unwrap(),
+            evaluate_yannakakis(&q, &db, &d).unwrap()
+        );
+    }
+
+    #[test]
+    fn self_join_query() {
+        let q = ConjunctiveQuery::parse("e(x,y), e(y,z)").unwrap();
+        let mut db = Database::new();
+        db.insert("e", vec![vec![1, 2], vec![2, 3], vec![3, 1]]);
+        let d = decompose(&q, 1);
+        let naive = evaluate_naive(&q, &db).unwrap();
+        let yann = evaluate_yannakakis(&q, &db, &d).unwrap();
+        assert_eq!(naive, yann);
+        assert_eq!(naive.len(), 3); // 1-2-3, 2-3-1, 3-1-2
+    }
+
+    #[test]
+    fn cycle5_random_data_matches_naive() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let q = ConjunctiveQuery::parse("r0(a,b), r1(b,c), r2(c,d), r3(d,e), r4(e,a)").unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut db = Database::new();
+        for i in 0..5 {
+            let tuples: Vec<Vec<u64>> = (0..40)
+                .map(|_| vec![rng.random_range(0..6u64), rng.random_range(0..6u64)])
+                .collect();
+            db.insert(&format!("r{i}"), tuples);
+        }
+        let d = decompose(&q, 2);
+        assert_eq!(
+            evaluate_naive(&q, &db).unwrap(),
+            evaluate_yannakakis(&q, &db, &d).unwrap()
+        );
+    }
+}

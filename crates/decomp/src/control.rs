@@ -1,0 +1,147 @@
+//! Cooperative cancellation and deadlines for long-running solvers.
+//!
+//! The paper's evaluation imposes a wall-clock timeout on every solver run
+//! (Section 5.1). All solvers in this workspace poll a shared [`Control`]
+//! in their inner search loops, so the harness can enforce timeouts without
+//! killing threads and without ever accepting a partially-computed answer.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a solver stopped early.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Interrupted {
+    /// [`Control::cancel`] was called.
+    Cancelled,
+    /// The deadline passed.
+    Timeout,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupted::Cancelled => write!(f, "cancelled"),
+            Interrupted::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Shared stop signal. Cheap to poll: a relaxed atomic load in the common
+/// case; the deadline clock is consulted only every 256th poll.
+#[derive(Debug)]
+pub struct Control {
+    stop: AtomicBool,
+    timed_out: AtomicBool,
+    deadline: Option<Instant>,
+    polls: AtomicU64,
+}
+
+impl Control {
+    /// A control that never fires on its own (cancellable only).
+    pub fn unlimited() -> Self {
+        Control {
+            stop: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            deadline: None,
+            polls: AtomicU64::new(0),
+        }
+    }
+
+    /// A control that times out `budget` from now.
+    pub fn with_timeout(budget: Duration) -> Self {
+        Control {
+            stop: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            deadline: Some(Instant::now() + budget),
+            polls: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests cancellation; all subsequent checkpoints fail.
+    pub fn cancel(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Non-consuming poll used in hot loops.
+    ///
+    /// Returns `Err` once cancelled or past the deadline.
+    #[inline]
+    pub fn checkpoint(&self) -> Result<(), Interrupted> {
+        if self.stop.load(Ordering::Relaxed) {
+            return Err(if self.timed_out.load(Ordering::Relaxed) {
+                Interrupted::Timeout
+            } else {
+                Interrupted::Cancelled
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            // Consult the clock only occasionally; `Instant::now()` is
+            // far more expensive than the atomic increment.
+            let n = self.polls.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(256) && Instant::now() >= deadline {
+                self.timed_out.store(true, Ordering::Relaxed);
+                self.stop.store(true, Ordering::Relaxed);
+                return Err(Interrupted::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the control has fired (for display/bookkeeping).
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Control {
+    fn default() -> Self {
+        Control::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fires() {
+        let c = Control::unlimited();
+        for _ in 0..10_000 {
+            assert!(c.checkpoint().is_ok());
+        }
+    }
+
+    #[test]
+    fn cancel_fires_immediately() {
+        let c = Control::unlimited();
+        c.cancel();
+        assert_eq!(c.checkpoint(), Err(Interrupted::Cancelled));
+        assert!(c.is_stopped());
+    }
+
+    #[test]
+    fn deadline_fires_as_timeout() {
+        let c = Control::with_timeout(Duration::from_millis(0));
+        // The deadline is checked every 256 polls; loop until it trips.
+        let mut fired = None;
+        for _ in 0..1000 {
+            if let Err(e) = c.checkpoint() {
+                fired = Some(e);
+                break;
+            }
+        }
+        assert_eq!(fired, Some(Interrupted::Timeout));
+    }
+
+    #[test]
+    fn cancellation_from_another_thread() {
+        use std::sync::Arc;
+        let c = Arc::new(Control::unlimited());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.cancel());
+        h.join().unwrap();
+        assert!(c.checkpoint().is_err());
+    }
+}

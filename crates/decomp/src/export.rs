@@ -1,0 +1,103 @@
+//! Machine-readable exporters for decompositions.
+//!
+//! Two formats:
+//! * **GML** — the node/edge graph format consumed by common decomposition
+//!   visualisers (e.g. the HyperBench tool family);
+//! * **DTD text** — the `det-k-decomp`-style indented format
+//!   `<λ-edge names> ( <χ-vertex names> )` used by the original tools'
+//!   output, convenient for diffing decompositions across solvers.
+
+use hypergraph::Hypergraph;
+
+use crate::tree::{Decomposition, NodeId};
+
+/// Serialises the decomposition as GML (nodes carry `lambda`/`chi`
+/// labels; edges are the tree edges).
+pub fn to_gml(hg: &Hypergraph, d: &Decomposition) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("graph [\n  directed 1\n");
+    for u in d.preorder() {
+        let node = d.node(u);
+        let lam: Vec<&str> = node.lambda.iter().map(|&e| hg.edge_name(e)).collect();
+        let chi: Vec<&str> = node.chi.iter().map(|v| hg.vertex_name(v)).collect();
+        let _ = writeln!(
+            out,
+            "  node [ id {} label \"{{{}}} {{{}}}\" ]",
+            u.0,
+            lam.join(","),
+            chi.join(",")
+        );
+    }
+    for u in d.preorder() {
+        for &c in &d.node(u).children {
+            let _ = writeln!(out, "  edge [ source {} target {} ]", u.0, c.0);
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Serialises in the `det-k-decomp` output style.
+pub fn to_dtd_text(hg: &Hypergraph, d: &Decomposition) -> String {
+    use std::fmt::Write as _;
+    fn go(hg: &Hypergraph, d: &Decomposition, u: NodeId, depth: usize, out: &mut String) {
+        let node = d.node(u);
+        let lam: Vec<&str> = node.lambda.iter().map(|&e| hg.edge_name(e)).collect();
+        let chi: Vec<&str> = node.chi.iter().map(|v| hg.vertex_name(v)).collect();
+        let _ = writeln!(
+            out,
+            "{}<{}> ({})",
+            "  ".repeat(depth),
+            lam.join(", "),
+            chi.join(", ")
+        );
+        for &c in &node.children {
+            go(hg, d, c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    go(hg, d, d.root(), 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{Edge, Vertex, VertexSet};
+
+    fn sample() -> (Hypergraph, Decomposition) {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2]]);
+        let n = hg.num_vertices();
+        let mut d = Decomposition::singleton(
+            vec![Edge(0)],
+            VertexSet::from_iter(n, [Vertex(0), Vertex(1)]),
+        );
+        d.add_child(
+            d.root(),
+            vec![Edge(1)],
+            VertexSet::from_iter(n, [Vertex(1), Vertex(2)]),
+        );
+        (hg, d)
+    }
+
+    #[test]
+    fn gml_contains_all_nodes_and_edges() {
+        let (hg, d) = sample();
+        let gml = to_gml(&hg, &d);
+        assert_eq!(gml.matches("node [").count(), 2);
+        assert_eq!(gml.matches("edge [").count(), 1);
+        assert!(gml.contains("{e0} {v0,v1}"));
+        assert!(gml.starts_with("graph ["));
+        assert!(gml.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn dtd_text_is_indented() {
+        let (hg, d) = sample();
+        let text = to_dtd_text(&hg, &d);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("<e0>"));
+        assert!(lines[1].starts_with("  <e1>"));
+    }
+}

@@ -1,0 +1,247 @@
+//! HD-fragments: partial decompositions with special-edge leaves.
+//!
+//! The recursion of `log-k-decomp` builds HDs of *extended subhypergraphs*
+//! (Definition 3.3 of the paper). In such a decomposition a special edge
+//! `s ∈ Sp` is covered by a dedicated leaf with `λ = {s}` and `χ = s`;
+//! stitching (the soundness proof of Appendix A) later *replaces* that leaf
+//! by the real node `c` whose `χ(c)` the special edge stood for, and hangs
+//! the child fragments below it.
+
+use hypergraph::{Edge, Hypergraph, SpecialArena, SpecialId, VertexSet};
+
+use crate::tree::Decomposition;
+
+/// Label of a fragment node: either a real λ-label or a special-edge leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FragLabel {
+    /// `λ(u) ⊆ E(H)`.
+    Edges(Vec<Edge>),
+    /// `λ(u) = {s}` for a special edge `s` — always a leaf.
+    Special(SpecialId),
+}
+
+/// One node of a [`Fragment`].
+#[derive(Clone, Debug)]
+pub struct FragNode {
+    /// The λ-label.
+    pub label: FragLabel,
+    /// The bag `χ(u)`.
+    pub chi: VertexSet,
+    /// Children (indices into the fragment's node vector).
+    pub children: Vec<usize>,
+}
+
+/// A rooted HD-fragment.
+#[derive(Clone, Debug)]
+pub struct Fragment {
+    /// Nodes; indices are local to this fragment.
+    pub nodes: Vec<FragNode>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl Fragment {
+    /// A single real node covering its subproblem.
+    pub fn leaf(lambda: Vec<Edge>, chi: VertexSet) -> Self {
+        Fragment {
+            nodes: vec![FragNode {
+                label: FragLabel::Edges(lambda),
+                chi,
+                children: Vec::new(),
+            }],
+            root: 0,
+        }
+    }
+
+    /// A single special-edge leaf with `λ = {s}`, `χ = s`.
+    pub fn special_leaf(id: SpecialId, set: VertexSet) -> Self {
+        Fragment {
+            nodes: vec![FragNode {
+                label: FragLabel::Special(id),
+                chi: set,
+                children: Vec::new(),
+            }],
+            root: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Width contributed by real nodes (special leaves count as width 1).
+    pub fn width(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.label {
+                FragLabel::Edges(l) => l.len(),
+                FragLabel::Special(_) => 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Finds the unique leaf carrying special edge `id`, if present.
+    pub fn find_special_leaf(&self, id: SpecialId) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.label == FragLabel::Special(id))
+    }
+
+    /// Appends all nodes of `other`, returning the new index of its root.
+    /// The appended subtree is *not* linked to any existing node.
+    pub fn absorb(&mut self, other: Fragment) -> usize {
+        let offset = self.nodes.len();
+        let other_root = other.root;
+        for mut n in other.nodes {
+            for c in &mut n.children {
+                *c += offset;
+            }
+            self.nodes.push(n);
+        }
+        offset + other_root
+    }
+
+    /// Attaches `child` as a new subtree under node `parent`.
+    pub fn attach_under(&mut self, parent: usize, child: Fragment) {
+        let r = self.absorb(child);
+        self.nodes[parent].children.push(r);
+    }
+
+    /// Replaces the special leaf for `id` with a real node `(lambda, chi)`,
+    /// returning the node's index. Panics if the leaf is missing — callers
+    /// create the special edge themselves, so absence is a logic error.
+    pub fn replace_special_leaf(
+        &mut self,
+        id: SpecialId,
+        lambda: Vec<Edge>,
+        chi: VertexSet,
+    ) -> usize {
+        let idx = self
+            .find_special_leaf(id)
+            .expect("special leaf must exist in the fragment it was issued for");
+        self.nodes[idx].label = FragLabel::Edges(lambda);
+        self.nodes[idx].chi = chi;
+        idx
+    }
+
+    /// Iterates `(index, &node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &FragNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Converts a fully-stitched fragment (no remaining special leaves)
+    /// into a [`Decomposition`].
+    ///
+    /// Returns `Err(special)` with the first dangling special id otherwise.
+    pub fn into_decomposition(self) -> Result<Decomposition, SpecialId> {
+        let mut labels = Vec::with_capacity(self.nodes.len());
+        let mut children = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            match &n.label {
+                FragLabel::Edges(l) => labels.push((l.clone(), n.chi.clone())),
+                FragLabel::Special(s) => return Err(*s),
+            }
+            children.push(n.children.iter().map(|&c| c as u32).collect::<Vec<u32>>());
+        }
+        Ok(Decomposition::from_parts(labels, children, self.root as u32))
+    }
+
+    /// Renders the fragment with hypergraph names; special leaves are shown
+    /// as `s<id>` (Figure 2b/2c style).
+    pub fn render(&self, hg: &Hypergraph, arena: &SpecialArena) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        fn go(
+            f: &Fragment,
+            hg: &Hypergraph,
+            arena: &SpecialArena,
+            u: usize,
+            depth: usize,
+            out: &mut String,
+        ) {
+            let n = &f.nodes[u];
+            let lam = match &n.label {
+                FragLabel::Edges(l) => l
+                    .iter()
+                    .map(|&e| hg.edge_name(e).to_owned())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                FragLabel::Special(s) => format!("s{}", s.0),
+            };
+            let chi: Vec<&str> = n.chi.iter().map(|v| hg.vertex_name(v)).collect();
+            let _ = writeln!(
+                out,
+                "{}λ = {{{}}}  χ = {{{}}}",
+                "  ".repeat(depth),
+                lam,
+                chi.join(", ")
+            );
+            let _ = arena;
+            for &c in &n.children {
+                go(f, hg, arena, c, depth + 1, out);
+            }
+        }
+        go(self, hg, arena, self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Vertex;
+
+    fn vset(n: usize, vs: &[u32]) -> VertexSet {
+        VertexSet::from_iter(n, vs.iter().map(|&v| Vertex(v)))
+    }
+
+    #[test]
+    fn stitch_replaces_special_leaf() {
+        let mut arena = SpecialArena::new();
+        let s = arena.push(vset(6, &[1, 2]));
+        // Up-fragment: root --- special leaf for s.
+        let mut up = Fragment::leaf(vec![Edge(0)], vset(6, &[0, 1]));
+        up.attach_under(0, Fragment::special_leaf(s, arena.get(s).clone()));
+        assert_eq!(up.find_special_leaf(s), Some(1));
+
+        // Replace the leaf with the real child node and hang a fragment below.
+        let c = up.replace_special_leaf(s, vec![Edge(1), Edge(2)], vset(6, &[1, 2]));
+        up.attach_under(c, Fragment::leaf(vec![Edge(3)], vset(6, &[2, 3])));
+
+        assert_eq!(up.num_nodes(), 3);
+        assert!(up.find_special_leaf(s).is_none());
+        let d = up.into_decomposition().unwrap();
+        assert_eq!(d.num_nodes(), 3);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.depth(), 3);
+    }
+
+    #[test]
+    fn absorb_offsets_children() {
+        let mut a = Fragment::leaf(vec![Edge(0)], vset(4, &[0]));
+        let mut b = Fragment::leaf(vec![Edge(1)], vset(4, &[1]));
+        b.attach_under(0, Fragment::leaf(vec![Edge(2)], vset(4, &[2])));
+        let r = a.absorb(b);
+        assert_eq!(r, 1);
+        assert_eq!(a.nodes[1].children, vec![2]);
+    }
+
+    #[test]
+    fn into_decomposition_rejects_dangling_specials() {
+        let mut arena = SpecialArena::new();
+        let s = arena.push(vset(3, &[0]));
+        let f = Fragment::special_leaf(s, arena.get(s).clone());
+        assert_eq!(f.into_decomposition().unwrap_err(), s);
+    }
+
+    #[test]
+    fn width_counts_special_leaves_as_one() {
+        let mut arena = SpecialArena::new();
+        let s = arena.push(vset(3, &[0, 1]));
+        let mut f = Fragment::leaf(vec![Edge(0), Edge(1), Edge(2)], vset(3, &[0, 1, 2]));
+        f.attach_under(0, Fragment::special_leaf(s, arena.get(s).clone()));
+        assert_eq!(f.width(), 3);
+    }
+}

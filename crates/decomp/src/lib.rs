@@ -1,0 +1,25 @@
+//! Decomposition structures and validators.
+//!
+//! * [`tree`] — the [`Decomposition`] type (shared by HDs and GHDs);
+//! * [`fragment`] — HD-fragments with special-edge leaves and the
+//!   stitching operations used by `log-k-decomp`'s soundness construction;
+//! * [`validate`] — exact checkers for the GHD conditions, the HD special
+//!   condition, the six conditions of Definition 3.3 (HDs of extended
+//!   subhypergraphs), and the normal form of Definition 3.5.
+//!
+//! Paper: Gottlob, Lanzinger, Okulmus, Pichler. *Fast Parallel Hypertree
+//! Decompositions in Logarithmic Recursion Depth.* PODS 2022.
+
+pub mod control;
+pub mod export;
+pub mod fragment;
+pub mod tree;
+pub mod validate;
+
+pub use control::{Control, Interrupted};
+pub use export::{to_dtd_text, to_gml};
+pub use fragment::{FragLabel, FragNode, Fragment};
+pub use tree::{Decomposition, Node, NodeId};
+pub use validate::{
+    is_normal_form, validate_extended_hd, validate_ghd, validate_hd, validate_hd_width, Violation,
+};

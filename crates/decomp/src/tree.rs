@@ -1,0 +1,247 @@
+//! Hypertree decomposition trees.
+
+use hypergraph::{Edge, Hypergraph, VertexSet};
+
+/// Identifier of a node within a [`Decomposition`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// One node `u` of a decomposition with its labels `λ(u)` and `χ(u)`.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// `λ(u)` — the edge cover label.
+    pub lambda: Vec<Edge>,
+    /// `χ(u)` — the bag.
+    pub chi: VertexSet,
+    /// Child nodes.
+    pub children: Vec<NodeId>,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+}
+
+/// A (generalized) hypertree decomposition `⟨T, χ, λ⟩` of a hypergraph.
+///
+/// Whether the structure is an HD or merely a GHD is a property checked by
+/// the validators in [`crate::validate`]; the representation is shared.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Decomposition {
+    /// Creates a decomposition with a single root node.
+    pub fn singleton(lambda: Vec<Edge>, chi: VertexSet) -> Self {
+        Decomposition {
+            nodes: vec![Node {
+                lambda,
+                chi,
+                children: Vec::new(),
+                parent: None,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// Builds a decomposition from raw parts. `parent` links are derived.
+    ///
+    /// `children[i]` lists the children of node `i`; `root` must be the
+    /// unique node that no list mentions.
+    pub fn from_parts(
+        labels: Vec<(Vec<Edge>, VertexSet)>,
+        children: Vec<Vec<u32>>,
+        root: u32,
+    ) -> Self {
+        assert_eq!(labels.len(), children.len());
+        let mut nodes: Vec<Node> = labels
+            .into_iter()
+            .map(|(lambda, chi)| Node {
+                lambda,
+                chi,
+                children: Vec::new(),
+                parent: None,
+            })
+            .collect();
+        for (i, ch) in children.iter().enumerate() {
+            nodes[i].children = ch.iter().map(|&c| NodeId(c)).collect();
+        }
+        for i in 0..nodes.len() {
+            let ch = nodes[i].children.clone();
+            for c in ch {
+                nodes[c.0 as usize].parent = Some(NodeId(i as u32));
+            }
+        }
+        Decomposition {
+            nodes,
+            root: NodeId(root),
+        }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds a child node under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: NodeId, lambda: Vec<Edge>, chi: VertexSet) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            lambda,
+            chi,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// The width `max_u |λ(u)|` of the decomposition.
+    pub fn width(&self) -> usize {
+        self.nodes.iter().map(|n| n.lambda.len()).max().unwrap_or(0)
+    }
+
+    /// The depth of the tree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        fn go(d: &Decomposition, u: NodeId) -> usize {
+            1 + d
+                .node(u)
+                .children
+                .iter()
+                .map(|&c| go(d, c))
+                .max()
+                .unwrap_or(0)
+        }
+        go(self, self.root)
+    }
+
+    /// All node ids in preorder (root first).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for &c in self.node(u).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All node ids in postorder (children before parents).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = self.preorder();
+        out.reverse();
+        out
+    }
+
+    /// `χ(T_u)` for every node `u`: the union of bags in the subtree below
+    /// (and including) `u`. Computed bottom-up in one pass.
+    pub fn subtree_chi(&self, hg: &Hypergraph) -> Vec<VertexSet> {
+        let mut acc: Vec<VertexSet> = vec![hg.vertex_set(); self.nodes.len()];
+        for u in self.postorder() {
+            let mut s = self.node(u).chi.clone();
+            for &c in &self.node(u).children {
+                s.union_with(&acc[c.0 as usize]);
+            }
+            acc[u.0 as usize] = s;
+        }
+        acc
+    }
+
+    /// Renders the decomposition as an indented tree using hypergraph names
+    /// — the format of Figure 2 in the paper.
+    pub fn render(&self, hg: &Hypergraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        fn go(d: &Decomposition, hg: &Hypergraph, u: NodeId, depth: usize, out: &mut String) {
+            let n = d.node(u);
+            let lam: Vec<&str> = n.lambda.iter().map(|&e| hg.edge_name(e)).collect();
+            let chi: Vec<&str> = n.chi.iter().map(|v| hg.vertex_name(v)).collect();
+            let _ = writeln!(
+                out,
+                "{}λ = {{{}}}  χ = {{{}}}",
+                "  ".repeat(depth),
+                lam.join(", "),
+                chi.join(", ")
+            );
+            for &c in &n.children {
+                go(d, hg, c, depth + 1, out);
+            }
+        }
+        go(self, hg, self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Vertex;
+
+    fn vset(n: usize, vs: &[u32]) -> VertexSet {
+        VertexSet::from_iter(n, vs.iter().map(|&v| Vertex(v)))
+    }
+
+    #[test]
+    fn build_and_measure() {
+        let mut d = Decomposition::singleton(vec![Edge(0), Edge(1)], vset(5, &[0, 1, 2]));
+        let c1 = d.add_child(d.root(), vec![Edge(2)], vset(5, &[2, 3]));
+        d.add_child(c1, vec![Edge(3)], vset(5, &[3, 4]));
+        d.add_child(d.root(), vec![Edge(4)], vset(5, &[1]));
+        assert_eq!(d.num_nodes(), 4);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.node(c1).parent, Some(d.root()));
+    }
+
+    #[test]
+    fn orders_cover_all_nodes() {
+        let mut d = Decomposition::singleton(vec![Edge(0)], vset(3, &[0]));
+        let c1 = d.add_child(d.root(), vec![Edge(1)], vset(3, &[1]));
+        d.add_child(c1, vec![Edge(2)], vset(3, &[2]));
+        let pre = d.preorder();
+        let post = d.postorder();
+        assert_eq!(pre.len(), 3);
+        assert_eq!(post.len(), 3);
+        assert_eq!(pre[0], d.root());
+        assert_eq!(*post.last().unwrap(), d.root());
+    }
+
+    #[test]
+    fn subtree_chi_accumulates() {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let mut d = Decomposition::singleton(vec![Edge(0)], vset(4, &[0, 1]));
+        let c = d.add_child(d.root(), vec![Edge(1)], vset(4, &[1, 2]));
+        d.add_child(c, vec![Edge(2)], vset(4, &[2, 3]));
+        let acc = d.subtree_chi(&hg);
+        assert_eq!(acc[d.root().0 as usize].len(), 4);
+        assert_eq!(acc[c.0 as usize].len(), 3);
+    }
+
+    #[test]
+    fn from_parts_derives_parents() {
+        let d = Decomposition::from_parts(
+            vec![
+                (vec![Edge(0)], vset(3, &[0, 1])),
+                (vec![Edge(1)], vset(3, &[1, 2])),
+            ],
+            vec![vec![1], vec![]],
+            0,
+        );
+        assert_eq!(d.node(NodeId(1)).parent, Some(NodeId(0)));
+        assert_eq!(d.node(NodeId(0)).parent, None);
+    }
+}

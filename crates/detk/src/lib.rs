@@ -1,0 +1,332 @@
+//! `det-k-decomp` — the backtracking HD algorithm of Gottlob & Samer
+//! (ACM JEA 2008), re-implemented from scratch and *extended to handle
+//! extended subhypergraphs* (special edges), exactly as the paper's hybrid
+//! strategy requires (Section 5.2: "our own implementation of det-k-decomp,
+//! extended to handle extended subhypergraphs correctly").
+//!
+//! The algorithm constructs an HD strictly top-down: for the current
+//! component it guesses a λ-label, derives the (minimal) bag
+//! `χ(u) = ⋃λ(u) ∩ V(C)`, splits `C` into `[χ(u)]`-components and recurses.
+//! Positive and negative results are memoised per `(component, connector)`
+//! — the extensive caching that makes the algorithm strong on small
+//! instances but, as the paper argues, inherently hard to parallelise.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use decomp::{Control, Decomposition, Fragment, Interrupted};
+use hypergraph::subsets::for_each_subset;
+use hypergraph::{
+    separate, Edge, EdgeSet, Hypergraph, SpecialArena, SpecialId, Subproblem, VertexSet,
+};
+
+/// Result of a whole-hypergraph solve.
+pub type SolveResult = Result<Option<Decomposition>, Interrupted>;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    edges: EdgeSet,
+    specials: Vec<SpecialId>,
+    conn: VertexSet,
+}
+
+/// Reusable `det-k-decomp` engine with its memoisation cache.
+///
+/// The engine borrows the hypergraph and control; the special-edge arena is
+/// passed per call so that `log-k-decomp`'s hybrid driver can hand over
+/// subproblems referencing its own arena.
+pub struct DetKDecomp<'h> {
+    hg: &'h Hypergraph,
+    k: usize,
+    ctrl: &'h Control,
+    cache: HashMap<CacheKey, Option<Fragment>>,
+    /// Soft cap on cache entries, mirroring the paper's 1 GB memory limit
+    /// discipline: beyond the cap we keep solving but stop memoising.
+    cache_cap: usize,
+    /// Current recursion depth (diagnostics).
+    depth: usize,
+    /// Deepest recursion reached — Θ(|E|) on chains, in contrast to
+    /// log-k-decomp's logarithmic bound (the paper's core argument).
+    max_depth: usize,
+}
+
+type Found<T> = ControlFlow<Result<T, Interrupted>>;
+
+impl<'h> DetKDecomp<'h> {
+    /// Creates an engine for width bound `k`.
+    pub fn new(hg: &'h Hypergraph, k: usize, ctrl: &'h Control) -> Self {
+        assert!(k >= 1, "width parameter k must be at least 1");
+        DetKDecomp {
+            hg,
+            k,
+            ctrl,
+            cache: HashMap::new(),
+            cache_cap: 1 << 20,
+            depth: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Number of memoised subproblems (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Deepest recursion level reached so far (diagnostics; the paper's
+    /// motivation for log-k-decomp is that this is linear for det-k).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Decomposes the extended subhypergraph `(sub, conn)`, returning an
+    /// HD-fragment of width ≤ k or `None` if none exists.
+    pub fn decompose(
+        &mut self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+    ) -> Result<Option<Fragment>, Interrupted> {
+        self.ctrl.checkpoint()?;
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        let result = self.decompose_inner(arena, sub, conn);
+        self.depth -= 1;
+        result
+    }
+
+    fn decompose_inner(
+        &mut self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+    ) -> Result<Option<Fragment>, Interrupted> {
+        // Base cases (shared with log-k-decomp).
+        if sub.edges.len() <= self.k && sub.specials.is_empty() {
+            let lambda: Vec<Edge> = sub.edges.iter().collect();
+            let chi = self.hg.union_of(&sub.edges);
+            return Ok(Some(Fragment::leaf(lambda, chi)));
+        }
+        if sub.edges.is_empty() && sub.specials.len() == 1 {
+            let s = sub.specials[0];
+            return Ok(Some(Fragment::special_leaf(s, arena.get(s).clone())));
+        }
+        if sub.edges.is_empty() && sub.specials.len() > 1 {
+            // Only "old" edges could separate the remaining specials, which
+            // the normal form forbids (no progress).
+            return Ok(None);
+        }
+
+        let key = CacheKey {
+            edges: sub.edges.clone(),
+            specials: sub.specials.clone(),
+            conn: conn.clone(),
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit.clone());
+        }
+
+        let result = self.search(arena, sub, conn)?;
+        if self.cache.len() < self.cache_cap {
+            self.cache.insert(key, result.clone());
+        }
+        Ok(result)
+    }
+
+    fn search(
+        &mut self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+    ) -> Result<Option<Fragment>, Interrupted> {
+        let vsub = sub.vertices(self.hg, arena);
+        // Candidate λ-edges: only edges touching the component can change
+        // χ(u) = ⋃λ ∩ V(C) or cover Conn ⊆ V(C); others are redundant.
+        let cands: Vec<Edge> = self
+            .hg
+            .edge_ids()
+            .filter(|&e| self.hg.edge(e).intersects(&vsub))
+            .collect();
+
+        let found = for_each_subset(&cands, self.k, |lambda| {
+            self.try_label(arena, sub, conn, &vsub, lambda)
+        });
+        match found {
+            Some(Ok(f)) => Ok(Some(f)),
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    fn try_label(
+        &mut self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        vsub: &VertexSet,
+        lambda: &[Edge],
+    ) -> Found<Fragment> {
+        if let Err(e) = self.ctrl.checkpoint() {
+            return ControlFlow::Break(Err(e));
+        }
+        // Progress (normal form, Def. 3.5(2)): λ must pick up an edge of
+        // the component itself.
+        if !lambda.iter().any(|e| sub.edges.contains(*e)) {
+            return ControlFlow::Continue(());
+        }
+        let union = self.hg.union_of_slice(lambda);
+        // Connectedness: Conn ⊆ χ(u); since Conn ⊆ V(C) this reduces to
+        // Conn ⊆ ⋃λ.
+        if !conn.is_subset_of(&union) {
+            return ControlFlow::Continue(());
+        }
+        // Minimal bag (Def. 3.5(3)).
+        let chi = union.intersection(vsub);
+
+        let seps = separate(self.hg, arena, sub, &chi);
+        let mut children = Vec::with_capacity(seps.components.len());
+        for comp in &seps.components {
+            let conn_c = comp.vertices.intersection(&chi);
+            match self.decompose(arena, &comp.to_subproblem(), &conn_c) {
+                Ok(Some(f)) => children.push(f),
+                Ok(None) => return ControlFlow::Continue(()),
+                Err(e) => return ControlFlow::Break(Err(e)),
+            }
+        }
+
+        let mut frag = Fragment::leaf(lambda.to_vec(), chi);
+        for f in children {
+            frag.attach_under(0, f);
+        }
+        // Specials fully inside χ(u) still need their dedicated leaves.
+        for &s in &seps.covered_specials {
+            frag.attach_under(0, Fragment::special_leaf(s, arena.get(s).clone()));
+        }
+        ControlFlow::Break(Ok(frag))
+    }
+}
+
+/// Decides `hw(H) ≤ k` and materialises a witness HD (whole hypergraph).
+pub fn decompose_detk(hg: &Hypergraph, k: usize, ctrl: &Control) -> SolveResult {
+    if hg.num_edges() == 0 {
+        return Ok(Some(Decomposition::singleton(vec![], hg.vertex_set())));
+    }
+    let arena = SpecialArena::new();
+    let mut engine = DetKDecomp::new(hg, k, ctrl);
+    let sub = Subproblem::whole(hg);
+    match engine.decompose(&arena, &sub, &hg.vertex_set())? {
+        Some(frag) => {
+            let d = frag
+                .into_decomposition()
+                .expect("whole-graph fragments have no special leaves");
+            Ok(Some(d))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Decision-only variant of [`decompose_detk`].
+pub fn decide_detk(hg: &Hypergraph, k: usize, ctrl: &Control) -> Result<bool, Interrupted> {
+    Ok(decompose_detk(hg, k, ctrl)?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::validate_hd_width;
+
+    fn cycle(n: u32) -> Hypergraph {
+        let edges: Vec<Vec<u32>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        Hypergraph::from_edge_lists(&edges)
+    }
+
+    #[test]
+    fn acyclic_instances_width_one() {
+        let path = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let ctrl = Control::unlimited();
+        let d = decompose_detk(&path, 1, &ctrl).unwrap().unwrap();
+        validate_hd_width(&path, &d, 1).unwrap();
+
+        let star = Hypergraph::from_edge_lists(&[vec![0, 1], vec![0, 2], vec![0, 3]]);
+        let d = decompose_detk(&star, 1, &ctrl).unwrap().unwrap();
+        validate_hd_width(&star, &d, 1).unwrap();
+    }
+
+    #[test]
+    fn cycle10_width_two() {
+        let hg = cycle(10);
+        let ctrl = Control::unlimited();
+        assert!(decompose_detk(&hg, 1, &ctrl).unwrap().is_none());
+        let d = decompose_detk(&hg, 2, &ctrl).unwrap().unwrap();
+        validate_hd_width(&hg, &d, 2).unwrap();
+    }
+
+    #[test]
+    fn larger_cycle_width_two() {
+        let hg = cycle(20);
+        let ctrl = Control::unlimited();
+        let d = decompose_detk(&hg, 2, &ctrl).unwrap().unwrap();
+        validate_hd_width(&hg, &d, 2).unwrap();
+    }
+
+    #[test]
+    fn cache_is_exercised() {
+        let hg = cycle(12);
+        let ctrl = Control::unlimited();
+        let arena = SpecialArena::new();
+        let mut engine = DetKDecomp::new(&hg, 2, &ctrl);
+        let sub = Subproblem::whole(&hg);
+        let f = engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(f.is_some());
+        assert!(engine.cache_len() > 0);
+    }
+
+    #[test]
+    fn extended_subproblem_with_special_edge() {
+        // Decompose a path fragment whose interface to the rest is a
+        // special edge; detk must give it a dedicated leaf.
+        let hg = cycle(10);
+        let ctrl = Control::unlimited();
+        let mut arena = SpecialArena::new();
+        let n = hg.num_vertices();
+        let s = arena.push(VertexSet::from_iter(
+            n,
+            [
+                hypergraph::Vertex(0),
+                hypergraph::Vertex(5),
+                hypergraph::Vertex(6),
+            ],
+        ));
+        let mut sub = Subproblem::empty(&hg);
+        for e in [2u32, 3, 4] {
+            sub.edges.insert(Edge(e));
+        }
+        sub.specials.push(s);
+        let conn = VertexSet::from_iter(n, [hypergraph::Vertex(0), hypergraph::Vertex(2)]);
+        let mut engine = DetKDecomp::new(&hg, 2, &ctrl);
+        let frag = engine.decompose(&arena, &sub, &conn).unwrap().unwrap();
+        decomp::validate_extended_hd(&hg, &arena, &sub, &conn, &frag).unwrap();
+    }
+
+    #[test]
+    fn two_specials_no_edges_is_negative() {
+        let hg = cycle(6);
+        let ctrl = Control::unlimited();
+        let mut arena = SpecialArena::new();
+        let n = hg.num_vertices();
+        let s1 = arena.push(VertexSet::from_iter(n, [hypergraph::Vertex(0)]));
+        let s2 = arena.push(VertexSet::from_iter(n, [hypergraph::Vertex(3)]));
+        let mut sub = Subproblem::empty(&hg);
+        sub.specials = vec![s1, s2];
+        let mut engine = DetKDecomp::new(&hg, 2, &ctrl);
+        let r = engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let hg = cycle(30);
+        let ctrl = Control::with_timeout(std::time::Duration::from_millis(0));
+        let r = decompose_detk(&hg, 3, &ctrl);
+        assert!(matches!(r, Err(Interrupted::Timeout)));
+    }
+}

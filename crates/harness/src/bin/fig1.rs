@@ -1,0 +1,8 @@
+//! Reproduces Figure 1 (parallel scaling). Flags as in `repro`.
+
+use harness::{tables, ReproConfig};
+
+fn main() {
+    let (cfg, _) = ReproConfig::from_args(std::env::args().skip(1));
+    println!("{}", tables::fig1(&cfg));
+}

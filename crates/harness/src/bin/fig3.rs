@@ -1,0 +1,9 @@
+//! Reproduces Figure 3 (solved/unsolved scatter). Flags as in `repro`.
+
+use harness::{tables, ReproConfig};
+
+fn main() {
+    let (cfg, _) = ReproConfig::from_args(std::env::args().skip(1));
+    let dir = std::path::PathBuf::from("target/repro");
+    println!("{}", tables::fig3(&cfg, Some(&dir)));
+}

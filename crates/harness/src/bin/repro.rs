@@ -1,0 +1,35 @@
+//! Reproduce the paper's tables and figures: `repro [flags] [artifacts…]`.
+//!
+//! `repro all` regenerates everything; individual names: `table1`,
+//! `table2`, `table3`, `table4`, `table5`, `fig1`, `fig3`.
+
+use harness::{tables, ReproConfig};
+
+fn main() {
+    let (cfg, rest) = ReproConfig::from_args(std::env::args().skip(1));
+    let wanted: Vec<String> = if rest.is_empty() || rest.iter().any(|a| a == "all") {
+        ["table1", "table2", "table3", "table4", "table5", "fig1", "fig3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        rest
+    };
+    let csv_dir = std::path::PathBuf::from("target/repro");
+    for artifact in &wanted {
+        let text = match artifact.as_str() {
+            "table1" => tables::table1(&cfg),
+            "table2" => tables::table2(&cfg),
+            "table3" => tables::table3(&cfg),
+            "table4" => tables::table4(&cfg),
+            "table5" => tables::table5(&cfg),
+            "fig1" => tables::fig1(&cfg),
+            "fig3" => tables::fig3(&cfg, Some(&csv_dir)),
+            other => {
+                eprintln!("unknown artifact {other}; known: table1..table5, fig1, fig3, all");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Reproduces Table1 of the paper. Flags as in `repro`.
+
+use harness::{tables, ReproConfig};
+
+fn main() {
+    let (cfg, _) = ReproConfig::from_args(std::env::args().skip(1));
+    println!("{}", tables::table1(&cfg));
+}

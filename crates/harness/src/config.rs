@@ -1,0 +1,99 @@
+//! Harness configuration and a tiny argument parser (no CLI dependency).
+//!
+//! The paper ran 3648 instances with 1 h timeouts on a 12-node cluster;
+//! the defaults here shrink the corpus and the budget so a full
+//! reproduction sweep finishes on a laptop-class machine. Every knob is
+//! overridable: `--scale-div=12 --timeout-ms=60000` approaches the paper's
+//! setup given the hardware and the patience.
+
+use std::time::Duration;
+
+/// All experiment knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ReproConfig {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Corpus scale divisor: group sizes are HyperBench's divided by this.
+    pub scale_div: u32,
+    /// Per-(instance, method) wall-clock budget.
+    pub timeout: Duration,
+    /// Largest width tried (the paper uses widths in `[1, 10]`).
+    pub k_max: usize,
+    /// Threads for the parallel solvers.
+    pub threads: usize,
+    /// Instances for the HB_large analogue (Figure 1 / Table 2).
+    pub hb_large_count: usize,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            seed: 0xB0BA_CAFE,
+            scale_div: 36,
+            timeout: Duration::from_millis(1000),
+            k_max: 8,
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            hb_large_count: 12,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// Corpus scale as a fraction.
+    pub fn scale(&self) -> f64 {
+        1.0 / self.scale_div as f64
+    }
+
+    /// Parses `--key=value` style arguments, ignoring unknown ones after
+    /// printing a warning.
+    pub fn from_args(args: impl Iterator<Item = String>) -> (ReproConfig, Vec<String>) {
+        let mut cfg = ReproConfig::default();
+        let mut rest = Vec::new();
+        for arg in args {
+            if let Some(v) = arg.strip_prefix("--seed=") {
+                cfg.seed = v.parse().expect("--seed=<u64>");
+            } else if let Some(v) = arg.strip_prefix("--scale-div=") {
+                cfg.scale_div = v.parse().expect("--scale-div=<u32>");
+            } else if let Some(v) = arg.strip_prefix("--timeout-ms=") {
+                cfg.timeout = Duration::from_millis(v.parse().expect("--timeout-ms=<u64>"));
+            } else if let Some(v) = arg.strip_prefix("--kmax=") {
+                cfg.k_max = v.parse().expect("--kmax=<usize>");
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                cfg.threads = v.parse().expect("--threads=<usize>");
+            } else if let Some(v) = arg.strip_prefix("--hb-large=") {
+                cfg.hb_large_count = v.parse().expect("--hb-large=<usize>");
+            } else if arg == "--quick" {
+                cfg.scale_div = 100;
+                cfg.timeout = Duration::from_millis(300);
+                cfg.hb_large_count = 6;
+            } else {
+                rest.push(arg);
+            }
+        }
+        (cfg, rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let (cfg, rest) = ReproConfig::from_args(
+            ["--seed=7", "--timeout-ms=50", "--kmax=4", "table1"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.timeout, Duration::from_millis(50));
+        assert_eq!(cfg.k_max, 4);
+        assert_eq!(rest, vec!["table1".to_string()]);
+    }
+
+    #[test]
+    fn quick_preset() {
+        let (cfg, _) = ReproConfig::from_args(["--quick".to_string()].into_iter());
+        assert_eq!(cfg.scale_div, 100);
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's published numbers, embedded so every reproduction prints
+//! its measurements side by side with the original (Tables 1–5, Figure 1).
+
+use workloads::{Origin, SizeBand};
+
+/// Table 1 reference row: (origin, band, group size, #solved per method).
+pub struct Table1Row {
+    /// Origin group.
+    pub origin: Origin,
+    /// Edge-count band.
+    pub band: SizeBand,
+    /// Instances in the group.
+    pub group: usize,
+    /// NewDetKDecomp #solved.
+    pub detk: usize,
+    /// HtdLEO #solved.
+    pub htdleo: usize,
+    /// log-k-decomp Hybrid #solved.
+    pub logk_hybrid: usize,
+}
+
+/// Table 1 of the paper.
+pub const TABLE1: &[Table1Row] = &[
+    Table1Row { origin: Origin::Application, band: SizeBand::To100, group: 405, detk: 97, htdleo: 65, logk_hybrid: 261 },
+    Table1Row { origin: Origin::Application, band: SizeBand::To75, group: 514, detk: 276, htdleo: 448, logk_hybrid: 469 },
+    Table1Row { origin: Origin::Application, band: SizeBand::To50, group: 369, detk: 253, htdleo: 237, logk_hybrid: 253 },
+    Table1Row { origin: Origin::Application, band: SizeBand::UpTo10, group: 915, detk: 906, htdleo: 876, logk_hybrid: 915 },
+    Table1Row { origin: Origin::Synthetic, band: SizeBand::Over100, group: 66, detk: 18, htdleo: 13, logk_hybrid: 34 },
+    Table1Row { origin: Origin::Synthetic, band: SizeBand::To100, group: 422, detk: 87, htdleo: 312, logk_hybrid: 235 },
+    Table1Row { origin: Origin::Synthetic, band: SizeBand::To75, group: 215, detk: 38, htdleo: 212, logk_hybrid: 215 },
+    Table1Row { origin: Origin::Synthetic, band: SizeBand::To50, group: 647, detk: 290, htdleo: 303, logk_hybrid: 625 },
+    Table1Row { origin: Origin::Synthetic, band: SizeBand::UpTo10, group: 95, detk: 95, htdleo: 78, logk_hybrid: 95 },
+];
+
+/// Table 1 totals: (group, detk, htdleo, logk_hybrid).
+pub const TABLE1_TOTAL: (usize, usize, usize, usize) = (3648, 2060, 2544, 3102);
+
+/// Table 2 of the paper: (method, threshold, solved-of-465, avg seconds).
+pub const TABLE2: &[(&str, u32, usize, f64)] = &[
+    ("WeightedCount", 200, 395, 92.15),
+    ("WeightedCount", 400, 411, 93.53),
+    ("WeightedCount", 600, 410, 87.86),
+    ("EdgeCount", 20, 171, 130.0),
+    ("EdgeCount", 40, 219, 145.09),
+    ("EdgeCount", 80, 292, 117.33),
+];
+
+/// Table 2 baselines: (method, solved-of-465, avg seconds).
+pub const TABLE2_BASELINES: &[(&str, usize, f64)] =
+    &[("NewDetKDecomp", 174, 318.93), ("HtdLEO", 277, 779.39)];
+
+/// Table 3 of the paper: per width — (width, virtual best, NewDetKDecomp,
+/// HtdLEO, log-k-decomp Hybrid).
+pub const TABLE3: &[(usize, usize, usize, usize, usize)] = &[
+    (1, 709, 677, 649, 709),
+    (2, 595, 586, 567, 595),
+    (3, 310, 310, 273, 310),
+    (4, 386, 379, 321, 386),
+    (5, 450, 38, 341, 450),
+    (6, 485, 28, 307, 480),
+    (7, 124, 9, 16, 108),
+    (8, 115, 1, 69, 46),
+    (9, 19, 0, 1, 18),
+];
+
+/// Table 4 of the paper: (w, virtual best, hybrid, NewDetKDecomp, log-k).
+pub const TABLE4: &[(usize, usize, usize, usize, usize)] = &[
+    (1, 3648, 3648, 3616, 3648),
+    (2, 3648, 3648, 3631, 3648),
+    (3, 3637, 3637, 3355, 3567),
+    (4, 3623, 3623, 2391, 3178),
+    (5, 3616, 3611, 2485, 2924),
+    (6, 3370, 3253, 2897, 2349),
+];
+
+/// Table 5 of the paper: HtdLEO at 10 h — (origin, band, solved, delta
+/// versus the 1 h run).
+pub const TABLE5: &[(Origin, SizeBand, usize, i32)] = &[
+    (Origin::Application, SizeBand::To100, 94, 29),
+    (Origin::Application, SizeBand::To75, 461, 13),
+    (Origin::Application, SizeBand::To50, 237, 0),
+    (Origin::Application, SizeBand::UpTo10, 876, 0),
+    (Origin::Synthetic, SizeBand::Over100, 13, 0),
+    (Origin::Synthetic, SizeBand::To100, 360, 48),
+    (Origin::Synthetic, SizeBand::To75, 214, 2),
+    (Origin::Synthetic, SizeBand::To50, 433, 130),
+    (Origin::Synthetic, SizeBand::UpTo10, 78, 0),
+];
+
+/// Figure 1 of the paper: average seconds on HB_large per core count for
+/// `log-k-decomp` (the headline linear-scaling observation).
+pub const FIG1_LOGK_SECONDS: &[(usize, f64)] =
+    &[(1, 189.0), (2, 95.0), (3, 65.0), (4, 50.0), (5, 47.0), (6, 45.0)];
+
+/// Figure 1 timeout counts: (method, timeouts).
+pub const FIG1_TIMEOUTS: &[(&str, usize)] =
+    &[("log-k (Hybrid)", 143), ("log-k", 666), ("NewDetKDecomp", 611)];

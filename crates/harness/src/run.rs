@@ -1,0 +1,309 @@
+//! Solver runners with the paper's experimental discipline: per-instance
+//! wall-clock timeout, optimal-width search by iterating k, certified
+//! (validated) witnesses, and explicit memout reporting.
+
+use std::time::{Duration, Instant};
+
+use decomp::{validate_ghd, validate_hd, Control, Decomposition};
+use hypergraph::Hypergraph;
+use logk::{HybridConfig, HybridMetric, LogK};
+
+/// The competing methods, named as in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// `log-k-decomp` without hybridisation (parallel).
+    LogK {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// The paper's flagship: hybrid `log-k-decomp` (Appendix D.2).
+    LogKHybrid {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// Hybrid with an explicit metric/threshold (Table 2).
+    LogKHybridWith {
+        /// Worker threads.
+        threads: usize,
+        /// Use `WeightedCount` (true) or `EdgeCount` (false).
+        weighted: bool,
+        /// Switch threshold.
+        threshold: u32,
+    },
+    /// `det-k-decomp` (stands in for NewDetKDecomp).
+    DetK,
+    /// SAT-based optimal-width solver (stands in for HtdLEO; exact ghw).
+    HtdSat,
+    /// BalancedGo-style GHD search (upper bounds).
+    Ghd,
+}
+
+impl Method {
+    /// Display name used in tables.
+    pub fn name(self) -> String {
+        match self {
+            Method::LogK { threads } => format!("log-k-decomp({threads}t)"),
+            Method::LogKHybrid { threads } => format!("log-k Hybrid({threads}t)"),
+            Method::LogKHybridWith {
+                weighted,
+                threshold,
+                ..
+            } => format!(
+                "{}({threshold})",
+                if weighted { "WeightedCount" } else { "EdgeCount" }
+            ),
+            Method::DetK => "det-k-decomp".to_string(),
+            Method::HtdSat => "htd-sat".to_string(),
+            Method::Ghd => "balanced-ghd".to_string(),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// Optimal width found and certified within the budget.
+    Solved,
+    /// Wall-clock budget exhausted.
+    Timeout,
+    /// Encoding exceeded the memory budget (SAT baseline only).
+    Memout,
+    /// Search space exhausted up to `k_max`: proves `width > k_max`.
+    WidthExceeded,
+    /// A returned witness failed validation (a solver bug — counted
+    /// loudly, never silently).
+    InvalidWitness,
+}
+
+/// Result of one (method, instance) run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Outcome class.
+    pub status: RunStatus,
+    /// Optimal width, when solved.
+    pub width: Option<usize>,
+    /// Wall-clock time of the run (whole optimal-width search).
+    pub time: Duration,
+}
+
+impl RunResult {
+    /// Whether this run counts as "solved" in the paper's sense.
+    pub fn solved(&self) -> bool {
+        self.status == RunStatus::Solved
+    }
+
+    /// Seconds as f64 (for stats).
+    pub fn secs(&self) -> f64 {
+        self.time.as_secs_f64()
+    }
+}
+
+fn certify_hd(hg: &Hypergraph, d: &Decomposition, k: usize) -> bool {
+    d.width() <= k && validate_hd(hg, d).is_ok()
+}
+
+fn certify_ghd(hg: &Hypergraph, d: &Decomposition, k: usize) -> bool {
+    d.width() <= k && validate_ghd(hg, d).is_ok()
+}
+
+/// Runs `method` on `hg`, searching for the optimal width `≤ k_max` under
+/// a single wall-clock `budget` (as in the paper: "running time necessary
+/// to compute the optimal width decomposition").
+pub fn find_optimal_width(
+    method: Method,
+    hg: &Hypergraph,
+    k_max: usize,
+    budget: Duration,
+) -> RunResult {
+    let start = Instant::now();
+    let ctrl = Control::with_timeout(budget);
+    let outcome = match method {
+        Method::LogK { threads } => {
+            let solver = LogK::parallel(threads);
+            classify_iterative(hg, k_max, start, |k| solver.decompose(hg, k, &ctrl))
+        }
+        Method::LogKHybrid { threads } => {
+            let solver = LogK::hybrid(threads);
+            classify_iterative(hg, k_max, start, |k| solver.decompose(hg, k, &ctrl))
+        }
+        Method::LogKHybridWith {
+            threads,
+            weighted,
+            threshold,
+        } => {
+            let solver = LogK::parallel(threads).with_hybrid(Some(HybridConfig {
+                metric: if weighted {
+                    HybridMetric::WeightedCount
+                } else {
+                    HybridMetric::EdgeCount
+                },
+                threshold: threshold as f64,
+            }));
+            classify_iterative(hg, k_max, start, |k| solver.decompose(hg, k, &ctrl))
+        }
+        Method::DetK => {
+            classify_iterative(hg, k_max, start, |k| detk::decompose_detk(hg, k, &ctrl))
+        }
+        Method::Ghd => {
+            return match ghd::minimal_width_ghd(hg, k_max, &ctrl) {
+                Ok(Some((w, d))) => finish(start, certify_ghd(hg, &d, w), Some(w)),
+                Ok(None) => RunResult {
+                    status: RunStatus::WidthExceeded,
+                    width: None,
+                    time: start.elapsed(),
+                },
+                Err(_) => RunResult {
+                    status: RunStatus::Timeout,
+                    width: None,
+                    time: start.elapsed(),
+                },
+            };
+        }
+        Method::HtdSat => {
+            return match htdsat::optimal_ghw(hg, k_max, &ctrl) {
+                Ok(Some((w, d))) => finish(start, certify_ghd(hg, &d, w), Some(w)),
+                Ok(None) => RunResult {
+                    status: RunStatus::WidthExceeded,
+                    width: None,
+                    time: start.elapsed(),
+                },
+                Err(htdsat::HtdSatError::EncodingTooLarge { .. }) => RunResult {
+                    status: RunStatus::Memout,
+                    width: None,
+                    time: start.elapsed(),
+                },
+                Err(htdsat::HtdSatError::Interrupted(_)) => RunResult {
+                    status: RunStatus::Timeout,
+                    width: None,
+                    time: start.elapsed(),
+                },
+            };
+        }
+    };
+    // classify_iterative certifies every witness inline.
+    let (status, width) = outcome;
+    RunResult {
+        status,
+        width,
+        time: start.elapsed(),
+    }
+}
+
+/// Shared iterate-k-and-classify logic for HD solvers. The closure decides
+/// width ≤ k and returns a witness on success.
+fn classify_iterative(
+    hg: &Hypergraph,
+    k_max: usize,
+    start: Instant,
+    mut decide: impl FnMut(usize) -> Result<Option<Decomposition>, decomp::Interrupted>,
+) -> (RunStatus, Option<usize>) {
+    for k in 1..=k_max {
+        match decide(k) {
+            Ok(Some(d)) => {
+                if certify_hd(hg, &d, k) {
+                    return (RunStatus::Solved, Some(k));
+                }
+                return (RunStatus::InvalidWitness, Some(k));
+            }
+            Ok(None) => continue, // hw > k, proven
+            Err(_) => return (RunStatus::Timeout, None),
+        }
+    }
+    let _ = start;
+    (RunStatus::WidthExceeded, None)
+}
+
+fn finish(start: Instant, valid: bool, width: Option<usize>) -> RunResult {
+    RunResult {
+        status: if valid {
+            RunStatus::Solved
+        } else {
+            RunStatus::InvalidWitness
+        },
+        width,
+        time: start.elapsed(),
+    }
+}
+
+/// Decision run for Table 4: does `hw(H) ≤ w` hold? Returns
+/// `Some(true/false)` when determined within the budget, `None` otherwise.
+pub fn decide_width(method: Method, hg: &Hypergraph, w: usize, budget: Duration) -> Option<bool> {
+    let ctrl = Control::with_timeout(budget);
+    match method {
+        Method::LogK { threads } => LogK::parallel(threads).decide(hg, w, &ctrl).ok(),
+        Method::LogKHybrid { threads } => LogK::hybrid(threads).decide(hg, w, &ctrl).ok(),
+        Method::LogKHybridWith { threads, .. } => {
+            LogK::hybrid(threads).decide(hg, w, &ctrl).ok()
+        }
+        Method::DetK => detk::decide_detk(hg, w, &ctrl).ok(),
+        Method::Ghd => ghd::decompose_ghd(hg, w, &ctrl).ok().map(|d| d.is_some()),
+        Method::HtdSat => htdsat::decide_ghw(hg, w, &ctrl).ok().map(|d| d.is_some()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> Hypergraph {
+        let edges: Vec<Vec<u32>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        Hypergraph::from_edge_lists(&edges)
+    }
+
+    #[test]
+    fn all_methods_solve_the_ten_cycle() {
+        let hg = cycle(10);
+        let budget = Duration::from_secs(20);
+        for m in [
+            Method::LogK { threads: 1 },
+            Method::LogKHybrid { threads: 1 },
+            Method::DetK,
+            Method::HtdSat,
+            Method::Ghd,
+        ] {
+            let r = find_optimal_width(m, &hg, 4, budget);
+            assert_eq!(r.status, RunStatus::Solved, "{}", m.name());
+            assert_eq!(r.width, Some(2), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn zero_budget_times_out() {
+        let hg = cycle(30);
+        let r = find_optimal_width(Method::DetK, &hg, 6, Duration::from_millis(0));
+        assert!(matches!(r.status, RunStatus::Timeout | RunStatus::Solved));
+    }
+
+    #[test]
+    fn width_exceeded_reported() {
+        // K7 has hw 4 > k_max = 2.
+        let mut edges = Vec::new();
+        for a in 0..7u32 {
+            for b in a + 1..7 {
+                edges.push(vec![a, b]);
+            }
+        }
+        let hg = Hypergraph::from_edge_lists(&edges);
+        let r = find_optimal_width(
+            Method::LogKHybrid { threads: 1 },
+            &hg,
+            2,
+            Duration::from_secs(30),
+        );
+        assert_eq!(r.status, RunStatus::WidthExceeded);
+    }
+
+    #[test]
+    fn decide_width_agrees_with_optimum() {
+        let hg = cycle(8);
+        let budget = Duration::from_secs(10);
+        assert_eq!(
+            decide_width(Method::LogKHybrid { threads: 1 }, &hg, 1, budget),
+            Some(false)
+        );
+        assert_eq!(
+            decide_width(Method::LogKHybrid { threads: 1 }, &hg, 2, budget),
+            Some(true)
+        );
+    }
+}

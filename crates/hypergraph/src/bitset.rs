@@ -1,0 +1,461 @@
+//! Dense, typed bitsets over a fixed universe.
+//!
+//! Component computation, cover checks and connectedness checks are the hot
+//! loops of every decomposition algorithm in this workspace; all of them
+//! reduce to word-parallel operations on these sets. The `I: Ix` type
+//! parameter statically separates vertex sets from edge sets so that an
+//! `EdgeSet` can never be intersected with a `VertexSet` by accident.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+/// An index newtype usable inside a [`TypedBitSet`].
+pub trait Ix: Copy + Eq {
+    /// Converts the index to a `usize` position.
+    fn index(self) -> usize;
+    /// Builds the index from a `usize` position.
+    fn from_index(i: usize) -> Self;
+}
+
+/// A vertex of a hypergraph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Vertex(pub u32);
+
+/// A (hyper)edge of a hypergraph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge(pub u32);
+
+impl Ix for Vertex {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        Vertex(i as u32)
+    }
+}
+
+impl Ix for Edge {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        Edge(i as u32)
+    }
+}
+
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-capacity bitset over indices of type `I`.
+///
+/// All binary operations require both operands to have the same capacity
+/// (the universe size of the hypergraph they belong to); this is checked
+/// with `debug_assert!` in the hot paths.
+#[derive(Clone)]
+pub struct TypedBitSet<I> {
+    blocks: Vec<u64>,
+    nbits: usize,
+    _tag: PhantomData<fn(I) -> I>,
+}
+
+/// Set of vertices of a hypergraph.
+pub type VertexSet = TypedBitSet<Vertex>;
+/// Set of edges of a hypergraph.
+pub type EdgeSet = TypedBitSet<Edge>;
+
+impl<I: Ix> TypedBitSet<I> {
+    /// Creates an empty set over a universe of `nbits` elements.
+    pub fn empty(nbits: usize) -> Self {
+        TypedBitSet {
+            blocks: vec![0; nbits.div_ceil(BITS)],
+            nbits,
+            _tag: PhantomData,
+        }
+    }
+
+    /// Creates the full set over a universe of `nbits` elements.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::empty(nbits);
+        for b in &mut s.blocks {
+            *b = !0;
+        }
+        s.mask_tail();
+        s
+    }
+
+    /// Creates a set from an iterator of indices.
+    pub fn from_iter<T: IntoIterator<Item = I>>(nbits: usize, it: T) -> Self {
+        let mut s = Self::empty(nbits);
+        for i in it {
+            s.insert(i);
+        }
+        s
+    }
+
+    #[inline]
+    fn mask_tail(&mut self) {
+        let used = self.nbits % BITS;
+        if used != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    /// The universe size this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `i`; returns `true` if it was not present.
+    #[inline]
+    pub fn insert(&mut self, i: I) -> bool {
+        let idx = i.index();
+        debug_assert!(idx < self.nbits, "index {idx} out of range {}", self.nbits);
+        let (w, b) = (idx / BITS, idx % BITS);
+        let had = self.blocks[w] & (1 << b) != 0;
+        self.blocks[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: I) -> bool {
+        let idx = i.index();
+        debug_assert!(idx < self.nbits);
+        let (w, b) = (idx / BITS, idx % BITS);
+        let had = self.blocks[w] & (1 << b) != 0;
+        self.blocks[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: I) -> bool {
+        let idx = i.index();
+        if idx >= self.nbits {
+            return false;
+        }
+        self.blocks[idx / BITS] & (1 << (idx % BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// In-place union: `self ∪= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self \= other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &Self) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    #[inline]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other` as a new set.
+    #[inline]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Subset test: `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Disjointness test: `self ∩ other = ∅`.
+    #[inline]
+    pub fn is_disjoint_from(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// Non-empty intersection test.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        !self.is_disjoint_from(other)
+    }
+
+    /// `(self ∩ other).len()` without allocating.
+    #[inline]
+    pub fn intersection_len(&self, other: &Self) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `(self \ other).is_empty()` without allocating — i.e. subset test.
+    /// Kept as an alias mirroring the paper's `(f1 ∩ f2) \ U ≠ ∅` tests.
+    #[inline]
+    pub fn difference_is_empty(&self, other: &Self) -> bool {
+        self.is_subset_of(other)
+    }
+
+    /// True iff `(self ∩ other) \ exclude ≠ ∅`. This is the `[U]`-adjacency
+    /// test from Definition 3.2 of the paper, fully word-parallel.
+    #[inline]
+    pub fn intersects_outside(&self, other: &Self, exclude: &Self) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        debug_assert_eq!(self.nbits, exclude.nbits);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .zip(&exclude.blocks)
+            .any(|((a, b), e)| a & b & !e != 0)
+    }
+
+    /// Smallest element, if any.
+    #[inline]
+    pub fn first(&self) -> Option<I> {
+        for (w, &b) in self.blocks.iter().enumerate() {
+            if b != 0 {
+                return Some(I::from_index(w * BITS + b.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the smallest element, if any.
+    #[inline]
+    pub fn pop_first(&mut self) -> Option<I> {
+        let first = self.first()?;
+        self.remove(first);
+        Some(first)
+    }
+
+    /// Iterates the elements in increasing index order.
+    pub fn iter(&self) -> Iter<'_, I> {
+        Iter {
+            blocks: &self.blocks,
+            word: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+            _tag: PhantomData,
+        }
+    }
+
+    /// Collects the elements into a `Vec` in increasing order.
+    pub fn to_vec(&self) -> Vec<I> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over the elements of a [`TypedBitSet`].
+pub struct Iter<'a, I> {
+    blocks: &'a [u64],
+    word: usize,
+    bits: u64,
+    _tag: PhantomData<fn(I) -> I>,
+}
+
+impl<I: Ix> Iterator for Iter<'_, I> {
+    type Item = I;
+
+    #[inline]
+    fn next(&mut self) -> Option<I> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(I::from_index(self.word * BITS + b));
+            }
+            self.word += 1;
+            if self.word >= self.blocks.len() {
+                return None;
+            }
+            self.bits = self.blocks[self.word];
+        }
+    }
+}
+
+impl<'a, I: Ix> IntoIterator for &'a TypedBitSet<I> {
+    type Item = I;
+    type IntoIter = Iter<'a, I>;
+    fn into_iter(self) -> Iter<'a, I> {
+        self.iter()
+    }
+}
+
+impl<I: Ix> PartialEq for TypedBitSet<I> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nbits == other.nbits && self.blocks == other.blocks
+    }
+}
+
+impl<I: Ix> Eq for TypedBitSet<I> {}
+
+impl<I: Ix> Hash for TypedBitSet<I> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.blocks.hash(state);
+    }
+}
+
+impl<I: Ix> PartialOrd for TypedBitSet<I> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<I: Ix> Ord for TypedBitSet<I> {
+    /// Lexicographic order on block content; used only to canonicalise
+    /// cache keys, not semantically meaningful.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.blocks.cmp(&other.blocks)
+    }
+}
+
+impl<I: Ix + fmt::Debug> fmt::Debug for TypedBitSet<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(n: usize, elems: &[u32]) -> VertexSet {
+        VertexSet::from_iter(n, elems.iter().map(|&v| Vertex(v)))
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = VertexSet::empty(130);
+        assert!(s.insert(Vertex(0)));
+        assert!(s.insert(Vertex(64)));
+        assert!(s.insert(Vertex(129)));
+        assert!(!s.insert(Vertex(129)));
+        assert!(s.contains(Vertex(64)));
+        assert!(!s.contains(Vertex(63)));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(Vertex(64)));
+        assert!(!s.remove(Vertex(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_masks_tail() {
+        let s = VertexSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(Vertex(69)));
+        assert!(!s.contains(Vertex(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = vs(100, &[1, 2, 3, 64, 99]);
+        let b = vs(100, &[2, 64, 65]);
+        assert_eq!(a.intersection(&b), vs(100, &[2, 64]));
+        assert_eq!(a.union(&b), vs(100, &[1, 2, 3, 64, 65, 99]));
+        assert_eq!(a.difference(&b), vs(100, &[1, 3, 99]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(vs(100, &[2, 64]).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.intersects(&b));
+        assert!(vs(100, &[7]).is_disjoint_from(&a));
+    }
+
+    #[test]
+    fn intersects_outside_matches_definition() {
+        // (a ∩ b) \ u ≠ ∅ ?
+        let a = vs(80, &[1, 5, 70]);
+        let b = vs(80, &[5, 70]);
+        let u = vs(80, &[5]);
+        assert!(a.intersects_outside(&b, &u)); // 70 survives
+        let u2 = vs(80, &[5, 70]);
+        assert!(!a.intersects_outside(&b, &u2));
+    }
+
+    #[test]
+    fn iter_and_first() {
+        let s = vs(200, &[3, 64, 128, 199]);
+        let v: Vec<u32> = s.iter().map(|x| x.0).collect();
+        assert_eq!(v, vec![3, 64, 128, 199]);
+        assert_eq!(s.first(), Some(Vertex(3)));
+        let mut s2 = s.clone();
+        assert_eq!(s2.pop_first(), Some(Vertex(3)));
+        assert_eq!(s2.first(), Some(Vertex(64)));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = VertexSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn eq_and_hash_ignore_capacity_only_when_equal() {
+        let a = vs(100, &[1, 2]);
+        let b = vs(100, &[1, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

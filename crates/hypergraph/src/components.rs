@@ -1,0 +1,301 @@
+//! `[U]`-components of extended subhypergraphs (Definition 3.2).
+//!
+//! Two (possibly special) edges `f1, f2` are `[U]`-adjacent if
+//! `(f1 ∩ f2) \ U ≠ ∅`; `[U]`-connectedness is the transitive closure and
+//! a `[U]`-component is a maximal `[U]`-connected subset of `E' ∪ Sp`.
+//!
+//! The computation is a BFS over vertices outside `U`, using the
+//! hypergraph's incidence index for real edges and direct intersection
+//! tests for the (few) special edges.
+
+use crate::bitset::{EdgeSet, VertexSet};
+use crate::extended::{SpecialArena, SpecialId, Subproblem};
+use crate::graph::Hypergraph;
+
+/// One `[U]`-component of an extended subhypergraph.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Real edges in the component.
+    pub edges: EdgeSet,
+    /// Special edges in the component.
+    pub specials: Vec<SpecialId>,
+    /// `V(component)`: union of all member vertex sets (including vertices
+    /// that lie inside the separator `U`).
+    pub vertices: VertexSet,
+}
+
+impl Component {
+    /// `|edges| + |specials|` — the size measure of balancedness checks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edges.len() + self.specials.len()
+    }
+
+    /// Converts the component into a [`Subproblem`] (dropping `vertices`).
+    pub fn into_subproblem(self) -> Subproblem {
+        Subproblem {
+            edges: self.edges,
+            specials: self.specials,
+        }
+    }
+
+    /// Borrowing view as a [`Subproblem`] clone.
+    pub fn to_subproblem(&self) -> Subproblem {
+        Subproblem {
+            edges: self.edges.clone(),
+            specials: self.specials.clone(),
+        }
+    }
+}
+
+/// Result of splitting a subproblem at a separator `U`.
+#[derive(Clone, Debug)]
+pub struct Separation {
+    /// The `[U]`-components, in deterministic (seed-order) order.
+    pub components: Vec<Component>,
+    /// Real edges `f` with `f ⊆ U`: they belong to no component.
+    pub covered_edges: EdgeSet,
+    /// Special edges `s` with `s ⊆ U`.
+    pub covered_specials: Vec<SpecialId>,
+}
+
+impl Separation {
+    /// Size of the largest component, or 0 if there are none.
+    pub fn max_component_size(&self) -> usize {
+        self.components.iter().map(|c| c.size()).max().unwrap_or(0)
+    }
+
+    /// Index of the unique component with `size > half`, if any.
+    ///
+    /// At most one component can exceed half of the subproblem size, since
+    /// components are disjoint.
+    pub fn oversized_component(&self, subproblem_size: usize) -> Option<usize> {
+        self.components
+            .iter()
+            .position(|c| 2 * c.size() > subproblem_size)
+    }
+}
+
+/// Computes the `[U]`-components of `sub` with separator vertex set `sep`.
+pub fn separate(
+    hg: &Hypergraph,
+    arena: &SpecialArena,
+    sub: &Subproblem,
+    sep: &VertexSet,
+) -> Separation {
+    let mut remaining_edges = sub.edges.clone();
+    let mut remaining_specials: Vec<SpecialId> = Vec::with_capacity(sub.specials.len());
+    let mut covered_edges = hg.edge_set();
+    let mut covered_specials = Vec::new();
+
+    // Members fully inside U are "covered": they participate in no component.
+    for e in &sub.edges {
+        if hg.edge(e).is_subset_of(sep) {
+            covered_edges.insert(e);
+            remaining_edges.remove(e);
+        }
+    }
+    for &s in &sub.specials {
+        if arena.get(s).is_subset_of(sep) {
+            covered_specials.push(s);
+        } else {
+            remaining_specials.push(s);
+        }
+    }
+
+    let mut components = Vec::new();
+    let mut special_alive = vec![true; remaining_specials.len()];
+    let mut alive_specials = remaining_specials.len();
+
+    loop {
+        // Seed: first remaining edge, else first remaining special.
+        let mut comp_edges = hg.edge_set();
+        let mut comp_specials: Vec<SpecialId> = Vec::new();
+        let mut comp_vertices = hg.vertex_set();
+        let mut frontier = hg.vertex_set();
+
+        if let Some(e) = remaining_edges.first() {
+            remaining_edges.remove(e);
+            comp_edges.insert(e);
+            comp_vertices.union_with(hg.edge(e));
+            frontier.union_with(hg.edge(e));
+        } else if alive_specials > 0 {
+            let idx = special_alive.iter().position(|&a| a).expect("counted above");
+            special_alive[idx] = false;
+            alive_specials -= 1;
+            let s = remaining_specials[idx];
+            comp_specials.push(s);
+            comp_vertices.union_with(arena.get(s));
+            frontier.union_with(arena.get(s));
+        } else {
+            break;
+        }
+        frontier.difference_with(sep);
+
+        let mut visited = hg.vertex_set();
+        while !frontier.is_empty() {
+            visited.union_with(&frontier);
+            let mut next = hg.vertex_set();
+            for v in &frontier {
+                let hits = hg.incident_edges(v).intersection(&remaining_edges);
+                for e in &hits {
+                    remaining_edges.remove(e);
+                    comp_edges.insert(e);
+                    comp_vertices.union_with(hg.edge(e));
+                    next.union_with(hg.edge(e));
+                }
+            }
+            if alive_specials > 0 {
+                for (idx, alive) in special_alive.iter_mut().enumerate() {
+                    if *alive && arena.get(remaining_specials[idx]).intersects(&frontier) {
+                        *alive = false;
+                        alive_specials -= 1;
+                        let s = remaining_specials[idx];
+                        comp_specials.push(s);
+                        comp_vertices.union_with(arena.get(s));
+                        next.union_with(arena.get(s));
+                    }
+                }
+            }
+            next.difference_with(sep);
+            next.difference_with(&visited);
+            frontier = next;
+        }
+
+        comp_specials.sort_unstable();
+        components.push(Component {
+            edges: comp_edges,
+            specials: comp_specials,
+            vertices: comp_vertices,
+        });
+    }
+
+    Separation {
+        components,
+        covered_edges,
+        covered_specials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::{Edge, Vertex};
+
+    fn path5() -> Hypergraph {
+        // e0={0,1}, e1={1,2}, e2={2,3}, e3={3,4}
+        Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]])
+    }
+
+    fn vset(hg: &Hypergraph, vs: &[u32]) -> VertexSet {
+        VertexSet::from_iter(hg.num_vertices(), vs.iter().map(|&v| Vertex(v)))
+    }
+
+    #[test]
+    fn empty_separator_single_component() {
+        let hg = path5();
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        let sep = hg.vertex_set();
+        let s = separate(&hg, &arena, &sub, &sep);
+        assert_eq!(s.components.len(), 1);
+        assert_eq!(s.components[0].size(), 4);
+        assert!(s.covered_edges.is_empty());
+    }
+
+    #[test]
+    fn middle_vertex_splits_path() {
+        let hg = path5();
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        let sep = vset(&hg, &[2]);
+        let s = separate(&hg, &arena, &sub, &sep);
+        assert_eq!(s.components.len(), 2);
+        let sizes: Vec<usize> = s.components.iter().map(|c| c.size()).collect();
+        assert_eq!(sizes, vec![2, 2]);
+        // V(comp) includes separator vertices that members touch.
+        assert!(s.components[0].vertices.contains(Vertex(2)));
+    }
+
+    #[test]
+    fn covered_edges_belong_to_no_component() {
+        let hg = path5();
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        let sep = vset(&hg, &[1, 2]);
+        let s = separate(&hg, &arena, &sub, &sep);
+        // e1={1,2} ⊆ U is covered.
+        assert!(s.covered_edges.contains(Edge(1)));
+        assert_eq!(s.components.len(), 2);
+        let total: usize = s.components.iter().map(|c| c.size()).sum();
+        assert_eq!(total + s.covered_edges.len(), 4);
+    }
+
+    #[test]
+    fn specials_join_components() {
+        let hg = path5();
+        let mut arena = SpecialArena::new();
+        // A special edge bridging vertices 0 and 4 merges both path halves
+        // even across the separator at vertex 2.
+        let s_bridge = arena.push(vset(&hg, &[0, 4]));
+        let mut sub = Subproblem::whole(&hg);
+        sub.specials.push(s_bridge);
+        let sep = vset(&hg, &[2]);
+        let s = separate(&hg, &arena, &sub, &sep);
+        assert_eq!(s.components.len(), 1);
+        assert_eq!(s.components[0].size(), 5);
+        assert_eq!(s.components[0].specials, vec![s_bridge]);
+    }
+
+    #[test]
+    fn covered_special_is_reported() {
+        let hg = path5();
+        let mut arena = SpecialArena::new();
+        let s_cov = arena.push(vset(&hg, &[2, 3]));
+        let mut sub = Subproblem::whole(&hg);
+        sub.specials.push(s_cov);
+        let sep = vset(&hg, &[2, 3]);
+        let s = separate(&hg, &arena, &sub, &sep);
+        assert_eq!(s.covered_specials, vec![s_cov]);
+        assert!(s.components.iter().all(|c| c.specials.is_empty()));
+    }
+
+    #[test]
+    fn oversized_component_detection() {
+        let hg = path5();
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        // Separator at vertex 1: components {e0} and {e1,e2,e3}.
+        let s = separate(&hg, &arena, &sub, &vset(&hg, &[1]));
+        assert_eq!(s.components.len(), 2);
+        let over = s.oversized_component(sub.size());
+        assert!(over.is_some());
+        assert_eq!(s.components[over.unwrap()].size(), 3);
+        // Separator at vertex 2: both components have size 2 = |H'|/2.
+        let s2 = separate(&hg, &arena, &sub, &vset(&hg, &[2]));
+        assert!(s2.oversized_component(sub.size()).is_none());
+    }
+
+    #[test]
+    fn separation_is_a_partition() {
+        let hg = Hypergraph::from_edge_lists(&[
+            vec![0, 1, 2],
+            vec![2, 3],
+            vec![3, 4, 5],
+            vec![5, 6],
+            vec![7, 8],
+            vec![1, 7],
+        ]);
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        let sep = vset(&hg, &[2, 7]);
+        let s = separate(&hg, &arena, &sub, &sep);
+        let mut seen = hg.edge_set();
+        for c in &s.components {
+            assert!(seen.is_disjoint_from(&c.edges), "components overlap");
+            seen.union_with(&c.edges);
+        }
+        seen.union_with(&s.covered_edges);
+        assert_eq!(seen, sub.edges);
+    }
+}

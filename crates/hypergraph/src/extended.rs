@@ -1,0 +1,159 @@
+//! Extended subhypergraphs (Definition 3.1 of the paper).
+//!
+//! An extended subhypergraph `⟨E', Sp, Conn⟩` carries, beyond a plain edge
+//! subset `E'`, a set of *special edges* `Sp` (vertex sets acting as
+//! interfaces to HD fragments constructed elsewhere) and a connector set
+//! `Conn` (the interface to the fragment above).
+//!
+//! Special edges are created dynamically during the recursion (every
+//! `χ(c)` of a chosen child node becomes one). Two distinct special edges
+//! may have equal vertex sets — identity matters when stitching fragments —
+//! so they live in a per-solve [`SpecialArena`] and are referenced by id.
+
+use crate::bitset::{EdgeSet, VertexSet};
+use crate::graph::Hypergraph;
+
+/// Identifier of a special edge within a [`SpecialArena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpecialId(pub u32);
+
+/// Append-only store of special-edge vertex sets for one solver run.
+#[derive(Clone, Default, Debug)]
+pub struct SpecialArena {
+    sets: Vec<VertexSet>,
+}
+
+impl SpecialArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new special edge with the given vertex set.
+    pub fn push(&mut self, set: VertexSet) -> SpecialId {
+        let id = SpecialId(self.sets.len() as u32);
+        self.sets.push(set);
+        id
+    }
+
+    /// The vertex set of a special edge.
+    #[inline]
+    pub fn get(&self, id: SpecialId) -> &VertexSet {
+        &self.sets[id.0 as usize]
+    }
+
+    /// Number of special edges registered.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Rolls the arena back to `len` entries.
+    ///
+    /// Solvers use stack discipline: special edges pushed during a failed
+    /// (or fully stitched) search branch are popped again, which keeps the
+    /// arena small and makes per-branch clones cheap. Callers must ensure
+    /// no live fragment references a truncated id.
+    pub fn truncate(&mut self, len: usize) {
+        debug_assert!(len <= self.sets.len());
+        self.sets.truncate(len);
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// The `(E', Sp)` part of an extended subhypergraph — the paper's `Comp`
+/// record in Algorithm 1/2. `Conn` travels separately because it changes
+/// between recursive calls while `(E', Sp)` is what gets partitioned.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Subproblem {
+    /// `E'` — subset of the edges of the base hypergraph.
+    pub edges: EdgeSet,
+    /// `Sp` — special edges by arena id, kept sorted for canonical hashing.
+    pub specials: Vec<SpecialId>,
+}
+
+impl Subproblem {
+    /// The root subproblem `⟨E(H), ∅⟩`.
+    pub fn whole(hg: &Hypergraph) -> Self {
+        Subproblem {
+            edges: hg.all_edges(),
+            specials: Vec::new(),
+        }
+    }
+
+    /// An empty subproblem sized for `hg`.
+    pub fn empty(hg: &Hypergraph) -> Self {
+        Subproblem {
+            edges: hg.edge_set(),
+            specials: Vec::new(),
+        }
+    }
+
+    /// `|E'| + |Sp|` — the size measure used by all balancedness checks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edges.len() + self.specials.len()
+    }
+
+    /// Whether there are no edges and no special edges.
+    pub fn is_empty(&self) -> bool {
+        self.specials.is_empty() && self.edges.is_empty()
+    }
+
+    /// `V(H')` — union of all member vertex sets (edges and specials).
+    pub fn vertices(&self, hg: &Hypergraph, arena: &SpecialArena) -> VertexSet {
+        let mut v = hg.union_of(&self.edges);
+        for &s in &self.specials {
+            v.union_with(arena.get(s));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::{Edge, Vertex};
+
+    #[test]
+    fn arena_identity_of_equal_sets() {
+        let mut arena = SpecialArena::new();
+        let s1 = VertexSet::from_iter(10, [Vertex(1), Vertex(2)]);
+        let a = arena.push(s1.clone());
+        let b = arena.push(s1.clone());
+        assert_ne!(a, b);
+        assert_eq!(arena.get(a), arena.get(b));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn subproblem_size_and_vertices() {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![3, 4]]);
+        let mut arena = SpecialArena::new();
+        let sp = arena.push(VertexSet::from_iter(5, [Vertex(4), Vertex(0)]));
+        let mut edges = hg.edge_set();
+        edges.insert(Edge(0));
+        let sub = Subproblem {
+            edges,
+            specials: vec![sp],
+        };
+        assert_eq!(sub.size(), 2);
+        let v = sub.vertices(&hg, &arena);
+        assert_eq!(v.to_vec(), vec![Vertex(0), Vertex(1), Vertex(4)]);
+    }
+
+    #[test]
+    fn whole_subproblem_covers_everything() {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2]]);
+        let sub = Subproblem::whole(&hg);
+        assert_eq!(sub.size(), 2);
+        assert!(!sub.is_empty());
+        assert_eq!(
+            sub.vertices(&hg, &SpecialArena::new()).len(),
+            hg.num_vertices()
+        );
+    }
+}

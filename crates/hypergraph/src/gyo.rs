@@ -1,0 +1,170 @@
+//! GYO (Graham / Yu–Özsoyoğlu) reduction and α-acyclicity.
+//!
+//! A hypergraph has hypertree width 1 iff it is α-acyclic iff the GYO
+//! reduction eliminates all of its edges. The reduction repeatedly
+//! 1. removes *ear vertices* — vertices occurring in exactly one edge, and
+//! 2. removes an edge contained in another (surviving) edge, recording the
+//!    container as its *witness* (which yields a join forest).
+
+use crate::bitset::{Edge, EdgeSet, Vertex, VertexSet};
+use crate::graph::Hypergraph;
+
+/// Outcome of running the GYO reduction.
+#[derive(Clone, Debug)]
+pub struct GyoResult {
+    /// Whether the hypergraph is α-acyclic (equivalently, hw ≤ 1).
+    pub acyclic: bool,
+    /// For each eliminated edge, the surviving edge it was folded into.
+    /// Together these parent links form a join forest when `acyclic`.
+    pub witness: Vec<Option<Edge>>,
+    /// Edges still alive when the reduction got stuck (empty iff acyclic).
+    pub residue: EdgeSet,
+}
+
+/// Runs the GYO reduction on `hg`.
+pub fn gyo(hg: &Hypergraph) -> GyoResult {
+    let n = hg.num_vertices();
+    let m = hg.num_edges();
+    let mut sets: Vec<VertexSet> = hg.edge_ids().map(|e| hg.edge(e).clone()).collect();
+    let mut alive = EdgeSet::full(m);
+    let mut witness: Vec<Option<Edge>> = vec![None; m];
+
+    // degree[v] = number of alive edges whose *current* set contains v.
+    let mut degree = vec![0u32; n];
+    for s in &sets {
+        for v in s {
+            degree[v.0 as usize] += 1;
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        // Rule 1: drop vertices of degree 1 from their unique edge.
+        for v in 0..n as u32 {
+            if degree[v as usize] == 1 {
+                let holder = alive
+                    .iter()
+                    .find(|&e| sets[e.0 as usize].contains(Vertex(v)));
+                if let Some(e) = holder {
+                    sets[e.0 as usize].remove(Vertex(v));
+                    degree[v as usize] = 0;
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 2: remove an edge contained in another alive edge
+        // (empty edges count: they are contained in anything alive).
+        let alive_now: Vec<Edge> = alive.iter().collect();
+        'outer: for &e in &alive_now {
+            for &f in &alive_now {
+                if e == f || !alive.contains(f) || !alive.contains(e) {
+                    continue;
+                }
+                if sets[e.0 as usize].is_subset_of(&sets[f.0 as usize]) {
+                    alive.remove(e);
+                    witness[e.0 as usize] = Some(f);
+                    for v in &sets[e.0 as usize] {
+                        degree[v.0 as usize] -= 1;
+                    }
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+        }
+
+        // An empty edge with no other edge alive is trivially removable.
+        if alive.len() == 1 {
+            let e = alive.first().expect("len checked");
+            if sets[e.0 as usize].is_empty()
+                || sets[e.0 as usize]
+                    .iter()
+                    .all(|v| degree[v.0 as usize] == 1)
+            {
+                // All remaining vertices are ears: the last edge reduces away.
+                for v in &sets[e.0 as usize] {
+                    degree[v.0 as usize] = 0;
+                }
+                alive.remove(e);
+                changed = true;
+            }
+        }
+    }
+
+    GyoResult {
+        acyclic: alive.is_empty(),
+        witness,
+        residue: alive,
+    }
+}
+
+/// Convenience: is `hg` α-acyclic (hw ≤ 1)?
+pub fn is_acyclic(hg: &Hypergraph) -> bool {
+    gyo(hg).acyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_acyclic() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![0, 2], vec![0, 3]]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn triangle_of_binary_edges_is_cyclic() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 0]]);
+        let r = gyo(&h);
+        assert!(!r.acyclic);
+        assert_eq!(r.residue.len(), 3);
+    }
+
+    #[test]
+    fn triangle_covered_by_big_edge_is_acyclic() {
+        let h = Hypergraph::from_edge_lists(&[
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 0],
+            vec![0, 1, 2],
+        ]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn cycle_ten_is_cyclic() {
+        let edges: Vec<Vec<u32>> = (0..10).map(|i| vec![i, (i + 1) % 10]).collect();
+        let h = Hypergraph::from_edge_lists(&edges);
+        assert!(!is_acyclic(&h));
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1, 2]]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn disconnected_acyclic_components() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![3, 4], vec![4, 5]]);
+        assert!(is_acyclic(&h));
+    }
+
+    #[test]
+    fn witness_forms_join_forest_on_acyclic_input() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![1, 2, 3]]);
+        let r = gyo(&h);
+        assert!(r.acyclic);
+        // At least one edge must have been folded into another.
+        assert!(r.witness.iter().any(|w| w.is_some()));
+    }
+}

@@ -1,0 +1,33 @@
+//! Hypergraph substrate for the `log-k-decomp` workspace.
+//!
+//! This crate provides everything below the decomposition algorithms:
+//!
+//! * [`bitset`] — dense, typed bitsets ([`VertexSet`], [`EdgeSet`]) whose
+//!   word-parallel operations are the hot loops of every solver;
+//! * [`graph`] — the interned [`Hypergraph`] type and its builder;
+//! * [`parse`] — HyperBench and PACE 2019 readers/writers;
+//! * [`extended`] — extended subhypergraphs `⟨E', Sp, Conn⟩`
+//!   (Definition 3.1 of the paper) with arena-allocated special edges;
+//! * [`components`] — `[U]`-components (Definition 3.2), the balanced
+//!   separation primitive;
+//! * [`gyo`] — GYO reduction / α-acyclicity (hw ≤ 1);
+//! * [`subsets`] — bounded-size subset enumeration with lead-partitioning
+//!   for parallel search.
+//!
+//! Paper: Gottlob, Lanzinger, Okulmus, Pichler. *Fast Parallel Hypertree
+//! Decompositions in Logarithmic Recursion Depth.* PODS 2022.
+
+pub mod bitset;
+pub mod components;
+pub mod extended;
+pub mod graph;
+pub mod gyo;
+pub mod parse;
+pub mod subsets;
+
+pub use bitset::{Edge, EdgeSet, Ix, TypedBitSet, Vertex, VertexSet};
+pub use components::{separate, Component, Separation};
+pub use extended::{SpecialArena, SpecialId, Subproblem};
+pub use graph::{Hypergraph, HypergraphBuilder};
+pub use gyo::{gyo, is_acyclic, GyoResult};
+pub use parse::{parse_hyperbench, parse_pace, write_hyperbench, write_pace, ParseError};

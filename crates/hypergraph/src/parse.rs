@@ -1,0 +1,247 @@
+//! Parsers and writers for the two common hypergraph exchange formats.
+//!
+//! * **HyperBench format** (`hg`): a list of atoms `name(v1,v2,...)`
+//!   separated by commas, optionally terminated by a period, with
+//!   `%`-comments — the format served by hyperbench.dbai.tuwien.ac.at.
+//! * **PACE 2019 `htd` format**: a `p htd <n> <m>` header followed by one
+//!   line per edge `edge_id v1 v2 ...` with 1-based vertex ids and
+//!   `c`-comments.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Hypergraph, HypergraphBuilder};
+
+/// Error produced while parsing a hypergraph file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the HyperBench atom-list format.
+pub fn parse_hyperbench(input: &str) -> Result<Hypergraph, ParseError> {
+    let mut b = HypergraphBuilder::new();
+    // Strip %-comments line by line, keep track of line numbers by
+    // scanning the raw text with an index into lines.
+    let mut text = String::with_capacity(input.len());
+    for line in input.lines() {
+        let line = match line.find('%') {
+            Some(p) => &line[..p],
+            None => line,
+        };
+        text.push_str(line);
+        text.push('\n');
+    }
+
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    let line_of = |pos: usize| text[..pos].matches('\n').count() + 1;
+
+    while i < bytes.len() {
+        // Skip separators between atoms.
+        while i < bytes.len()
+            && (bytes[i].is_ascii_whitespace() || bytes[i] == b',' || bytes[i] == b'.')
+        {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        // Atom name up to '('.
+        let name_start = i;
+        while i < bytes.len() && bytes[i] != b'(' {
+            if bytes[i] == b')' || bytes[i] == b',' {
+                return Err(err(line_of(i), "expected '(' after atom name"));
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(err(line_of(name_start), "atom name without argument list"));
+        }
+        let name = text[name_start..i].trim();
+        if name.is_empty() {
+            return Err(err(line_of(name_start), "empty atom name"));
+        }
+        i += 1; // consume '('
+        let args_start = i;
+        let mut depth = 1usize;
+        while i < bytes.len() && depth > 0 {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err(err(line_of(args_start), "unterminated argument list"));
+        }
+        let args = &text[args_start..i - 1];
+        let vars: Vec<&str> = args
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if vars.is_empty() {
+            return Err(err(line_of(args_start), format!("atom {name} has no arguments")));
+        }
+        b.add_edge(name, &vars);
+    }
+
+    if b.num_edges() == 0 {
+        return Err(err(1, "no atoms found"));
+    }
+    Ok(b.build())
+}
+
+/// Serialises to the HyperBench atom-list format.
+pub fn write_hyperbench(hg: &Hypergraph) -> String {
+    let mut out = String::new();
+    let last = hg.num_edges().saturating_sub(1);
+    for (i, e) in hg.edge_ids().enumerate() {
+        let vars: Vec<&str> = hg.edge(e).iter().map(|v| hg.vertex_name(v)).collect();
+        let sep = if i == last { "." } else { "," };
+        let _ = writeln!(out, "{}({}){}", hg.edge_name(e), vars.join(","), sep);
+    }
+    out
+}
+
+/// Parses the PACE 2019 `htd` format.
+pub fn parse_pace(input: &str) -> Result<Hypergraph, ParseError> {
+    let mut b = HypergraphBuilder::new();
+    let mut expected: Option<(usize, usize)> = None;
+    let mut edges_seen = 0usize;
+    for (ln0, raw) in input.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p htd") {
+            let nums: Vec<&str> = rest.split_whitespace().collect();
+            if nums.len() != 2 {
+                return Err(err(ln, "header must be `p htd <vertices> <edges>`"));
+            }
+            let n = nums[0].parse::<usize>().map_err(|e| err(ln, e.to_string()))?;
+            let m = nums[1].parse::<usize>().map_err(|e| err(ln, e.to_string()))?;
+            expected = Some((n, m));
+            continue;
+        }
+        if expected.is_none() {
+            return Err(err(ln, "edge line before `p htd` header"));
+        }
+        let mut parts = line.split_whitespace();
+        let id = parts
+            .next()
+            .ok_or_else(|| err(ln, "missing edge id"))?
+            .parse::<usize>()
+            .map_err(|e| err(ln, e.to_string()))?;
+        let vertex_names: Vec<String> = parts
+            .map(|p| p.parse::<usize>().map(|v| format!("v{v}")))
+            .collect::<Result<_, _>>()
+            .map_err(|e| err(ln, e.to_string()))?;
+        if vertex_names.is_empty() {
+            return Err(err(ln, format!("edge {id} has no vertices")));
+        }
+        let refs: Vec<&str> = vertex_names.iter().map(|s| s.as_str()).collect();
+        b.add_edge(&format!("e{id}"), &refs);
+        edges_seen += 1;
+    }
+    match expected {
+        None => Err(err(1, "missing `p htd` header")),
+        Some((_, m)) if m != edges_seen => Err(err(
+            1,
+            format!("header declares {m} edges but {edges_seen} were given"),
+        )),
+        Some(_) => Ok(b.build()),
+    }
+}
+
+/// Serialises to the PACE 2019 `htd` format (vertices renumbered 1-based).
+pub fn write_pace(hg: &Hypergraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p htd {} {}", hg.num_vertices(), hg.num_edges());
+    for (i, e) in hg.edge_ids().enumerate() {
+        let vs: Vec<String> = hg.edge(e).iter().map(|v| (v.0 + 1).to_string()).collect();
+        let _ = writeln!(out, "{} {}", i + 1, vs.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hyperbench_atoms() {
+        let src = "% a comment\nr1(x,y),\nr2(y,z), r3(z,x).\n";
+        let h = parse_hyperbench(src).unwrap();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 3);
+        assert!(h.edge_by_name("r2").is_some());
+        assert!(h.vertex_by_name("z").is_some());
+    }
+
+    #[test]
+    fn hyperbench_roundtrip() {
+        let src = "a(x,y),b(y,z,w),c(w).";
+        let h = parse_hyperbench(src).unwrap();
+        let h2 = parse_hyperbench(&write_hyperbench(&h)).unwrap();
+        assert_eq!(h.num_edges(), h2.num_edges());
+        assert_eq!(h.num_vertices(), h2.num_vertices());
+        for e in h.edge_ids() {
+            assert_eq!(h.edge(e), h2.edge(e));
+        }
+    }
+
+    #[test]
+    fn hyperbench_rejects_garbage() {
+        assert!(parse_hyperbench("").is_err());
+        assert!(parse_hyperbench("foo").is_err());
+        assert!(parse_hyperbench("foo(").is_err());
+        assert!(parse_hyperbench("foo()").is_err());
+        assert!(parse_hyperbench("foo)x(").is_err());
+    }
+
+    #[test]
+    fn parses_pace_format() {
+        let src = "c comment\np htd 4 2\n1 1 2 3\n2 3 4\n";
+        let h = parse_pace(src).unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_vertices(), 4);
+    }
+
+    #[test]
+    fn pace_roundtrip() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1, 2], vec![2, 3], vec![3, 0]]);
+        let h2 = parse_pace(&write_pace(&h)).unwrap();
+        assert_eq!(h.num_edges(), h2.num_edges());
+        for e in h.edge_ids() {
+            assert_eq!(h.edge(e).len(), h2.edge(e).len());
+        }
+    }
+
+    #[test]
+    fn pace_validates_header() {
+        assert!(parse_pace("1 1 2\n").is_err());
+        assert!(parse_pace("p htd 3 5\n1 1 2\n").is_err());
+        assert!(parse_pace("p htd x y\n").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Enumeration of bounded-size edge subsets — the λ-label search space.
+//!
+//! Every solver in this workspace searches over subsets `λ ⊆ cands` with
+//! `1 ≤ |λ| ≤ k`. The enumeration is provided in two flavours:
+//!
+//! * a zero-allocation callback driver ([`for_each_subset`]) used in the
+//!   hot search loops, with early exit through [`ControlFlow`];
+//! * a lead-partitioned variant ([`for_each_subset_with_lead`]) which
+//!   enumerates only the subsets whose *smallest* member is `cands[lead]`.
+//!   The lead index partitions the full space, which is exactly how the
+//!   paper's implementation splits the separator search across cores
+//!   (Appendix D.1).
+//!
+//! Subsets are produced in ascending-size, lexicographic order so that
+//! cheap (small) separators are tried first.
+
+use std::ops::ControlFlow;
+
+use crate::bitset::Edge;
+
+/// Invokes `f` on every subset of `cands` with size in `1..=k`.
+///
+/// Returns `Some(t)` if `f` broke with `t`, `None` if the space was
+/// exhausted. The slice passed to `f` is only valid for the duration of
+/// the call.
+pub fn for_each_subset<T>(
+    cands: &[Edge],
+    k: usize,
+    mut f: impl FnMut(&[Edge]) -> ControlFlow<T>,
+) -> Option<T> {
+    let mut buf: Vec<Edge> = Vec::with_capacity(k);
+    for r in 1..=k.min(cands.len()) {
+        if let ControlFlow::Break(t) = combos(cands, 0, r, &mut buf, &mut f) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Invokes `f` on every subset of `cands` whose smallest member is
+/// `cands[lead]`, with total size in `1..=k`.
+pub fn for_each_subset_with_lead<T>(
+    cands: &[Edge],
+    lead: usize,
+    k: usize,
+    mut f: impl FnMut(&[Edge]) -> ControlFlow<T>,
+) -> Option<T> {
+    if k == 0 || lead >= cands.len() {
+        return None;
+    }
+    let mut buf: Vec<Edge> = Vec::with_capacity(k);
+    buf.push(cands[lead]);
+    let rest = &cands[lead + 1..];
+    // Tail sizes 0..=k-1, ascending so small subsets come first.
+    for r in 0..k.min(rest.len() + 1) {
+        if let ControlFlow::Break(t) = combos(rest, 0, r, &mut buf, &mut f) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn combos<T>(
+    cands: &[Edge],
+    start: usize,
+    remaining: usize,
+    buf: &mut Vec<Edge>,
+    f: &mut impl FnMut(&[Edge]) -> ControlFlow<T>,
+) -> ControlFlow<T> {
+    if remaining == 0 {
+        return f(buf);
+    }
+    // Leave room for the remaining-1 picks after this one.
+    let last = cands.len().saturating_sub(remaining - 1);
+    for i in start..last {
+        buf.push(cands[i]);
+        let r = combos(cands, i + 1, remaining - 1, buf, f);
+        buf.pop();
+        r?;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Number of subsets with size in `1..=k` — the search-space volume.
+/// Saturates at `u128::MAX`.
+pub fn subset_space_size(n: usize, k: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut c: u128 = 1; // C(n, 0)
+    for r in 1..=k.min(n) {
+        // C(n, r) = C(n, r-1) * (n - r + 1) / r
+        c = c
+            .saturating_mul((n - r + 1) as u128)
+            .checked_div(r as u128)
+            .unwrap_or(u128::MAX);
+        total = total.saturating_add(c);
+    }
+    total
+}
+
+/// Collects all subsets with size in `1..=k` (testing/diagnostics only).
+pub fn all_subsets(cands: &[Edge], k: usize) -> Vec<Vec<Edge>> {
+    let mut out = Vec::new();
+    for_each_subset::<()>(cands, k, |s| {
+        out.push(s.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(n: u32) -> Vec<Edge> {
+        (0..n).map(Edge).collect()
+    }
+
+    #[test]
+    fn enumerates_all_bounded_subsets() {
+        let all = all_subsets(&edges(4), 2);
+        // C(4,1) + C(4,2) = 4 + 6
+        assert_eq!(all.len(), 10);
+        assert_eq!(subset_space_size(4, 2), 10);
+        // Ascending-size order: singletons first.
+        assert!(all[..4].iter().all(|s| s.len() == 1));
+        assert!(all[4..].iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn k_larger_than_n_is_fine() {
+        let all = all_subsets(&edges(3), 10);
+        assert_eq!(all.len(), 7); // 2^3 - 1
+        assert_eq!(subset_space_size(3, 10), 7);
+    }
+
+    #[test]
+    fn lead_partitions_the_space() {
+        let cands = edges(5);
+        let k = 3;
+        let mut by_lead = Vec::new();
+        for lead in 0..cands.len() {
+            for_each_subset_with_lead::<()>(&cands, lead, k, |s| {
+                by_lead.push(s.to_vec());
+                ControlFlow::Continue(())
+            });
+        }
+        let mut whole = all_subsets(&cands, k);
+        by_lead.sort();
+        whole.sort();
+        assert_eq!(by_lead, whole);
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let mut seen = 0;
+        let res = for_each_subset(&edges(10), 3, |s| {
+            seen += 1;
+            if s.len() == 2 {
+                ControlFlow::Break(s.to_vec())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(res.unwrap().len(), 2);
+        assert_eq!(seen, 11); // 10 singletons + the first pair
+    }
+
+    #[test]
+    fn empty_candidates_yield_nothing() {
+        assert!(all_subsets(&[], 3).is_empty());
+        assert_eq!(subset_space_size(0, 3), 0);
+        assert!(for_each_subset_with_lead::<()>(&[], 0, 3, |_| ControlFlow::Break(())).is_none());
+    }
+
+    #[test]
+    fn space_size_matches_enumeration_for_larger_inputs() {
+        for n in 0..8u32 {
+            for k in 0..5usize {
+                let count = all_subsets(&edges(n), k).len() as u128;
+                assert_eq!(count, subset_space_size(n as usize, k), "n={n} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based laws for the typed bitsets — the substrate every hot
+//! loop in the workspace relies on.
+
+use hypergraph::{Vertex, VertexSet};
+use proptest::prelude::*;
+
+const N: usize = 130; // spans three 64-bit blocks, with a ragged tail
+
+fn arb_set() -> impl Strategy<Value = VertexSet> {
+    prop::collection::vec(0u32..N as u32, 0..40)
+        .prop_map(|v| VertexSet::from_iter(N, v.into_iter().map(Vertex)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in arb_set(), b in arb_set(), c in arb_set()) {
+        let lhs = a.intersection(&b.union(&c));
+        let rhs = a.intersection(&b).union(&a.intersection(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn de_morgan_via_difference(a in arb_set(), b in arb_set(), c in arb_set()) {
+        // a \ (b ∪ c) = (a \ b) ∩ (a \ c)
+        let lhs = a.difference(&b.union(&c));
+        let rhs = a.difference(&b).intersection(&a.difference(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subset_iff_difference_empty(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.difference(&b).is_empty());
+    }
+
+    #[test]
+    fn intersects_outside_matches_naive(a in arb_set(), b in arb_set(), u in arb_set()) {
+        let naive = !a.intersection(&b).difference(&u).is_empty();
+        prop_assert_eq!(a.intersects_outside(&b, &u), naive);
+    }
+
+    #[test]
+    fn len_matches_iteration(a in arb_set()) {
+        prop_assert_eq!(a.len(), a.iter().count());
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_unique(a in arb_set()) {
+        let v: Vec<u32> = a.iter().map(|x| x.0).collect();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(v, sorted);
+    }
+
+    #[test]
+    fn intersection_len_matches(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(a in arb_set(), v in 0u32..N as u32) {
+        let mut s = a.clone();
+        let had = s.contains(Vertex(v));
+        s.insert(Vertex(v));
+        prop_assert!(s.contains(Vertex(v)));
+        s.remove(Vertex(v));
+        prop_assert!(!s.contains(Vertex(v)));
+        if !had {
+            prop_assert_eq!(s, a);
+        }
+    }
+
+    #[test]
+    fn pop_first_drains_in_order(a in arb_set()) {
+        let mut s = a.clone();
+        let mut drained = Vec::new();
+        while let Some(v) = s.pop_first() {
+            drained.push(v);
+        }
+        prop_assert_eq!(drained, a.to_vec());
+        prop_assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Cardinality constraints via the sequential-counter (Sinz) encoding.
+//!
+//! `at_most_k` adds auxiliary variables `s(j, c)` = "at least `c` of the
+//! first `j+1` literals are true" and forbids exceeding `k`. The encoding
+//! is arc-consistent under unit propagation, which is what the width-bound
+//! constraints of the `htdsat` baseline need to propagate well.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// Adds clauses enforcing `Σ lits ≤ k`.
+pub fn at_most_k(solver: &mut Solver, lits: &[Lit], k: usize) {
+    let m = lits.len();
+    if m <= k {
+        return; // trivially satisfied
+    }
+    if k == 0 {
+        for &l in lits {
+            solver.add_clause(&[!l]);
+        }
+        return;
+    }
+    // s[j][c-1] ⇔ "at least c of lits[0..=j] are true" (one direction
+    // suffices for ≤-constraints).
+    let mut s: Vec<Vec<Lit>> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let row: Vec<Lit> = (0..k).map(|_| Lit::pos(solver.new_var())).collect();
+        s.push(row);
+    }
+    // Base: x_0 → s(0,1).
+    solver.add_clause(&[!lits[0], s[0][0]]);
+    for j in 1..m {
+        // x_j → s(j,1)
+        solver.add_clause(&[!lits[j], s[j][0]]);
+        for c in 0..k {
+            // s(j-1,c) → s(j,c)
+            solver.add_clause(&[!s[j - 1][c], s[j][c]]);
+            if c + 1 < k {
+                // x_j ∧ s(j-1,c+1-1) → s(j,c+1)
+                solver.add_clause(&[!lits[j], !s[j - 1][c], s[j][c + 1]]);
+            }
+        }
+        // Overflow: x_j ∧ s(j-1,k) → ⊥
+        solver.add_clause(&[!lits[j], !s[j - 1][k - 1]]);
+    }
+}
+
+/// Adds clauses enforcing `Σ lits ≥ 1` (a plain clause; provided for
+/// symmetry and readability at call sites).
+pub fn at_least_one(solver: &mut Solver, lits: &[Lit]) {
+    solver.add_clause(lits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::{LBool, Var};
+    use crate::solver::Status;
+
+    /// Enumerate all assignments of `n` base variables and check that the
+    /// constrained formula is satisfiable exactly when ≤ k are set.
+    fn exhaustive_check(n: usize, k: usize) {
+        for mask in 0u32..(1 << n) {
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+            at_most_k(&mut s, &lits, k);
+            // Pin the base variables to the mask.
+            for (i, &v) in vars.iter().enumerate() {
+                let l = if mask & (1 << i) != 0 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                };
+                s.add_clause(&[l]);
+            }
+            let want = (mask.count_ones() as usize) <= k;
+            let got = s.solve() == Status::Sat;
+            assert_eq!(want, got, "n={n} k={k} mask={mask:b}");
+        }
+    }
+
+    #[test]
+    fn at_most_k_is_exact() {
+        for n in 1..=6 {
+            for k in 0..=n {
+                exhaustive_check(n, k);
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_zero_forces_all_false() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let lits: Vec<Lit> = v.iter().map(|&x| Lit::pos(x)).collect();
+        at_most_k(&mut s, &lits, 0);
+        assert_eq!(s.solve(), Status::Sat);
+        for &x in &v {
+            assert_eq!(s.value(x), LBool::False);
+        }
+    }
+
+    #[test]
+    fn unconstrained_when_k_geq_n() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        let lits: Vec<Lit> = v.iter().map(|&x| Lit::pos(x)).collect();
+        let before = s.num_clauses();
+        at_most_k(&mut s, &lits, 3);
+        assert_eq!(s.num_clauses(), before);
+    }
+}

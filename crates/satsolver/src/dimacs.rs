@@ -1,0 +1,133 @@
+//! DIMACS CNF reader/writer (testing and interoperability).
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A parsed CNF: variable count and clauses over 1-based signed ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables declared in the header.
+    pub num_vars: usize,
+    /// Clauses as signed 1-based literals (DIMACS convention).
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh [`Solver`], returning the solver and
+    /// the variable mapping (`vars[i]` is DIMACS variable `i+1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| s.new_var()).collect();
+        for c in &self.clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&i| {
+                    let v = vars[(i.unsigned_abs() - 1) as usize];
+                    if i < 0 {
+                        Lit::neg(v)
+                    } else {
+                        Lit::pos(v)
+                    }
+                })
+                .collect();
+            s.add_clause(&lits);
+        }
+        (s, vars)
+    }
+}
+
+/// Parses DIMACS CNF text.
+pub fn parse_dimacs(input: &str) -> Result<Cnf, String> {
+    let mut num_vars = 0usize;
+    let mut declared_clauses = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p cnf") {
+            let nums: Vec<&str> = rest.split_whitespace().collect();
+            if nums.len() != 2 {
+                return Err("malformed `p cnf` header".into());
+            }
+            num_vars = nums[0].parse().map_err(|e| format!("{e}"))?;
+            declared_clauses = Some(nums[1].parse::<usize>().map_err(|e| format!("{e}"))?);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let x: i32 = tok.parse().map_err(|e| format!("bad literal {tok}: {e}"))?;
+            if x == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if x.unsigned_abs() as usize > num_vars {
+                    return Err(format!("literal {x} exceeds declared variable count"));
+                }
+                current.push(x);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err("final clause not terminated with 0".into());
+    }
+    if let Some(d) = declared_clauses {
+        if d != clauses.len() {
+            return Err(format!(
+                "header declares {d} clauses, found {}",
+                clauses.len()
+            ));
+        }
+    } else {
+        return Err("missing `p cnf` header".into());
+    }
+    Ok(Cnf { num_vars, clauses })
+}
+
+/// Serialises a CNF to DIMACS text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for &l in c {
+            let _ = write!(out, "{l} ");
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Status;
+
+    #[test]
+    fn parses_and_solves() {
+        let src = "c sample\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(src).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let (mut s, _) = cnf.into_solver();
+        assert_eq!(s.solve(), Status::Sat);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = Cnf {
+            num_vars: 4,
+            clauses: vec![vec![1, -3], vec![2, 3, -4]],
+        };
+        let back = parse_dimacs(&write_dimacs(&cnf)).unwrap();
+        assert_eq!(cnf, back);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_dimacs("1 2 0").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n2 0\n").is_err());
+        assert!(parse_dimacs("p cnf 2 2\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n1 2\n").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Indexed max-heap over variable activities (the VSIDS order).
+//!
+//! Standard MiniSat `VarOrder`: a binary heap keyed by activity with an
+//! index array for O(log n) `bump` of arbitrary elements.
+
+use crate::lit::Var;
+
+/// Max-heap of variables ordered by activity.
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// `pos[v] = index in heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+    activity: Vec<f64>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        VarHeap {
+            heap: Vec::new(),
+            pos: Vec::new(),
+            activity: Vec::new(),
+        }
+    }
+
+    /// Registers storage for one more variable (ids are dense).
+    pub fn grow(&mut self) {
+        self.pos.push(ABSENT);
+        self.activity.push(0.0);
+    }
+
+    /// Current activity of `v`.
+    pub fn activity(&self, v: Var) -> f64 {
+        self.activity[v.index()]
+    }
+
+    /// Multiplies all activities by `factor` (rescaling).
+    pub fn rescale(&mut self, factor: f64) {
+        for a in &mut self.activity {
+            *a *= factor;
+        }
+    }
+
+    /// Whether `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != ABSENT
+    }
+
+    /// Inserts `v` if absent.
+    pub fn push(&mut self, v: Var) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the most active variable.
+    pub fn pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index()] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Increases the activity of `v` and restores heap order.
+    pub fn bump(&mut self, v: Var, amount: f64) {
+        self.activity[v.index()] += amount;
+        let p = self.pos[v.index()];
+        if p != ABSENT {
+            self.sift_up(p);
+        }
+    }
+
+    fn less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+impl Default for VarHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap_with(n: u32) -> VarHeap {
+        let mut h = VarHeap::new();
+        for i in 0..n {
+            h.grow();
+            h.push(Var(i));
+        }
+        h
+    }
+
+    #[test]
+    fn pops_by_activity() {
+        let mut h = heap_with(5);
+        h.bump(Var(2), 3.0);
+        h.bump(Var(4), 5.0);
+        h.bump(Var(0), 1.0);
+        assert_eq!(h.pop(), Some(Var(4)));
+        assert_eq!(h.pop(), Some(Var(2)));
+        assert_eq!(h.pop(), Some(Var(0)));
+    }
+
+    #[test]
+    fn push_is_idempotent() {
+        let mut h = heap_with(3);
+        h.push(Var(1));
+        h.push(Var(1));
+        let mut seen = Vec::new();
+        while let Some(v) = h.pop() {
+            seen.push(v);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn bump_of_absent_var_keeps_activity() {
+        let mut h = heap_with(2);
+        assert!(h.pop().is_some());
+        assert!(h.pop().is_some());
+        h.bump(Var(0), 9.0);
+        assert_eq!(h.activity(Var(0)), 9.0);
+        h.push(Var(0));
+        h.push(Var(1));
+        assert_eq!(h.pop(), Some(Var(0)));
+    }
+
+    #[test]
+    fn rescale_preserves_order() {
+        let mut h = heap_with(3);
+        h.bump(Var(1), 10.0);
+        h.bump(Var(2), 20.0);
+        h.rescale(1e-3);
+        assert_eq!(h.pop(), Some(Var(2)));
+        assert_eq!(h.pop(), Some(Var(1)));
+    }
+}

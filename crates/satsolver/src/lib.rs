@@ -1,0 +1,21 @@
+//! A from-scratch CDCL SAT solver.
+//!
+//! Substrate for the SAT-based optimal-width baseline (`htdsat`, the
+//! workspace's stand-in for HtdLEO — Schidler & Szeider, IJCAI 2021).
+//! Architecture follows MiniSat: two-watched-literal propagation
+//! ([`solver`]), first-UIP learning, VSIDS branching on an indexed heap
+//! ([`heap`]), phase saving and Luby restarts.
+//!
+//! The solver is differentially tested against a brute-force model
+//! enumerator on thousands of random small formulas (see `tests/`).
+
+pub mod card;
+pub mod dimacs;
+pub mod heap;
+pub mod lit;
+pub mod solver;
+
+pub use card::{at_least_one, at_most_k};
+pub use dimacs::{parse_dimacs, write_dimacs, Cnf};
+pub use lit::{LBool, Lit, Var};
+pub use solver::{Solver, Status};

@@ -1,0 +1,130 @@
+//! Variables, literals and the three-valued assignment domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: variable plus sign, encoded as `var << 1 | is_negative`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+/// Three-valued assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// The value of a literal under this variable value.
+    #[inline]
+    pub fn of_lit(self, l: Lit) -> LBool {
+        match self {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode() {
+        let v = Var(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        let v = Var(0);
+        assert_eq!(LBool::True.of_lit(Lit::pos(v)), LBool::True);
+        assert_eq!(LBool::True.of_lit(Lit::neg(v)), LBool::False);
+        assert_eq!(LBool::False.of_lit(Lit::neg(v)), LBool::True);
+        assert_eq!(LBool::Undef.of_lit(Lit::pos(v)), LBool::Undef);
+    }
+}

@@ -1,0 +1,596 @@
+//! A compact CDCL solver: two-watched-literal propagation, first-UIP
+//! clause learning, VSIDS branching with an indexed heap, phase saving and
+//! Luby restarts. Modeled on the MiniSat architecture.
+
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve_with`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// A satisfying assignment was found (readable via [`Solver::value`]).
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The interrupt callback fired.
+    Interrupted,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
+
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Clone, Copy)]
+struct Watch {
+    clause: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is
+    /// already true the clause is satisfied and the watch list scan can
+    /// skip loading the clause.
+    blocker: Lit,
+}
+
+/// CDCL SAT solver.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>, // indexed by literal code
+    assigns: Vec<LBool>,      // per var
+    polarity: Vec<bool>,      // saved phase, true = last assigned true
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    heap: VarHeap,
+    var_inc: f64,
+    seen: Vec<bool>,
+    ok: bool,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            heap: VarHeap::new(),
+            var_inc: 1.0,
+            seen: Vec::new(),
+            ok: true,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow();
+        self.heap.push(v);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (problem + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Conflicts encountered so far (diagnostics).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.conflicts, self.decisions, self.propagations)
+    }
+
+    /// Adds a clause; returns `false` if the solver is already trivially
+    /// unsatisfiable (in which case later `solve` calls return `Unsat`).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        // Simplify: drop false/duplicate literals, detect tautologies.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.lit_value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => continue,
+                LBool::Undef => {
+                    if c.contains(&!l) {
+                        return true; // tautology
+                    }
+                    if !c.contains(&l) {
+                        c.push(l);
+                    }
+                }
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(c);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.watches[(!lits[0]).index()].push(Watch {
+            clause: cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).index()].push(Watch {
+            clause: cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    /// Value of a variable in the current (final, after `Sat`) assignment.
+    pub fn value(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    /// Value of a literal under the current assignment.
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].of_lit(l)
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.polarity[v.index()] = !l.is_neg();
+        self.reason[v.index()] = from;
+        self.level[v.index()] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching ¬p (registered under `watches[p]`, MiniSat
+            // convention) just lost a watched literal.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                let assigns = &self.assigns;
+                let lits = &mut self.clauses[cref.0 as usize].lits;
+                // Normalise: the false literal goes to position 1.
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                debug_assert_eq!(lits[1], false_lit);
+                let first = lits[0];
+                if first != w.blocker && lit_value_in(assigns, first) == LBool::True {
+                    // Clause satisfied through its other watch.
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..lits.len() {
+                    if lit_value_in(assigns, lits[k]) != LBool::False {
+                        lits.swap(1, k);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    let new_watch = self.clauses[cref.0 as usize].lits[1];
+                    self.watches[(!new_watch).index()].push(Watch {
+                        clause: cref,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue 'watches;
+                }
+                // No replacement: unit or conflict.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore remaining watches and bail out.
+                    self.watches[p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.heap.bump(v, self.var_inc);
+        if self.heap.activity(v) > RESCALE_LIMIT {
+            self.heap.rescale(1.0 / RESCALE_LIMIT);
+            self.var_inc /= RESCALE_LIMIT;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut idx = self.trail.len();
+
+        loop {
+            let clause = &self.clauses[cref.0 as usize];
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..clause.lits.len() {
+                let q = clause.lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    if self.level[v.index()] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[idx];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            cref = self.reason[lit.var().index()].expect("non-decision has a reason");
+            p = Some(lit);
+        }
+        learnt[0] = !p.expect("loop sets p before breaking");
+
+        // Bump all involved variables.
+        for &l in &learnt {
+            self.bump_var(l.var());
+        }
+        self.var_inc /= VAR_DECAY;
+
+        // Backjump level = highest level among the non-asserting literals;
+        // move that literal to position 1 for watching.
+        let mut bt = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            bt = self.level[learnt[1].var().index()];
+        }
+        // Clear remaining seen flags.
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            for &l in &self.trail[lim..] {
+                let v = l.var();
+                self.assigns[v.index()] = LBool::Undef;
+                self.reason[v.index()] = None;
+                self.heap.push(v);
+            }
+            self.trail.truncate(lim);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop() {
+            if self.assigns[v.index()] == LBool::Undef {
+                let lit = if self.polarity[v.index()] {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                };
+                return Some(lit);
+            }
+        }
+        None
+    }
+
+    /// Solves the formula; `interrupt` is polled between conflicts.
+    pub fn solve_with(&mut self, interrupt: impl Fn() -> bool) -> Status {
+        if !self.ok {
+            return Status::Unsat;
+        }
+        let mut restart_count = 0u32;
+        loop {
+            let budget = 100u64 * luby(restart_count) as u64;
+            restart_count += 1;
+            match self.search(budget, &interrupt) {
+                SearchResult::Sat => return Status::Sat,
+                SearchResult::Unsat => return Status::Unsat,
+                SearchResult::Interrupted => return Status::Interrupted,
+                SearchResult::Restart => {
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper without interruption.
+    pub fn solve(&mut self) -> Status {
+        self.solve_with(|| false)
+    }
+
+    fn search(&mut self, budget: u64, interrupt: &impl Fn() -> bool) -> SearchResult {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt);
+                    self.enqueue(asserting, Some(cref));
+                }
+                if conflicts_here.is_multiple_of(64) && interrupt() {
+                    return SearchResult::Interrupted;
+                }
+                if conflicts_here >= budget {
+                    return SearchResult::Restart;
+                }
+            } else {
+                match self.pick_branch() {
+                    None => return SearchResult::Sat,
+                    Some(lit) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum SearchResult {
+    Sat,
+    Unsat,
+    Interrupted,
+    Restart,
+}
+
+/// Literal value lookup that borrows only the assignment array — used
+/// inside `propagate` where the clause database is mutably borrowed.
+#[inline]
+fn lit_value_in(assigns: &[LBool], l: Lit) -> LBool {
+    assigns[l.var().index()].of_lit(l)
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,… (MiniSat's formulation).
+fn luby(x: u32) -> u32 {
+    let (mut size, mut seq) = (1u32, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver_vars: &[Var], spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&i| {
+                let v = solver_vars[(i.unsigned_abs() - 1) as usize];
+                if i < 0 {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                }
+            })
+            .collect()
+    }
+
+    fn mk(n: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let (mut s, v) = mk(2);
+        s.add_clause(&lits(&v, &[1, 2]));
+        assert_eq!(s.solve(), Status::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let (mut s, v) = mk(1);
+        s.add_clause(&lits(&v, &[1]));
+        s.add_clause(&lits(&v, &[-1]));
+        assert_eq!(s.solve(), Status::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let (mut s, v) = mk(4);
+        s.add_clause(&lits(&v, &[1]));
+        s.add_clause(&lits(&v, &[-1, 2]));
+        s.add_clause(&lits(&v, &[-2, 3]));
+        s.add_clause(&lits(&v, &[-3, 4]));
+        assert_eq!(s.solve(), Status::Sat);
+        for &x in &v {
+            assert_eq!(s.value(x), LBool::True);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p(i,j): pigeon i in hole j; 3 pigeons, 2 holes.
+        let (mut s, v) = mk(6);
+        let p = |i: usize, j: usize| v[i * 2 + j];
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p(i, 0)), Lit::pos(p(i, 1))]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in a + 1..3 {
+                    s.add_clause(&[Lit::neg(p(a, j)), Lit::neg(p(b, j))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Status::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // A moderately tangled satisfiable instance.
+        let (mut s, v) = mk(8);
+        let cls: Vec<Vec<i32>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 4],
+            vec![3, -4, 5],
+            vec![-5, 6],
+            vec![-6, -2, 7],
+            vec![-7, 8],
+            vec![2, 3, 8],
+            vec![-8, 1, 5],
+        ];
+        for c in &cls {
+            s.add_clause(&lits(&v, c));
+        }
+        assert_eq!(s.solve(), Status::Sat);
+        for c in &cls {
+            let sat = c.iter().any(|&i| {
+                let val = s.value(v[(i.unsigned_abs() - 1) as usize]);
+                (i > 0 && val == LBool::True) || (i < 0 && val == LBool::False)
+            });
+            assert!(sat, "clause {c:?} not satisfied");
+        }
+    }
+
+    #[test]
+    fn empty_clause_makes_unsat() {
+        let (mut s, _v) = mk(1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), Status::Unsat);
+    }
+
+    #[test]
+    fn interrupt_fires() {
+        // A hard pigeonhole instance; interrupt immediately.
+        let n = 8usize;
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        for _ in 0..(n + 1) * n {
+            vars.push(s.new_var());
+        }
+        let p = |i: usize, j: usize| vars[i * n + j];
+        for i in 0..=n {
+            let c: Vec<Lit> = (0..n).map(|j| Lit::pos(p(i, j))).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..n {
+            for a in 0..=n {
+                for b in a + 1..=n {
+                    s.add_clause(&[Lit::neg(p(a, j)), Lit::neg(p(b, j))]);
+                }
+            }
+        }
+        let status = s.solve_with(|| true);
+        assert_eq!(status, Status::Interrupted);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u32> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

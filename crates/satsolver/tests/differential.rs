@@ -1,0 +1,118 @@
+//! Differential test: CDCL vs brute-force enumeration on random 3-CNF.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use satsolver::{LBool, Lit, Solver, Status, Var};
+
+/// Brute-force satisfiability by enumerating all assignments (n ≤ 20).
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<i32>]) -> bool {
+    assert!(num_vars <= 20);
+    'assignments: for mask in 0u32..(1 << num_vars) {
+        for c in clauses {
+            let sat = c.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                let val = mask & (1 << v) != 0;
+                (l > 0) == val
+            });
+            if !sat {
+                continue 'assignments;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn run_solver(num_vars: usize, clauses: &[Vec<i32>]) -> (Status, Option<Vec<bool>>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&i| {
+                let v = vars[(i.unsigned_abs() - 1) as usize];
+                if i < 0 {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                }
+            })
+            .collect();
+        s.add_clause(&lits);
+    }
+    let st = s.solve();
+    let model = if st == Status::Sat {
+        Some(vars.iter().map(|&v| s.value(v) == LBool::True).collect())
+    } else {
+        None
+    };
+    (st, model)
+}
+
+fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usize) -> Vec<Vec<i32>> {
+    (0..num_clauses)
+        .map(|_| {
+            let len = rng.random_range(1..=width);
+            (0..len)
+                .map(|_| {
+                    let v = rng.random_range(1..=num_vars as i32);
+                    if rng.random_bool(0.5) {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn cdcl_agrees_with_brute_force_on_small_formulas() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..400 {
+        let n = rng.random_range(3..=10usize);
+        let m = rng.random_range(1..=35usize);
+        let cls = random_cnf(&mut rng, n, m, 3);
+        let want = brute_force_sat(n, &cls);
+        let (st, model) = run_solver(n, &cls);
+        let got = st == Status::Sat;
+        assert_eq!(want, got, "round {round}: n={n} m={m} cls={cls:?}");
+        // Models must actually satisfy the formula.
+        if let Some(model) = model {
+            for c in &cls {
+                let sat = c.iter().any(|&l| {
+                    let val = model[(l.unsigned_abs() - 1) as usize];
+                    (l > 0) == val
+                });
+                assert!(sat, "model violates clause {c:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn near_threshold_random_3sat() {
+    // Clause/variable ratio near the phase transition (≈ 4.26) produces
+    // the hardest random instances; exercises learning and restarts.
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for round in 0..30 {
+        let n = 14usize;
+        let m = 60usize;
+        let cls: Vec<Vec<i32>> = (0..m)
+            .map(|_| {
+                let mut c = Vec::new();
+                while c.len() < 3 {
+                    let v = rng.random_range(1..=n as i32);
+                    if !c.contains(&v) && !c.contains(&-v) {
+                        c.push(if rng.random_bool(0.5) { v } else { -v });
+                    }
+                }
+                c
+            })
+            .collect();
+        let want = brute_force_sat(n, &cls);
+        let (st, _) = run_solver(n, &cls);
+        assert_eq!(want, st == Status::Sat, "round {round}");
+    }
+}

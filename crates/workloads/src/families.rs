@@ -1,0 +1,193 @@
+//! Deterministic hypergraph families.
+//!
+//! Structured families (cycles, grids, chains, stars, snowflakes, cliques)
+//! have known or well-understood hypertree width; random families model the
+//! CQ/CSP mix of HyperBench. Everything is seeded and reproducible.
+
+use hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The cycle `C_n` with binary edges `{i, i+1 mod n}`; `hw = 2` for
+/// `n ≥ 3` (`n = 10` is the paper's Appendix B example).
+pub fn cycle(n: u32) -> Hypergraph {
+    assert!(n >= 3);
+    let edges: Vec<Vec<u32>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A path with `m` binary edges; acyclic (`hw = 1`).
+pub fn path(m: u32) -> Hypergraph {
+    assert!(m >= 1);
+    let edges: Vec<Vec<u32>> = (0..m).map(|i| vec![i, i + 1]).collect();
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A star with `m` binary edges around a hub; acyclic (`hw = 1`).
+pub fn star(m: u32) -> Hypergraph {
+    assert!(m >= 1);
+    let edges: Vec<Vec<u32>> = (1..=m).map(|i| vec![0, i]).collect();
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A snowflake/star-schema query: a fact relation of arity `dims` joined
+/// to `dims` dimension relations, each with `leaf` private attributes.
+/// Acyclic (`hw = 1`) — the classic data-warehouse CQ shape.
+pub fn snowflake(dims: u32, leaf: u32) -> Hypergraph {
+    assert!(dims >= 1);
+    let mut edges = Vec::new();
+    // Fact table over join keys 0..dims.
+    edges.push((0..dims).collect::<Vec<u32>>());
+    let mut next = dims;
+    for d in 0..dims {
+        let mut dim = vec![d];
+        for _ in 0..leaf {
+            dim.push(next);
+            next += 1;
+        }
+        edges.push(dim);
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A chain CQ: `m` relations of arity `a`, adjacent relations sharing one
+/// variable. Acyclic (`hw = 1`).
+pub fn chain(m: u32, a: u32) -> Hypergraph {
+    assert!(m >= 1 && a >= 2);
+    let mut edges = Vec::new();
+    let mut start = 0u32;
+    for _ in 0..m {
+        let edge: Vec<u32> = (start..start + a).collect();
+        edges.push(edge);
+        start += a - 1; // share last variable with the next relation
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A cycle of length `n` with `chords` extra chord edges; cyclic with
+/// small width (2–3) — the "slightly cyclic CQ" shape common in practice.
+pub fn chorded_cycle(n: u32, chords: u32, seed: u64) -> Hypergraph {
+    assert!(n >= 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Vec<u32>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+    for _ in 0..chords {
+        let a = rng.random_range(0..n);
+        let off = rng.random_range(2..n - 1);
+        let b = (a + off) % n;
+        edges.push(vec![a.min(b), a.max(b)]);
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// The `rows × cols` grid graph with binary edges. Treewidth is
+/// `min(rows, cols)`, so the hypertree width grows with the smaller side —
+/// a standard scalable-width CSP family.
+pub fn grid(rows: u32, cols: u32) -> Hypergraph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let v = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(vec![v(r, c), v(r, c + 1)]);
+            }
+            if r + 1 < rows {
+                edges.push(vec![v(r, c), v(r + 1, c)]);
+            }
+        }
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// The clique `K_q` as binary edges: `hw = ⌈q/2⌉`, i.e. arbitrarily high
+/// width — HyperBench's "known hard by graph-theoretic arguments" class.
+pub fn clique(q: u32) -> Hypergraph {
+    assert!(q >= 3);
+    let mut edges = Vec::new();
+    for a in 0..q {
+        for b in a + 1..q {
+            edges.push(vec![a, b]);
+        }
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A random CSP-style hypergraph: `m` edges over `n` vertices with arity
+/// drawn from `2..=max_arity`. Connectivity is not enforced.
+pub fn random_csp(seed: u64, n: u32, m: u32, max_arity: u32) -> Hypergraph {
+    assert!(n >= 2 && max_arity >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let arity = rng.random_range(2..=max_arity.min(n));
+        let mut edge = Vec::with_capacity(arity as usize);
+        while edge.len() < arity as usize {
+            let v = rng.random_range(0..n);
+            if !edge.contains(&v) {
+                edge.push(v);
+            }
+        }
+        edge.sort_unstable();
+        edges.push(edge);
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::is_acyclic;
+
+    #[test]
+    fn acyclic_families_are_acyclic() {
+        assert!(is_acyclic(&path(10)));
+        assert!(is_acyclic(&star(8)));
+        assert!(is_acyclic(&snowflake(4, 3)));
+        assert!(is_acyclic(&chain(6, 3)));
+    }
+
+    #[test]
+    fn cyclic_families_are_cyclic() {
+        assert!(!is_acyclic(&cycle(10)));
+        assert!(!is_acyclic(&grid(3, 3)));
+        assert!(!is_acyclic(&clique(5)));
+    }
+
+    #[test]
+    fn sizes_are_as_requested() {
+        assert_eq!(cycle(10).num_edges(), 10);
+        assert_eq!(path(7).num_edges(), 7);
+        assert_eq!(star(9).num_edges(), 9);
+        assert_eq!(snowflake(4, 2).num_edges(), 5);
+        assert_eq!(grid(3, 4).num_edges(), 17);
+        assert_eq!(clique(6).num_edges(), 15);
+        assert_eq!(random_csp(1, 20, 30, 4).num_edges(), 30);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_csp(42, 20, 25, 5);
+        let b = random_csp(42, 20, 25, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edge_ids() {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+        let c = chorded_cycle(12, 3, 7);
+        let d = chorded_cycle(12, 3, 7);
+        for e in c.edge_ids() {
+            assert_eq!(c.edge(e), d.edge(e));
+        }
+    }
+
+    #[test]
+    fn chain_shares_exactly_one_variable() {
+        let h = chain(5, 3);
+        assert_eq!(h.num_edges(), 5);
+        // Adjacent edges overlap in exactly 1 vertex.
+        for i in 0..4u32 {
+            let a = h.edge(hypergraph::Edge(i));
+            let b = h.edge(hypergraph::Edge(i + 1));
+            assert_eq!(a.intersection_len(b), 1);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Ground-truth instances: hypergraphs generated *from* a random HD.
+//!
+//! The generator first draws a random decomposition tree and invents the
+//! edges of each node's λ-label; the hypergraph is exactly the set of
+//! invented edges. Because every bag is defined as `χ(u) = ⋃λ(u)`, the
+//! special condition holds trivially and the generated tree is a certified
+//! HD, so `hw ≤ k` by construction. Child bags draw their shared vertices
+//! only from the parent's bag, which yields the connectedness condition by
+//! induction.
+//!
+//! These instances give the test suite exact upper bounds to verify
+//! solvers against, and give the corpus (Appendix-D-style `HB_large`) a
+//! supply of large instances with known moderate width.
+
+use decomp::Decomposition;
+use hypergraph::{Edge, Hypergraph, Vertex, VertexSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters for [`known_width`].
+#[derive(Clone, Copy, Debug)]
+pub struct KnownWidthConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Exact number of edges to generate.
+    pub num_edges: usize,
+    /// Width bound: every node carries between 1 and `k` edges.
+    pub k: usize,
+    /// Maximum arity of generated edges.
+    pub max_arity: usize,
+    /// Probability that a parent-bag vertex is offered to a child edge.
+    pub share: f64,
+}
+
+impl KnownWidthConfig {
+    /// A reasonable default shape for `num_edges` edges at width ≤ `k`.
+    pub fn new(seed: u64, num_edges: usize, k: usize) -> Self {
+        KnownWidthConfig {
+            seed,
+            num_edges,
+            k,
+            max_arity: 4,
+            share: 0.5,
+        }
+    }
+}
+
+/// Generates a hypergraph together with a *witness HD* of width ≤ `k`.
+///
+/// The returned decomposition is a valid HD of the returned hypergraph
+/// (checked by the crate tests with the full validator).
+pub fn known_width(cfg: KnownWidthConfig) -> (Hypergraph, Decomposition) {
+    assert!(cfg.k >= 1 && cfg.num_edges >= 1 && cfg.max_arity >= 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut edge_lists: Vec<Vec<u32>> = Vec::with_capacity(cfg.num_edges);
+    let mut next_vertex: u32 = 0;
+    // Per tree node: (edge ids, bag vertices, parent index).
+    let mut node_edges: Vec<Vec<u32>> = Vec::new();
+    let mut node_bags: Vec<Vec<u32>> = Vec::new();
+    let mut node_parent: Vec<Option<usize>> = Vec::new();
+
+    while edge_lists.len() < cfg.num_edges {
+        let node = node_edges.len();
+        let parent = if node == 0 {
+            None
+        } else {
+            Some(rng.random_range(0..node))
+        };
+
+        // Vertices a child may share with its parent.
+        let offered: Vec<u32> = match parent {
+            None => Vec::new(),
+            Some(p) => node_bags[p]
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(cfg.share))
+                .collect(),
+        };
+
+        let budget = cfg.num_edges - edge_lists.len();
+        let count = rng.random_range(1..=cfg.k.min(budget));
+        let mut bag: Vec<u32> = Vec::new();
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let arity = rng.random_range(2..=cfg.max_arity);
+            let mut edge: Vec<u32> = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                // Mix: offered parent vertices, this node's own vertices
+                // (edge overlap within the bag), or fresh ones.
+                let roll = rng.random_range(0..10u32);
+                let pick = if roll < 3 && !offered.is_empty() {
+                    offered[rng.random_range(0..offered.len())]
+                } else if roll < 5 && !bag.is_empty() {
+                    bag[rng.random_range(0..bag.len())]
+                } else {
+                    let v = next_vertex;
+                    next_vertex += 1;
+                    v
+                };
+                if !edge.contains(&pick) {
+                    edge.push(pick);
+                }
+            }
+            if edge.len() < 2 {
+                edge.push(next_vertex);
+                next_vertex += 1;
+            }
+            edge.sort_unstable();
+            for &v in &edge {
+                if !bag.contains(&v) {
+                    bag.push(v);
+                }
+            }
+            ids.push(edge_lists.len() as u32);
+            edge_lists.push(edge);
+        }
+        node_edges.push(ids);
+        node_bags.push(bag);
+        node_parent.push(parent);
+    }
+
+    let hg = Hypergraph::from_edge_lists(&edge_lists);
+    let n = hg.num_vertices();
+
+    // Materialise the witness decomposition.
+    let labels: Vec<(Vec<Edge>, VertexSet)> = node_edges
+        .iter()
+        .zip(&node_bags)
+        .map(|(ids, bag)| {
+            let lambda: Vec<Edge> = ids.iter().map(|&i| Edge(i)).collect();
+            let chi = VertexSet::from_iter(n, bag.iter().map(|&v| Vertex(v)));
+            (lambda, chi)
+        })
+        .collect();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); node_edges.len()];
+    for (i, p) in node_parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(i as u32);
+        }
+    }
+    let witness = Decomposition::from_parts(labels, children, 0);
+    (hg, witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::validate_hd_width;
+
+    #[test]
+    fn witness_is_a_valid_hd_of_requested_width() {
+        for seed in 0..30u64 {
+            for k in 1..=4usize {
+                let cfg = KnownWidthConfig::new(seed, 20, k);
+                let (hg, witness) = known_width(cfg);
+                assert_eq!(hg.num_edges(), 20);
+                validate_hd_width(&hg, &witness, k)
+                    .unwrap_or_else(|e| panic!("seed={seed} k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_edge_counts() {
+        for m in [1usize, 5, 17, 60, 101] {
+            let (hg, _) = known_width(KnownWidthConfig::new(9, m, 3));
+            assert_eq!(hg.num_edges(), m);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (a, _) = known_width(KnownWidthConfig::new(123, 30, 3));
+        let (b, _) = known_width(KnownWidthConfig::new(123, 30, 3));
+        for e in a.edge_ids() {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+    }
+}

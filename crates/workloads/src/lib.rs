@@ -1,0 +1,23 @@
+//! HyperBench-like workload generators.
+//!
+//! The paper evaluates on HyperBench (3648 CQ/CSP hypergraphs). That corpus
+//! is not redistributable here, so this crate deterministically generates a
+//! stand-in with the same documented structure — see `DESIGN.md` §5 for the
+//! substitution rationale.
+//!
+//! * [`families`] — structured generators (cycles, grids, chains, stars,
+//!   snowflakes, cliques, random CSPs);
+//! * [`known_width`] — hypergraphs generated *from* a random HD, with the
+//!   witness decomposition returned for ground truth;
+//! * [`corpus`] — the Table-1-shaped corpus and the `HB_large` analogue.
+
+pub mod corpus;
+pub mod export;
+pub mod families;
+pub mod known_width;
+
+pub use corpus::{
+    hb_large_like, hyperbench_like, CorpusConfig, Instance, Origin, SizeBand, HYPERBENCH_GROUPS,
+};
+pub use export::{export_corpus, ExportFormat};
+pub use known_width::{known_width, KnownWidthConfig};

@@ -1,0 +1,55 @@
+//! Inspect the HyperBench-like corpus: group sizes, arity/degree stats,
+//! acyclicity counts — the data the harness runs the evaluation on.
+//!
+//! Run with: `cargo run --release --example corpus_report`
+
+use hypergraph::is_acyclic;
+use workloads::{hyperbench_like, CorpusConfig, Origin, SizeBand, HYPERBENCH_GROUPS};
+
+fn main() {
+    let cfg = CorpusConfig::default();
+    let corpus = hyperbench_like(cfg);
+    println!(
+        "corpus: {} instances (HyperBench group proportions at scale {:.4})\n",
+        corpus.len(),
+        cfg.scale
+    );
+    println!(
+        "{:<14} {:<16} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "Origin", "Size band", "instances", "hyperb.", "acyclic", "avg |E|", "avg |V|"
+    );
+    for &(origin, band, full) in HYPERBENCH_GROUPS {
+        let group: Vec<_> = corpus
+            .iter()
+            .filter(|i| i.origin == origin && i.band() == band)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let acyclic = group.iter().filter(|i| is_acyclic(&i.hg)).count();
+        let avg_e =
+            group.iter().map(|i| i.hg.num_edges()).sum::<usize>() as f64 / group.len() as f64;
+        let avg_v =
+            group.iter().map(|i| i.hg.num_vertices()).sum::<usize>() as f64 / group.len() as f64;
+        println!(
+            "{:<14} {:<16} {:>9} {:>9} {:>8} {:>9.1} {:>9.1}",
+            origin.to_string(),
+            band.label(),
+            group.len(),
+            full,
+            acyclic,
+            avg_e,
+            avg_v
+        );
+    }
+
+    let with_bound = corpus.iter().filter(|i| i.width_upper.is_some()).count();
+    println!(
+        "\n{} of {} instances carry a certified width upper bound from the generator",
+        with_bound,
+        corpus.len()
+    );
+    let over = corpus.iter().filter(|i| i.band() == SizeBand::Over100).count();
+    let apps = corpus.iter().filter(|i| i.origin == Origin::Application).count();
+    println!("{apps} application-shaped, {} synthetic, {over} with |E| > 100", corpus.len() - apps);
+}

@@ -1,0 +1,65 @@
+//! The application the paper's introduction motivates: evaluate a cyclic
+//! conjunctive query with Yannakakis' algorithm, guided by a hypertree
+//! decomposition computed by `log-k-decomp`, and compare with a naive
+//! join plan.
+//!
+//! Run with: `cargo run --release --example query_evaluation`
+
+use std::time::Instant;
+
+use cqeval::{evaluate_naive, evaluate_yannakakis, ConjunctiveQuery, Database};
+use decomp::Control;
+use logk::LogK;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    // A 6-cycle join query — the canonical "cyclic CQ" where naive plans
+    // produce large intermediate results.
+    let q = ConjunctiveQuery::parse(
+        "r0(x0,x1), r1(x1,x2), r2(x2,x3), r3(x3,x4), r4(x4,x5), r5(x5,x0)",
+    )
+    .expect("well-formed query");
+
+    // Random data: each relation gets `size` tuples over a small domain,
+    // so joins amplify before the cycle closes.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut db = Database::new();
+    let (size, domain) = (400u32, 40u64);
+    for i in 0..6 {
+        let tuples: Vec<Vec<u64>> = (0..size)
+            .map(|_| vec![rng.random_range(0..domain), rng.random_range(0..domain)])
+            .collect();
+        db.insert(&format!("r{i}"), tuples);
+    }
+
+    // Step 1: hypergraph of the query, decomposition at optimal width.
+    let hg = q.hypergraph();
+    let ctrl = Control::unlimited();
+    let (width, hd) = LogK::hybrid(2)
+        .minimal_width(&hg, 4, &ctrl)
+        .unwrap()
+        .expect("cycle queries have hw 2");
+    println!("query hypergraph: {} atoms, hw = {width}", hg.num_edges());
+    println!("join tree:\n{}", hd.render(&hg));
+
+    // Step 2: evaluate both ways and compare.
+    let t0 = Instant::now();
+    let naive = evaluate_naive(&q, &db).expect("naive evaluation");
+    let t_naive = t0.elapsed();
+
+    let t1 = Instant::now();
+    let yann = evaluate_yannakakis(&q, &db, &hd).expect("yannakakis evaluation");
+    let t_yann = t1.elapsed();
+
+    assert_eq!(naive, yann, "both plans must agree");
+    println!("answers: {} satisfying assignments", yann.len());
+    println!("naive left-deep join: {t_naive:?}");
+    println!("Yannakakis over the HD: {t_yann:?}");
+    if t_yann < t_naive {
+        println!(
+            "speedup: {:.1}x — semijoin reduction pays off on cyclic queries",
+            t_naive.as_secs_f64() / t_yann.as_secs_f64().max(1e-9)
+        );
+    }
+}

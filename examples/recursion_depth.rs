@@ -1,0 +1,50 @@
+//! Theorem 4.1, observed: `log-k-decomp`'s recursion depth grows
+//! logarithmically with the instance while `det-k-decomp`'s strict
+//! top-down recursion grows linearly — the structural reason the former
+//! parallelises and the latter does not.
+//!
+//! Run with: `cargo run --release --example recursion_depth`
+
+use decomp::Control;
+use detk::DetKDecomp;
+use hypergraph::{Hypergraph, SpecialArena, Subproblem};
+use logk::LogK;
+
+fn chain(m: u32) -> Hypergraph {
+    let edges: Vec<Vec<u32>> = (0..m).map(|i| vec![i, i + 1]).collect();
+    Hypergraph::from_edge_lists(&edges)
+}
+
+fn main() {
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "|E|", "log-k depth", "det-k depth", "log2(|E|)"
+    );
+    for m in [8u32, 16, 32, 64, 128] {
+        let hg = chain(m);
+        let ctrl = Control::unlimited();
+
+        let (d, stats) = LogK::sequential()
+            .decompose_with_stats(&hg, 1, &ctrl)
+            .unwrap();
+        assert!(d.is_some(), "chains are acyclic: hw = 1");
+
+        let mut detk_engine = DetKDecomp::new(&hg, 1, &ctrl);
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        let frag = detk_engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(frag.is_some());
+
+        println!(
+            "{:>8} {:>14} {:>14} {:>10.1}",
+            m,
+            stats.max_depth,
+            detk_engine.max_depth(),
+            (m as f64).log2()
+        );
+    }
+    println!(
+        "\nBalanced separators halve every subproblem (Lemma 3.10 + Theorem 4.1);\n\
+         det-k-decomp walks the chain node by node instead."
+    );
+}

@@ -1,0 +1,165 @@
+//! `lkd` — command-line hypertree decomposition tool.
+//!
+//! ```text
+//! lkd decompose <file> [--k=N] [--method=hybrid|logk|detk|ghd|sat]
+//!                      [--threads=N] [--timeout-ms=N] [--pace] [--width-only]
+//! lkd stats <file> [--pace]
+//! ```
+//!
+//! `decompose` computes an optimal-width decomposition (searching k = 1…10
+//! unless `--k` fixes it) and prints the certified tree; `stats` reports
+//! hypergraph measures including α-acyclicity.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use decomp::{validate_ghd, validate_hd, Control, Decomposition};
+use hypergraph::{is_acyclic, parse_hyperbench, parse_pace, Hypergraph};
+use logk::LogK;
+
+struct Opts {
+    file: Option<String>,
+    k: Option<usize>,
+    method: String,
+    threads: usize,
+    timeout: Option<Duration>,
+    pace: bool,
+    width_only: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        file: None,
+        k: None,
+        method: "hybrid".into(),
+        threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        timeout: None,
+        pace: false,
+        width_only: false,
+    };
+    for a in args {
+        if let Some(v) = a.strip_prefix("--k=") {
+            o.k = Some(v.parse().map_err(|e| format!("--k: {e}"))?);
+        } else if let Some(v) = a.strip_prefix("--method=") {
+            o.method = v.to_string();
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            o.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+        } else if let Some(v) = a.strip_prefix("--timeout-ms=") {
+            o.timeout = Some(Duration::from_millis(
+                v.parse().map_err(|e| format!("--timeout-ms: {e}"))?,
+            ));
+        } else if a == "--pace" {
+            o.pace = true;
+        } else if a == "--width-only" {
+            o.width_only = true;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a}"));
+        } else if o.file.is_none() {
+            o.file = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument {a}"));
+        }
+    }
+    Ok(o)
+}
+
+fn load(o: &Opts) -> Result<Hypergraph, String> {
+    let path = o.file.as_ref().ok_or("missing input file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if o.pace || path.ends_with(".htd") || text.trim_start().starts_with("p htd") {
+        parse_pace(&text).map_err(|e| e.to_string())
+    } else {
+        parse_hyperbench(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn decompose(o: &Opts) -> Result<(), String> {
+    let hg = load(o)?;
+    let ctrl = match o.timeout {
+        Some(t) => Control::with_timeout(t),
+        None => Control::unlimited(),
+    };
+    let k_range = o.k.map(|k| (k, k)).unwrap_or((1, 10));
+
+    let solve = |k: usize| -> Result<Option<Decomposition>, String> {
+        match o.method.as_str() {
+            "hybrid" => LogK::hybrid(o.threads)
+                .decompose(&hg, k, &ctrl)
+                .map_err(|e| e.to_string()),
+            "logk" => LogK::parallel(o.threads)
+                .decompose(&hg, k, &ctrl)
+                .map_err(|e| e.to_string()),
+            "detk" => detk::decompose_detk(&hg, k, &ctrl).map_err(|e| e.to_string()),
+            "ghd" => ghd::decompose_ghd(&hg, k, &ctrl).map_err(|e| e.to_string()),
+            "sat" => htdsat::decide_ghw(&hg, k, &ctrl).map_err(|e| e.to_string()),
+            other => Err(format!("unknown method {other}")),
+        }
+    };
+
+    for k in k_range.0..=k_range.1 {
+        match solve(k)? {
+            None => continue,
+            Some(d) => {
+                // Certify before reporting.
+                let valid = match o.method.as_str() {
+                    "ghd" | "sat" => validate_ghd(&hg, &d).is_ok(),
+                    _ => validate_hd(&hg, &d).is_ok(),
+                };
+                if !valid {
+                    return Err("internal error: witness failed validation".into());
+                }
+                println!("width: {}", d.width());
+                if !o.width_only {
+                    println!("nodes: {}  depth: {}", d.num_nodes(), d.depth());
+                    print!("{}", d.render(&hg));
+                }
+                return Ok(());
+            }
+        }
+    }
+    Err(match o.k {
+        Some(k) => format!("no decomposition of width <= {k}"),
+        None => "no decomposition of width <= 10 found".into(),
+    })
+}
+
+fn stats(o: &Opts) -> Result<(), String> {
+    let hg = load(o)?;
+    println!("vertices:   {}", hg.num_vertices());
+    println!("edges:      {}", hg.num_edges());
+    println!("max arity:  {}", hg.max_arity());
+    println!("avg arity:  {:.2}", hg.avg_arity());
+    println!("max degree: {}", hg.max_degree());
+    println!("acyclic:    {}", is_acyclic(&hg));
+    let (reduced, _) = hg.reduced();
+    println!("after subsumption reduction: {} edges", reduced.num_edges());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: lkd <decompose|stats> <file> [flags]  (see --help in source docs)";
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "decompose" => decompose(&opts),
+        "stats" => stats(&opts),
+        _ => Err(format!("unknown command {cmd}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # log-k-decomp
+//!
+//! A complete Rust implementation of *Fast Parallel Hypertree
+//! Decompositions in Logarithmic Recursion Depth* (Gottlob, Lanzinger,
+//! Okulmus, Pichler — PODS 2022), together with every substrate and
+//! baseline the paper's evaluation depends on.
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! * [`hypergraph`] — hypergraphs, bitsets, parsers, components;
+//! * [`decomp`] — hypertree decompositions and validators;
+//! * [`logk`] — the `log-k-decomp` algorithm (basic, optimised, parallel,
+//!   hybrid);
+//! * [`detk`] — the `det-k-decomp` baseline;
+//! * [`ghd`] — the BalancedGo-style GHD baseline;
+//! * [`satsolver`] / [`htdsat`] — CDCL SAT solver and the SAT-based
+//!   optimal-width baseline (HtdLEO substitute);
+//! * [`workloads`] — HyperBench-like instance generators;
+//! * [`cqeval`] — Yannakakis-style conjunctive-query evaluation guided by
+//!   hypertree decompositions.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use cqeval;
+pub use decomp;
+pub use detk;
+pub use ghd;
+pub use htdsat;
+pub use hypergraph;
+pub use logk;
+pub use satsolver;
+pub use workloads;
