@@ -53,10 +53,9 @@ fn bench_sat_encoding_growth(c: &mut Criterion) {
 /// join plan on a cyclic query.
 fn bench_cq_evaluation(c: &mut Criterion) {
     use cqeval::{evaluate_naive, evaluate_yannakakis, ConjunctiveQuery, Database};
-    let q = ConjunctiveQuery::parse(
-        "r0(x0,x1), r1(x1,x2), r2(x2,x3), r3(x3,x4), r4(x4,x5), r5(x5,x0)",
-    )
-    .unwrap();
+    let q =
+        ConjunctiveQuery::parse("r0(x0,x1), r1(x1,x2), r2(x2,x3), r3(x3,x4), r4(x4,x5), r5(x5,x0)")
+            .unwrap();
     let mut db = Database::new();
     let mut v = 1u64;
     for i in 0..6 {

@@ -5,8 +5,12 @@
 use std::ops::ControlFlow;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use decomp::Control;
 use hypergraph::subsets::for_each_subset;
-use hypergraph::{separate, Edge, SpecialArena, Subproblem, Vertex, VertexSet};
+use hypergraph::{
+    separate, separate_into, Edge, Scratch, Separation, SpecialArena, Subproblem, Vertex, VertexSet,
+};
+use logk::LogK;
 use std::hint::black_box;
 use workloads::families;
 
@@ -45,11 +49,78 @@ fn bench_components(c: &mut Criterion) {
         let sub = Subproblem::whole(&hg);
         // Separator: the union of three spread-out edges.
         let mut sep = hg.vertex_set();
-        for e in [0u32, hg.num_edges() as u32 / 3, 2 * hg.num_edges() as u32 / 3] {
+        for e in [
+            0u32,
+            hg.num_edges() as u32 / 3,
+            2 * hg.num_edges() as u32 / 3,
+        ] {
             sep.union_with(hg.edge(Edge(e)));
         }
+        // The allocating convenience wrapper…
         g.bench_function(name, |bch| {
             bch.iter(|| separate(black_box(&hg), &arena, &sub, black_box(&sep)))
+        });
+        // …versus the scratch-workspace hot path the engine actually runs:
+        // identical output, zero steady-state allocations.
+        let mut scratch = Scratch::new();
+        let mut out = Separation::new();
+        g.bench_function(format!("{name}_into"), |bch| {
+            bch.iter(|| {
+                separate_into(
+                    black_box(&hg),
+                    &arena,
+                    &sub,
+                    black_box(&sep),
+                    &mut scratch,
+                    &mut out,
+                );
+                out.components.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_neg_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/neg_cache");
+    // Two K5 cliques sharing two vertices, searched at the failing width
+    // k = 2: the textbook memoisation workload — the same failed
+    // subproblems recur under many λ candidates, so the cached engine
+    // refutes each once while the uncached engine re-explores it every
+    // time (~80 hits, two orders of magnitude wall-clock). Plus a cyclic
+    // bounded-width instance as the low-reuse contrast. Hit counts > 0
+    // are asserted by tests/cache_differential.rs; here the wall-clock
+    // delta is recorded.
+    let mut edges = Vec::new();
+    for a in 0..5u32 {
+        for b in a + 1..5 {
+            edges.push(vec![a, b]);
+        }
+    }
+    for a in 3..8u32 {
+        for b in a + 1..8 {
+            edges.push(vec![a, b]);
+        }
+    }
+    let twin_k5 = hypergraph::Hypergraph::from_edge_lists(&edges);
+    let bounded = workloads::known_width(workloads::KnownWidthConfig::new(11, 40, 3)).0;
+    for (name, hg, k) in [
+        ("twin_k5_k2_neg", &twin_k5, 2usize),
+        ("bounded40_k2", &bounded, 2),
+    ] {
+        let cached = LogK::sequential();
+        let uncached = LogK::sequential().with_cache_bytes(0);
+        g.bench_function(format!("{name}_cached"), |bch| {
+            bch.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(cached.decide(black_box(hg), k, &ctrl).unwrap())
+            })
+        });
+        g.bench_function(format!("{name}_uncached"), |bch| {
+            bch.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(uncached.decide(black_box(hg), k, &ctrl).unwrap())
+            })
         });
     }
     g.finish();
@@ -77,7 +148,9 @@ fn bench_gyo(c: &mut Criterion) {
         ("chain60", families::chain(60, 3)),
         ("cycle60", families::cycle(60)),
     ] {
-        g.bench_function(name, |bch| bch.iter(|| hypergraph::is_acyclic(black_box(&hg))));
+        g.bench_function(name, |bch| {
+            bch.iter(|| hypergraph::is_acyclic(black_box(&hg)))
+        });
     }
     g.finish();
 }
@@ -92,6 +165,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo
+    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache
 }
 criterion_main!(benches);

@@ -13,7 +13,11 @@ fn instances() -> Vec<(&'static str, hypergraph::Hypergraph, usize)> {
         // (name, hypergraph, k_max to search)
         ("app_chain30", families::chain(30, 3), 2),
         ("app_cycle20", families::cycle(20), 3),
-        ("syn_bounded40_k3", known_width(KnownWidthConfig::new(5, 40, 3)).0, 4),
+        (
+            "syn_bounded40_k3",
+            known_width(KnownWidthConfig::new(5, 40, 3)).0,
+            4,
+        ),
         ("syn_grid3x4", families::grid(3, 4), 3),
     ]
 }
@@ -53,7 +57,10 @@ fn bench_detk(c: &mut Criterion) {
             b.iter(|| {
                 let ctrl = Control::unlimited();
                 for k in 1..=kmax {
-                    if detk::decompose_detk(black_box(&hg), k, &ctrl).unwrap().is_some() {
+                    if detk::decompose_detk(black_box(&hg), k, &ctrl)
+                        .unwrap()
+                        .is_some()
+                    {
                         return k;
                     }
                 }
@@ -70,7 +77,11 @@ fn bench_htdsat(c: &mut Criterion) {
     // instances only (the paper's Table 1 shows the same cliff).
     for (name, hg, kmax) in [
         ("app_cycle10", families::cycle(10), 3),
-        ("syn_bounded12_k2", known_width(KnownWidthConfig::new(6, 12, 2)).0, 3),
+        (
+            "syn_bounded12_k2",
+            known_width(KnownWidthConfig::new(6, 12, 2)).0,
+            3,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

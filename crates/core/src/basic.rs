@@ -118,7 +118,8 @@ impl Basic<'_> {
                 return ControlFlow::Break(Err(e));
             }
             let up = self.hg.union_of_slice(lam_p);
-            let seps = separate(self.hg, &self.arena, sub, &up); // line 17
+            // Line 17.
+            let seps = separate(self.hg, &self.arena, sub, &up);
             // Line 18: the (unique) oversized component becomes comp_down.
             let Some(i) = seps.oversized_component(size) else {
                 return ControlFlow::Continue(()); // line 21
@@ -188,12 +189,12 @@ impl Basic<'_> {
 
         // Lines 35–36: comp_up := H' \ comp_down, plus χc as a new special.
         let mut comp_up = Subproblem {
-            edges: sub.edges.difference(&comp_down.edges),
+            edges: sub.edges.difference(comp_down.edges()),
             specials: sub
                 .specials
                 .iter()
                 .copied()
-                .filter(|s| !comp_down.specials.contains(s))
+                .filter(|s| !comp_down.specials().contains(s))
                 .collect(),
         };
         let sc = self.arena.push(chi_c.clone());

@@ -1,0 +1,315 @@
+//! Sharded, lock-striped memoisation of *negative* subproblems.
+//!
+//! `det-k-decomp` owes much of its practical strength to memoising
+//! subproblem results per `(component, connector)` (Gottlob & Samer). The
+//! main `log-k-decomp` recursion historically re-explored failed
+//! subproblems from scratch: the same `[U]`-component with the same
+//! connector arises under many different λ candidates, and every
+//! occurrence repeated the full child-loop enumeration. This module gives
+//! the engine the analogous cache, made sound for the parallel engine:
+//!
+//! * **Negative results only.** A positive result is a [`Fragment`] whose
+//!   special-leaf ids are only meaningful relative to the arena state of
+//!   the branch that produced it, so positives cannot be shared across
+//!   rayon branches. A *negative* result ("no HD-fragment of width ≤ k
+//!   exists") depends only on the resolved vertex sets, which the key
+//!   captures — so negatives are shareable and re-derivable nowhere.
+//! * **Exhaustive failures only.** The engine inserts a key only when a
+//!   `Decomp` call returns `None` after exhausting its search space.
+//!   Branches that were pruned (a sibling won) or interrupted (timeout /
+//!   cancellation) propagate errors instead and are never cached.
+//! * **Resolved keys.** Special edges are stored by *vertex set*, not by
+//!   arena id: ids are branch-local, vertex sets are canonical. The
+//!   resolved sets are sorted (the `Ord` on `TypedBitSet` exists for
+//!   exactly this) so equal subproblems hash equally regardless of
+//!   discovery order. The `allowed` edge set participates in the key
+//!   because `Decomp`'s result is relative to the allowed λ alphabet.
+//! * **Byte budget.** Mirroring `detk`'s `cache_cap` discipline, the cache
+//!   stops inserting (but keeps serving hits) once its estimated footprint
+//!   exceeds the configured budget.
+//!
+//! Lock striping: keys are spread over 16 shards by hash, so parallel
+//! branches rarely contend on the same mutex.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hypergraph::{EdgeSet, SpecialArena, Subproblem, VertexSet};
+
+const SHARDS: usize = 16;
+
+/// Canonical identity of a `Decomp(H', Conn, A)` call.
+#[derive(PartialEq, Eq, Hash, Debug)]
+pub struct NegKey {
+    edges: EdgeSet,
+    /// Special edges resolved to vertex sets, sorted canonically.
+    specials: Vec<VertexSet>,
+    conn: VertexSet,
+    allowed: EdgeSet,
+}
+
+impl NegKey {
+    /// Builds the canonical key for `(sub, conn, allowed)`, resolving
+    /// special-edge ids through `arena`.
+    pub fn build(
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+    ) -> Self {
+        let mut specials: Vec<VertexSet> =
+            sub.specials.iter().map(|&s| arena.get(s).clone()).collect();
+        specials.sort_unstable();
+        NegKey {
+            edges: sub.edges.clone(),
+            specials,
+            conn: conn.clone(),
+            allowed: allowed.clone(),
+        }
+    }
+
+    /// Estimated heap footprint in bytes (for the byte budget).
+    fn approx_bytes(&self) -> usize {
+        let set_bytes = |s: &EdgeSet| s.capacity().div_ceil(64) * 8 + 32;
+        let vset_bytes = |s: &VertexSet| s.capacity().div_ceil(64) * 8 + 32;
+        set_bytes(&self.edges)
+            + set_bytes(&self.allowed)
+            + vset_bytes(&self.conn)
+            + self.specials.iter().map(vset_bytes).sum::<usize>()
+            + 48 // HashSet slot + Vec header overhead
+    }
+}
+
+/// Monotone hit/miss/insert counters, shared across rayon branches.
+#[derive(Debug, Default)]
+pub struct NegCacheCounters {
+    /// Lookups answered positively (subproblem known unsolvable).
+    pub hits: AtomicU64,
+    /// Lookups that found nothing.
+    pub misses: AtomicU64,
+    /// Keys inserted.
+    pub inserts: AtomicU64,
+    /// Insertions skipped because the byte budget was exhausted.
+    pub rejected: AtomicU64,
+}
+
+/// A point-in-time snapshot of cache state, for stats reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NegCacheSnapshot {
+    /// Lookups answered positively.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Keys inserted.
+    pub inserts: u64,
+    /// Insertions dropped over budget.
+    pub rejected: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Estimated bytes currently stored.
+    pub bytes: usize,
+    /// Configured byte budget (0 = cache disabled).
+    pub byte_budget: usize,
+}
+
+/// The sharded negative-subproblem cache.
+pub struct NegCache {
+    shards: Vec<Mutex<HashSet<NegKey>>>,
+    hasher: RandomState,
+    bytes: AtomicUsize,
+    byte_budget: usize,
+    counters: NegCacheCounters,
+}
+
+impl NegCache {
+    /// Creates a cache bounded by `byte_budget` bytes; `0` disables it
+    /// (every lookup misses, every insert is dropped).
+    pub fn new(byte_budget: usize) -> Self {
+        NegCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            hasher: RandomState::new(),
+            bytes: AtomicUsize::new(0),
+            byte_budget,
+            counters: NegCacheCounters::default(),
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.byte_budget > 0
+    }
+
+    fn shard(&self, key: &NegKey) -> &Mutex<HashSet<NegKey>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
+    }
+
+    /// Returns `true` iff `key` is a known-unsolvable subproblem.
+    pub fn contains(&self, key: &NegKey) -> bool {
+        let hit = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(key);
+        let counter = if hit {
+            &self.counters.hits
+        } else {
+            &self.counters.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        hit
+    }
+
+    /// Records `key` as exhaustively failed, unless the byte budget is
+    /// spent.
+    pub fn insert(&self, key: NegKey) {
+        let cost = key.approx_bytes();
+        // Reserve-then-rollback keeps the cap exact under concurrent
+        // inserts (a plain load-check would let racing branches all pass).
+        let prev = self.bytes.fetch_add(cost, Ordering::Relaxed);
+        if prev + cost > self.byte_budget {
+            self.bytes.fetch_sub(cost, Ordering::Relaxed);
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let inserted = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key);
+        if inserted {
+            self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Duplicate key (another branch beat us): release the bytes.
+            self.bytes.fetch_sub(cost, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time snapshot of counters and footprint.
+    pub fn snapshot(&self) -> NegCacheSnapshot {
+        NegCacheSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            entries: self.len(),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            byte_budget: self.byte_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{Hypergraph, Vertex};
+
+    fn key_for(hg: &Hypergraph, arena: &SpecialArena, edges: &[u32]) -> NegKey {
+        let mut sub = Subproblem::empty(hg);
+        for &e in edges {
+            sub.edges.insert(hypergraph::Edge(e));
+        }
+        NegKey::build(arena, &sub, &hg.vertex_set(), &hg.all_edges())
+    }
+
+    fn hg4() -> Hypergraph {
+        Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]])
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let cache = NegCache::new(1 << 20);
+        let k = key_for(&hg, &arena, &[0, 1]);
+        assert!(!cache.contains(&k));
+        cache.insert(key_for(&hg, &arena, &[0, 1]));
+        assert!(cache.contains(&k));
+        assert!(!cache.contains(&key_for(&hg, &arena, &[0, 2])));
+        let snap = cache.snapshot();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.entries, 1);
+        assert!(snap.bytes > 0);
+    }
+
+    #[test]
+    fn specials_resolve_by_vertex_set_not_id() {
+        let hg = hg4();
+        let mut a1 = SpecialArena::new();
+        let mut a2 = SpecialArena::new();
+        // Same vertex set registered under different ids in two arenas.
+        let _pad = a2.push(VertexSet::from_iter(4, [Vertex(3)]));
+        let s1 = a1.push(VertexSet::from_iter(4, [Vertex(0), Vertex(2)]));
+        let s2 = a2.push(VertexSet::from_iter(4, [Vertex(0), Vertex(2)]));
+        let mut sub1 = Subproblem::empty(&hg);
+        sub1.edges.insert(hypergraph::Edge(1));
+        sub1.specials.push(s1);
+        let mut sub2 = Subproblem::empty(&hg);
+        sub2.edges.insert(hypergraph::Edge(1));
+        sub2.specials.push(s2);
+        let conn = hg.vertex_set();
+        let allowed = hg.all_edges();
+        let k1 = NegKey::build(&a1, &sub1, &conn, &allowed);
+        let k2 = NegKey::build(&a2, &sub2, &conn, &allowed);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn byte_budget_caps_inserts() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let one_key_cost = key_for(&hg, &arena, &[0]).approx_bytes();
+        let cache = NegCache::new(one_key_cost + 1);
+        cache.insert(key_for(&hg, &arena, &[0]));
+        cache.insert(key_for(&hg, &arena, &[1]));
+        let snap = cache.snapshot();
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.entries, 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let cache = NegCache::new(0);
+        assert!(!cache.enabled());
+        cache.insert(key_for(&hg, &arena, &[0]));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn allowed_set_distinguishes_keys() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let mut sub = Subproblem::empty(&hg);
+        sub.edges.insert(hypergraph::Edge(0));
+        let conn = hg.vertex_set();
+        let all = hg.all_edges();
+        let mut restricted = hg.all_edges();
+        restricted.remove(hypergraph::Edge(3));
+        let k_all = NegKey::build(&arena, &sub, &conn, &all);
+        let k_res = NegKey::build(&arena, &sub, &conn, &restricted);
+        assert_ne!(k_all, k_res);
+        let cache = NegCache::new(1 << 20);
+        cache.insert(k_all);
+        assert!(!cache.contains(&k_res));
+    }
+}

@@ -14,23 +14,47 @@
 //! * **Speeding up the parent search** — λp is drawn only from edges that
 //!   intersect `⋃λc` (Theorem C.1 shows completeness is preserved).
 //!
+//! Beyond the paper's optimisations, this engine adds two memory
+//! disciplines (mirroring the caching the paper's experiments rely on):
+//!
+//! * **Scratch workspaces.** Every recursion level owns a `LevelScratch`
+//!   bundle of reusable bitset/`Vec` buffers, so the per-candidate hot
+//!   path (`⋃λ` computation, `[U]`-component splitting, balance and
+//!   cover checks) performs **zero heap allocations** in the steady
+//!   state. Allocation only happens when a fragment is actually built.
+//! * **Negative-subproblem memoisation.** A sharded, lock-striped
+//!   [`NegCache`] records exhaustively-failed `Decomp` calls by resolved
+//!   content, so the recursion never re-explores a subproblem any branch
+//!   has already refuted. See [`crate::cache`] for the soundness argument.
+//!
 //! Parallelisation follows Appendix D.1: the λc search space is partitioned
 //! by lead edge across a rayon pool, and sibling branches are pruned as
 //! soon as one candidate succeeds. Special edges are arena-allocated with
 //! stack discipline: a `Decomp` call restores the arena to its entry length
 //! before returning, so a returned fragment only ever references special
-//! edges of its own subproblem — which is what makes cloning the arena
-//! into parallel branches cheap and sound.
+//! edges of its own subproblem. Before branching, the arena is *sealed*
+//! ([`SpecialArena::seal`]): the shared prefix moves behind an `Arc` and
+//! each branch's "clone" is a reference-count bump instead of a deep copy.
 
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use detk::DetKDecomp;
-use hypergraph::subsets::{for_each_subset, for_each_subset_with_lead};
+use hypergraph::subsets::{for_each_subset_in, for_each_subset_with_lead_in};
 use hypergraph::{
-    separate, Component, Edge, EdgeSet, Hypergraph, SpecialArena, Subproblem, VertexSet,
+    separate_into, Component, Edge, EdgeSet, Hypergraph, Scratch, Separation, SpecialArena,
+    Subproblem, VertexSet,
 };
+
+use crate::cache::{NegCache, NegCacheSnapshot, NegKey};
+
+/// Default byte budget for the negative-subproblem cache (32 MiB),
+/// mirroring the memory-limit discipline of the paper's experiments.
+pub const DEFAULT_NEG_CACHE_BYTES: usize = 32 << 20;
+
+/// Default entry cap for the `det-k-decomp` handoff memo table.
+pub const DEFAULT_DETK_CACHE_CAP: usize = DetKDecomp::DEFAULT_CACHE_CAP;
 
 /// Complexity metric steering the hybrid handoff to `det-k-decomp`
 /// (Appendix D.2).
@@ -59,7 +83,11 @@ impl HybridMetric {
                     return 0.0;
                 }
                 let total: usize = sub.edges.iter().map(|e| hg.edge(e).len()).sum::<usize>()
-                    + sub.specials.iter().map(|&s| arena.get(s).len()).sum::<usize>();
+                    + sub
+                        .specials
+                        .iter()
+                        .map(|&s| arena.get(s).len())
+                        .sum::<usize>();
                 let avg = total as f64 / m as f64;
                 if avg == 0.0 {
                     return 0.0;
@@ -104,6 +132,12 @@ pub struct EngineConfig {
     /// child (`A_up = A \ comp_down.E`, the "allowed edges" optimisation).
     /// On by default.
     pub use_allowed_edges: bool,
+    /// Byte budget for the negative-subproblem cache; `0` disables
+    /// memoisation entirely.
+    pub cache_bytes: usize,
+    /// Entry cap for the memo table of `det-k-decomp` handoffs
+    /// (Appendix D.2); was previously hard-coded inside `detk`.
+    pub detk_cache_cap: usize,
 }
 
 impl EngineConfig {
@@ -116,6 +150,8 @@ impl EngineConfig {
             root_fallthrough: false,
             restrict_parent_search: true,
             use_allowed_edges: true,
+            cache_bytes: DEFAULT_NEG_CACHE_BYTES,
+            detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
         }
     }
 }
@@ -163,9 +199,25 @@ fn poll(ctrl: &Control, prune: Option<&Prune<'_>>) -> Result<(), Stop> {
 #[derive(Debug, Default)]
 pub struct EngineStats {
     /// Deepest recursion level of `Decomp`.
-    pub max_depth: std::sync::atomic::AtomicUsize,
+    pub max_depth: AtomicUsize,
     /// Total number of `Decomp` invocations.
-    pub decomp_calls: std::sync::atomic::AtomicU64,
+    pub decomp_calls: AtomicU64,
+    /// Scratch-workspace bundles allocated (one per recursion level per
+    /// search context; constant in the steady state — the hot path itself
+    /// allocates nothing).
+    pub scratch_allocs: AtomicU64,
+    /// Buffer growth events *inside* the scratch workspaces (a warm
+    /// buffer needing to reallocate, e.g. after a larger hypergraph) —
+    /// the fine-grained allocation meter behind the zero-steady-state
+    /// claim. Collected from each scratch stack as it retires.
+    pub scratch_grow_events: AtomicU64,
+    /// Arena checkpoints handed to parallel branches. Each is an `Arc`
+    /// bump over the sealed prefix, not a deep copy.
+    pub arena_branch_clones: AtomicU64,
+    /// Hybrid handoffs to `det-k-decomp`.
+    pub detk_handoffs: AtomicU64,
+    /// Largest memo-table size observed across `det-k-decomp` handoffs.
+    pub detk_cache_peak: AtomicUsize,
 }
 
 impl EngineStats {
@@ -178,15 +230,221 @@ impl EngineStats {
     pub fn decomp_calls(&self) -> u64 {
         self.decomp_calls.load(Ordering::Relaxed)
     }
+
+    /// Snapshot of scratch bundles allocated.
+    pub fn scratch_allocs(&self) -> u64 {
+        self.scratch_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of buffer growths inside scratch workspaces.
+    pub fn scratch_grow_events(&self) -> u64 {
+        self.scratch_grow_events.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of cheap arena checkpoints handed to branches.
+    pub fn arena_branch_clones(&self) -> u64 {
+        self.arena_branch_clones.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `det-k-decomp` handoffs.
+    pub fn detk_handoffs(&self) -> u64 {
+        self.detk_handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Largest `det-k-decomp` memo table observed.
+    pub fn detk_cache_peak(&self) -> usize {
+        self.detk_cache_peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-recursion-level scratch buffers. Everything the child/parent loops
+/// touch per candidate lives here, so candidate evaluation never allocates
+/// once a level is warm.
+#[derive(Default)]
+struct LevelScratch {
+    /// BFS buffers for `separate_into`.
+    bfs: Scratch,
+    /// `[⋃λc]`-components of the subproblem.
+    seps_c: Separation,
+    /// `[⋃λp]`-components of the subproblem.
+    seps_p: Separation,
+    /// `[χc]`-components of `comp_down`.
+    seps_down: Separation,
+    /// `V(H')` of the current subproblem.
+    vsub: VertexSet,
+    /// `⋃λc` of the current child candidate.
+    union_c: VertexSet,
+    /// `⋃λp` of the current parent candidate.
+    union_p: VertexSet,
+    /// `χc` in root mode (`⋃λc ∩ V(H')`).
+    chi_root: VertexSet,
+    /// `χc` in pair mode (`⋃λc ∩ V(comp_down)`).
+    chi_pair: VertexSet,
+    /// Connector handed to child recursions.
+    conn_child: VertexSet,
+    /// λc candidate edges.
+    cands: Vec<Edge>,
+    /// λp candidate edges.
+    cands_p: Vec<Edge>,
+    /// Enumeration buffer for the λc subset walk.
+    lam_buf: Vec<Edge>,
+    /// Enumeration buffer for the λp subset walk.
+    lam_buf_p: Vec<Edge>,
+}
+
+/// Stack of per-level scratch bundles, indexed by recursion depth. Levels
+/// are created lazily (base-case calls never allocate one) and taken out
+/// while a level is active, so recursion borrows the stack freely.
+#[derive(Default)]
+struct ScratchStack {
+    levels: Vec<Option<LevelScratch>>,
+}
+
+impl ScratchStack {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn take(&mut self, depth: usize) -> Option<LevelScratch> {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, || None);
+        }
+        self.levels[depth].take()
+    }
+
+    fn put(&mut self, depth: usize, lvl: LevelScratch) {
+        self.levels[depth] = Some(lvl);
+    }
+
+    /// Total buffer-growth events across the stack's BFS scratches.
+    fn grow_events(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|l| l.bfs.grow_events)
+            .sum()
+    }
+}
+
+/// Warm scratch state for one parallel branch: the branch's level-0
+/// bundle plus its stack for deeper levels. Pooled on the engine so that
+/// racing many leads (and many parallel subproblems) reuses warm buffers
+/// instead of re-allocating per branch.
+#[derive(Default)]
+struct BranchScratch {
+    stack: ScratchStack,
+    lvl: LevelScratch,
+    /// Growth events already folded into `EngineStats`, so re-pooled
+    /// bundles only report the delta since their last retirement.
+    grow_reported: u64,
+}
+
+impl BranchScratch {
+    fn grow_events(&self) -> u64 {
+        self.lvl.bfs.grow_events + self.stack.grow_events()
+    }
+}
+
+/// Mutable context threaded through one `ChildLoop` invocation: the
+/// current level's buffers (minus the ones the caller is enumerating
+/// over), nested to mirror the recursion — `ChildCtx` ⊃ [`PairCtx`]
+/// (λp search) ⊃ [`DownCtx`] (recursing below/above a fixed pair).
+struct ChildCtx<'a> {
+    seps_c: &'a mut Separation,
+    union_c: &'a mut VertexSet,
+    chi_root: &'a mut VertexSet,
+    cands_p: &'a mut Vec<Edge>,
+    lam_buf_p: &'a mut Vec<Edge>,
+    pair: PairCtx<'a>,
+}
+
+/// Buffers for one `ParentLoop` iteration (`try_parent`).
+struct PairCtx<'a> {
+    seps_p: &'a mut Separation,
+    union_p: &'a mut VertexSet,
+    chi_pair: &'a mut VertexSet,
+    down: DownCtx<'a>,
+}
+
+/// Buffers that survive into the child recursions (`try_as_root`,
+/// `finish_pair`): the BFS workspace, the `[χc]`-split of `comp_down`,
+/// the per-child connector, and the scratch stack for deeper levels.
+struct DownCtx<'a> {
+    bfs: &'a mut Scratch,
+    seps_down: &'a mut Separation,
+    conn_child: &'a mut VertexSet,
+    stack: &'a mut ScratchStack,
+}
+
+/// Buffers the `ChildLoop` caller itself enumerates with while a
+/// [`ChildCtx`] over the same level is live.
+struct EnumBufs<'a> {
+    vsub: &'a mut VertexSet,
+    cands: &'a mut Vec<Edge>,
+    lam_buf: &'a mut Vec<Edge>,
+}
+
+impl LevelScratch {
+    /// Splits the level into the per-candidate context handed to
+    /// `try_child` plus the enumeration buffers the caller keeps. The
+    /// single place where scratch buffers are wired to their roles.
+    fn split<'a>(&'a mut self, stack: &'a mut ScratchStack) -> (ChildCtx<'a>, EnumBufs<'a>) {
+        let LevelScratch {
+            bfs,
+            seps_c,
+            seps_p,
+            seps_down,
+            vsub,
+            union_c,
+            union_p,
+            chi_root,
+            chi_pair,
+            conn_child,
+            cands,
+            cands_p,
+            lam_buf,
+            lam_buf_p,
+        } = self;
+        (
+            ChildCtx {
+                seps_c,
+                union_c,
+                chi_root,
+                cands_p,
+                lam_buf_p,
+                pair: PairCtx {
+                    seps_p,
+                    union_p,
+                    chi_pair,
+                    down: DownCtx {
+                        bfs,
+                        seps_down,
+                        conn_child,
+                        stack,
+                    },
+                },
+            },
+            EnumBufs {
+                vsub,
+                cands,
+                lam_buf,
+            },
+        )
+    }
 }
 
 /// The Algorithm 2 engine. Immutable once built; all mutable search state
-/// (the special-edge arena) is threaded through the recursion explicitly.
+/// (the special-edge arena, the scratch stack) is threaded through the
+/// recursion explicitly, and cross-branch state (the negative cache) is
+/// internally synchronised.
 pub struct LogKEngine<'h> {
     hg: &'h Hypergraph,
     ctrl: &'h Control,
     cfg: EngineConfig,
     stats: EngineStats,
+    cache: NegCache,
+    /// Warm scratch bundles recycled across parallel branches.
+    branch_pool: std::sync::Mutex<Vec<BranchScratch>>,
 }
 
 type FragResult = Result<Option<Fragment>, Stop>;
@@ -201,12 +459,19 @@ impl<'h> LogKEngine<'h> {
             ctrl,
             cfg,
             stats: EngineStats::default(),
+            cache: NegCache::new(cfg.cache_bytes),
+            branch_pool: std::sync::Mutex::new(Vec::new()),
         }
     }
 
     /// Search statistics of the last [`Self::decompose`] call.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Snapshot of the negative-subproblem cache counters.
+    pub fn cache_snapshot(&self) -> NegCacheSnapshot {
+        self.cache.snapshot()
     }
 
     /// Decides `hw(H) ≤ k`, materialising a witness HD on success.
@@ -219,10 +484,15 @@ impl<'h> LogKEngine<'h> {
             return Ok(Some(Decomposition::singleton(vec![], self.hg.vertex_set())));
         }
         let mut arena = SpecialArena::new();
+        let mut stack = ScratchStack::new();
         let sub = Subproblem::whole(self.hg);
         let conn = self.hg.vertex_set();
         let allowed = self.hg.all_edges();
-        match self.decomp(&mut arena, &sub, &conn, &allowed, 0, None) {
+        let result = self.decomp(&mut arena, &sub, &conn, &allowed, 0, None, &mut stack);
+        self.stats
+            .scratch_grow_events
+            .fetch_add(stack.grow_events(), Ordering::Relaxed);
+        match result {
             Ok(Some(frag)) => Ok(Some(
                 frag.into_decomposition()
                     .expect("whole-graph fragments have no special leaves"),
@@ -233,7 +503,9 @@ impl<'h> LogKEngine<'h> {
         }
     }
 
-    /// Function `Decomp(H', Conn, A)` of Algorithm 2.
+    /// Function `Decomp(H', Conn, A)` of Algorithm 2, wrapped with the
+    /// negative-subproblem memoisation.
+    #[allow(clippy::too_many_arguments)]
     fn decomp(
         &self,
         arena: &mut SpecialArena,
@@ -242,6 +514,7 @@ impl<'h> LogKEngine<'h> {
         allowed: &EdgeSet,
         depth: usize,
         prune: Option<&Prune<'_>>,
+        stack: &mut ScratchStack,
     ) -> FragResult {
         poll(self.ctrl, prune)?;
         self.stats.max_depth.fetch_max(depth + 1, Ordering::Relaxed);
@@ -261,30 +534,104 @@ impl<'h> LogKEngine<'h> {
             return Ok(None); // negative base case
         }
 
+        // Memoisation: if any branch has already exhausted this exact
+        // subproblem, fail immediately. The key resolves special-edge ids
+        // to vertex sets, so it is meaningful across branches and solves.
+        let neg_key = if self.cache.enabled() {
+            let key = NegKey::build(arena, sub, conn, allowed);
+            if self.cache.contains(&key) {
+                return Ok(None);
+            }
+            Some(key)
+        } else {
+            None
+        };
+
+        let result = self.solve_subproblem(arena, sub, conn, allowed, depth, prune, stack);
+        if let (Ok(None), Some(key)) = (&result, neg_key) {
+            // `Ok(None)` is only reachable by exhausting the search space:
+            // pruned or interrupted branches propagate `Err` instead, so
+            // the negative verdict is safe to share.
+            self.cache.insert(key);
+        }
+        result
+    }
+
+    /// The body of `Decomp` past base cases and memoisation: hybrid
+    /// handoff, then the child loop over λc candidates.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_subproblem(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        stack: &mut ScratchStack,
+    ) -> FragResult {
         // Hybrid handoff (Appendix D.2): once the subproblem is simple,
         // delegate to det-k-decomp (extended to special edges).
         if let Some(h) = self.cfg.hybrid {
             if h.metric.evaluate(self.hg, arena, sub, self.cfg.k) < h.threshold {
-                let mut detk = DetKDecomp::new(self.hg, self.cfg.k, self.ctrl);
-                return detk.decompose(arena, sub, conn).map_err(Stop::External);
+                let mut detk = DetKDecomp::new(self.hg, self.cfg.k, self.ctrl)
+                    .with_cache_cap(self.cfg.detk_cache_cap);
+                let result = detk.decompose(arena, sub, conn).map_err(Stop::External);
+                self.stats.detk_handoffs.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .detk_cache_peak
+                    .fetch_max(detk.cache_len(), Ordering::Relaxed);
+                return result;
             }
         }
 
-        let vsub = sub.vertices(self.hg, arena);
+        let mut lvl = stack.take(depth).unwrap_or_else(|| {
+            self.stats.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+            LevelScratch::default()
+        });
+        let result = self.child_loop(arena, sub, conn, allowed, depth, prune, stack, &mut lvl);
+        stack.put(depth, lvl);
+        result
+    }
+
+    /// `ChildLoop` (Algorithm 2, lines 11–44): enumerate λc candidates,
+    /// sequentially or raced across the rayon pool.
+    #[allow(clippy::too_many_arguments)]
+    fn child_loop(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        stack: &mut ScratchStack,
+        lvl: &mut LevelScratch,
+    ) -> FragResult {
+        let (mut ctx, bufs) = lvl.split(stack);
+        let EnumBufs {
+            vsub,
+            cands,
+            lam_buf,
+        } = bufs;
+
+        sub.vertices_into(self.hg, arena, vsub);
         // λc candidates: allowed edges touching the subproblem. Edges
         // disjoint from V(H') cannot contribute to χc, to balance checks or
         // to Conn coverage, so dropping them preserves completeness.
-        let cands: Vec<Edge> = allowed
-            .iter()
-            .filter(|&e| self.hg.edge(e).intersects(&vsub))
-            .collect();
+        cands.clear();
+        cands.extend(allowed.iter().filter(|&e| self.hg.edge(e).intersects(vsub)));
 
         let checkpoint = arena.len();
         let result = if depth < self.cfg.parallel_depth && cands.len() > 1 {
-            self.child_loop_parallel(arena, sub, conn, allowed, depth, prune, &vsub, &cands)
+            // Seal once so every branch checkpoint is an Arc bump.
+            arena.seal();
+            self.child_loop_parallel(arena, sub, conn, allowed, depth, prune, vsub, cands)
         } else {
-            let found = for_each_subset(&cands, self.cfg.k, |lam_c| {
-                self.try_child(arena, sub, conn, allowed, depth, prune, &vsub, lam_c)
+            let found = for_each_subset_in(cands, self.cfg.k, lam_buf, |lam_c| {
+                self.try_child(
+                    arena, sub, conn, allowed, depth, prune, vsub, lam_c, &mut ctx,
+                )
             });
             match found {
                 Some(Ok(f)) => Ok(Some(f)),
@@ -300,7 +647,8 @@ impl<'h> LogKEngine<'h> {
 
     /// Races the λc search space across the rayon pool, partitioned by the
     /// lead (smallest) candidate index — the partitioning scheme of
-    /// Appendix D.1.
+    /// Appendix D.1. The caller has sealed `arena`, so each branch's
+    /// checkpoint shares the immutable prefix instead of deep-copying it.
     #[allow(clippy::too_many_arguments)]
     fn child_loop_parallel(
         &self,
@@ -319,14 +667,35 @@ impl<'h> LogKEngine<'h> {
             flag: &won,
             parent: prune,
         };
-        let hit = (0..cands.len())
-            .into_par_iter()
-            .find_map_any(|lead| {
-                if race.is_set() {
-                    return None;
-                }
-                let mut branch_arena = arena.clone();
-                let found = for_each_subset_with_lead(cands, lead, self.cfg.k, |lam_c| {
+        let hit = (0..cands.len()).into_par_iter().find_map_any(|lead| {
+            if race.is_set() {
+                return None;
+            }
+            let mut branch_arena = arena.clone();
+            self.stats
+                .arena_branch_clones
+                .fetch_add(1, Ordering::Relaxed);
+            // Reuse a warm scratch bundle from the engine pool; allocate
+            // only when every warm bundle is in use by a sibling branch.
+            let recycled = self
+                .branch_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            let mut branch = recycled.unwrap_or_else(|| {
+                self.stats.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+                BranchScratch::default()
+            });
+            let BranchScratch {
+                stack: branch_stack,
+                lvl,
+                grow_reported: _,
+            } = &mut branch;
+            // The branch enumerates the caller's (sealed-level) `vsub` and
+            // `cands`; its own enumeration buffers serve only the subset walk.
+            let (mut ctx, bufs) = lvl.split(branch_stack);
+            let found =
+                for_each_subset_with_lead_in(cands, lead, self.cfg.k, bufs.lam_buf, |lam_c| {
                     self.try_child(
                         &mut branch_arena,
                         sub,
@@ -336,18 +705,29 @@ impl<'h> LogKEngine<'h> {
                         Some(&race),
                         vsub,
                         lam_c,
+                        &mut ctx,
                     )
                 });
-                match found {
-                    Some(Ok(frag)) => {
-                        won.store(true, Ordering::Relaxed);
-                        Some(Ok(Some(frag)))
-                    }
-                    Some(Err(Stop::Pruned)) => None, // a sibling won or an outer race ended
-                    Some(Err(e @ Stop::External(_))) => Some(Err(e)),
-                    None => None,
+            let out = match found {
+                Some(Ok(frag)) => {
+                    won.store(true, Ordering::Relaxed);
+                    Some(Ok(Some(frag)))
                 }
-            });
+                Some(Err(Stop::Pruned)) => None, // a sibling won or an outer race ended
+                Some(Err(e @ Stop::External(_))) => Some(Err(e)),
+                None => None,
+            };
+            let grown = branch.grow_events();
+            self.stats
+                .scratch_grow_events
+                .fetch_add(grown - branch.grow_reported, Ordering::Relaxed);
+            branch.grow_reported = grown;
+            self.branch_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(branch);
+            out
+        });
         match hit {
             Some(r) => r,
             None => {
@@ -362,6 +742,9 @@ impl<'h> LogKEngine<'h> {
     }
 
     /// One iteration of `ChildLoop` (Algorithm 2, lines 11–43).
+    ///
+    /// A *rejected* candidate — the overwhelmingly common case — runs
+    /// entirely inside the level's scratch buffers: no heap allocation.
     #[allow(clippy::too_many_arguments)]
     fn try_child(
         &self,
@@ -373,6 +756,7 @@ impl<'h> LogKEngine<'h> {
         prune: Option<&Prune<'_>>,
         vsub: &VertexSet,
         lam_c: &[Edge],
+        ctx: &mut ChildCtx<'_>,
     ) -> Found {
         if let Err(e) = poll(self.ctrl, prune) {
             return ControlFlow::Break(Err(e));
@@ -381,9 +765,17 @@ impl<'h> LogKEngine<'h> {
         if !lam_c.iter().any(|e| sub.edges.contains(*e)) {
             return ControlFlow::Continue(());
         }
-        let union_c = self.hg.union_of_slice(lam_c);
+        let ChildCtx {
+            seps_c,
+            union_c,
+            chi_root,
+            cands_p,
+            lam_buf_p,
+            pair,
+        } = ctx;
+        self.hg.union_of_slice_into(lam_c, union_c);
         // Line 12: [λc]-components of H'.
-        let seps_c = separate(self.hg, arena, sub, &union_c);
+        separate_into(self.hg, arena, sub, union_c, pair.down.bfs, seps_c);
         // Line 13: χc must be a balanced separator of H'. (⋃λc
         // over-approximates χc: if ⋃λc is unbalanced, so is χc.)
         if seps_c.components.iter().any(|c| 2 * c.size() > sub.size()) {
@@ -392,9 +784,19 @@ impl<'h> LogKEngine<'h> {
 
         // Lines 15–21: root case — λc covers the interface to the part
         // above, so c is the root of this HD-fragment.
-        if conn.is_subset_of(&union_c) {
-            match self.try_as_root(arena, sub, conn, allowed, depth, prune, vsub, lam_c, &seps_c)
-            {
+        if conn.is_subset_of(union_c) {
+            match self.try_as_root(
+                arena,
+                allowed,
+                depth,
+                prune,
+                vsub,
+                lam_c,
+                union_c,
+                seps_c,
+                chi_root,
+                &mut pair.down,
+            ) {
                 Ok(Some(frag)) => return ControlFlow::Break(Ok(frag)),
                 Ok(None) => {
                     if !self.cfg.root_fallthrough {
@@ -409,15 +811,15 @@ impl<'h> LogKEngine<'h> {
         // Lines 22–43: parent/child pair search.
         // λp candidates: allowed edges intersecting ⋃λc (Theorem C.1) that
         // also touch the subproblem.
-        let cands_p: Vec<Edge> = allowed
-            .iter()
-            .filter(|&e| {
-                (!self.cfg.restrict_parent_search || self.hg.edge(e).intersects(&union_c))
-                    && self.hg.edge(e).intersects(vsub)
-            })
-            .collect();
-        let found = for_each_subset(&cands_p, self.cfg.k, |lam_p| {
-            self.try_parent(arena, sub, conn, allowed, depth, prune, lam_c, &union_c, lam_p)
+        cands_p.clear();
+        cands_p.extend(allowed.iter().filter(|&e| {
+            (!self.cfg.restrict_parent_search || self.hg.edge(e).intersects(union_c))
+                && self.hg.edge(e).intersects(vsub)
+        }));
+        let found = for_each_subset_in(cands_p, self.cfg.k, lam_buf_p, |lam_p| {
+            self.try_parent(
+                arena, sub, conn, allowed, depth, prune, lam_c, union_c, lam_p, pair,
+            )
         });
         match found {
             Some(r) => ControlFlow::Break(r),
@@ -430,26 +832,38 @@ impl<'h> LogKEngine<'h> {
     fn try_as_root(
         &self,
         arena: &mut SpecialArena,
-        _sub: &Subproblem,
-        _conn: &VertexSet,
         allowed: &EdgeSet,
         depth: usize,
         prune: Option<&Prune<'_>>,
         vsub: &VertexSet,
         lam_c: &[Edge],
-        seps_c: &hypergraph::Separation,
+        union_c: &VertexSet,
+        seps_c: &Separation,
+        chi_root: &mut VertexSet,
+        down: &mut DownCtx<'_>,
     ) -> FragResult {
         // Line 16: χc = ⋃λc ∩ V(H').
-        let chi_c = self.hg.union_of_slice(lam_c).intersection(vsub);
+        chi_root.copy_from(union_c);
+        chi_root.intersect_with(vsub);
         let mut children = Vec::with_capacity(seps_c.components.len());
         for y in &seps_c.components {
-            let conn_y = y.vertices.intersection(&chi_c); // line 18
-            match self.decomp(arena, &y.to_subproblem(), &conn_y, allowed, depth + 1, prune)? {
+            // Line 18: Conn_y = V(y) ∩ χc.
+            down.conn_child.copy_from(&y.vertices);
+            down.conn_child.intersect_with(chi_root);
+            match self.decomp(
+                arena,
+                y.as_subproblem(),
+                down.conn_child,
+                allowed,
+                depth + 1,
+                prune,
+                down.stack,
+            )? {
                 Some(f) => children.push(f),
                 None => return Ok(None), // line 20
             }
         }
-        let mut frag = Fragment::leaf(lam_c.to_vec(), chi_c);
+        let mut frag = Fragment::leaf(lam_c.to_vec(), chi_root.clone());
         for f in children {
             frag.attach_under(0, f);
         }
@@ -472,6 +886,7 @@ impl<'h> LogKEngine<'h> {
         lam_c: &[Edge],
         union_c: &VertexSet,
         lam_p: &[Edge],
+        pair: &mut PairCtx<'_>,
     ) -> Found {
         if let Err(e) = poll(self.ctrl, prune) {
             return ControlFlow::Break(Err(e));
@@ -480,27 +895,37 @@ impl<'h> LogKEngine<'h> {
         if !lam_p.iter().any(|e| sub.edges.contains(*e)) {
             return ControlFlow::Continue(());
         }
-        let union_p = self.hg.union_of_slice(lam_p);
+        let PairCtx {
+            seps_p,
+            union_p,
+            chi_pair,
+            down,
+        } = pair;
+        self.hg.union_of_slice_into(lam_p, union_p);
         // Line 23: [λp]-components of H'.
-        let seps_p = separate(self.hg, arena, sub, &union_p);
+        separate_into(self.hg, arena, sub, union_p, down.bfs, seps_p);
         // Lines 24–27: the oversized component becomes comp_down.
         let Some(i) = seps_p.oversized_component(sub.size()) else {
             return ControlFlow::Continue(());
         };
         let comp_down = &seps_p.components[i];
         // Line 28: χc = ⋃λc ∩ V(comp_down).
-        let chi_c = union_c.intersection(&comp_down.vertices);
-        // Lines 29–30: Conn connectedness against λp.
-        if !comp_down.vertices.intersection(conn).is_subset_of(&union_p) {
+        chi_pair.copy_from(union_c);
+        chi_pair.intersect_with(&comp_down.vertices);
+        // Lines 29–30: Conn connectedness against λp —
+        // `(V(comp_down) ∩ Conn) ⊆ ⋃λp`, checked word-parallel without
+        // materialising the intersection.
+        if comp_down.vertices.intersects_outside(conn, union_p) {
             return ControlFlow::Continue(());
         }
         // Lines 31–32: λp's trace on comp_down must lie inside χc.
-        if !comp_down.vertices.intersection(&union_p).is_subset_of(&chi_c) {
+        if comp_down.vertices.intersects_outside(union_p, chi_pair) {
             return ControlFlow::Continue(());
         }
 
-        match self.finish_pair(arena, sub, conn, allowed, depth, prune, lam_c, &chi_c, comp_down)
-        {
+        match self.finish_pair(
+            arena, sub, conn, allowed, depth, prune, lam_c, chi_pair, comp_down, down,
+        ) {
             Ok(Some(frag)) => ControlFlow::Break(Ok(frag)),
             Ok(None) => ControlFlow::Continue(()), // lines 37/42: reject parent
             Err(e) => ControlFlow::Break(Err(e)),
@@ -520,22 +945,45 @@ impl<'h> LogKEngine<'h> {
         lam_c: &[Edge],
         chi_c: &VertexSet,
         comp_down: &Component,
+        down: &mut DownCtx<'_>,
     ) -> FragResult {
+        let DownCtx {
+            bfs,
+            seps_down,
+            conn_child,
+            stack,
+        } = down;
         // Line 33: [χc]-components of comp_down.
-        let down_sub = comp_down.to_subproblem();
-        let seps = separate(self.hg, arena, &down_sub, chi_c);
+        separate_into(
+            self.hg,
+            arena,
+            comp_down.as_subproblem(),
+            chi_c,
+            bfs,
+            seps_down,
+        );
         // Balance of these components follows from the line-13 check
         // (they refine the [λc]-components of H' — Corollary 3.8).
-        debug_assert!(seps
+        debug_assert!(seps_down
             .components
             .iter()
             .all(|c| 2 * c.size() <= sub.size()));
 
         // Lines 34–37: recurse below.
-        let mut below = Vec::with_capacity(seps.components.len());
-        for x in &seps.components {
-            let conn_x = x.vertices.intersection(chi_c); // line 35
-            match self.decomp(arena, &x.to_subproblem(), &conn_x, allowed, depth + 1, prune)? {
+        let mut below = Vec::with_capacity(seps_down.components.len());
+        for x in &seps_down.components {
+            // Line 35: Conn_x = V(x) ∩ χc.
+            conn_child.copy_from(&x.vertices);
+            conn_child.intersect_with(chi_c);
+            match self.decomp(
+                arena,
+                x.as_subproblem(),
+                conn_child,
+                allowed,
+                depth + 1,
+                prune,
+                stack,
+            )? {
                 Some(f) => below.push(f),
                 None => return Ok(None),
             }
@@ -543,26 +991,29 @@ impl<'h> LogKEngine<'h> {
 
         // Lines 38–40: comp_up := H' \ comp_down plus the new special χc;
         // the fragment above may not use edges from below (allowed edges).
+        // This path runs only for candidates that already survived every
+        // rejection check and decomposed below, so allocating here is off
+        // the per-candidate hot path.
         let mut comp_up = Subproblem {
-            edges: sub.edges.difference(&comp_down.edges),
+            edges: sub.edges.difference(comp_down.edges()),
             specials: sub
                 .specials
                 .iter()
                 .copied()
-                .filter(|s| !comp_down.specials.contains(s))
+                .filter(|s| !comp_down.specials().contains(s))
                 .collect(),
         };
         let mark = arena.len();
         let sc = arena.push(chi_c.clone());
         comp_up.specials.push(sc);
         let allowed_up = if self.cfg.use_allowed_edges {
-            allowed.difference(&comp_down.edges)
+            allowed.difference(comp_down.edges())
         } else {
             allowed.clone()
         };
 
         // Lines 41–42: recurse above.
-        let up = self.decomp(arena, &comp_up, conn, &allowed_up, depth + 1, prune);
+        let up = self.decomp(arena, &comp_up, conn, &allowed_up, depth + 1, prune, stack);
         // The special edge χc is consumed here either way: on success the
         // stitching below replaces its leaf, on failure nothing references
         // it. Popping it keeps the arena from accumulating garbage across
@@ -579,7 +1030,7 @@ impl<'h> LogKEngine<'h> {
         for f in below {
             up_frag.attach_under(c_idx, f);
         }
-        for &s in &seps.covered_specials {
+        for &s in &seps_down.covered_specials {
             up_frag.attach_under(c_idx, Fragment::special_leaf(s, arena.get(s).clone()));
         }
         Ok(Some(up_frag)) // line 43

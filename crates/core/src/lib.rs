@@ -11,6 +11,7 @@
 //!   benchmarks and the experiment harness.
 
 pub mod basic;
+pub mod cache;
 pub mod engine;
 pub mod solver;
 
@@ -20,5 +21,9 @@ mod tests_engine;
 mod tests_theory;
 
 pub use basic::{decide_basic, decompose_basic, SolveResult};
-pub use engine::{EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine};
+pub use cache::{NegCache, NegCacheSnapshot, NegKey};
+pub use engine::{
+    EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine, DEFAULT_DETK_CACHE_CAP,
+    DEFAULT_NEG_CACHE_BYTES,
+};
 pub use solver::{LogK, SolveStats, Variant};

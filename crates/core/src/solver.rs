@@ -8,7 +8,11 @@
 use decomp::{Control, Decomposition, Interrupted};
 use hypergraph::Hypergraph;
 
-use crate::engine::{EngineConfig, HybridConfig, HybridMetric, LogKEngine};
+use crate::cache::NegCacheSnapshot;
+use crate::engine::{
+    EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_DETK_CACHE_CAP,
+    DEFAULT_NEG_CACHE_BYTES,
+};
 
 /// Search strategy selection.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +39,12 @@ pub struct LogK {
     pub hybrid: Option<HybridConfig>,
     /// See [`EngineConfig::root_fallthrough`].
     pub root_fallthrough: bool,
+    /// Byte budget of the negative-subproblem cache; `0` disables it.
+    /// See [`EngineConfig::cache_bytes`].
+    pub cache_bytes: usize,
+    /// Memo-table entry cap for `det-k-decomp` handoffs.
+    /// See [`EngineConfig::detk_cache_cap`].
+    pub detk_cache_cap: usize,
 }
 
 impl LogK {
@@ -46,6 +56,8 @@ impl LogK {
             parallel_depth: 0,
             hybrid: None,
             root_fallthrough: false,
+            cache_bytes: DEFAULT_NEG_CACHE_BYTES,
+            detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
         }
     }
 
@@ -86,6 +98,34 @@ impl LogK {
         self
     }
 
+    /// Replaces the negative-subproblem cache budget (`0` disables
+    /// memoisation — the differential tests compare both modes).
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Replaces the `det-k-decomp` handoff memo cap.
+    pub fn with_detk_cache_cap(mut self, cap: usize) -> Self {
+        self.detk_cache_cap = cap;
+        self
+    }
+
+    fn engine_config(&self, k: usize) -> EngineConfig {
+        EngineConfig {
+            parallel_depth: if matches!(self.variant, Variant::Parallel) {
+                self.parallel_depth
+            } else {
+                0
+            },
+            hybrid: self.hybrid,
+            root_fallthrough: self.root_fallthrough,
+            cache_bytes: self.cache_bytes,
+            detk_cache_cap: self.detk_cache_cap,
+            ..EngineConfig::sequential(k)
+        }
+    }
+
     /// Decides `hw(H) ≤ k`, returning a validated-by-construction witness.
     pub fn decompose(
         &self,
@@ -95,21 +135,9 @@ impl LogK {
     ) -> Result<Option<Decomposition>, Interrupted> {
         match self.variant {
             Variant::Basic => crate::basic::decompose_basic(hg, k, ctrl),
-            Variant::Optimized => {
-                let cfg = EngineConfig {
-                    hybrid: self.hybrid,
-                    root_fallthrough: self.root_fallthrough,
-                    ..EngineConfig::sequential(k)
-                };
-                LogKEngine::new(hg, ctrl, cfg).decompose()
-            }
+            Variant::Optimized => LogKEngine::new(hg, ctrl, self.engine_config(k)).decompose(),
             Variant::Parallel => {
-                let cfg = EngineConfig {
-                    parallel_depth: self.parallel_depth,
-                    hybrid: self.hybrid,
-                    root_fallthrough: self.root_fallthrough,
-                    ..EngineConfig::sequential(k)
-                };
+                let cfg = self.engine_config(k);
                 match self.threads {
                     None => LogKEngine::new(hg, ctrl, cfg).decompose(),
                     Some(n) => {
@@ -144,16 +172,7 @@ impl LogK {
                 Ok((d, SolveStats::default()))
             }
             Variant::Optimized | Variant::Parallel => {
-                let cfg = EngineConfig {
-                    parallel_depth: if matches!(self.variant, Variant::Parallel) {
-                        self.parallel_depth
-                    } else {
-                        0
-                    },
-                    hybrid: self.hybrid,
-                    root_fallthrough: self.root_fallthrough,
-                    ..EngineConfig::sequential(k)
-                };
+                let cfg = self.engine_config(k);
                 let run = |engine: &LogKEngine<'_>| -> Result<
                     (Option<Decomposition>, SolveStats),
                     Interrupted,
@@ -162,6 +181,13 @@ impl LogK {
                     let stats = SolveStats {
                         max_depth: engine.stats().max_depth(),
                         decomp_calls: engine.stats().decomp_calls(),
+                        scratch_allocs: engine.stats().scratch_allocs(),
+                        scratch_grow_events: engine.stats().scratch_grow_events(),
+                        arena_branch_clones: engine.stats().arena_branch_clones(),
+                        detk_handoffs: engine.stats().detk_handoffs(),
+                        detk_cache_peak: engine.stats().detk_cache_peak(),
+                        detk_cache_cap: self.detk_cache_cap,
+                        cache: engine.cache_snapshot(),
                     };
                     Ok((d, stats))
                 };
@@ -213,4 +239,23 @@ pub struct SolveStats {
     pub max_depth: usize,
     /// Total `Decomp` invocations.
     pub decomp_calls: u64,
+    /// Scratch-workspace bundles allocated over the whole solve (constant
+    /// in the steady state; the per-candidate hot path allocates nothing).
+    pub scratch_allocs: u64,
+    /// Buffer growths *inside* scratch workspaces (reallocation of a warm
+    /// buffer) — the fine-grained meter behind the zero-steady-state
+    /// allocation claim.
+    pub scratch_grow_events: u64,
+    /// Arena checkpoints handed to parallel branches (Arc bumps, not deep
+    /// copies).
+    pub arena_branch_clones: u64,
+    /// Hybrid handoffs to `det-k-decomp`.
+    pub detk_handoffs: u64,
+    /// Largest `det-k-decomp` memo table observed across handoffs.
+    pub detk_cache_peak: usize,
+    /// Configured `det-k-decomp` memo cap (diagnostics; previously the
+    /// hard-coded `1 << 20` inside `detk`).
+    pub detk_cache_cap: usize,
+    /// Negative-subproblem cache counters.
+    pub cache: NegCacheSnapshot,
 }

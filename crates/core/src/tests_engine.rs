@@ -79,12 +79,7 @@ fn optimized_matches_oracle_on_random_instances() {
         for k in 1..=2usize {
             let want = oracle.decide(&hg, k, &ctrl).unwrap();
             let got = fast.decompose(&hg, k, &ctrl).unwrap();
-            assert_eq!(
-                want,
-                got.is_some(),
-                "seed={seed} k={k}\n{:?}",
-                hg
-            );
+            assert_eq!(want, got.is_some(), "seed={seed} k={k}\n{:?}", hg);
             if let Some(d) = got {
                 validate_hd_width(&hg, &d, k).unwrap();
             }
@@ -208,7 +203,10 @@ fn logarithmic_recursion_yields_shallow_fragments_on_long_cycles() {
     // quickly at k=2 where det-k-style top-down would walk the whole cycle.
     let ctrl = Control::unlimited();
     let hg = cycle(40);
-    let d = LogK::sequential().decompose(&hg, 2, &ctrl).unwrap().unwrap();
+    let d = LogK::sequential()
+        .decompose(&hg, 2, &ctrl)
+        .unwrap()
+        .unwrap();
     validate_hd_width(&hg, &d, 2).unwrap();
 }
 
@@ -243,11 +241,17 @@ fn duplicate_and_subsumed_edges_are_handled() {
         vec![3, 0],
     ]);
     let ctrl = Control::unlimited();
-    let (w, d) = LogK::sequential().minimal_width(&hg, 4, &ctrl).unwrap().unwrap();
+    let (w, d) = LogK::sequential()
+        .minimal_width(&hg, 4, &ctrl)
+        .unwrap()
+        .unwrap();
     validate_hd_width(&hg, &d, w).unwrap();
     // Reduction must not change the width.
     let (reduced, _) = hg.reduced();
-    let (w2, _) = LogK::sequential().minimal_width(&reduced, 4, &ctrl).unwrap().unwrap();
+    let (w2, _) = LogK::sequential()
+        .minimal_width(&reduced, 4, &ctrl)
+        .unwrap()
+        .unwrap();
     assert_eq!(w, w2);
 }
 
@@ -256,7 +260,10 @@ fn single_vertex_edges() {
     // Unary edges (constants in CQs) are legal hyperedges.
     let hg = Hypergraph::from_edge_lists(&[vec![0], vec![0, 1], vec![1]]);
     let ctrl = Control::unlimited();
-    let (w, d) = LogK::hybrid(1).minimal_width(&hg, 3, &ctrl).unwrap().unwrap();
+    let (w, d) = LogK::hybrid(1)
+        .minimal_width(&hg, 3, &ctrl)
+        .unwrap()
+        .unwrap();
     assert_eq!(w, 1);
     validate_hd_width(&hg, &d, 1).unwrap();
 }
@@ -273,7 +280,10 @@ fn wide_hyperedges_beat_binary_width() {
     edges.push((0..5).collect());
     let hg = Hypergraph::from_edge_lists(&edges);
     let ctrl = Control::unlimited();
-    let (w, d) = LogK::sequential().minimal_width(&hg, 3, &ctrl).unwrap().unwrap();
+    let (w, d) = LogK::sequential()
+        .minimal_width(&hg, 3, &ctrl)
+        .unwrap()
+        .unwrap();
     assert_eq!(w, 1);
     validate_hd_width(&hg, &d, 1).unwrap();
 }

@@ -54,11 +54,7 @@ pub fn is_satisfiable(
 }
 
 /// Builds the per-node relations and performs the two semijoin passes.
-fn reduce(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    d: &Decomposition,
-) -> Result<Vec<Relation>, String> {
+fn reduce(q: &ConjunctiveQuery, db: &Database, d: &Decomposition) -> Result<Vec<Relation>, String> {
     // Atom relations, indexed like the hypergraph's edges.
     let atom_rels: Vec<Relation> = q
         .atoms

@@ -145,7 +145,11 @@ impl Fragment {
             }
             children.push(n.children.iter().map(|&c| c as u32).collect::<Vec<u32>>());
         }
-        Ok(Decomposition::from_parts(labels, children, self.root as u32))
+        Ok(Decomposition::from_parts(
+            labels,
+            children,
+            self.root as u32,
+        ))
     }
 
     /// Renders the fragment with hypergraph names; special leaves are shown

@@ -316,7 +316,7 @@ pub fn is_normal_form(hg: &Hypergraph, d: &Decomposition) -> bool {
             let matching = separation
                 .components
                 .iter()
-                .filter(|comp| comp.edges == cov)
+                .filter(|comp| *comp.edges() == cov)
                 .count();
             if matching != 1 {
                 return false;
@@ -325,10 +325,10 @@ pub fn is_normal_form(hg: &Hypergraph, d: &Decomposition) -> bool {
             let comp = separation
                 .components
                 .iter()
-                .find(|comp| comp.edges == cov)
+                .find(|comp| *comp.edges() == cov)
                 .expect("counted above");
             if !comp
-                .edges
+                .edges()
                 .iter()
                 .any(|e| hg.edge(e).is_subset_of(&d.node(c).chi))
             {
@@ -341,11 +341,7 @@ pub fn is_normal_form(hg: &Hypergraph, d: &Decomposition) -> bool {
 
 /// Edges covered for the first time within the subtree rooted at `c`
 /// (no ancestor bag covers them) — `cov(T_c)` of Definition 3.4.
-fn first_covered_in_subtree(
-    hg: &Hypergraph,
-    d: &Decomposition,
-    c: NodeId,
-) -> hypergraph::EdgeSet {
+fn first_covered_in_subtree(hg: &Hypergraph, d: &Decomposition, c: NodeId) -> hypergraph::EdgeSet {
     // Ancestor bags of c (strict).
     let mut ancestors = Vec::new();
     let mut cur = d.node(c).parent;
@@ -400,11 +396,7 @@ mod tests {
         let mut d = Decomposition::singleton(vec![Edge(0), Edge(1)], vset(n, &[0, 1, 2]));
         let mut parent = d.root();
         for i in 2..=8u32 {
-            parent = d.add_child(
-                parent,
-                vec![Edge(0), Edge(i)],
-                vset(n, &[0, i, i + 1]),
-            );
+            parent = d.add_child(parent, vec![Edge(0), Edge(i)], vset(n, &[0, i, i + 1]));
         }
         d
     }
@@ -458,7 +450,10 @@ mod tests {
             vec![vec![1], vec![2], vec![]],
             0,
         );
-        assert_eq!(validate_hd(&hg, &d), Err(Violation::Disconnected(Vertex(0))));
+        assert_eq!(
+            validate_hd(&hg, &d),
+            Err(Violation::Disconnected(Vertex(0)))
+        );
     }
 
     #[test]

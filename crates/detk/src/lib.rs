@@ -53,6 +53,9 @@ pub struct DetKDecomp<'h> {
 type Found<T> = ControlFlow<Result<T, Interrupted>>;
 
 impl<'h> DetKDecomp<'h> {
+    /// Default soft cap on memoised subproblems.
+    pub const DEFAULT_CACHE_CAP: usize = 1 << 20;
+
     /// Creates an engine for width bound `k`.
     pub fn new(hg: &'h Hypergraph, k: usize, ctrl: &'h Control) -> Self {
         assert!(k >= 1, "width parameter k must be at least 1");
@@ -61,15 +64,27 @@ impl<'h> DetKDecomp<'h> {
             k,
             ctrl,
             cache: HashMap::new(),
-            cache_cap: 1 << 20,
+            cache_cap: Self::DEFAULT_CACHE_CAP,
             depth: 0,
             max_depth: 0,
         }
     }
 
+    /// Replaces the memo-table entry cap (`log-k-decomp`'s hybrid driver
+    /// threads its `EngineConfig::detk_cache_cap` through here).
+    pub fn with_cache_cap(mut self, cap: usize) -> Self {
+        self.cache_cap = cap;
+        self
+    }
+
     /// Number of memoised subproblems (diagnostics).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The configured memo-table entry cap (diagnostics).
+    pub fn cache_cap(&self) -> usize {
+        self.cache_cap
     }
 
     /// Deepest recursion level reached so far (diagnostics; the paper's

@@ -8,10 +8,12 @@ use harness::{tables, ReproConfig};
 fn main() {
     let (cfg, rest) = ReproConfig::from_args(std::env::args().skip(1));
     let wanted: Vec<String> = if rest.is_empty() || rest.iter().any(|a| a == "all") {
-        ["table1", "table2", "table3", "table4", "table5", "fig1", "fig3"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "table1", "table2", "table3", "table4", "table5", "fig1", "fig3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         rest
     };

@@ -21,15 +21,78 @@ pub struct Table1Row {
 
 /// Table 1 of the paper.
 pub const TABLE1: &[Table1Row] = &[
-    Table1Row { origin: Origin::Application, band: SizeBand::To100, group: 405, detk: 97, htdleo: 65, logk_hybrid: 261 },
-    Table1Row { origin: Origin::Application, band: SizeBand::To75, group: 514, detk: 276, htdleo: 448, logk_hybrid: 469 },
-    Table1Row { origin: Origin::Application, band: SizeBand::To50, group: 369, detk: 253, htdleo: 237, logk_hybrid: 253 },
-    Table1Row { origin: Origin::Application, band: SizeBand::UpTo10, group: 915, detk: 906, htdleo: 876, logk_hybrid: 915 },
-    Table1Row { origin: Origin::Synthetic, band: SizeBand::Over100, group: 66, detk: 18, htdleo: 13, logk_hybrid: 34 },
-    Table1Row { origin: Origin::Synthetic, band: SizeBand::To100, group: 422, detk: 87, htdleo: 312, logk_hybrid: 235 },
-    Table1Row { origin: Origin::Synthetic, band: SizeBand::To75, group: 215, detk: 38, htdleo: 212, logk_hybrid: 215 },
-    Table1Row { origin: Origin::Synthetic, band: SizeBand::To50, group: 647, detk: 290, htdleo: 303, logk_hybrid: 625 },
-    Table1Row { origin: Origin::Synthetic, band: SizeBand::UpTo10, group: 95, detk: 95, htdleo: 78, logk_hybrid: 95 },
+    Table1Row {
+        origin: Origin::Application,
+        band: SizeBand::To100,
+        group: 405,
+        detk: 97,
+        htdleo: 65,
+        logk_hybrid: 261,
+    },
+    Table1Row {
+        origin: Origin::Application,
+        band: SizeBand::To75,
+        group: 514,
+        detk: 276,
+        htdleo: 448,
+        logk_hybrid: 469,
+    },
+    Table1Row {
+        origin: Origin::Application,
+        band: SizeBand::To50,
+        group: 369,
+        detk: 253,
+        htdleo: 237,
+        logk_hybrid: 253,
+    },
+    Table1Row {
+        origin: Origin::Application,
+        band: SizeBand::UpTo10,
+        group: 915,
+        detk: 906,
+        htdleo: 876,
+        logk_hybrid: 915,
+    },
+    Table1Row {
+        origin: Origin::Synthetic,
+        band: SizeBand::Over100,
+        group: 66,
+        detk: 18,
+        htdleo: 13,
+        logk_hybrid: 34,
+    },
+    Table1Row {
+        origin: Origin::Synthetic,
+        band: SizeBand::To100,
+        group: 422,
+        detk: 87,
+        htdleo: 312,
+        logk_hybrid: 235,
+    },
+    Table1Row {
+        origin: Origin::Synthetic,
+        band: SizeBand::To75,
+        group: 215,
+        detk: 38,
+        htdleo: 212,
+        logk_hybrid: 215,
+    },
+    Table1Row {
+        origin: Origin::Synthetic,
+        band: SizeBand::To50,
+        group: 647,
+        detk: 290,
+        htdleo: 303,
+        logk_hybrid: 625,
+    },
+    Table1Row {
+        origin: Origin::Synthetic,
+        band: SizeBand::UpTo10,
+        group: 95,
+        detk: 95,
+        htdleo: 78,
+        logk_hybrid: 95,
+    },
 ];
 
 /// Table 1 totals: (group, detk, htdleo, logk_hybrid).
@@ -89,9 +152,18 @@ pub const TABLE5: &[(Origin, SizeBand, usize, i32)] = &[
 
 /// Figure 1 of the paper: average seconds on HB_large per core count for
 /// `log-k-decomp` (the headline linear-scaling observation).
-pub const FIG1_LOGK_SECONDS: &[(usize, f64)] =
-    &[(1, 189.0), (2, 95.0), (3, 65.0), (4, 50.0), (5, 47.0), (6, 45.0)];
+pub const FIG1_LOGK_SECONDS: &[(usize, f64)] = &[
+    (1, 189.0),
+    (2, 95.0),
+    (3, 65.0),
+    (4, 50.0),
+    (5, 47.0),
+    (6, 45.0),
+];
 
 /// Figure 1 timeout counts: (method, timeouts).
-pub const FIG1_TIMEOUTS: &[(&str, usize)] =
-    &[("log-k (Hybrid)", 143), ("log-k", 666), ("NewDetKDecomp", 611)];
+pub const FIG1_TIMEOUTS: &[(&str, usize)] = &[
+    ("log-k (Hybrid)", 143),
+    ("log-k", 666),
+    ("NewDetKDecomp", 611),
+];

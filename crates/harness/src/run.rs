@@ -8,6 +8,8 @@ use decomp::{validate_ghd, validate_hd, Control, Decomposition};
 use hypergraph::Hypergraph;
 use logk::{HybridConfig, HybridMetric, LogK};
 
+use crate::stats::EngineCounters;
+
 /// The competing methods, named as in the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Method {
@@ -50,7 +52,11 @@ impl Method {
                 ..
             } => format!(
                 "{}({threshold})",
-                if weighted { "WeightedCount" } else { "EdgeCount" }
+                if weighted {
+                    "WeightedCount"
+                } else {
+                    "EdgeCount"
+                }
             ),
             Method::DetK => "det-k-decomp".to_string(),
             Method::HtdSat => "htd-sat".to_string(),
@@ -84,6 +90,9 @@ pub struct RunResult {
     pub width: Option<usize>,
     /// Wall-clock time of the run (whole optimal-width search).
     pub time: Duration,
+    /// Engine counters (recursion, memoisation, allocation) aggregated
+    /// over the width search — `log-k-decomp` methods only.
+    pub counters: Option<EngineCounters>,
 }
 
 impl RunResult {
@@ -117,14 +126,15 @@ pub fn find_optimal_width(
 ) -> RunResult {
     let start = Instant::now();
     let ctrl = Control::with_timeout(budget);
+    let mut counters: Option<EngineCounters> = None;
     let outcome = match method {
         Method::LogK { threads } => {
             let solver = LogK::parallel(threads);
-            classify_iterative(hg, k_max, start, |k| solver.decompose(hg, k, &ctrl))
+            classify_logk(hg, k_max, start, &solver, &ctrl, &mut counters)
         }
         Method::LogKHybrid { threads } => {
             let solver = LogK::hybrid(threads);
-            classify_iterative(hg, k_max, start, |k| solver.decompose(hg, k, &ctrl))
+            classify_logk(hg, k_max, start, &solver, &ctrl, &mut counters)
         }
         Method::LogKHybridWith {
             threads,
@@ -139,7 +149,7 @@ pub fn find_optimal_width(
                 },
                 threshold: threshold as f64,
             }));
-            classify_iterative(hg, k_max, start, |k| solver.decompose(hg, k, &ctrl))
+            classify_logk(hg, k_max, start, &solver, &ctrl, &mut counters)
         }
         Method::DetK => {
             classify_iterative(hg, k_max, start, |k| detk::decompose_detk(hg, k, &ctrl))
@@ -151,11 +161,13 @@ pub fn find_optimal_width(
                     status: RunStatus::WidthExceeded,
                     width: None,
                     time: start.elapsed(),
+                    counters: None,
                 },
                 Err(_) => RunResult {
                     status: RunStatus::Timeout,
                     width: None,
                     time: start.elapsed(),
+                    counters: None,
                 },
             };
         }
@@ -166,16 +178,19 @@ pub fn find_optimal_width(
                     status: RunStatus::WidthExceeded,
                     width: None,
                     time: start.elapsed(),
+                    counters: None,
                 },
                 Err(htdsat::HtdSatError::EncodingTooLarge { .. }) => RunResult {
                     status: RunStatus::Memout,
                     width: None,
                     time: start.elapsed(),
+                    counters: None,
                 },
                 Err(htdsat::HtdSatError::Interrupted(_)) => RunResult {
                     status: RunStatus::Timeout,
                     width: None,
                     time: start.elapsed(),
+                    counters: None,
                 },
             };
         }
@@ -186,7 +201,26 @@ pub fn find_optimal_width(
         status,
         width,
         time: start.elapsed(),
+        counters,
     }
+}
+
+/// [`classify_iterative`] for the `log-k-decomp` methods, additionally
+/// aggregating the engine's search/memoisation/allocation counters.
+fn classify_logk(
+    hg: &Hypergraph,
+    k_max: usize,
+    start: Instant,
+    solver: &LogK,
+    ctrl: &Control,
+    counters: &mut Option<EngineCounters>,
+) -> (RunStatus, Option<usize>) {
+    let agg = counters.get_or_insert_with(EngineCounters::default);
+    classify_iterative(hg, k_max, start, |k| {
+        let (d, stats) = solver.decompose_with_stats(hg, k, ctrl)?;
+        agg.absorb(&stats);
+        Ok(d)
+    })
 }
 
 /// Shared iterate-k-and-classify logic for HD solvers. The closure decides
@@ -222,6 +256,7 @@ fn finish(start: Instant, valid: bool, width: Option<usize>) -> RunResult {
         },
         width,
         time: start.elapsed(),
+        counters: None,
     }
 }
 
@@ -232,9 +267,7 @@ pub fn decide_width(method: Method, hg: &Hypergraph, w: usize, budget: Duration)
     match method {
         Method::LogK { threads } => LogK::parallel(threads).decide(hg, w, &ctrl).ok(),
         Method::LogKHybrid { threads } => LogK::hybrid(threads).decide(hg, w, &ctrl).ok(),
-        Method::LogKHybridWith { threads, .. } => {
-            LogK::hybrid(threads).decide(hg, w, &ctrl).ok()
-        }
+        Method::LogKHybridWith { threads, .. } => LogK::hybrid(threads).decide(hg, w, &ctrl).ok(),
         Method::DetK => detk::decide_detk(hg, w, &ctrl).ok(),
         Method::Ghd => ghd::decompose_ghd(hg, w, &ctrl).ok().map(|d| d.is_some()),
         Method::HtdSat => htdsat::decide_ghw(hg, w, &ctrl).ok().map(|d| d.is_some()),

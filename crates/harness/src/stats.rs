@@ -1,6 +1,10 @@
 //! Runtime statistics in the paper's format: #solved, avg, max, stdev —
 //! averages taken over *solved* instances only (Section 5.1: "timed out
-//! instances are not considered in the running time calculation").
+//! instances are not considered in the running time calculation") — plus
+//! aggregated engine counters (recursion, memoisation, allocation) that
+//! the sweep reports alongside timings.
+
+use logk::SolveStats;
 
 /// Aggregate of solved-run times.
 #[derive(Clone, Copy, Debug, Default)]
@@ -42,6 +46,115 @@ impl Stats {
     }
 }
 
+/// Aggregated `log-k-decomp` engine counters over one or more solves:
+/// recursion profile, negative-cache effectiveness, `det-k-decomp` handoff
+/// memoisation, and allocation behaviour of the scratch workspaces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineCounters {
+    /// Solves absorbed into this aggregate.
+    pub solves: u64,
+    /// Total `Decomp` invocations.
+    pub decomp_calls: u64,
+    /// Deepest recursion level observed.
+    pub max_depth: usize,
+    /// Negative-subproblem cache hits.
+    pub cache_hits: u64,
+    /// Negative-subproblem cache misses.
+    pub cache_misses: u64,
+    /// Negative-subproblem cache insertions.
+    pub cache_inserts: u64,
+    /// Largest cache footprint observed (bytes).
+    pub cache_bytes_peak: usize,
+    /// Hybrid handoffs to `det-k-decomp`.
+    pub detk_handoffs: u64,
+    /// Largest `det-k-decomp` memo table observed (entries).
+    pub detk_cache_peak: usize,
+    /// Configured `det-k-decomp` memo cap (entries).
+    pub detk_cache_cap: usize,
+    /// Scratch-workspace bundles allocated.
+    pub scratch_allocs: u64,
+    /// Buffer growths inside scratch workspaces.
+    pub scratch_grow_events: u64,
+    /// Cheap (Arc-bump) arena checkpoints handed to parallel branches.
+    pub arena_branch_clones: u64,
+}
+
+impl From<&SolveStats> for EngineCounters {
+    fn from(s: &SolveStats) -> Self {
+        EngineCounters {
+            solves: 1,
+            decomp_calls: s.decomp_calls,
+            max_depth: s.max_depth,
+            cache_hits: s.cache.hits,
+            cache_misses: s.cache.misses,
+            cache_inserts: s.cache.inserts,
+            cache_bytes_peak: s.cache.bytes,
+            detk_handoffs: s.detk_handoffs,
+            detk_cache_peak: s.detk_cache_peak,
+            detk_cache_cap: s.detk_cache_cap,
+            scratch_allocs: s.scratch_allocs,
+            scratch_grow_events: s.scratch_grow_events,
+            arena_branch_clones: s.arena_branch_clones,
+        }
+    }
+}
+
+impl EngineCounters {
+    /// Folds one solve's statistics into the aggregate.
+    pub fn absorb(&mut self, s: &SolveStats) {
+        self.merge(&EngineCounters::from(s));
+    }
+
+    /// Folds another aggregate into this one (sums the monotone
+    /// counters, maxes the peaks).
+    pub fn merge(&mut self, other: &EngineCounters) {
+        self.solves += other.solves;
+        self.decomp_calls += other.decomp_calls;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_inserts += other.cache_inserts;
+        self.cache_bytes_peak = self.cache_bytes_peak.max(other.cache_bytes_peak);
+        self.detk_handoffs += other.detk_handoffs;
+        self.detk_cache_peak = self.detk_cache_peak.max(other.detk_cache_peak);
+        self.detk_cache_cap = self.detk_cache_cap.max(other.detk_cache_cap);
+        self.scratch_allocs += other.scratch_allocs;
+        self.scratch_grow_events += other.scratch_grow_events;
+        self.arena_branch_clones += other.arena_branch_clones;
+    }
+
+    /// Cache hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / lookups as f64
+    }
+
+    /// One-line human-readable rendering for sweep reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "decomp_calls={} max_depth={} cache: {}/{} hits ({:.1}%), {} inserted, peak {} KiB; \
+             detk: {} handoffs, memo peak {}/{}; alloc: {} scratch bundles ({} regrowths), \
+             {} arena checkpoints",
+            self.decomp_calls,
+            self.max_depth,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.cache_inserts,
+            self.cache_bytes_peak / 1024,
+            self.detk_handoffs,
+            self.detk_cache_peak,
+            self.detk_cache_cap,
+            self.scratch_allocs,
+            self.scratch_grow_events,
+            self.arena_branch_clones,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +173,36 @@ mod tests {
         assert!((s.avg - 2.0).abs() < 1e-12);
         assert!((s.max - 3.0).abs() < 1e-12);
         assert!((s.stdev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_absorb_and_merge() {
+        let mut a = EngineCounters::default();
+        let mut s = SolveStats {
+            decomp_calls: 10,
+            max_depth: 3,
+            detk_handoffs: 2,
+            detk_cache_peak: 5,
+            detk_cache_cap: 100,
+            scratch_allocs: 4,
+            arena_branch_clones: 1,
+            ..Default::default()
+        };
+        s.cache.hits = 6;
+        s.cache.misses = 2;
+        s.cache.inserts = 2;
+        s.cache.bytes = 2048;
+        a.absorb(&s);
+        a.absorb(&s);
+        assert_eq!(a.solves, 2);
+        assert_eq!(a.decomp_calls, 20);
+        assert_eq!(a.max_depth, 3);
+        assert_eq!(a.cache_hits, 12);
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+
+        let mut b = EngineCounters::default();
+        b.merge(&a);
+        assert_eq!(b.decomp_calls, a.decomp_calls);
+        assert!(b.summary().contains("75.0%"));
     }
 }

@@ -7,6 +7,7 @@ use workloads::Instance;
 
 use crate::config::ReproConfig;
 use crate::run::{find_optimal_width, Method, RunResult, RunStatus};
+use crate::stats::EngineCounters;
 
 /// One (instance, method) outcome.
 pub struct SweepRow<'a> {
@@ -68,5 +69,20 @@ pub fn sweep<'a>(
             }
         }
     }
+    let engine_totals = aggregate_counters(&rows);
+    if engine_totals.solves > 0 {
+        eprintln!("  engine totals: {}", engine_totals.summary());
+    }
     rows
+}
+
+/// Sums the engine counters of every `log-k-decomp` run in the sweep.
+pub fn aggregate_counters(rows: &[SweepRow<'_>]) -> EngineCounters {
+    let mut total = EngineCounters::default();
+    for row in rows {
+        if let Some(c) = &row.result.counters {
+            total.merge(c);
+        }
+    }
+    total
 }

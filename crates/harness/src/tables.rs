@@ -145,9 +145,7 @@ pub fn table1(cfg: &ReproConfig) -> String {
             .and_then(|r| r.result.width);
         let ghw = rows
             .iter()
-            .find(|r| {
-                std::ptr::eq(r.inst, inst) && r.method == Method::HtdSat && r.result.solved()
-            })
+            .find(|r| std::ptr::eq(r.inst, inst) && r.method == Method::HtdSat && r.result.solved())
             .and_then(|r| r.result.width);
         if let (Some(hw), Some(ghw)) = (hw, ghw) {
             both += 1;
@@ -367,9 +365,7 @@ pub fn table5(cfg: &ReproConfig) -> String {
         let solved_with = |budget: Duration| {
             insts
                 .iter()
-                .filter(|i| {
-                    find_optimal_width(Method::HtdSat, &i.hg, cfg.k_max, budget).solved()
-                })
+                .filter(|i| find_optimal_width(Method::HtdSat, &i.hg, cfg.k_max, budget).solved())
                 .count()
         };
         let a = solved_with(short);
@@ -449,7 +445,8 @@ pub fn fig1(cfg: &ReproConfig) -> String {
         let _ = writeln!(out, "\n{label} (averaged over {} instances):", always.len());
         let _ = writeln!(out, "{:>7} {:>12} {:>12}", "#cores", "avg (s)", "speedup");
         let base: Option<f64> = per_core.first().map(|v| {
-            always.iter().map(|&i| v[i].expect("filtered")).sum::<f64>() / always.len().max(1) as f64
+            always.iter().map(|&i| v[i].expect("filtered")).sum::<f64>()
+                / always.len().max(1) as f64
         });
         for (ci, v) in per_core.iter().enumerate() {
             let avg = always.iter().map(|&i| v[i].expect("filtered")).sum::<f64>()
@@ -499,13 +496,16 @@ pub fn fig1(cfg: &ReproConfig) -> String {
             "  {:<16} {:>6} {}",
             label,
             t,
-            ptimeout.map(|p| format!("[paper: {p}]")).unwrap_or_default()
+            ptimeout
+                .map(|p| format!("[paper: {p}]"))
+                .unwrap_or_default()
         );
     }
     let _ = writeln!(
         out,
         "\n(paper Figure 1: log-k avg {}s at 1 core to {}s at 4 cores — ~linear speedup)",
-        paper::FIG1_LOGK_SECONDS[0].1, paper::FIG1_LOGK_SECONDS[3].1
+        paper::FIG1_LOGK_SECONDS[0].1,
+        paper::FIG1_LOGK_SECONDS[3].1
     );
     out
 }

@@ -164,7 +164,11 @@ pub fn encode(hg: &Hypergraph, k: usize, solver: &mut Solver) -> Encoding {
             }
             let vb = enc.verts[b];
             let mut clause: Vec<Lit> = vec![Lit::neg(enc.arc(a, b))];
-            clause.extend(hg.incident_edges(vb).iter().map(|e| Lit::pos(enc.cov(a, e))));
+            clause.extend(
+                hg.incident_edges(vb)
+                    .iter()
+                    .map(|e| Lit::pos(enc.cov(a, e))),
+            );
             solver.add_clause(&clause);
         }
     }
@@ -218,11 +222,10 @@ mod tests {
     }
 
     #[test]
-    fn estimate_grows_with_size(){
+    fn estimate_grows_with_size() {
         let small = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2]]);
-        let big = Hypergraph::from_edge_lists(
-            &(0..40u32).map(|i| vec![i, i + 1]).collect::<Vec<_>>(),
-        );
+        let big =
+            Hypergraph::from_edge_lists(&(0..40u32).map(|i| vec![i, i + 1]).collect::<Vec<_>>());
         assert!(estimate_clauses(&small) < estimate_clauses(&big));
     }
 }

@@ -55,11 +55,39 @@ const BITS: usize = u64::BITS as usize;
 /// All binary operations require both operands to have the same capacity
 /// (the universe size of the hypergraph they belong to); this is checked
 /// with `debug_assert!` in the hot paths.
-#[derive(Clone)]
 pub struct TypedBitSet<I> {
     blocks: Vec<u64>,
     nbits: usize,
     _tag: PhantomData<fn(I) -> I>,
+}
+
+impl<I> Default for TypedBitSet<I> {
+    /// The empty set over the empty universe; sized on first `reset`.
+    fn default() -> Self {
+        TypedBitSet {
+            blocks: Vec::new(),
+            nbits: 0,
+            _tag: PhantomData,
+        }
+    }
+}
+
+impl<I> Clone for TypedBitSet<I> {
+    fn clone(&self) -> Self {
+        TypedBitSet {
+            blocks: self.blocks.clone(),
+            nbits: self.nbits,
+            _tag: PhantomData,
+        }
+    }
+
+    /// Reuses `self`'s block storage when capacities allow — the solvers'
+    /// scratch buffers rely on this to stay allocation-free in the steady
+    /// state.
+    fn clone_from(&mut self, other: &Self) {
+        self.blocks.clone_from(&other.blocks);
+        self.nbits = other.nbits;
+    }
 }
 
 /// Set of vertices of a hypergraph.
@@ -164,6 +192,27 @@ impl<I: Ix> TypedBitSet<I> {
         }
     }
 
+    /// Makes `self` an empty set over a universe of `nbits` elements,
+    /// reusing the existing block storage when it is large enough.
+    ///
+    /// Returns `true` if the buffer had to grow (an allocation happened) —
+    /// scratch-workspace users track this to verify steady-state reuse.
+    pub fn reset(&mut self, nbits: usize) -> bool {
+        let words = nbits.div_ceil(BITS);
+        let grew = words > self.blocks.capacity();
+        self.blocks.clear();
+        self.blocks.resize(words, 0);
+        self.nbits = nbits;
+        grew
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing block storage
+    /// when possible (the in-place counterpart of `clone`).
+    #[inline]
+    pub fn copy_from(&mut self, other: &Self) {
+        self.clone_from(other);
+    }
+
     /// In-place union: `self ∪= other`.
     #[inline]
     pub fn union_with(&mut self, other: &Self) {
@@ -219,14 +268,20 @@ impl<I: Ix> TypedBitSet<I> {
     #[inline]
     pub fn is_subset_of(&self, other: &Self) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Disjointness test: `self ∩ other = ∅`.
     #[inline]
     pub fn is_disjoint_from(&self, other: &Self) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Non-empty intersection test.
@@ -264,6 +319,19 @@ impl<I: Ix> TypedBitSet<I> {
             .zip(&other.blocks)
             .zip(&exclude.blocks)
             .any(|((a, b), e)| a & b & !e != 0)
+    }
+
+    /// Number of 64-bit blocks backing the set.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The `w`-th 64-bit block (word-level access for fused hot loops
+    /// that intersect two sets while mutating one of them).
+    #[inline]
+    pub fn block(&self, w: usize) -> u64 {
+        self.blocks[w]
     }
 
     /// Smallest element, if any.

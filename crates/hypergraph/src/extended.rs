@@ -10,6 +10,8 @@
 //! may have equal vertex sets — identity matters when stitching fragments —
 //! so they live in a per-solve [`SpecialArena`] and are referenced by id.
 
+use std::sync::Arc;
+
 use crate::bitset::{EdgeSet, VertexSet};
 use crate::graph::Hypergraph;
 
@@ -18,9 +20,33 @@ use crate::graph::Hypergraph;
 pub struct SpecialId(pub u32);
 
 /// Append-only store of special-edge vertex sets for one solver run.
-#[derive(Clone, Default, Debug)]
+///
+/// Internally the arena is a two-part rope: an immutable, `Arc`-shared
+/// *prefix* and an owned *tail*. [`Self::seal`] folds the tail into the
+/// prefix, after which [`Clone`] is a reference-count bump plus an empty
+/// tail — this is what lets the parallel λc race hand every branch its own
+/// arena "checkpoint" without deep-copying the shared entries. Branches
+/// only ever push/truncate above the sealed prefix, so the sharing is
+/// invisible through the `push`/`get`/`truncate` API.
+#[derive(Clone, Debug)]
 pub struct SpecialArena {
-    sets: Vec<VertexSet>,
+    /// Shared, immutable storage for ids `0..prefix_live`.
+    prefix: Arc<Vec<VertexSet>>,
+    /// Logical length of the prefix part. Entries `prefix_live..` of
+    /// `prefix` are dead (truncated below a seal point) and unreachable.
+    prefix_live: usize,
+    /// Owned storage for ids `prefix_live..len()`.
+    tail: Vec<VertexSet>,
+}
+
+impl Default for SpecialArena {
+    fn default() -> Self {
+        SpecialArena {
+            prefix: Arc::new(Vec::new()),
+            prefix_live: 0,
+            tail: Vec::new(),
+        }
+    }
 }
 
 impl SpecialArena {
@@ -31,20 +57,25 @@ impl SpecialArena {
 
     /// Registers a new special edge with the given vertex set.
     pub fn push(&mut self, set: VertexSet) -> SpecialId {
-        let id = SpecialId(self.sets.len() as u32);
-        self.sets.push(set);
+        let id = SpecialId(self.len() as u32);
+        self.tail.push(set);
         id
     }
 
     /// The vertex set of a special edge.
     #[inline]
     pub fn get(&self, id: SpecialId) -> &VertexSet {
-        &self.sets[id.0 as usize]
+        let idx = id.0 as usize;
+        if idx < self.prefix_live {
+            &self.prefix[idx]
+        } else {
+            &self.tail[idx - self.prefix_live]
+        }
     }
 
     /// Number of special edges registered.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.prefix_live + self.tail.len()
     }
 
     /// Rolls the arena back to `len` entries.
@@ -54,13 +85,49 @@ impl SpecialArena {
     /// arena small and makes per-branch clones cheap. Callers must ensure
     /// no live fragment references a truncated id.
     pub fn truncate(&mut self, len: usize) {
-        debug_assert!(len <= self.sets.len());
-        self.sets.truncate(len);
+        debug_assert!(len <= self.len());
+        if len >= self.prefix_live {
+            self.tail.truncate(len - self.prefix_live);
+        } else {
+            // Shrinking into the shared prefix: mark the cut-off logically;
+            // the dead prefix entries stay allocated until the last sharer
+            // drops the `Arc`. Subsequent pushes land in the tail.
+            self.tail.clear();
+            self.prefix_live = len;
+        }
+    }
+
+    /// Folds the owned tail into the shared prefix, so that subsequent
+    /// [`Clone`]s are O(1) in the entry contents (an `Arc` bump).
+    ///
+    /// When this arena is the sole owner of its prefix the fold moves the
+    /// tail without copying any vertex set; otherwise the live prefix is
+    /// copied once — still at most the cost a single pre-overlay
+    /// `SpecialArena::clone()` used to pay, amortised over *all* branches
+    /// of the race instead of paid per branch.
+    pub fn seal(&mut self) {
+        if self.tail.is_empty() && self.prefix_live == self.prefix.len() {
+            return;
+        }
+        match Arc::get_mut(&mut self.prefix) {
+            Some(owned) => {
+                owned.truncate(self.prefix_live);
+                owned.append(&mut self.tail);
+            }
+            None => {
+                let mut merged: Vec<VertexSet> =
+                    Vec::with_capacity(self.prefix_live + self.tail.len());
+                merged.extend_from_slice(&self.prefix[..self.prefix_live]);
+                merged.append(&mut self.tail);
+                self.prefix = Arc::new(merged);
+            }
+        }
+        self.prefix_live = self.prefix.len();
     }
 
     /// Whether the arena is empty.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.len() == 0
     }
 }
 
@@ -105,11 +172,17 @@ impl Subproblem {
 
     /// `V(H')` — union of all member vertex sets (edges and specials).
     pub fn vertices(&self, hg: &Hypergraph, arena: &SpecialArena) -> VertexSet {
-        let mut v = hg.union_of(&self.edges);
-        for &s in &self.specials {
-            v.union_with(arena.get(s));
-        }
+        let mut v = hg.vertex_set();
+        self.vertices_into(hg, arena, &mut v);
         v
+    }
+
+    /// Like [`Self::vertices`], writing into a caller-owned buffer.
+    pub fn vertices_into(&self, hg: &Hypergraph, arena: &SpecialArena, out: &mut VertexSet) {
+        hg.union_of_into(&self.edges, out);
+        for &s in &self.specials {
+            out.union_with(arena.get(s));
+        }
     }
 }
 
@@ -143,6 +216,52 @@ mod tests {
         assert_eq!(sub.size(), 2);
         let v = sub.vertices(&hg, &arena);
         assert_eq!(v.to_vec(), vec![Vertex(0), Vertex(1), Vertex(4)]);
+    }
+
+    #[test]
+    fn sealed_clones_share_the_prefix_and_diverge_above_it() {
+        let mut arena = SpecialArena::new();
+        let a = arena.push(VertexSet::from_iter(8, [Vertex(0)]));
+        let b = arena.push(VertexSet::from_iter(8, [Vertex(1)]));
+        arena.seal();
+        let checkpoint = arena.len();
+
+        // Two "branches" from the sealed checkpoint.
+        let mut left = arena.clone();
+        let mut right = arena.clone();
+        let l = left.push(VertexSet::from_iter(8, [Vertex(2)]));
+        let r = right.push(VertexSet::from_iter(8, [Vertex(3)]));
+        assert_eq!(l, r, "branches allocate ids independently");
+        assert_eq!(left.get(l).to_vec(), vec![Vertex(2)]);
+        assert_eq!(right.get(r).to_vec(), vec![Vertex(3)]);
+        assert_eq!(left.get(a).to_vec(), vec![Vertex(0)]);
+        assert_eq!(right.get(b).to_vec(), vec![Vertex(1)]);
+
+        // Stack discipline: branches restore to the checkpoint.
+        left.truncate(checkpoint);
+        right.truncate(checkpoint);
+        assert_eq!(left.len(), 2);
+        assert_eq!(right.len(), 2);
+    }
+
+    #[test]
+    fn truncate_below_seal_then_push_reuses_ids() {
+        let mut arena = SpecialArena::new();
+        let _a = arena.push(VertexSet::from_iter(8, [Vertex(0)]));
+        let _b = arena.push(VertexSet::from_iter(8, [Vertex(1)]));
+        arena.seal();
+        let _keep_prefix_shared = arena.clone();
+        arena.truncate(1);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(SpecialId(0)).to_vec(), vec![Vertex(0)]);
+        let c = arena.push(VertexSet::from_iter(8, [Vertex(7)]));
+        assert_eq!(c, SpecialId(1));
+        assert_eq!(arena.get(c).to_vec(), vec![Vertex(7)]);
+        // Re-sealing after a truncation keeps only the live entries.
+        arena.seal();
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(SpecialId(0)).to_vec(), vec![Vertex(0)]);
+        assert_eq!(arena.get(SpecialId(1)).to_vec(), vec![Vertex(7)]);
     }
 
     #[test]

@@ -93,10 +93,27 @@ impl Hypergraph {
     /// Union of the vertex sets of edges given as a slice of ids.
     pub fn union_of_slice(&self, edges: &[Edge]) -> VertexSet {
         let mut s = self.vertex_set();
-        for &e in edges {
-            s.union_with(self.edge(e));
-        }
+        self.union_of_slice_into(edges, &mut s);
         s
+    }
+
+    /// Like [`Self::union_of`], writing into a caller-owned buffer instead
+    /// of allocating. `out` is reset to this hypergraph's vertex universe.
+    pub fn union_of_into(&self, edges: &EdgeSet, out: &mut VertexSet) {
+        out.reset(self.num_vertices());
+        for e in edges {
+            out.union_with(self.edge(e));
+        }
+    }
+
+    /// Like [`Self::union_of_slice`], writing into a caller-owned buffer
+    /// instead of allocating. `out` is reset to this hypergraph's vertex
+    /// universe.
+    pub fn union_of_slice_into(&self, edges: &[Edge], out: &mut VertexSet) {
+        out.reset(self.num_vertices());
+        for &e in edges {
+            out.union_with(self.edge(e));
+        }
     }
 
     /// Name of vertex `v`.
@@ -192,14 +209,13 @@ impl Hypergraph {
                 }
             }
         }
-        let kept: Vec<Edge> = (0..m as u32).map(Edge).filter(|e| keep[e.0 as usize]).collect();
+        let kept: Vec<Edge> = (0..m as u32)
+            .map(Edge)
+            .filter(|e| keep[e.0 as usize])
+            .collect();
         let mut b = HypergraphBuilder::new();
         for &e in &kept {
-            let names: Vec<&str> = self
-                .edge(e)
-                .iter()
-                .map(|v| self.vertex_name(v))
-                .collect();
+            let names: Vec<&str> = self.edge(e).iter().map(|v| self.vertex_name(v)).collect();
             b.add_edge(self.edge_name(e), &names);
         }
         (b.build(), kept)

@@ -79,9 +79,7 @@ pub fn gyo(hg: &Hypergraph) -> GyoResult {
         if alive.len() == 1 {
             let e = alive.first().expect("len checked");
             if sets[e.0 as usize].is_empty()
-                || sets[e.0 as usize]
-                    .iter()
-                    .all(|v| degree[v.0 as usize] == 1)
+                || sets[e.0 as usize].iter().all(|v| degree[v.0 as usize] == 1)
             {
                 // All remaining vertices are ears: the last edge reduces away.
                 for v in &sets[e.0 as usize] {
@@ -131,12 +129,7 @@ mod tests {
 
     #[test]
     fn triangle_covered_by_big_edge_is_acyclic() {
-        let h = Hypergraph::from_edge_lists(&[
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 0],
-            vec![0, 1, 2],
-        ]);
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 0], vec![0, 1, 2]]);
         assert!(is_acyclic(&h));
     }
 

@@ -26,7 +26,7 @@ pub mod parse;
 pub mod subsets;
 
 pub use bitset::{Edge, EdgeSet, Ix, TypedBitSet, Vertex, VertexSet};
-pub use components::{separate, Component, Separation};
+pub use components::{separate, separate_into, Component, Scratch, Separation};
 pub use extended::{SpecialArena, SpecialId, Subproblem};
 pub use graph::{Hypergraph, HypergraphBuilder};
 pub use gyo::{gyo, is_acyclic, GyoResult};

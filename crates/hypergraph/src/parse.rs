@@ -100,7 +100,10 @@ pub fn parse_hyperbench(input: &str) -> Result<Hypergraph, ParseError> {
             .filter(|s| !s.is_empty())
             .collect();
         if vars.is_empty() {
-            return Err(err(line_of(args_start), format!("atom {name} has no arguments")));
+            return Err(err(
+                line_of(args_start),
+                format!("atom {name} has no arguments"),
+            ));
         }
         b.add_edge(name, &vars);
     }
@@ -139,8 +142,12 @@ pub fn parse_pace(input: &str) -> Result<Hypergraph, ParseError> {
             if nums.len() != 2 {
                 return Err(err(ln, "header must be `p htd <vertices> <edges>`"));
             }
-            let n = nums[0].parse::<usize>().map_err(|e| err(ln, e.to_string()))?;
-            let m = nums[1].parse::<usize>().map_err(|e| err(ln, e.to_string()))?;
+            let n = nums[0]
+                .parse::<usize>()
+                .map_err(|e| err(ln, e.to_string()))?;
+            let m = nums[1]
+                .parse::<usize>()
+                .map_err(|e| err(ln, e.to_string()))?;
             expected = Some((n, m));
             continue;
         }

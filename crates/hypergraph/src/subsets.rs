@@ -26,11 +26,24 @@ use crate::bitset::Edge;
 pub fn for_each_subset<T>(
     cands: &[Edge],
     k: usize,
-    mut f: impl FnMut(&[Edge]) -> ControlFlow<T>,
+    f: impl FnMut(&[Edge]) -> ControlFlow<T>,
 ) -> Option<T> {
     let mut buf: Vec<Edge> = Vec::with_capacity(k);
+    for_each_subset_in(cands, k, &mut buf, f)
+}
+
+/// Like [`for_each_subset`], drawing the enumeration buffer from the
+/// caller so repeated enumerations don't allocate (the engine's scratch
+/// workspace holds one buffer per recursion level).
+pub fn for_each_subset_in<T>(
+    cands: &[Edge],
+    k: usize,
+    buf: &mut Vec<Edge>,
+    mut f: impl FnMut(&[Edge]) -> ControlFlow<T>,
+) -> Option<T> {
+    buf.clear();
     for r in 1..=k.min(cands.len()) {
-        if let ControlFlow::Break(t) = combos(cands, 0, r, &mut buf, &mut f) {
+        if let ControlFlow::Break(t) = combos(cands, 0, r, buf, &mut f) {
             return Some(t);
         }
     }
@@ -43,17 +56,29 @@ pub fn for_each_subset_with_lead<T>(
     cands: &[Edge],
     lead: usize,
     k: usize,
+    f: impl FnMut(&[Edge]) -> ControlFlow<T>,
+) -> Option<T> {
+    let mut buf: Vec<Edge> = Vec::with_capacity(k);
+    for_each_subset_with_lead_in(cands, lead, k, &mut buf, f)
+}
+
+/// Like [`for_each_subset_with_lead`] with a caller-owned buffer.
+pub fn for_each_subset_with_lead_in<T>(
+    cands: &[Edge],
+    lead: usize,
+    k: usize,
+    buf: &mut Vec<Edge>,
     mut f: impl FnMut(&[Edge]) -> ControlFlow<T>,
 ) -> Option<T> {
     if k == 0 || lead >= cands.len() {
         return None;
     }
-    let mut buf: Vec<Edge> = Vec::with_capacity(k);
+    buf.clear();
     buf.push(cands[lead]);
     let rest = &cands[lead + 1..];
     // Tail sizes 0..=k-1, ascending so small subsets come first.
     for r in 0..k.min(rest.len() + 1) {
-        if let ControlFlow::Break(t) = combos(rest, 0, r, &mut buf, &mut f) {
+        if let ControlFlow::Break(t) = combos(rest, 0, r, buf, &mut f) {
             return Some(t);
         }
     }

@@ -183,7 +183,11 @@ impl Solver {
     fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var();
-        self.assigns[v.index()] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.assigns[v.index()] = if l.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
         self.polarity[v.index()] = !l.is_neg();
         self.reason[v.index()] = from;
         self.level[v.index()] = self.decision_level();

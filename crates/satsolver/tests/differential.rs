@@ -49,7 +49,12 @@ fn run_solver(num_vars: usize, clauses: &[Vec<i32>]) -> (Status, Option<Vec<bool
     (st, model)
 }
 
-fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usize) -> Vec<Vec<i32>> {
+fn random_cnf(
+    rng: &mut StdRng,
+    num_vars: usize,
+    num_clauses: usize,
+    width: usize,
+) -> Vec<Vec<i32>> {
     (0..num_clauses)
         .map(|_| {
             let len = rng.random_range(1..=width);

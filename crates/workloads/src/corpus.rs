@@ -160,7 +160,11 @@ pub fn hyperbench_like(cfg: CorpusConfig) -> Vec<Instance> {
                 inst = Instance {
                     name: format!(
                         "{}_bounded_{m:03}e_{i:04}",
-                        if origin == Origin::Application { "app" } else { "syn" }
+                        if origin == Origin::Application {
+                            "app"
+                        } else {
+                            "syn"
+                        }
                     ),
                     origin,
                     hg,

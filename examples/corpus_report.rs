@@ -49,7 +49,16 @@ fn main() {
         with_bound,
         corpus.len()
     );
-    let over = corpus.iter().filter(|i| i.band() == SizeBand::Over100).count();
-    let apps = corpus.iter().filter(|i| i.origin == Origin::Application).count();
-    println!("{apps} application-shaped, {} synthetic, {over} with |E| > 100", corpus.len() - apps);
+    let over = corpus
+        .iter()
+        .filter(|i| i.band() == SizeBand::Over100)
+        .count();
+    let apps = corpus
+        .iter()
+        .filter(|i| i.origin == Origin::Application)
+        .count();
+    println!(
+        "{apps} application-shaped, {} synthetic, {over} with |E| > 100",
+        corpus.len() - apps
+    );
 }

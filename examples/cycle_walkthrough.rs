@@ -33,13 +33,20 @@ fn main() {
     print!("{}", hd.render(&hg));
     println!(
         "normal form (Definition 3.5): {}",
-        if is_normal_form(&hg, &hd) { "yes" } else { "no" }
+        if is_normal_form(&hg, &hd) {
+            "yes"
+        } else {
+            "no"
+        }
     );
 
     // The optimised engine finds a witness too (possibly a different one —
     // the balanced separator is chosen mid-cycle, like Call 1 in the
     // paper picking λp = {R1,R5}, λc = {R1,R6}).
-    let hd2 = LogK::sequential().decompose(&hg, 2, &ctrl).unwrap().unwrap();
+    let hd2 = LogK::sequential()
+        .decompose(&hg, 2, &ctrl)
+        .unwrap()
+        .unwrap();
     validate_hd_width(&hg, &hd2, 2).unwrap();
     println!(
         "\nAlgorithm 2 (optimised) witness: {} nodes, depth {} — also valid.",

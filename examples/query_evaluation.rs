@@ -16,10 +16,9 @@ use rand::{RngExt, SeedableRng};
 fn main() {
     // A 6-cycle join query — the canonical "cyclic CQ" where naive plans
     // produce large intermediate results.
-    let q = ConjunctiveQuery::parse(
-        "r0(x0,x1), r1(x1,x2), r2(x2,x3), r3(x3,x4), r4(x4,x5), r5(x5,x0)",
-    )
-    .expect("well-formed query");
+    let q =
+        ConjunctiveQuery::parse("r0(x0,x1), r1(x1,x2), r2(x2,x3), r3(x3,x4), r4(x4,x5), r5(x5,x0)")
+            .expect("well-formed query");
 
     // Random data: each relation gets `size` tuples over a small domain,
     // so joins amplify before the cycle closes.

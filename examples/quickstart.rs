@@ -33,7 +33,11 @@ fn main() {
         .expect("every hypergraph has some hw <= 10 here");
 
     println!("hypertree width: {width}");
-    println!("decomposition ({} nodes, depth {}):", hd.num_nodes(), hd.depth());
+    println!(
+        "decomposition ({} nodes, depth {}):",
+        hd.num_nodes(),
+        hd.depth()
+    );
     print!("{}", hd.render(&hg));
 
     // Every witness is checkable against the four HD conditions of the

@@ -32,7 +32,9 @@ fn main() {
         let mut detk_engine = DetKDecomp::new(&hg, 1, &ctrl);
         let arena = SpecialArena::new();
         let sub = Subproblem::whole(&hg);
-        let frag = detk_engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        let frag = detk_engine
+            .decompose(&arena, &sub, &hg.vertex_set())
+            .unwrap();
         assert!(frag.is_some());
 
         println!(

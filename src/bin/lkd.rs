@@ -39,7 +39,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     };
     for a in args {
         if let Some(v) = a.strip_prefix("--k=") {
-            o.k = Some(v.parse().map_err(|e| format!("--k: {e}"))?);
+            let k: usize = v.parse().map_err(|e| format!("--k: {e}"))?;
+            if k == 0 {
+                return Err("--k must be at least 1".into());
+            }
+            o.k = Some(k);
         } else if let Some(v) = a.strip_prefix("--method=") {
             o.method = v.to_string();
         } else if let Some(v) = a.strip_prefix("--threads=") {

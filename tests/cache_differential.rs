@@ -1,0 +1,182 @@
+//! Differential tests for the negative-subproblem memoisation layer: the
+//! caching engine must be *observationally identical* to the uncached
+//! engine — same decidability for every k, and every witness passes the
+//! full HD validator — in both the sequential and the parallel
+//! (`parallel_depth > 0`) configurations. The cache may only change how
+//! fast the answer arrives, never the answer.
+
+use decomp::{validate_hd_width, Control};
+use logk::LogK;
+use proptest::prelude::*;
+use workloads::{hyperbench_like, CorpusConfig};
+
+/// Cached and uncached engines across the workloads corpus, sequential
+/// and parallel. Also asserts the acceptance criterion that the cache is
+/// actually exercised: cyclic corpus instances must produce hits.
+#[test]
+fn corpus_cached_matches_uncached_sequential_and_parallel() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 2024,
+        scale: 1.0 / 100.0,
+    });
+    let ctrl = Control::unlimited();
+    let k_max = 4usize;
+
+    let configs: [(&str, LogK, LogK); 2] = [
+        (
+            "sequential",
+            LogK::sequential(),
+            LogK::sequential().with_cache_bytes(0),
+        ),
+        (
+            "parallel",
+            LogK::parallel(2),
+            LogK::parallel(2).with_cache_bytes(0),
+        ),
+    ];
+
+    for (mode, cached, uncached) in configs {
+        let mut cyclic_hits = 0u64;
+        let mut checked = 0usize;
+        for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 40) {
+            for k in 1..=k_max {
+                let (dc, sc) = cached.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+                let (du, su) = uncached.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+                assert_eq!(
+                    dc.is_some(),
+                    du.is_some(),
+                    "{mode}: cached and uncached disagree on {} at k={k}",
+                    inst.name
+                );
+                assert_eq!(
+                    su.cache.hits + su.cache.misses + su.cache.inserts,
+                    0,
+                    "{mode}: uncached engine must not touch the cache"
+                );
+                if !hypergraph::is_acyclic(&inst.hg) {
+                    cyclic_hits += sc.cache.hits;
+                }
+                if let Some(d) = &dc {
+                    validate_hd_width(&inst.hg, d, k).unwrap_or_else(|e| {
+                        panic!(
+                            "{mode}: invalid cached witness on {} at k={k}: {e:?}",
+                            inst.name
+                        )
+                    });
+                }
+                if let Some(d) = &du {
+                    validate_hd_width(&inst.hg, d, k).unwrap_or_else(|e| {
+                        panic!(
+                            "{mode}: invalid uncached witness on {} at k={k}: {e:?}",
+                            inst.name
+                        )
+                    });
+                }
+                if dc.is_some() {
+                    break; // width found; larger k adds nothing new
+                }
+            }
+            checked += 1;
+        }
+        assert!(checked > 10, "{mode}: corpus slice unexpectedly small");
+        assert!(
+            cyclic_hits > 0,
+            "{mode}: expected cache hits on cyclic corpus instances"
+        );
+    }
+}
+
+/// The memoisation showcase workload — two K5 cliques sharing two
+/// vertices, searched at the failing width k = 2 — must agree with the
+/// uncached engine, and the cache must actually fire (this is the
+/// instance `micro.rs` benchmarks for the wall-clock win).
+#[test]
+fn twin_k5_negative_search_agrees_and_hits() {
+    let mut edges = Vec::new();
+    for a in 0..5u32 {
+        for b in a + 1..5 {
+            edges.push(vec![a, b]);
+        }
+    }
+    for a in 3..8u32 {
+        for b in a + 1..8 {
+            edges.push(vec![a, b]);
+        }
+    }
+    let hg = hypergraph::Hypergraph::from_edge_lists(&edges);
+    assert!(!hypergraph::is_acyclic(&hg));
+    let ctrl = Control::unlimited();
+
+    let (d, stats) = LogK::sequential()
+        .decompose_with_stats(&hg, 2, &ctrl)
+        .unwrap();
+    assert!(d.is_none(), "two glued K5s have hw = 3 > 2");
+    assert!(
+        stats.cache.hits > 0,
+        "negative search must reuse refuted subproblems"
+    );
+    let uncached = LogK::sequential()
+        .with_cache_bytes(0)
+        .decide(&hg, 2, &ctrl)
+        .unwrap();
+    assert!(!uncached);
+
+    // Both engines find and certify the true width 3.
+    for solver in [LogK::sequential(), LogK::sequential().with_cache_bytes(0)] {
+        let d = solver.decompose(&hg, 3, &ctrl).unwrap().unwrap();
+        validate_hd_width(&hg, &d, 3).unwrap();
+    }
+}
+
+/// A tiny cache budget must degrade capacity, never correctness: with a
+/// budget that fits only a handful of entries the engine still agrees
+/// with the uncached engine everywhere.
+#[test]
+fn tiny_cache_budget_is_still_sound() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 7,
+        scale: 1.0 / 150.0,
+    });
+    let ctrl = Control::unlimited();
+    let tiny = LogK::sequential().with_cache_bytes(4096);
+    let off = LogK::sequential().with_cache_bytes(0);
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 25) {
+        for k in 1..=3 {
+            let a = tiny.decide(&inst.hg, k, &ctrl).unwrap();
+            let b = off.decide(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(a, b, "{} at k={k}", inst.name);
+        }
+    }
+}
+
+fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {
+    prop::collection::vec(prop::collection::vec(0u32..9, 2..4), 1..9)
+        .prop_map(|edges| hypergraph::Hypergraph::from_edge_lists(&edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary small hypergraphs: cached (sequential and parallel) and
+    /// uncached decisions coincide for every k, witnesses validate.
+    #[test]
+    fn cached_decisions_match_uncached(hg in arb_hypergraph()) {
+        let ctrl = Control::unlimited();
+        let cached_seq = LogK::sequential();
+        let cached_par = LogK::parallel(2);
+        let uncached = LogK::sequential().with_cache_bytes(0);
+        for k in 1..=3usize {
+            let a = cached_seq.decompose(&hg, k, &ctrl).unwrap();
+            let p = cached_par.decompose(&hg, k, &ctrl).unwrap();
+            let b = uncached.decide(&hg, k, &ctrl).unwrap();
+            prop_assert_eq!(a.is_some(), b, "sequential vs uncached at k={}", k);
+            prop_assert_eq!(p.is_some(), b, "parallel vs uncached at k={}", k);
+            if let Some(d) = a {
+                prop_assert!(validate_hd_width(&hg, &d, k).is_ok());
+            }
+            if let Some(d) = p {
+                prop_assert!(validate_hd_width(&hg, &d, k).is_ok());
+            }
+        }
+    }
+}

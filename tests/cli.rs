@@ -19,7 +19,11 @@ fn decompose_reports_optimal_width() {
         .args(["decompose", f.to_str().unwrap(), "--threads=1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("width: 2"), "{stdout}");
     assert!(stdout.contains("λ ="), "{stdout}");
@@ -29,7 +33,12 @@ fn decompose_reports_optimal_width() {
 fn width_only_mode_is_terse() {
     let f = write_temp("lkd_cli_path.hg", "a(x,y), b(y,z).");
     let out = lkd()
-        .args(["decompose", f.to_str().unwrap(), "--width-only", "--threads=1"])
+        .args([
+            "decompose",
+            f.to_str().unwrap(),
+            "--width-only",
+            "--threads=1",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -62,10 +71,20 @@ fn stats_subcommand() {
 fn pace_input_is_accepted() {
     let f = write_temp("lkd_cli_pace.htd", "p htd 3 2\n1 1 2\n2 2 3\n");
     let out = lkd()
-        .args(["decompose", f.to_str().unwrap(), "--pace", "--width-only", "--threads=1"])
+        .args([
+            "decompose",
+            f.to_str().unwrap(),
+            "--pace",
+            "--width-only",
+            "--threads=1",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("width: 1"));
 }
 

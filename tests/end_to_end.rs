@@ -35,7 +35,11 @@ fn solvers_agree_on_a_small_corpus() {
             _ => panic!("{}: solvers disagree on solvability", inst.name),
         }
         if let (Some((w, _)), Some(upper)) = (&ours, inst.width_upper) {
-            assert!(*w <= upper, "{}: hw {w} above certified bound {upper}", inst.name);
+            assert!(
+                *w <= upper,
+                "{}: hw {w} above certified bound {upper}",
+                inst.name
+            );
         }
         checked += 1;
     }

@@ -34,9 +34,9 @@ proptest! {
         let s = separate(&hg, &arena, &sub, &sep);
         let mut seen = hg.edge_set();
         for c in &s.components {
-            prop_assert!(seen.is_disjoint_from(&c.edges));
-            seen.union_with(&c.edges);
-            prop_assert!(!c.edges.is_empty() || !c.specials.is_empty());
+            prop_assert!(seen.is_disjoint_from(c.edges()));
+            seen.union_with(c.edges());
+            prop_assert!(!c.edges().is_empty() || !c.specials().is_empty());
         }
         seen.union_with(&s.covered_edges);
         prop_assert_eq!(seen, sub.edges);
@@ -54,8 +54,8 @@ proptest! {
         let s = separate(&hg, &arena, &sub, &sep);
         for (i, a) in s.components.iter().enumerate() {
             for b in s.components.iter().skip(i + 1) {
-                for ea in &a.edges {
-                    for eb in &b.edges {
+                for ea in a.edges() {
+                    for eb in b.edges() {
                         prop_assert!(
                             !hg.edge(ea).intersects_outside(hg.edge(eb), &sep),
                             "edges {ea:?} and {eb:?} are [U]-adjacent across components"

@@ -1,0 +1,408 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the API subset the workspace's benches use: `Criterion` with
+//! `sample_size` / `measurement_time` / `warm_up_time`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Beyond printing a human-readable summary, every group writes its
+//! measurements to `BENCH_<group>.json` (slashes in the group name become
+//! `_`), in the directory named by the `BENCH_JSON_DIR` environment
+//! variable (default: current directory). The schema is documented in the
+//! repository's `BENCHMARKS.md`. Set `BENCH_QUICK=1` to cut sample counts
+//! and measurement time by ~10× for smoke runs.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this implementation always re-runs setup per batch).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark, `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured benchmark: timing statistics over the collected samples.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id within its group.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Maximum nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Population standard deviation (ns per iteration).
+    pub stddev_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        eprintln!("== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(id.to_string(), f);
+        g.finish();
+        self
+    }
+
+    /// Called by [`criterion_main!`] after all targets ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks, flushed to `BENCH_<group>.json` on
+/// [`Self::finish`].
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    results: Vec<Measurement>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        let m = run_bench(self.criterion, &id, |b| f(b));
+        eprintln!(
+            "{:<50} time: [{} {} {}]",
+            format!("{}/{}", self.name, id),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.max_ns)
+        );
+        self.results.push(m);
+        self
+    }
+
+    /// Measures `f` with an input reference under a parameterised id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Flushes the group's measurements to `BENCH_<group>.json`.
+    pub fn finish(self) {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": {:?},", self.name);
+        let _ = writeln!(
+            json,
+            "  \"samples_requested\": {},",
+            self.criterion.sample_size
+        );
+        json.push_str("  \"benches\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"stddev_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}}}",
+                m.id,
+                m.mean_ns,
+                m.median_ns,
+                m.min_ns,
+                m.max_ns,
+                m.stddev_ns,
+                m.samples,
+                m.iters_per_sample
+            );
+            json.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ]\n}\n");
+
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+        let fname = format!(
+            "BENCH_{}.json",
+            self.name.replace(['/', ' '], "_").replace("__", "_")
+        );
+        let path = std::path::Path::new(&dir).join(fname);
+        let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json));
+        if let Err(e) = write {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) -> Measurement {
+    let (sample_size, warm_up, measurement) = if quick() {
+        (
+            (c.sample_size / 10).max(2),
+            c.warm_up_time / 10,
+            c.measurement_time / 10,
+        )
+    } else {
+        (c.sample_size, c.warm_up_time, c.measurement_time)
+    };
+
+    // Warm-up: run single iterations until the budget is spent, tracking
+    // the per-iteration cost to size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut bencher);
+        warm_iters += 1;
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+    // Size each sample so that all samples fit the measurement budget.
+    let budget_ns = measurement.as_nanos() as f64;
+    let iters_per_sample = ((budget_ns / sample_size as f64) / per_iter.max(1.0))
+        .floor()
+        .clamp(1.0, 1e9) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let measure_start = Instant::now();
+    for _ in 0..sample_size {
+        bencher.iters = iters_per_sample;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        // Hard stop at 4× the budget so pathological benches terminate.
+        if measure_start.elapsed() > measurement * 4 && samples_ns.len() >= 2 {
+            break;
+        }
+    }
+
+    let n = samples_ns.len();
+    let mean = samples_ns.iter().sum::<f64>() / n as f64;
+    let mut sorted = samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let var = samples_ns
+        .iter()
+        .map(|t| (t - mean) * (t - mean))
+        .sum::<f64>()
+        / n as f64;
+    Measurement {
+        id: id.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: sorted[0],
+        max_ns: sorted[n - 1],
+        stddev_ns: var.sqrt(),
+        samples: n,
+        iters_per_sample,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either the struct form with `name`,
+/// `config` and `targets`, or the plain list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn measures_and_writes_json() {
+        let dir = std::env::temp_dir().join("criterion_stub_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        let mut c = tiny();
+        let mut g = c.benchmark_group("stub/selftest");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        let written = std::fs::read_to_string(dir.join("BENCH_stub_selftest.json")).unwrap();
+        assert!(written.contains("\"group\": \"stub/selftest\""));
+        assert!(written.contains("\"id\": \"noop\""));
+        assert!(written.contains("mean_ns"));
+        std::env::remove_var("BENCH_JSON_DIR");
+    }
+
+    #[test]
+    fn benchmark_id_renders_with_parameter() {
+        assert_eq!(BenchmarkId::new("detk", 42).to_string(), "detk/42");
+    }
+}

@@ -1,0 +1,261 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the API subset the workspace uses — `ThreadPoolBuilder` / `ThreadPool::
+//! install`, and `into_par_iter().find_map_any(..)` over index ranges —
+//! implemented with `std::thread::scope` and an atomic work counter.
+//!
+//! Semantics match rayon where the workspace relies on them:
+//!
+//! * `find_map_any` returns *some* match (not necessarily the first), stops
+//!   handing out work once a match is found, and runs the closure on
+//!   multiple OS threads;
+//! * `ThreadPool::install` bounds the concurrency of parallel iterators
+//!   running inside the closure (via a scoped thread-local), including in
+//!   nested `find_map_any` calls on worker threads;
+//! * work is handed out index-by-index from a shared atomic counter, so
+//!   threads that finish early steal the remaining items.
+//!
+//! It is NOT a general rayon replacement: no join/scope/par_bridge, no
+//! splitting adapters, no work-stealing deques.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+thread_local! {
+    /// Effective worker count installed by [`ThreadPool::install`];
+    /// `0` means "use all available parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed != 0 {
+        return installed;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (construction cannot fail in
+/// this implementation; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means all cores.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A concurrency bound for parallel iterators run under [`Self::install`].
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|t| {
+            let prev = t.get();
+            t.set(self.threads);
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait of the
+/// same name (only the subset the workspace needs).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Applies `f` to the items on a scoped pool of OS threads, returning
+    /// some `Some` result if any item produces one ("any" semantics: not
+    /// necessarily the match with the smallest index). Once a match is
+    /// found, no further items are handed out; in-flight calls finish.
+    pub fn find_map_any<T, F>(self, f: F) -> Option<T>
+    where
+        T: Send,
+        F: Fn(usize) -> Option<T> + Sync,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        if len == 0 {
+            return None;
+        }
+        let workers = effective_threads().min(len);
+        if workers <= 1 {
+            return self.range.into_iter().find_map(f);
+        }
+
+        let next = AtomicUsize::new(0);
+        let found = AtomicBool::new(false);
+        let slot: Mutex<Option<T>> = Mutex::new(None);
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let next = &next;
+                let found = &found;
+                let slot = &slot;
+                s.spawn(move || {
+                    POOL_THREADS.with(|t| t.set(workers));
+                    while !found.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        if let Some(hit) = f(start + i) {
+                            let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                            if guard.is_none() {
+                                *guard = Some(hit);
+                            }
+                            found.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        slot.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The ambient worker count, mirroring `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn finds_a_match() {
+        let hit =
+            (0..1000usize)
+                .into_par_iter()
+                .find_map_any(|i| if i == 637 { Some(i * 2) } else { None });
+        assert_eq!(hit, Some(1274));
+    }
+
+    #[test]
+    fn exhausted_space_returns_none() {
+        let hit = (0..1000usize).into_par_iter().find_map_any(|_| None::<u32>);
+        assert_eq!(hit, None);
+    }
+
+    #[test]
+    fn empty_range_is_none() {
+        let hit = (5..5usize).into_par_iter().find_map_any(Some);
+        assert_eq!(hit, None);
+    }
+
+    #[test]
+    fn visits_every_item_when_no_match() {
+        let count = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().find_map_any(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+            None::<()>
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn install_bounds_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let max_seen = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..64usize).into_par_iter().find_map_any(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                live.fetch_sub(1, Ordering::SeqCst);
+                None::<()>
+            })
+        });
+        assert!(max_seen.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn nested_find_map_any_works() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let hit = pool.install(|| {
+            (0..8usize).into_par_iter().find_map_any(|i| {
+                (0..8usize).into_par_iter().find_map_any(|j| {
+                    if i == 3 && j == 5 {
+                        Some(i * 10 + j)
+                    } else {
+                        None
+                    }
+                })
+            })
+        });
+        assert_eq!(hit, Some(35));
+    }
+}
