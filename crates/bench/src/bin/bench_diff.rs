@@ -1,0 +1,165 @@
+//! Benchmark-trajectory gate: diffs `BENCH_*.json` medians between two
+//! runs and fails on regressions.
+//!
+//! The vendored criterion writes one `BENCH_<group>.json` per benchmark
+//! group (schema in `BENCHMARKS.md`). The repository commits the previous
+//! run's files at the root, so the perf trajectory is captured run over
+//! run; this tool is the CI step that compares a fresh run against that
+//! baseline:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_diff -- <baseline_dir> <candidate_dir> [threshold]
+//! ```
+//!
+//! A bench regresses when `candidate_median > baseline_median × (1 + t)`
+//! with threshold `t` (default 0.10, overridable by the third argument or
+//! `BENCH_DIFF_THRESHOLD`). Any regression exits non-zero. Benches or
+//! files present on only one side are reported but never fatal, so groups
+//! can be added and retired freely.
+//!
+//! The parser is a minimal scanner over the schema this workspace itself
+//! emits — `"id"`/`"median_ns"` pairs in order — deliberately free of
+//! JSON-crate dependencies (the container has no crates.io access).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// `(file stem, bench id) → median_ns` for every BENCH_*.json in a dir.
+type Medians = BTreeMap<(String, String), f64>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_dir, candidate_dir) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (PathBuf::from(b), PathBuf::from(c)),
+        _ => {
+            eprintln!("usage: bench_diff <baseline_dir> <candidate_dir> [threshold]");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold: f64 = args
+        .get(2)
+        .cloned()
+        .or_else(|| std::env::var("BENCH_DIFF_THRESHOLD").ok())
+        .map(|s| s.parse().expect("threshold must be a number like 0.10"))
+        .unwrap_or(0.10);
+
+    let baseline = collect_medians(&baseline_dir);
+    let candidate = collect_medians(&candidate_dir);
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_diff: no BENCH_*.json under {} — nothing to gate",
+            baseline_dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if candidate.is_empty() {
+        eprintln!(
+            "bench_diff: no BENCH_*.json under {} — did the bench run write JSON?",
+            candidate_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for ((file, id), base) in &baseline {
+        let Some(cand) = candidate.get(&(file.clone(), id.clone())) else {
+            println!("  MISSING  {file}:{id} (baseline {base:.1} ns; not in candidate run)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if *base > 0.0 { cand / base } else { 1.0 };
+        let verdict = if ratio > 1.0 + threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 - threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:>9}  {file}:{id}  {base:.1} ns -> {cand:.1} ns  ({ratio:.2}x)");
+    }
+    for (file, id) in candidate.keys() {
+        if !baseline.contains_key(&(file.clone(), id.clone())) {
+            println!("  NEW      {file}:{id} (no baseline yet)");
+        }
+    }
+
+    println!(
+        "bench_diff: {compared} benches compared, {regressions} regressed \
+         (threshold {:.0}%)",
+        threshold * 100.0
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect_medians(dir: &Path) -> Medians {
+    let mut out = Medians::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let stem = name.trim_end_matches(".json").to_owned();
+        for (id, median) in parse_medians(&text) {
+            out.insert((stem.clone(), id), median);
+        }
+    }
+    out
+}
+
+/// Extracts `(id, median_ns)` pairs from one BENCH_*.json in emission
+/// order. Relies only on the schema the vendored criterion writes: each
+/// bench object contains `"id": "<string>"` followed by
+/// `"median_ns": <number>`.
+fn parse_medians(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = text;
+    while let Some(idx) = rest.find("\"id\"") {
+        rest = &rest[idx + 4..];
+        let Some(id) = next_string_value(rest) else {
+            break;
+        };
+        let Some(midx) = rest.find("\"median_ns\"") else {
+            break;
+        };
+        let after = &rest[midx + 11..];
+        let Some(median) = next_number_value(after) else {
+            break;
+        };
+        pairs.push((id, median));
+    }
+    pairs
+}
+
+/// Parses the next `: "value"` after a key.
+fn next_string_value(s: &str) -> Option<String> {
+    let colon = s.find(':')?;
+    let open = s[colon..].find('"')? + colon;
+    let close = s[open + 1..].find('"')? + open + 1;
+    Some(s[open + 1..close].to_owned())
+}
+
+/// Parses the next `: <number>` after a key.
+fn next_number_value(s: &str) -> Option<f64> {
+    let colon = s.find(':')?;
+    let tail = s[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}

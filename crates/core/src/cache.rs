@@ -1,76 +1,95 @@
-//! Sharded, lock-striped memoisation of *negative* subproblems.
+//! Sharded, lock-striped memoisation of subproblem verdicts — negative
+//! *and* positive.
 //!
 //! `det-k-decomp` owes much of its practical strength to memoising
 //! subproblem results per `(component, connector)` (Gottlob & Samer). The
-//! main `log-k-decomp` recursion historically re-explored failed
-//! subproblems from scratch: the same `[U]`-component with the same
-//! connector arises under many different λ candidates, and every
-//! occurrence repeated the full child-loop enumeration. This module gives
-//! the engine the analogous cache, made sound for the parallel engine:
+//! main `log-k-decomp` recursion historically re-explored subproblems from
+//! scratch: the same `[U]`-component with the same connector arises under
+//! many different λ candidates, and every occurrence repeated the full
+//! child-loop enumeration. This module gives the engine the analogous
+//! cache, made sound for the parallel engine:
 //!
-//! * **Negative results only.** A positive result is a [`Fragment`] whose
-//!   special-leaf ids are only meaningful relative to the arena state of
-//!   the branch that produced it, so positives cannot be shared across
-//!   rayon branches. A *negative* result ("no HD-fragment of width ≤ k
-//!   exists") depends only on the resolved vertex sets, which the key
-//!   captures — so negatives are shareable and re-derivable nowhere.
-//! * **Exhaustive failures only.** The engine inserts a key only when a
-//!   `Decomp` call returns `None` after exhausting its search space.
-//!   Branches that were pruned (a sibling won) or interrupted (timeout /
-//!   cancellation) propagate errors instead and are never cached.
-//! * **Resolved keys.** Special edges are stored by *vertex set*, not by
-//!   arena id: ids are branch-local, vertex sets are canonical. The
-//!   resolved sets are sorted (the `Ord` on `TypedBitSet` exists for
-//!   exactly this) so equal subproblems hash equally regardless of
-//!   discovery order. The `allowed` edge set participates in the key
-//!   because `Decomp`'s result is relative to the allowed λ alphabet.
-//! * **Byte budget.** Mirroring `detk`'s `cache_cap` discipline, the cache
-//!   stops inserting (but keeps serving hits) once its estimated footprint
-//!   exceeds the configured budget.
+//! * **Both verdicts.** A *negative* entry records "no HD-fragment of
+//!   width ≤ k exists" for the resolved subproblem. A *positive* entry
+//!   stores the found fragment in arena-independent form
+//!   ([`PortableFragment`]: special leaves resolved to vertex sets); on a
+//!   hit the fragment is re-interned against the prober's
+//!   [`SpecialArena`] by a set-preserving id-rewrite pass, so a success
+//!   found in one λc branch is reused verbatim by every other branch and
+//!   across recursion levels.
+//! * **Exhaustive failures only.** The engine inserts a negative entry
+//!   only when a `Decomp` call returns `None` after exhausting its search
+//!   space. Branches that were pruned (a sibling won) or interrupted
+//!   (timeout / cancellation) propagate errors and are never cached.
+//!   Positive entries carry a complete witness and are always safe.
+//! * **Resolved keys.** Special edges are keyed by *vertex set*, not by
+//!   arena id: ids are branch-local, vertex sets are canonical. Stored
+//!   keys keep them sorted (the `Ord` on `TypedBitSet` exists for exactly
+//!   this); probes match them as a multiset without sorting — see below.
+//!   The `allowed` edge set participates in the key because `Decomp`'s
+//!   result is relative to the allowed λ alphabet; it is held behind an
+//!   [`Arc`] shared with the engine's recursion, so storing a key bumps a
+//!   refcount instead of duplicating the set.
+//! * **Borrowed-key probes.** Lookups never build an owned key: the probe
+//!   hashes the borrowed `(edges, specials, conn, allowed)` directly
+//!   (specials are combined commutatively, so no sort buffer is needed)
+//!   and walks the hash's bucket comparing stored entries against the
+//!   borrowed data. The owned key is built once, on insert — misses and
+//!   hits allocate nothing.
+//! * **Second-chance eviction.** Instead of freezing inserts at the byte
+//!   budget, each shard runs a CLOCK sweep when an insert would overflow:
+//!   entries touched since the last sweep get a second chance (their
+//!   reference bit is cleared), cold entries are evicted until the new
+//!   entry fits. Hot entries survive memory pressure; the first-come set
+//!   no longer squats the budget.
 //!
 //! Lock striping: keys are spread over 16 shards by hash, so parallel
 //! branches rarely contend on the same mutex.
 
-use std::collections::HashSet;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use decomp::{specials_multiset_match, Fragment, PortableFragment};
 use hypergraph::{EdgeSet, SpecialArena, Subproblem, VertexSet};
 
 const SHARDS: usize = 16;
 
-/// Canonical identity of a `Decomp(H', Conn, A)` call.
-#[derive(PartialEq, Eq, Hash, Debug)]
-pub struct NegKey {
+/// Canonical identity of a `Decomp(H', Conn, A)` call, stored per entry.
+#[derive(Debug)]
+struct SubKey {
     edges: EdgeSet,
     /// Special edges resolved to vertex sets, sorted canonically.
     specials: Vec<VertexSet>,
     conn: VertexSet,
-    allowed: EdgeSet,
+    /// Shared with the engine's recursion: storing a key is a refcount
+    /// bump, not a set clone.
+    allowed: Arc<EdgeSet>,
 }
 
-impl NegKey {
-    /// Builds the canonical key for `(sub, conn, allowed)`, resolving
-    /// special-edge ids through `arena`.
-    pub fn build(
+impl SubKey {
+    fn build(
         arena: &SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
     ) -> Self {
         let mut specials: Vec<VertexSet> =
             sub.specials.iter().map(|&s| arena.get(s).clone()).collect();
         specials.sort_unstable();
-        NegKey {
+        SubKey {
             edges: sub.edges.clone(),
             specials,
             conn: conn.clone(),
-            allowed: allowed.clone(),
+            allowed: Arc::clone(allowed),
         }
     }
 
-    /// Estimated heap footprint in bytes (for the byte budget).
+    /// Estimated heap footprint in bytes (for the byte budget). The
+    /// `allowed` set is physically shared via `Arc` but counted in full —
+    /// a conservative over-estimate that can only make eviction earlier,
+    /// never let the cache overrun its budget.
     fn approx_bytes(&self) -> usize {
         let set_bytes = |s: &EdgeSet| s.capacity().div_ceil(64) * 8 + 32;
         let vset_bytes = |s: &VertexSet| s.capacity().div_ceil(64) * 8 + 32;
@@ -78,34 +97,134 @@ impl NegKey {
             + set_bytes(&self.allowed)
             + vset_bytes(&self.conn)
             + self.specials.iter().map(vset_bytes).sum::<usize>()
-            + 48 // HashSet slot + Vec header overhead
+            + 48 // slot + Vec header overhead
+    }
+
+    /// Whether this stored key describes the borrowed subproblem.
+    fn matches(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) -> bool {
+        self.edges == sub.edges
+            && self.conn == *conn
+            && (Arc::ptr_eq(&self.allowed, allowed) || *self.allowed == **allowed)
+            && specials_multiset_match(&self.specials, arena, &sub.specials)
     }
 }
 
-/// Monotone hit/miss/insert counters, shared across rayon branches.
+/// A memoised verdict: refuted, or solved with a shareable witness.
+#[derive(Debug)]
+enum Verdict {
+    /// No HD-fragment of width ≤ k exists (search space exhausted).
+    Negative,
+    /// A fragment exists; stored arena-independent. `Arc`-wrapped so a
+    /// hit can leave the shard lock before the re-interning clone pass
+    /// runs — parallel branches must not convoy behind fragment clones.
+    Positive(Arc<PortableFragment>),
+}
+
+struct Entry {
+    hash: u64,
+    key: SubKey,
+    verdict: Verdict,
+    /// Byte cost charged against the budget when this entry was stored.
+    cost: usize,
+    /// CLOCK reference bit: set on every hit, cleared (second chance) by
+    /// the eviction sweep.
+    referenced: bool,
+}
+
+/// One lock-striped shard: a slab of entries plus a hash → slot index.
+/// The slab gives the CLOCK hand a stable circular order, which a plain
+/// `HashMap` iteration cannot.
+#[derive(Default)]
+struct Shard {
+    slots: Vec<Option<Entry>>,
+    free: Vec<u32>,
+    index: HashMap<u64, Vec<u32>>,
+    hand: usize,
+}
+
+impl Shard {
+    fn find(
+        &self,
+        hash: u64,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) -> Option<u32> {
+        let ids = self.index.get(&hash)?;
+        ids.iter().copied().find(|&id| {
+            let entry = self.slots[id as usize]
+                .as_ref()
+                .expect("indexed slots are occupied");
+            entry.hash == hash && entry.key.matches(arena, sub, conn, allowed)
+        })
+    }
+
+    fn remove_slot(&mut self, id: u32) -> Entry {
+        let entry = self.slots[id as usize].take().expect("slot occupied");
+        if let Some(ids) = self.index.get_mut(&entry.hash) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.index.remove(&entry.hash);
+            }
+        }
+        self.free.push(id);
+        entry
+    }
+
+    fn place(&mut self, entry: Entry) {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(entry);
+                id
+            }
+            None => {
+                let id = self.slots.len() as u32;
+                self.slots.push(Some(entry));
+                id
+            }
+        };
+        let hash = self.slots[id as usize].as_ref().expect("just placed").hash;
+        self.index.entry(hash).or_default().push(id);
+    }
+}
+
+/// Monotone counters, shared across rayon branches.
 #[derive(Debug, Default)]
-pub struct NegCacheCounters {
-    /// Lookups answered positively (subproblem known unsolvable).
-    pub hits: AtomicU64,
-    /// Lookups that found nothing.
-    pub misses: AtomicU64,
-    /// Keys inserted.
-    pub inserts: AtomicU64,
-    /// Insertions skipped because the byte budget was exhausted.
-    pub rejected: AtomicU64,
+struct Counters {
+    pos_hits: AtomicU64,
+    neg_hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+    id_rewrites: AtomicU64,
 }
 
 /// A point-in-time snapshot of cache state, for stats reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NegCacheSnapshot {
-    /// Lookups answered positively.
-    pub hits: u64,
+pub struct CacheSnapshot {
+    /// Lookups answered with a reusable fragment.
+    pub pos_hits: u64,
+    /// Lookups answered "known unsolvable".
+    pub neg_hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Keys inserted.
+    /// Entries inserted.
     pub inserts: u64,
-    /// Insertions dropped over budget.
+    /// Entries evicted by the second-chance sweep.
+    pub evictions: u64,
+    /// Insertions dropped because eviction could not make room.
     pub rejected: u64,
+    /// Special-leaf id rewrites performed while re-interning positive
+    /// fragments into prober arenas.
+    pub id_rewrites: u64,
     /// Entries currently stored.
     pub entries: usize,
     /// Estimated bytes currently stored.
@@ -114,25 +233,44 @@ pub struct NegCacheSnapshot {
     pub byte_budget: usize,
 }
 
-/// The sharded negative-subproblem cache.
-pub struct NegCache {
-    shards: Vec<Mutex<HashSet<NegKey>>>,
+impl CacheSnapshot {
+    /// Total hits, positive and negative.
+    pub fn hits(&self) -> u64 {
+        self.pos_hits + self.neg_hits
+    }
+}
+
+/// Result of a borrowed-key probe.
+pub enum Probe {
+    /// Known unsolvable subproblem.
+    Negative,
+    /// Known solvable: the stored fragment, re-interned against the
+    /// prober's arena.
+    Positive(Fragment),
+    /// Unknown; carries the key hash so the follow-up insert does not
+    /// recompute it.
+    Miss(u64),
+}
+
+/// The sharded subproblem cache (both verdicts, byte-budgeted, evicting).
+pub struct SubproblemCache {
+    shards: Vec<Mutex<Shard>>,
     hasher: RandomState,
     bytes: AtomicUsize,
     byte_budget: usize,
-    counters: NegCacheCounters,
+    counters: Counters,
 }
 
-impl NegCache {
+impl SubproblemCache {
     /// Creates a cache bounded by `byte_budget` bytes; `0` disables it
     /// (every lookup misses, every insert is dropped).
     pub fn new(byte_budget: usize) -> Self {
-        NegCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        SubproblemCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             hasher: RandomState::new(),
             bytes: AtomicUsize::new(0),
             byte_budget,
-            counters: NegCacheCounters::default(),
+            counters: Counters::default(),
         }
     }
 
@@ -142,48 +280,194 @@ impl NegCache {
         self.byte_budget > 0
     }
 
-    fn shard(&self, key: &NegKey) -> &Mutex<HashSet<NegKey>> {
-        &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
+    /// Hashes the borrowed key parts. Specials are combined with a
+    /// commutative `wrapping_add` of per-set hashes, so the canonical
+    /// (sorted) stored key and the unsorted branch-local view hash
+    /// identically without materialising a sorted buffer.
+    fn key_hash(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &EdgeSet,
+    ) -> u64 {
+        let mut h = self.hasher.hash_one(&sub.edges);
+        h = h.rotate_left(17) ^ self.hasher.hash_one(conn);
+        h = h.rotate_left(17) ^ self.hasher.hash_one(allowed);
+        let mut sp = 0u64;
+        for &s in &sub.specials {
+            sp = sp.wrapping_add(self.hasher.hash_one(arena.get(s)));
+        }
+        h ^ sp
     }
 
-    /// Returns `true` iff `key` is a known-unsolvable subproblem.
-    pub fn contains(&self, key: &NegKey) -> bool {
-        let hit = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .contains(key);
-        let counter = if hit {
-            &self.counters.hits
-        } else {
-            &self.counters.misses
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash as usize) % SHARDS]
+    }
+
+    /// Looks up the subproblem without building an owned key. On a
+    /// positive hit the stored fragment is re-interned against `arena`
+    /// (special-leaf ids rewritten to `sub.specials`).
+    pub fn probe(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) -> Probe {
+        let hash = self.key_hash(arena, sub, conn, allowed);
+        if !self.enabled() {
+            return Probe::Miss(hash);
+        }
+        // Under the lock: find, mark referenced, and (for positives)
+        // clone an `Arc` handle. The fragment re-interning runs unlocked.
+        let hit: Option<Option<Arc<PortableFragment>>> = {
+            let mut shard = self.shard(hash).lock().unwrap_or_else(|e| e.into_inner());
+            shard.find(hash, arena, sub, conn, allowed).map(|id| {
+                let entry = shard.slots[id as usize].as_mut().expect("found slot");
+                entry.referenced = true;
+                match &entry.verdict {
+                    Verdict::Negative => None,
+                    Verdict::Positive(pf) => Some(Arc::clone(pf)),
+                }
+            })
         };
-        counter.fetch_add(1, Ordering::Relaxed);
-        hit
+        match hit {
+            Some(None) => {
+                self.counters.neg_hits.fetch_add(1, Ordering::Relaxed);
+                return Probe::Negative;
+            }
+            Some(Some(pf)) => {
+                if let Some((frag, rewrites)) = pf.instantiate(arena, &sub.specials) {
+                    self.counters.pos_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .id_rewrites
+                        .fetch_add(rewrites, Ordering::Relaxed);
+                    return Probe::Positive(frag);
+                }
+                // A matched key must instantiate: the leaf multiset
+                // equals the key's specials equals the probe's.
+                debug_assert!(false, "matched positive entry failed to instantiate");
+            }
+            None => {}
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        Probe::Miss(hash)
     }
 
-    /// Records `key` as exhaustively failed, unless the byte budget is
-    /// spent.
-    pub fn insert(&self, key: NegKey) {
-        let cost = key.approx_bytes();
-        // Reserve-then-rollback keeps the cap exact under concurrent
-        // inserts (a plain load-check would let racing branches all pass).
-        let prev = self.bytes.fetch_add(cost, Ordering::Relaxed);
-        if prev + cost > self.byte_budget {
-            self.bytes.fetch_sub(cost, Ordering::Relaxed);
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+    /// Records the subproblem as exhaustively failed.
+    pub fn insert_negative(
+        &self,
+        hash: u64,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) {
+        if !self.enabled() {
             return;
         }
-        let inserted = self
-            .shard(&key)
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key);
-        if inserted {
-            self.counters.inserts.fetch_add(1, Ordering::Relaxed);
-        } else {
-            // Duplicate key (another branch beat us): release the bytes.
-            self.bytes.fetch_sub(cost, Ordering::Relaxed);
+        let key = SubKey::build(arena, sub, conn, allowed);
+        self.insert_entry(hash, key, Verdict::Negative, arena, sub, conn, allowed);
+    }
+
+    /// Records a found fragment for the subproblem, resolved to
+    /// arena-independent form.
+    pub fn insert_positive(
+        &self,
+        hash: u64,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+        frag: &Fragment,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let portable = PortableFragment::from_fragment(frag, arena);
+        debug_assert_eq!(
+            portable.num_special_leaves(),
+            sub.specials.len(),
+            "a fragment covers each special of its subproblem by one leaf"
+        );
+        let key = SubKey::build(arena, sub, conn, allowed);
+        self.insert_entry(
+            hash,
+            key,
+            Verdict::Positive(Arc::new(portable)),
+            arena,
+            sub,
+            conn,
+            allowed,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert_entry(
+        &self,
+        hash: u64,
+        key: SubKey,
+        verdict: Verdict,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) {
+        let cost = key.approx_bytes()
+            + match &verdict {
+                Verdict::Negative => 0,
+                Verdict::Positive(pf) => pf.approx_bytes(),
+            };
+        let mut shard = self.shard(hash).lock().unwrap_or_else(|e| e.into_inner());
+        // Duplicate key (another branch beat us): keep the incumbent.
+        if shard.find(hash, arena, sub, conn, allowed).is_some() {
+            return;
+        }
+        // Reserve-then-sweep keeps the cap exact under concurrent inserts;
+        // the CLOCK sweep frees cold entries of this shard until the new
+        // entry fits (hash striping is uniform, so per-shard pressure
+        // tracks global pressure).
+        let prev = self.bytes.fetch_add(cost, Ordering::Relaxed);
+        if prev + cost > self.byte_budget {
+            self.sweep(&mut shard);
+            if self.bytes.load(Ordering::Relaxed) > self.byte_budget {
+                self.bytes.fetch_sub(cost, Ordering::Relaxed);
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        shard.place(Entry {
+            hash,
+            key,
+            verdict,
+            cost,
+            referenced: false,
+        });
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Second-chance (CLOCK) sweep over one shard: referenced entries are
+    /// spared once (bit cleared), unreferenced entries are evicted, until
+    /// the global footprint fits the budget or two full revolutions have
+    /// given every entry its chance.
+    fn sweep(&self, shard: &mut Shard) {
+        let n = shard.slots.len();
+        let mut steps = 0usize;
+        while steps < 2 * n && self.bytes.load(Ordering::Relaxed) > self.byte_budget {
+            let i = shard.hand % n;
+            shard.hand = (shard.hand + 1) % n.max(1);
+            steps += 1;
+            let Some(entry) = shard.slots[i].as_mut() else {
+                continue;
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                continue;
+            }
+            let evicted = shard.remove_slot(i as u32);
+            self.bytes.fetch_sub(evicted.cost, Ordering::Relaxed);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -191,7 +475,14 @@ impl NegCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .slots
+                    .iter()
+                    .flatten()
+                    .count()
+            })
             .sum()
     }
 
@@ -201,12 +492,15 @@ impl NegCache {
     }
 
     /// Point-in-time snapshot of counters and footprint.
-    pub fn snapshot(&self) -> NegCacheSnapshot {
-        NegCacheSnapshot {
-            hits: self.counters.hits.load(Ordering::Relaxed),
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            pos_hits: self.counters.pos_hits.load(Ordering::Relaxed),
+            neg_hits: self.counters.neg_hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             inserts: self.counters.inserts.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
+            id_rewrites: self.counters.id_rewrites.load(Ordering::Relaxed),
             entries: self.len(),
             bytes: self.bytes.load(Ordering::Relaxed),
             byte_budget: self.byte_budget,
@@ -217,32 +511,55 @@ impl NegCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypergraph::{Hypergraph, Vertex};
-
-    fn key_for(hg: &Hypergraph, arena: &SpecialArena, edges: &[u32]) -> NegKey {
-        let mut sub = Subproblem::empty(hg);
-        for &e in edges {
-            sub.edges.insert(hypergraph::Edge(e));
-        }
-        NegKey::build(arena, &sub, &hg.vertex_set(), &hg.all_edges())
-    }
+    use decomp::Fragment;
+    use hypergraph::{Edge, Hypergraph, Vertex};
 
     fn hg4() -> Hypergraph {
         Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]])
     }
 
+    fn sub_of(hg: &Hypergraph, edges: &[u32]) -> Subproblem {
+        let mut sub = Subproblem::empty(hg);
+        for &e in edges {
+            sub.edges.insert(Edge(e));
+        }
+        sub
+    }
+
+    fn probe_hash(
+        cache: &SubproblemCache,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) -> u64 {
+        match cache.probe(arena, sub, conn, allowed) {
+            Probe::Miss(h) => h,
+            _ => panic!("expected a miss"),
+        }
+    }
+
     #[test]
-    fn insert_then_hit() {
+    fn insert_negative_then_hit() {
         let hg = hg4();
         let arena = SpecialArena::new();
-        let cache = NegCache::new(1 << 20);
-        let k = key_for(&hg, &arena, &[0, 1]);
-        assert!(!cache.contains(&k));
-        cache.insert(key_for(&hg, &arena, &[0, 1]));
-        assert!(cache.contains(&k));
-        assert!(!cache.contains(&key_for(&hg, &arena, &[0, 2])));
+        let cache = SubproblemCache::new(1 << 20);
+        let conn = hg.vertex_set();
+        let allowed = Arc::new(hg.all_edges());
+        let sub = sub_of(&hg, &[0, 1]);
+        let h = probe_hash(&cache, &arena, &sub, &conn, &allowed);
+        cache.insert_negative(h, &arena, &sub, &conn, &allowed);
+        assert!(matches!(
+            cache.probe(&arena, &sub, &conn, &allowed),
+            Probe::Negative
+        ));
+        let other = sub_of(&hg, &[0, 2]);
+        assert!(matches!(
+            cache.probe(&arena, &other, &conn, &allowed),
+            Probe::Miss(_)
+        ));
         let snap = cache.snapshot();
-        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.neg_hits, 1);
         assert_eq!(snap.misses, 2);
         assert_eq!(snap.inserts, 1);
         assert_eq!(snap.entries, 1);
@@ -250,48 +567,135 @@ mod tests {
     }
 
     #[test]
-    fn specials_resolve_by_vertex_set_not_id() {
+    fn positive_fragment_reinterns_across_arenas() {
         let hg = hg4();
+        let n = hg.num_vertices();
         let mut a1 = SpecialArena::new();
         let mut a2 = SpecialArena::new();
         // Same vertex set registered under different ids in two arenas.
-        let _pad = a2.push(VertexSet::from_iter(4, [Vertex(3)]));
-        let s1 = a1.push(VertexSet::from_iter(4, [Vertex(0), Vertex(2)]));
-        let s2 = a2.push(VertexSet::from_iter(4, [Vertex(0), Vertex(2)]));
-        let mut sub1 = Subproblem::empty(&hg);
-        sub1.edges.insert(hypergraph::Edge(1));
+        let _pad = a2.push(VertexSet::from_iter(n, [Vertex(3)]));
+        let s1 = a1.push(VertexSet::from_iter(n, [Vertex(0), Vertex(2)]));
+        let s2 = a2.push(VertexSet::from_iter(n, [Vertex(0), Vertex(2)]));
+        let mut sub1 = sub_of(&hg, &[1]);
         sub1.specials.push(s1);
-        let mut sub2 = Subproblem::empty(&hg);
-        sub2.edges.insert(hypergraph::Edge(1));
+        let mut sub2 = sub_of(&hg, &[1]);
         sub2.specials.push(s2);
         let conn = hg.vertex_set();
-        let allowed = hg.all_edges();
-        let k1 = NegKey::build(&a1, &sub1, &conn, &allowed);
-        let k2 = NegKey::build(&a2, &sub2, &conn, &allowed);
-        assert_eq!(k1, k2);
+        let allowed = Arc::new(hg.all_edges());
+
+        // A fragment for sub1: a root plus the special leaf.
+        let mut frag = Fragment::leaf(vec![Edge(1)], hg.union_of_slice(&[Edge(1)]));
+        frag.attach_under(0, Fragment::special_leaf(s1, a1.get(s1).clone()));
+
+        let cache = SubproblemCache::new(1 << 20);
+        let h = probe_hash(&cache, &a1, &sub1, &conn, &allowed);
+        cache.insert_positive(h, &a1, &sub1, &conn, &allowed, &frag);
+
+        // The other arena's view of the same resolved subproblem hits and
+        // gets the fragment rewritten to *its* id.
+        match cache.probe(&a2, &sub2, &conn, &allowed) {
+            Probe::Positive(got) => {
+                assert_eq!(got.find_special_leaf(s2), Some(1));
+            }
+            _ => panic!("expected a positive hit"),
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.pos_hits, 1);
+        assert_eq!(snap.id_rewrites, 1);
     }
 
     #[test]
-    fn byte_budget_caps_inserts() {
+    fn clock_eviction_keeps_referenced_entries() {
+        // The sweep is per-shard, so the test needs three keys that land
+        // in the *same* shard. Shard choice depends on the run's random
+        // hash seed; enumerate enough candidate subproblems that the
+        // pigeonhole principle guarantees a triple in some shard, and read
+        // each key's hash off the `Probe::Miss` it returns.
+        let edges: Vec<Vec<u32>> = (0..12u32).map(|i| vec![i, (i + 1) % 12]).collect();
+        let hg = Hypergraph::from_edge_lists(&edges);
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let allowed = Arc::new(hg.all_edges());
+
+        let mut candidates: Vec<Subproblem> = Vec::new();
+        for i in 0..12u32 {
+            for j in i + 1..12 {
+                candidates.push(sub_of(&hg, &[i, j]));
+            }
+        }
+        // All candidate keys have identical capacity-derived cost.
+        let one_cost = SubKey::build(&arena, &candidates[0], &conn, &allowed).approx_bytes();
+        let cache = SubproblemCache::new(2 * one_cost + one_cost / 2);
+        let mut by_shard: Vec<Vec<(Subproblem, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for sub in candidates {
+            let h = probe_hash(&cache, &arena, &sub, &conn, &allowed);
+            by_shard[(h as usize) % SHARDS].push((sub, h));
+        }
+        let triple = by_shard
+            .into_iter()
+            .find(|v| v.len() >= 3)
+            .expect("66 keys over 16 shards must collide");
+        let [(hot, h_hot), (cold, h_cold), (new, h_new)] = &triple[..3] else {
+            unreachable!()
+        };
+
+        cache.insert_negative(*h_hot, &arena, hot, &conn, &allowed);
+        cache.insert_negative(*h_cold, &arena, cold, &conn, &allowed);
+        // Touch the hot entry so its reference bit is set.
+        assert!(matches!(
+            cache.probe(&arena, hot, &conn, &allowed),
+            Probe::Negative
+        ));
+
+        // Third insert overflows the budget: the sweep gives the hot
+        // entry its second chance and evicts the cold one.
+        cache.insert_negative(*h_new, &arena, new, &conn, &allowed);
+
+        let snap = cache.snapshot();
+        assert_eq!(snap.evictions, 1, "sweep must evict the cold entry");
+        assert!(
+            matches!(cache.probe(&arena, hot, &conn, &allowed), Probe::Negative),
+            "referenced entry must survive the sweep"
+        );
+        assert!(
+            matches!(cache.probe(&arena, new, &conn, &allowed), Probe::Negative),
+            "new entry must be stored after the sweep"
+        );
+        assert!(
+            matches!(cache.probe(&arena, cold, &conn, &allowed), Probe::Miss(_)),
+            "cold entry must be gone"
+        );
+        assert!(snap.bytes <= 2 * one_cost + one_cost / 2);
+    }
+
+    #[test]
+    fn overflow_insert_is_rejected_when_nothing_fits() {
         let hg = hg4();
         let arena = SpecialArena::new();
-        let one_key_cost = key_for(&hg, &arena, &[0]).approx_bytes();
-        let cache = NegCache::new(one_key_cost + 1);
-        cache.insert(key_for(&hg, &arena, &[0]));
-        cache.insert(key_for(&hg, &arena, &[1]));
+        let conn = hg.vertex_set();
+        let allowed = Arc::new(hg.all_edges());
+        let sub = sub_of(&hg, &[0]);
+        let cost = SubKey::build(&arena, &sub, &conn, &allowed).approx_bytes();
+        let cache = SubproblemCache::new(cost / 2); // nothing ever fits
+        let h = probe_hash(&cache, &arena, &sub, &conn, &allowed);
+        cache.insert_negative(h, &arena, &sub, &conn, &allowed);
         let snap = cache.snapshot();
-        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.inserts, 0);
         assert_eq!(snap.rejected, 1);
-        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.bytes, 0, "rejected insert must release its bytes");
     }
 
     #[test]
     fn disabled_cache_never_stores() {
         let hg = hg4();
         let arena = SpecialArena::new();
-        let cache = NegCache::new(0);
+        let cache = SubproblemCache::new(0);
         assert!(!cache.enabled());
-        cache.insert(key_for(&hg, &arena, &[0]));
+        let conn = hg.vertex_set();
+        let allowed = Arc::new(hg.all_edges());
+        let sub = sub_of(&hg, &[0]);
+        let h = probe_hash(&cache, &arena, &sub, &conn, &allowed);
+        cache.insert_negative(h, &arena, &sub, &conn, &allowed);
         assert!(cache.is_empty());
     }
 
@@ -299,17 +703,36 @@ mod tests {
     fn allowed_set_distinguishes_keys() {
         let hg = hg4();
         let arena = SpecialArena::new();
-        let mut sub = Subproblem::empty(&hg);
-        sub.edges.insert(hypergraph::Edge(0));
+        let sub = sub_of(&hg, &[0]);
         let conn = hg.vertex_set();
-        let all = hg.all_edges();
+        let all = Arc::new(hg.all_edges());
         let mut restricted = hg.all_edges();
-        restricted.remove(hypergraph::Edge(3));
-        let k_all = NegKey::build(&arena, &sub, &conn, &all);
-        let k_res = NegKey::build(&arena, &sub, &conn, &restricted);
-        assert_ne!(k_all, k_res);
-        let cache = NegCache::new(1 << 20);
-        cache.insert(k_all);
-        assert!(!cache.contains(&k_res));
+        restricted.remove(Edge(3));
+        let restricted = Arc::new(restricted);
+        let cache = SubproblemCache::new(1 << 20);
+        let h = probe_hash(&cache, &arena, &sub, &conn, &all);
+        cache.insert_negative(h, &arena, &sub, &conn, &all);
+        assert!(matches!(
+            cache.probe(&arena, &sub, &conn, &restricted),
+            Probe::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_inserts_keep_one_entry() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let allowed = Arc::new(hg.all_edges());
+        let sub = sub_of(&hg, &[0, 1]);
+        let cache = SubproblemCache::new(1 << 20);
+        let h = probe_hash(&cache, &arena, &sub, &conn, &allowed);
+        cache.insert_negative(h, &arena, &sub, &conn, &allowed);
+        let bytes_once = cache.snapshot().bytes;
+        cache.insert_negative(h, &arena, &sub, &conn, &allowed);
+        let snap = cache.snapshot();
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.bytes, bytes_once, "duplicate must not leak bytes");
     }
 }

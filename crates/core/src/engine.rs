@@ -22,10 +22,15 @@
 //!   path (`⋃λ` computation, `[U]`-component splitting, balance and
 //!   cover checks) performs **zero heap allocations** in the steady
 //!   state. Allocation only happens when a fragment is actually built.
-//! * **Negative-subproblem memoisation.** A sharded, lock-striped
-//!   [`NegCache`] records exhaustively-failed `Decomp` calls by resolved
-//!   content, so the recursion never re-explores a subproblem any branch
-//!   has already refuted. See [`crate::cache`] for the soundness argument.
+//! * **Subproblem memoisation.** A sharded, lock-striped
+//!   [`SubproblemCache`] records `Decomp` verdicts by resolved content:
+//!   exhaustive failures as negative entries, found fragments as
+//!   arena-independent positives re-interned on reuse — so the recursion
+//!   neither re-explores a refuted subproblem nor re-derives a fragment
+//!   any branch has already built. See [`crate::cache`] for the
+//!   soundness argument. The `det-k-decomp` handoffs of the hybrid mode
+//!   share one lock-striped memo table ([`detk::SharedMemo`]) the same
+//!   way, instead of rebuilding a private table per handoff.
 //!
 //! Parallelisation follows Appendix D.1: the λc search space is partitioned
 //! by lead edge across a rayon pool, and sibling branches are pruned as
@@ -36,22 +41,24 @@
 //! ([`SpecialArena::seal`]): the shared prefix moves behind an `Arc` and
 //! each branch's "clone" is a reference-count bump instead of a deep copy.
 
+use std::cell::Cell;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
-use detk::DetKDecomp;
+use detk::{DetKDecomp, MemoSnapshot, SharedMemo};
 use hypergraph::subsets::{for_each_subset_in, for_each_subset_with_lead_in};
 use hypergraph::{
     separate_into, Component, Edge, EdgeSet, Hypergraph, Scratch, Separation, SpecialArena,
     Subproblem, VertexSet,
 };
 
-use crate::cache::{NegCache, NegCacheSnapshot, NegKey};
+use crate::cache::{CacheSnapshot, Probe, SubproblemCache};
 
-/// Default byte budget for the negative-subproblem cache (32 MiB),
+/// Default byte budget for the subproblem cache (32 MiB),
 /// mirroring the memory-limit discipline of the paper's experiments.
-pub const DEFAULT_NEG_CACHE_BYTES: usize = 32 << 20;
+pub const DEFAULT_CACHE_BYTES: usize = 32 << 20;
 
 /// Default entry cap for the `det-k-decomp` handoff memo table.
 pub const DEFAULT_DETK_CACHE_CAP: usize = DetKDecomp::DEFAULT_CACHE_CAP;
@@ -132,7 +139,7 @@ pub struct EngineConfig {
     /// child (`A_up = A \ comp_down.E`, the "allowed edges" optimisation).
     /// On by default.
     pub use_allowed_edges: bool,
-    /// Byte budget for the negative-subproblem cache; `0` disables
+    /// Byte budget for the subproblem cache (both verdicts); `0` disables
     /// memoisation entirely.
     pub cache_bytes: usize,
     /// Entry cap for the memo table of `det-k-decomp` handoffs
@@ -150,7 +157,7 @@ impl EngineConfig {
             root_fallthrough: false,
             restrict_parent_search: true,
             use_allowed_edges: true,
-            cache_bytes: DEFAULT_NEG_CACHE_BYTES,
+            cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
         }
     }
@@ -218,6 +225,12 @@ pub struct EngineStats {
     pub detk_handoffs: AtomicU64,
     /// Largest memo-table size observed across `det-k-decomp` handoffs.
     pub detk_cache_peak: AtomicUsize,
+    /// λc candidates enumerated but rejected (no progress, unbalanced, or
+    /// no completable parent/child pair). The candidate-order heuristic
+    /// exists to shrink this number.
+    pub lambda_c_rejected: AtomicU64,
+    /// λp candidates enumerated but rejected.
+    pub lambda_p_rejected: AtomicU64,
 }
 
 impl EngineStats {
@@ -255,6 +268,82 @@ impl EngineStats {
     pub fn detk_cache_peak(&self) -> usize {
         self.detk_cache_peak.load(Ordering::Relaxed)
     }
+
+    /// Snapshot of rejected λc candidates.
+    pub fn lambda_c_rejected(&self) -> u64 {
+        self.lambda_c_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of rejected λp candidates.
+    pub fn lambda_p_rejected(&self) -> u64 {
+        self.lambda_p_rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-level meters, shared by the split borrows of a [`LevelScratch`]
+/// through interior mutability (one level is always single-threaded, so
+/// `Cell` suffices). Folded into [`EngineStats`] when the level retires.
+#[derive(Debug, Default)]
+struct LevelMeters {
+    /// Buffer growths in this level's non-BFS scratch: the vertex-set
+    /// buffers (`⋃λ`, `χ`, connector) and the candidate/enumeration
+    /// `Vec`s — every `_into` sink and `copy_from` threads its grow flag
+    /// here, completing the regrowth meter's coverage.
+    grow: Cell<u64>,
+    /// λc candidates rejected at this level.
+    rejected_c: Cell<u64>,
+    /// λp candidates rejected at this level.
+    rejected_p: Cell<u64>,
+}
+
+impl LevelMeters {
+    #[inline]
+    fn bump_grow(&self, grew: bool) {
+        if grew {
+            self.grow.set(self.grow.get() + 1);
+        }
+    }
+
+    #[inline]
+    fn reject_c(&self) {
+        self.rejected_c.set(self.rejected_c.get() + 1);
+    }
+
+    #[inline]
+    fn reject_p(&self) {
+        self.rejected_p.set(self.rejected_p.get() + 1);
+    }
+}
+
+/// Totals of the per-level meters, for delta reporting when a pooled
+/// scratch bundle retires.
+#[derive(Clone, Copy, Debug, Default)]
+struct MeterTotals {
+    grow: u64,
+    rejected_c: u64,
+    rejected_p: u64,
+}
+
+impl std::ops::Add for MeterTotals {
+    type Output = MeterTotals;
+    fn add(self, rhs: MeterTotals) -> MeterTotals {
+        MeterTotals {
+            grow: self.grow + rhs.grow,
+            rejected_c: self.rejected_c + rhs.rejected_c,
+            rejected_p: self.rejected_p + rhs.rejected_p,
+        }
+    }
+}
+
+impl std::ops::Sub for MeterTotals {
+    type Output = MeterTotals;
+    fn sub(self, rhs: MeterTotals) -> MeterTotals {
+        MeterTotals {
+            grow: self.grow - rhs.grow,
+            rejected_c: self.rejected_c - rhs.rejected_c,
+            rejected_p: self.rejected_p - rhs.rejected_p,
+        }
+    }
 }
 
 /// Per-recursion-level scratch buffers. Everything the child/parent loops
@@ -262,6 +351,8 @@ impl EngineStats {
 /// once a level is warm.
 #[derive(Default)]
 struct LevelScratch {
+    /// Growth and rejection meters for this level.
+    meters: LevelMeters,
     /// BFS buffers for `separate_into`.
     bfs: Scratch,
     /// `[⋃λc]`-components of the subproblem.
@@ -316,13 +407,24 @@ impl ScratchStack {
         self.levels[depth] = Some(lvl);
     }
 
-    /// Total buffer-growth events across the stack's BFS scratches.
-    fn grow_events(&self) -> u64 {
+    /// Meter totals (growth + rejections) across the stack's levels.
+    fn totals(&self) -> MeterTotals {
         self.levels
             .iter()
             .flatten()
-            .map(|l| l.bfs.grow_events)
-            .sum()
+            .fold(MeterTotals::default(), |t, l| t + l.totals())
+    }
+}
+
+impl LevelScratch {
+    /// This level's meter totals: the BFS scratch's growth counter plus
+    /// the level's own (vertex-set / `Vec`) meters.
+    fn totals(&self) -> MeterTotals {
+        MeterTotals {
+            grow: self.bfs.grow_events + self.meters.grow.get(),
+            rejected_c: self.meters.rejected_c.get(),
+            rejected_p: self.meters.rejected_p.get(),
+        }
     }
 }
 
@@ -334,14 +436,14 @@ impl ScratchStack {
 struct BranchScratch {
     stack: ScratchStack,
     lvl: LevelScratch,
-    /// Growth events already folded into `EngineStats`, so re-pooled
+    /// Meter totals already folded into `EngineStats`, so re-pooled
     /// bundles only report the delta since their last retirement.
-    grow_reported: u64,
+    reported: MeterTotals,
 }
 
 impl BranchScratch {
-    fn grow_events(&self) -> u64 {
-        self.lvl.bfs.grow_events + self.stack.grow_events()
+    fn totals(&self) -> MeterTotals {
+        self.lvl.totals() + self.stack.totals()
     }
 }
 
@@ -350,6 +452,7 @@ impl BranchScratch {
 /// over), nested to mirror the recursion — `ChildCtx` ⊃ [`PairCtx`]
 /// (λp search) ⊃ [`DownCtx`] (recursing below/above a fixed pair).
 struct ChildCtx<'a> {
+    meters: &'a LevelMeters,
     seps_c: &'a mut Separation,
     union_c: &'a mut VertexSet,
     chi_root: &'a mut VertexSet,
@@ -370,6 +473,7 @@ struct PairCtx<'a> {
 /// `finish_pair`): the BFS workspace, the `[χc]`-split of `comp_down`,
 /// the per-child connector, and the scratch stack for deeper levels.
 struct DownCtx<'a> {
+    meters: &'a LevelMeters,
     bfs: &'a mut Scratch,
     seps_down: &'a mut Separation,
     conn_child: &'a mut VertexSet,
@@ -390,6 +494,7 @@ impl LevelScratch {
     /// single place where scratch buffers are wired to their roles.
     fn split<'a>(&'a mut self, stack: &'a mut ScratchStack) -> (ChildCtx<'a>, EnumBufs<'a>) {
         let LevelScratch {
+            meters,
             bfs,
             seps_c,
             seps_p,
@@ -405,8 +510,10 @@ impl LevelScratch {
             lam_buf,
             lam_buf_p,
         } = self;
+        let meters = &*meters;
         (
             ChildCtx {
+                meters,
                 seps_c,
                 union_c,
                 chi_root,
@@ -417,6 +524,7 @@ impl LevelScratch {
                     union_p,
                     chi_pair,
                     down: DownCtx {
+                        meters,
                         bfs,
                         seps_down,
                         conn_child,
@@ -442,7 +550,18 @@ pub struct LogKEngine<'h> {
     ctrl: &'h Control,
     cfg: EngineConfig,
     stats: EngineStats,
-    cache: NegCache,
+    /// Candidate-enumeration rank per edge id: position in the
+    /// (descending arity, ascending id) order — the balance-likelihood
+    /// heuristic, since larger edges are likelier to cover `Conn` and to
+    /// balance-separate. Computed once; candidate buffers are built by
+    /// walking the (word-skipping) `allowed` bitset and rank-sorting the
+    /// small result, so the per-candidate cost stays proportional to the
+    /// allowed set, not to `|E(H)|`.
+    edge_rank: Vec<u32>,
+    cache: SubproblemCache,
+    /// One `det-k-decomp` memo table shared by every hybrid handoff and
+    /// rayon branch (previously each handoff rebuilt a private table).
+    detk_memo: SharedMemo,
     /// Warm scratch bundles recycled across parallel branches.
     branch_pool: std::sync::Mutex<Vec<BranchScratch>>,
 }
@@ -454,12 +573,20 @@ impl<'h> LogKEngine<'h> {
     /// Creates an engine over `hg` with the given configuration.
     pub fn new(hg: &'h Hypergraph, ctrl: &'h Control, cfg: EngineConfig) -> Self {
         assert!(cfg.k >= 1, "width parameter k must be at least 1");
+        let mut order: Vec<Edge> = hg.edge_ids().collect();
+        order.sort_unstable_by_key(|&e| (std::cmp::Reverse(hg.edge(e).len()), e.0));
+        let mut edge_rank = vec![0u32; hg.num_edges()];
+        for (rank, e) in order.into_iter().enumerate() {
+            edge_rank[e.0 as usize] = rank as u32;
+        }
         LogKEngine {
             hg,
             ctrl,
             cfg,
             stats: EngineStats::default(),
-            cache: NegCache::new(cfg.cache_bytes),
+            edge_rank,
+            cache: SubproblemCache::new(cfg.cache_bytes),
+            detk_memo: SharedMemo::new(cfg.k, cfg.detk_cache_cap),
             branch_pool: std::sync::Mutex::new(Vec::new()),
         }
     }
@@ -469,9 +596,14 @@ impl<'h> LogKEngine<'h> {
         &self.stats
     }
 
-    /// Snapshot of the negative-subproblem cache counters.
-    pub fn cache_snapshot(&self) -> NegCacheSnapshot {
+    /// Snapshot of the subproblem-cache counters.
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
         self.cache.snapshot()
+    }
+
+    /// Snapshot of the shared `det-k-decomp` memo-table counters.
+    pub fn detk_memo_snapshot(&self) -> MemoSnapshot {
+        self.detk_memo.snapshot()
     }
 
     /// Decides `hw(H) ≤ k`, materialising a witness HD on success.
@@ -487,11 +619,9 @@ impl<'h> LogKEngine<'h> {
         let mut stack = ScratchStack::new();
         let sub = Subproblem::whole(self.hg);
         let conn = self.hg.vertex_set();
-        let allowed = self.hg.all_edges();
+        let allowed = Arc::new(self.hg.all_edges());
         let result = self.decomp(&mut arena, &sub, &conn, &allowed, 0, None, &mut stack);
-        self.stats
-            .scratch_grow_events
-            .fetch_add(stack.grow_events(), Ordering::Relaxed);
+        self.fold_meters(stack.totals());
         match result {
             Ok(Some(frag)) => Ok(Some(
                 frag.into_decomposition()
@@ -503,15 +633,28 @@ impl<'h> LogKEngine<'h> {
         }
     }
 
+    /// Folds retired scratch meters into the engine statistics.
+    fn fold_meters(&self, t: MeterTotals) {
+        self.stats
+            .scratch_grow_events
+            .fetch_add(t.grow, Ordering::Relaxed);
+        self.stats
+            .lambda_c_rejected
+            .fetch_add(t.rejected_c, Ordering::Relaxed);
+        self.stats
+            .lambda_p_rejected
+            .fetch_add(t.rejected_p, Ordering::Relaxed);
+    }
+
     /// Function `Decomp(H', Conn, A)` of Algorithm 2, wrapped with the
-    /// negative-subproblem memoisation.
+    /// subproblem memoisation.
     #[allow(clippy::too_many_arguments)]
     fn decomp(
         &self,
         arena: &mut SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         stack: &mut ScratchStack,
@@ -534,25 +677,34 @@ impl<'h> LogKEngine<'h> {
             return Ok(None); // negative base case
         }
 
-        // Memoisation: if any branch has already exhausted this exact
-        // subproblem, fail immediately. The key resolves special-edge ids
-        // to vertex sets, so it is meaningful across branches and solves.
-        let neg_key = if self.cache.enabled() {
-            let key = NegKey::build(arena, sub, conn, allowed);
-            if self.cache.contains(&key) {
-                return Ok(None);
+        // Memoisation: the borrowed-key probe resolves special-edge ids to
+        // vertex sets, so verdicts are meaningful across branches and
+        // recursion levels. A negative hit fails immediately; a positive
+        // hit returns the stored fragment re-interned into this branch's
+        // arena — no re-derivation either way.
+        let pending = if self.cache.enabled() {
+            match self.cache.probe(arena, sub, conn, allowed) {
+                Probe::Negative => return Ok(None),
+                Probe::Positive(frag) => return Ok(Some(frag)),
+                Probe::Miss(hash) => Some(hash),
             }
-            Some(key)
         } else {
             None
         };
 
         let result = self.solve_subproblem(arena, sub, conn, allowed, depth, prune, stack);
-        if let (Ok(None), Some(key)) = (&result, neg_key) {
-            // `Ok(None)` is only reachable by exhausting the search space:
-            // pruned or interrupted branches propagate `Err` instead, so
-            // the negative verdict is safe to share.
-            self.cache.insert(key);
+        if let Some(hash) = pending {
+            match &result {
+                // `Ok(None)` is only reachable by exhausting the search
+                // space: pruned or interrupted branches propagate `Err`
+                // instead, so the negative verdict is safe to share.
+                Ok(None) => self.cache.insert_negative(hash, arena, sub, conn, allowed),
+                // A found fragment is a complete witness — always safe.
+                Ok(Some(frag)) => self
+                    .cache
+                    .insert_positive(hash, arena, sub, conn, allowed, frag),
+                Err(_) => {}
+            }
         }
         result
     }
@@ -565,22 +717,24 @@ impl<'h> LogKEngine<'h> {
         arena: &mut SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         stack: &mut ScratchStack,
     ) -> FragResult {
         // Hybrid handoff (Appendix D.2): once the subproblem is simple,
-        // delegate to det-k-decomp (extended to special edges).
+        // delegate to det-k-decomp (extended to special edges). Every
+        // handoff shares the engine-wide memo table, so det-k work done by
+        // one branch is never repeated by another.
         if let Some(h) = self.cfg.hybrid {
             if h.metric.evaluate(self.hg, arena, sub, self.cfg.k) < h.threshold {
                 let mut detk = DetKDecomp::new(self.hg, self.cfg.k, self.ctrl)
-                    .with_cache_cap(self.cfg.detk_cache_cap);
+                    .with_shared_memo(&self.detk_memo);
                 let result = detk.decompose(arena, sub, conn).map_err(Stop::External);
                 self.stats.detk_handoffs.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .detk_cache_peak
-                    .fetch_max(detk.cache_len(), Ordering::Relaxed);
+                    .fetch_max(self.detk_memo.len(), Ordering::Relaxed);
                 return result;
             }
         }
@@ -602,7 +756,7 @@ impl<'h> LogKEngine<'h> {
         arena: &mut SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         stack: &mut ScratchStack,
@@ -615,12 +769,17 @@ impl<'h> LogKEngine<'h> {
             lam_buf,
         } = bufs;
 
-        sub.vertices_into(self.hg, arena, vsub);
-        // λc candidates: allowed edges touching the subproblem. Edges
-        // disjoint from V(H') cannot contribute to χc, to balance checks or
-        // to Conn coverage, so dropping them preserves completeness.
+        ctx.meters
+            .bump_grow(sub.vertices_into(self.hg, arena, vsub));
+        // λc candidates: allowed edges touching the subproblem, in
+        // balance-likelihood order. Edges disjoint from V(H') cannot
+        // contribute to χc, to balance checks or to Conn coverage, so
+        // dropping them preserves completeness.
+        let cands_cap = cands.capacity();
         cands.clear();
         cands.extend(allowed.iter().filter(|&e| self.hg.edge(e).intersects(vsub)));
+        cands.sort_unstable_by_key(|&e| self.edge_rank[e.0 as usize]);
+        ctx.meters.bump_grow(cands.capacity() > cands_cap);
 
         let checkpoint = arena.len();
         let result = if depth < self.cfg.parallel_depth && cands.len() > 1 {
@@ -628,11 +787,13 @@ impl<'h> LogKEngine<'h> {
             arena.seal();
             self.child_loop_parallel(arena, sub, conn, allowed, depth, prune, vsub, cands)
         } else {
+            let lam_cap = lam_buf.capacity();
             let found = for_each_subset_in(cands, self.cfg.k, lam_buf, |lam_c| {
                 self.try_child(
                     arena, sub, conn, allowed, depth, prune, vsub, lam_c, &mut ctx,
                 )
             });
+            ctx.meters.bump_grow(lam_buf.capacity() > lam_cap);
             match found {
                 Some(Ok(f)) => Ok(Some(f)),
                 Some(Err(e)) => Err(e),
@@ -646,16 +807,16 @@ impl<'h> LogKEngine<'h> {
     }
 
     /// Races the λc search space across the rayon pool, partitioned by the
-    /// lead (smallest) candidate index — the partitioning scheme of
-    /// Appendix D.1. The caller has sealed `arena`, so each branch's
-    /// checkpoint shares the immutable prefix instead of deep-copying it.
+    /// lead candidate index — the partitioning scheme of Appendix D.1.
+    /// The caller has sealed `arena`, so each branch's checkpoint shares
+    /// the immutable prefix instead of deep-copying it.
     #[allow(clippy::too_many_arguments)]
     fn child_loop_parallel(
         &self,
         arena: &SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         vsub: &VertexSet,
@@ -689,11 +850,12 @@ impl<'h> LogKEngine<'h> {
             let BranchScratch {
                 stack: branch_stack,
                 lvl,
-                grow_reported: _,
+                reported: _,
             } = &mut branch;
             // The branch enumerates the caller's (sealed-level) `vsub` and
             // `cands`; its own enumeration buffers serve only the subset walk.
             let (mut ctx, bufs) = lvl.split(branch_stack);
+            let lam_cap = bufs.lam_buf.capacity();
             let found =
                 for_each_subset_with_lead_in(cands, lead, self.cfg.k, bufs.lam_buf, |lam_c| {
                     self.try_child(
@@ -708,6 +870,7 @@ impl<'h> LogKEngine<'h> {
                         &mut ctx,
                     )
                 });
+            ctx.meters.bump_grow(bufs.lam_buf.capacity() > lam_cap);
             let out = match found {
                 Some(Ok(frag)) => {
                     won.store(true, Ordering::Relaxed);
@@ -717,11 +880,9 @@ impl<'h> LogKEngine<'h> {
                 Some(Err(e @ Stop::External(_))) => Some(Err(e)),
                 None => None,
             };
-            let grown = branch.grow_events();
-            self.stats
-                .scratch_grow_events
-                .fetch_add(grown - branch.grow_reported, Ordering::Relaxed);
-            branch.grow_reported = grown;
+            let totals = branch.totals();
+            self.fold_meters(totals - branch.reported);
+            branch.reported = totals;
             self.branch_pool
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -751,7 +912,7 @@ impl<'h> LogKEngine<'h> {
         arena: &mut SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         vsub: &VertexSet,
@@ -761,11 +922,8 @@ impl<'h> LogKEngine<'h> {
         if let Err(e) = poll(self.ctrl, prune) {
             return ControlFlow::Break(Err(e));
         }
-        // λc must contain a "new" edge (progress, Def. 3.5(2)).
-        if !lam_c.iter().any(|e| sub.edges.contains(*e)) {
-            return ControlFlow::Continue(());
-        }
         let ChildCtx {
+            meters,
             seps_c,
             union_c,
             chi_root,
@@ -773,12 +931,18 @@ impl<'h> LogKEngine<'h> {
             lam_buf_p,
             pair,
         } = ctx;
-        self.hg.union_of_slice_into(lam_c, union_c);
+        // λc must contain a "new" edge (progress, Def. 3.5(2)).
+        if !lam_c.iter().any(|e| sub.edges.contains(*e)) {
+            meters.reject_c();
+            return ControlFlow::Continue(());
+        }
+        meters.bump_grow(self.hg.union_of_slice_into(lam_c, union_c));
         // Line 12: [λc]-components of H'.
         separate_into(self.hg, arena, sub, union_c, pair.down.bfs, seps_c);
         // Line 13: χc must be a balanced separator of H'. (⋃λc
         // over-approximates χc: if ⋃λc is unbalanced, so is χc.)
         if seps_c.components.iter().any(|c| 2 * c.size() > sub.size()) {
+            meters.reject_c();
             return ControlFlow::Continue(()); // line 14
         }
 
@@ -800,6 +964,7 @@ impl<'h> LogKEngine<'h> {
                 Ok(Some(frag)) => return ControlFlow::Break(Ok(frag)),
                 Ok(None) => {
                     if !self.cfg.root_fallthrough {
+                        meters.reject_c();
                         return ControlFlow::Continue(()); // line 20
                     }
                     // fall through to the pair search below
@@ -810,20 +975,28 @@ impl<'h> LogKEngine<'h> {
 
         // Lines 22–43: parent/child pair search.
         // λp candidates: allowed edges intersecting ⋃λc (Theorem C.1) that
-        // also touch the subproblem.
+        // also touch the subproblem, tried in balance-likelihood order.
+        let cands_p_cap = cands_p.capacity();
         cands_p.clear();
         cands_p.extend(allowed.iter().filter(|&e| {
             (!self.cfg.restrict_parent_search || self.hg.edge(e).intersects(union_c))
                 && self.hg.edge(e).intersects(vsub)
         }));
+        cands_p.sort_unstable_by_key(|&e| self.edge_rank[e.0 as usize]);
+        meters.bump_grow(cands_p.capacity() > cands_p_cap);
+        let lam_p_cap = lam_buf_p.capacity();
         let found = for_each_subset_in(cands_p, self.cfg.k, lam_buf_p, |lam_p| {
             self.try_parent(
                 arena, sub, conn, allowed, depth, prune, lam_c, union_c, lam_p, pair,
             )
         });
+        meters.bump_grow(lam_buf_p.capacity() > lam_p_cap);
         match found {
             Some(r) => ControlFlow::Break(r),
-            None => ControlFlow::Continue(()),
+            None => {
+                meters.reject_c();
+                ControlFlow::Continue(())
+            }
         }
     }
 
@@ -832,7 +1005,7 @@ impl<'h> LogKEngine<'h> {
     fn try_as_root(
         &self,
         arena: &mut SpecialArena,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         vsub: &VertexSet,
@@ -843,12 +1016,13 @@ impl<'h> LogKEngine<'h> {
         down: &mut DownCtx<'_>,
     ) -> FragResult {
         // Line 16: χc = ⋃λc ∩ V(H').
-        chi_root.copy_from(union_c);
+        down.meters.bump_grow(chi_root.copy_from(union_c));
         chi_root.intersect_with(vsub);
         let mut children = Vec::with_capacity(seps_c.components.len());
         for y in &seps_c.components {
             // Line 18: Conn_y = V(y) ∩ χc.
-            down.conn_child.copy_from(&y.vertices);
+            down.meters
+                .bump_grow(down.conn_child.copy_from(&y.vertices));
             down.conn_child.intersect_with(chi_root);
             match self.decomp(
                 arena,
@@ -880,7 +1054,7 @@ impl<'h> LogKEngine<'h> {
         arena: &mut SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         lam_c: &[Edge],
@@ -891,35 +1065,40 @@ impl<'h> LogKEngine<'h> {
         if let Err(e) = poll(self.ctrl, prune) {
             return ControlFlow::Break(Err(e));
         }
-        // λp must also contain a "new" edge (Appendix C, allowed edges).
-        if !lam_p.iter().any(|e| sub.edges.contains(*e)) {
-            return ControlFlow::Continue(());
-        }
         let PairCtx {
             seps_p,
             union_p,
             chi_pair,
             down,
         } = pair;
-        self.hg.union_of_slice_into(lam_p, union_p);
+        let meters = down.meters;
+        // λp must also contain a "new" edge (Appendix C, allowed edges).
+        if !lam_p.iter().any(|e| sub.edges.contains(*e)) {
+            meters.reject_p();
+            return ControlFlow::Continue(());
+        }
+        meters.bump_grow(self.hg.union_of_slice_into(lam_p, union_p));
         // Line 23: [λp]-components of H'.
         separate_into(self.hg, arena, sub, union_p, down.bfs, seps_p);
         // Lines 24–27: the oversized component becomes comp_down.
         let Some(i) = seps_p.oversized_component(sub.size()) else {
+            meters.reject_p();
             return ControlFlow::Continue(());
         };
         let comp_down = &seps_p.components[i];
         // Line 28: χc = ⋃λc ∩ V(comp_down).
-        chi_pair.copy_from(union_c);
+        meters.bump_grow(chi_pair.copy_from(union_c));
         chi_pair.intersect_with(&comp_down.vertices);
         // Lines 29–30: Conn connectedness against λp —
         // `(V(comp_down) ∩ Conn) ⊆ ⋃λp`, checked word-parallel without
         // materialising the intersection.
         if comp_down.vertices.intersects_outside(conn, union_p) {
+            meters.reject_p();
             return ControlFlow::Continue(());
         }
         // Lines 31–32: λp's trace on comp_down must lie inside χc.
         if comp_down.vertices.intersects_outside(union_p, chi_pair) {
+            meters.reject_p();
             return ControlFlow::Continue(());
         }
 
@@ -927,7 +1106,10 @@ impl<'h> LogKEngine<'h> {
             arena, sub, conn, allowed, depth, prune, lam_c, chi_pair, comp_down, down,
         ) {
             Ok(Some(frag)) => ControlFlow::Break(Ok(frag)),
-            Ok(None) => ControlFlow::Continue(()), // lines 37/42: reject parent
+            Ok(None) => {
+                meters.reject_p();
+                ControlFlow::Continue(()) // lines 37/42: reject parent
+            }
             Err(e) => ControlFlow::Break(Err(e)),
         }
     }
@@ -939,7 +1121,7 @@ impl<'h> LogKEngine<'h> {
         arena: &mut SpecialArena,
         sub: &Subproblem,
         conn: &VertexSet,
-        allowed: &EdgeSet,
+        allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
         lam_c: &[Edge],
@@ -948,6 +1130,7 @@ impl<'h> LogKEngine<'h> {
         down: &mut DownCtx<'_>,
     ) -> FragResult {
         let DownCtx {
+            meters,
             bfs,
             seps_down,
             conn_child,
@@ -973,7 +1156,7 @@ impl<'h> LogKEngine<'h> {
         let mut below = Vec::with_capacity(seps_down.components.len());
         for x in &seps_down.components {
             // Line 35: Conn_x = V(x) ∩ χc.
-            conn_child.copy_from(&x.vertices);
+            meters.bump_grow(conn_child.copy_from(&x.vertices));
             conn_child.intersect_with(chi_c);
             match self.decomp(
                 arena,
@@ -1006,10 +1189,13 @@ impl<'h> LogKEngine<'h> {
         let mark = arena.len();
         let sc = arena.push(chi_c.clone());
         comp_up.specials.push(sc);
+        // The restricted alphabet gets its own `Arc`: every `Decomp` call
+        // in the subtree above (and every cache entry they create) shares
+        // this one allocation. The unrestricted branch is a refcount bump.
         let allowed_up = if self.cfg.use_allowed_edges {
-            allowed.difference(comp_down.edges())
+            Arc::new(allowed.difference(comp_down.edges()))
         } else {
-            allowed.clone()
+            Arc::clone(allowed)
         };
 
         // Lines 41–42: recurse above.

@@ -21,9 +21,9 @@ mod tests_engine;
 mod tests_theory;
 
 pub use basic::{decide_basic, decompose_basic, SolveResult};
-pub use cache::{NegCache, NegCacheSnapshot, NegKey};
+pub use cache::{CacheSnapshot, Probe, SubproblemCache};
 pub use engine::{
-    EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine, DEFAULT_DETK_CACHE_CAP,
-    DEFAULT_NEG_CACHE_BYTES,
+    EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
+    DEFAULT_DETK_CACHE_CAP,
 };
 pub use solver::{LogK, SolveStats, Variant};

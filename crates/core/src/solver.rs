@@ -8,11 +8,12 @@
 use decomp::{Control, Decomposition, Interrupted};
 use hypergraph::Hypergraph;
 
-use crate::cache::NegCacheSnapshot;
+use crate::cache::CacheSnapshot;
 use crate::engine::{
-    EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_DETK_CACHE_CAP,
-    DEFAULT_NEG_CACHE_BYTES,
+    EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
+    DEFAULT_DETK_CACHE_CAP,
 };
+use detk::MemoSnapshot;
 
 /// Search strategy selection.
 #[derive(Clone, Copy, Debug)]
@@ -39,7 +40,7 @@ pub struct LogK {
     pub hybrid: Option<HybridConfig>,
     /// See [`EngineConfig::root_fallthrough`].
     pub root_fallthrough: bool,
-    /// Byte budget of the negative-subproblem cache; `0` disables it.
+    /// Byte budget of the subproblem cache; `0` disables it.
     /// See [`EngineConfig::cache_bytes`].
     pub cache_bytes: usize,
     /// Memo-table entry cap for `det-k-decomp` handoffs.
@@ -56,7 +57,7 @@ impl LogK {
             parallel_depth: 0,
             hybrid: None,
             root_fallthrough: false,
-            cache_bytes: DEFAULT_NEG_CACHE_BYTES,
+            cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
         }
     }
@@ -98,7 +99,7 @@ impl LogK {
         self
     }
 
-    /// Replaces the negative-subproblem cache budget (`0` disables
+    /// Replaces the subproblem-cache budget (`0` disables
     /// memoisation — the differential tests compare both modes).
     pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
         self.cache_bytes = bytes;
@@ -184,9 +185,12 @@ impl LogK {
                         scratch_allocs: engine.stats().scratch_allocs(),
                         scratch_grow_events: engine.stats().scratch_grow_events(),
                         arena_branch_clones: engine.stats().arena_branch_clones(),
+                        lambda_c_rejected: engine.stats().lambda_c_rejected(),
+                        lambda_p_rejected: engine.stats().lambda_p_rejected(),
                         detk_handoffs: engine.stats().detk_handoffs(),
                         detk_cache_peak: engine.stats().detk_cache_peak(),
                         detk_cache_cap: self.detk_cache_cap,
+                        detk_memo: engine.detk_memo_snapshot(),
                         cache: engine.cache_snapshot(),
                     };
                     Ok((d, stats))
@@ -249,6 +253,11 @@ pub struct SolveStats {
     /// Arena checkpoints handed to parallel branches (Arc bumps, not deep
     /// copies).
     pub arena_branch_clones: u64,
+    /// λc candidates enumerated but rejected — the number the
+    /// candidate-order heuristic (descending arity) exists to cut.
+    pub lambda_c_rejected: u64,
+    /// λp candidates enumerated but rejected.
+    pub lambda_p_rejected: u64,
     /// Hybrid handoffs to `det-k-decomp`.
     pub detk_handoffs: u64,
     /// Largest `det-k-decomp` memo table observed across handoffs.
@@ -256,6 +265,9 @@ pub struct SolveStats {
     /// Configured `det-k-decomp` memo cap (diagnostics; previously the
     /// hard-coded `1 << 20` inside `detk`).
     pub detk_cache_cap: usize,
-    /// Negative-subproblem cache counters.
-    pub cache: NegCacheSnapshot,
+    /// Counters of the `det-k-decomp` memo table shared across handoffs.
+    pub detk_memo: MemoSnapshot,
+    /// Unified subproblem-cache counters (positive + negative verdicts,
+    /// eviction, id rewrites).
+    pub cache: CacheSnapshot,
 }

@@ -3,6 +3,8 @@
 //! * [`tree`] — the [`Decomposition`] type (shared by HDs and GHDs);
 //! * [`fragment`] — HD-fragments with special-edge leaves and the
 //!   stitching operations used by `log-k-decomp`'s soundness construction;
+//! * [`portable`] — arena-independent fragments (special leaves resolved
+//!   to vertex sets), the storable form shared by the memoisation caches;
 //! * [`validate`] — exact checkers for the GHD conditions, the HD special
 //!   condition, the six conditions of Definition 3.3 (HDs of extended
 //!   subhypergraphs), and the normal form of Definition 3.5.
@@ -13,12 +15,14 @@
 pub mod control;
 pub mod export;
 pub mod fragment;
+pub mod portable;
 pub mod tree;
 pub mod validate;
 
 pub use control::{Control, Interrupted};
 pub use export::{to_dtd_text, to_gml};
 pub use fragment::{FragLabel, FragNode, Fragment};
+pub use portable::{specials_multiset_match, PortableFragment, PortableLabel, PortableNode};
 pub use tree::{Decomposition, Node, NodeId};
 pub use validate::{
     is_normal_form, validate_extended_hd, validate_ghd, validate_hd, validate_hd_width, Violation,

@@ -1,0 +1,272 @@
+//! Arena-independent HD-fragments, for cross-branch memoisation.
+//!
+//! A [`Fragment`](crate::Fragment) references its special-edge leaves by
+//! [`SpecialId`] — an index into the *branch-local* [`SpecialArena`] of the
+//! search that produced it. That makes fragments unshareable across rayon
+//! branches or `det-k-decomp` handoffs: the same id means different vertex
+//! sets in different arenas. A [`PortableFragment`] breaks the dependency
+//! by storing every special leaf as its *resolved vertex set* — the
+//! canonical, arena-free identity of the interface it stands for.
+//!
+//! * [`PortableFragment::from_fragment`] resolves a fragment against the
+//!   arena it was built in;
+//! * [`PortableFragment::instantiate`] rebuilds a [`Fragment`] for a *new*
+//!   subproblem by rewriting each stored vertex set back to one of the
+//!   caller's special ids with an equal set.
+//!
+//! The rewrite is sound because extended-HD validity (Definition 3.3) and
+//! the stitching contract only depend on the *vertex sets* of special
+//! edges: two specials with equal sets are interchangeable interfaces, so
+//! any set-preserving bijection between stored leaves and local ids yields
+//! a valid fragment for the new subproblem.
+
+use hypergraph::{Edge, SpecialArena, SpecialId, VertexSet};
+
+use crate::fragment::{FragLabel, FragNode, Fragment};
+
+/// Label of a portable node: real edges, or a special leaf resolved to its
+/// vertex set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PortableLabel {
+    /// `λ(u) ⊆ E(H)` — meaningful in every branch as-is.
+    Edges(Vec<Edge>),
+    /// A special-edge leaf, identified by its resolved vertex set.
+    Special(VertexSet),
+}
+
+/// One node of a [`PortableFragment`].
+#[derive(Clone, Debug)]
+pub struct PortableNode {
+    /// The resolved λ-label.
+    pub label: PortableLabel,
+    /// The bag `χ(u)`.
+    pub chi: VertexSet,
+    /// Children (indices into the fragment's node vector).
+    pub children: Vec<usize>,
+}
+
+/// A rooted HD-fragment with all special-edge references resolved to
+/// vertex sets — shareable across branches, solves and engines.
+#[derive(Clone, Debug)]
+pub struct PortableFragment {
+    /// Nodes; indices are local to this fragment.
+    pub nodes: Vec<PortableNode>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl PortableFragment {
+    /// Resolves `frag` against `arena`, detaching it from branch-local ids.
+    pub fn from_fragment(frag: &Fragment, arena: &SpecialArena) -> Self {
+        let nodes = frag
+            .nodes
+            .iter()
+            .map(|n| PortableNode {
+                label: match &n.label {
+                    FragLabel::Edges(l) => PortableLabel::Edges(l.clone()),
+                    FragLabel::Special(s) => PortableLabel::Special(arena.get(*s).clone()),
+                },
+                chi: n.chi.clone(),
+                children: n.children.clone(),
+            })
+            .collect();
+        PortableFragment {
+            nodes,
+            root: frag.root,
+        }
+    }
+
+    /// Number of special leaves stored in this fragment.
+    pub fn num_special_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.label, PortableLabel::Special(_)))
+            .count()
+    }
+
+    /// Estimated heap footprint in bytes (for cache byte budgets).
+    pub fn approx_bytes(&self) -> usize {
+        let vset_bytes = |s: &VertexSet| s.capacity().div_ceil(64) * 8 + 32;
+        self.nodes
+            .iter()
+            .map(|n| {
+                let label = match &n.label {
+                    PortableLabel::Edges(l) => l.len() * 4 + 24,
+                    PortableLabel::Special(s) => vset_bytes(s),
+                };
+                label + vset_bytes(&n.chi) + n.children.len() * 8 + 64
+            })
+            .sum()
+    }
+
+    /// Rebuilds a [`Fragment`] whose special leaves reference ids drawn
+    /// from `specials` (resolved through `arena`): each stored vertex set
+    /// is paired with a distinct local id holding an equal set.
+    ///
+    /// Returns the fragment and the number of special-leaf id rewrites
+    /// performed, or `None` if the multiset of stored leaf sets does not
+    /// match the multiset of resolved `specials` — callers key their
+    /// caches by resolved special sets, so a mismatch means the entry was
+    /// looked up under the wrong key.
+    pub fn instantiate(
+        &self,
+        arena: &SpecialArena,
+        specials: &[SpecialId],
+    ) -> Option<(Fragment, u64)> {
+        let mut used = vec![false; specials.len()];
+        let mut rewrites = 0u64;
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let label = match &n.label {
+                PortableLabel::Edges(l) => FragLabel::Edges(l.clone()),
+                PortableLabel::Special(set) => {
+                    let slot = specials
+                        .iter()
+                        .enumerate()
+                        .position(|(i, &s)| !used[i] && arena.get(s) == set)?;
+                    used[slot] = true;
+                    rewrites += 1;
+                    FragLabel::Special(specials[slot])
+                }
+            };
+            nodes.push(FragNode {
+                label,
+                chi: n.chi.clone(),
+                children: n.children.clone(),
+            });
+        }
+        Some((
+            Fragment {
+                nodes,
+                root: self.root,
+            },
+            rewrites,
+        ))
+    }
+}
+
+/// Multiset equality between stored (resolved) special sets and a prober's
+/// branch-local ids resolved through `arena` — without sorting or
+/// allocating for the common case of ≤ 128 specials. The memoisation
+/// caches key subproblems by resolved special sets; this is their shared
+/// borrowed-side comparison.
+pub fn specials_multiset_match(
+    stored: &[VertexSet],
+    arena: &SpecialArena,
+    locals: &[SpecialId],
+) -> bool {
+    if stored.len() != locals.len() {
+        return false;
+    }
+    if stored.len() <= 128 {
+        let mut used = 0u128;
+        'outer: for &s in locals {
+            let set = arena.get(s);
+            for (i, st) in stored.iter().enumerate() {
+                if used & (1 << i) == 0 && st == set {
+                    used |= 1 << i;
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    } else {
+        let mut used = vec![false; stored.len()];
+        'outer2: for &s in locals {
+            let set = arena.get(s);
+            for (i, st) in stored.iter().enumerate() {
+                if !used[i] && st == set {
+                    used[i] = true;
+                    continue 'outer2;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Vertex;
+
+    fn vset(n: usize, vs: &[u32]) -> VertexSet {
+        VertexSet::from_iter(n, vs.iter().map(|&v| Vertex(v)))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut arena = SpecialArena::new();
+        let s = arena.push(vset(6, &[1, 2]));
+        let mut frag = Fragment::leaf(vec![Edge(0)], vset(6, &[0, 1]));
+        frag.attach_under(0, Fragment::special_leaf(s, arena.get(s).clone()));
+        frag.attach_under(0, Fragment::leaf(vec![Edge(2)], vset(6, &[4, 5])));
+
+        let portable = PortableFragment::from_fragment(&frag, &arena);
+        assert_eq!(portable.num_special_leaves(), 1);
+        assert!(portable.approx_bytes() > 0);
+
+        // Instantiate into a *different* arena where the same set has a
+        // different id.
+        let mut other = SpecialArena::new();
+        let _pad = other.push(vset(6, &[5]));
+        let s2 = other.push(vset(6, &[1, 2]));
+        let (rebuilt, rewrites) = portable.instantiate(&other, &[s2]).unwrap();
+        assert_eq!(rewrites, 1);
+        assert_eq!(rebuilt.num_nodes(), 3);
+        assert_eq!(rebuilt.find_special_leaf(s2), Some(1));
+        assert_eq!(rebuilt.nodes[1].chi, vset(6, &[1, 2]));
+    }
+
+    #[test]
+    fn equal_set_specials_pair_bijectively() {
+        // Two specials with identical vertex sets: instantiation must hand
+        // out two *distinct* local ids.
+        let mut arena = SpecialArena::new();
+        let a = arena.push(vset(4, &[0, 1]));
+        let b = arena.push(vset(4, &[0, 1]));
+        let mut frag = Fragment::leaf(vec![Edge(0)], vset(4, &[0, 1, 2]));
+        frag.attach_under(0, Fragment::special_leaf(a, arena.get(a).clone()));
+        frag.attach_under(0, Fragment::special_leaf(b, arena.get(b).clone()));
+        let portable = PortableFragment::from_fragment(&frag, &arena);
+
+        let mut other = SpecialArena::new();
+        let x = other.push(vset(4, &[0, 1]));
+        let y = other.push(vset(4, &[0, 1]));
+        let (rebuilt, rewrites) = portable.instantiate(&other, &[x, y]).unwrap();
+        assert_eq!(rewrites, 2);
+        let (lx, ly) = (
+            rebuilt.find_special_leaf(x).unwrap(),
+            rebuilt.find_special_leaf(y).unwrap(),
+        );
+        assert_ne!(lx, ly);
+    }
+
+    #[test]
+    fn multiset_match_handles_duplicates_and_order() {
+        let mut arena = SpecialArena::new();
+        let a = arena.push(vset(4, &[0, 1]));
+        let b = arena.push(vset(4, &[0, 1]));
+        let c = arena.push(vset(4, &[2]));
+        let stored = vec![vset(4, &[2]), vset(4, &[0, 1]), vset(4, &[0, 1])];
+        assert!(specials_multiset_match(&stored, &arena, &[a, b, c]));
+        assert!(specials_multiset_match(&stored, &arena, &[c, a, b]));
+        assert!(!specials_multiset_match(&stored, &arena, &[a, c, c]));
+        assert!(!specials_multiset_match(&stored, &arena, &[a, b]));
+    }
+
+    #[test]
+    fn mismatched_specials_refuse_to_instantiate() {
+        let mut arena = SpecialArena::new();
+        let s = arena.push(vset(4, &[0, 1]));
+        let frag = Fragment::special_leaf(s, arena.get(s).clone());
+        let portable = PortableFragment::from_fragment(&frag, &arena);
+
+        let mut other = SpecialArena::new();
+        let wrong = other.push(vset(4, &[2, 3]));
+        assert!(portable.instantiate(&other, &[wrong]).is_none());
+        assert!(portable.instantiate(&other, &[]).is_none());
+    }
+}

@@ -10,27 +10,54 @@
 //! Positive and negative results are memoised per `(component, connector)`
 //! — the extensive caching that makes the algorithm strong on small
 //! instances but, as the paper argues, inherently hard to parallelise.
+//!
+//! The memo table lives in [`memo::SharedMemo`]: keys resolve special
+//! edges to vertex sets and positive results are stored arena-independent
+//! ([`decomp::PortableFragment`]), so one table can be shared across *all*
+//! hybrid handoffs and rayon branches of a `log-k-decomp` solve
+//! ([`DetKDecomp::with_shared_memo`]) instead of each handoff rebuilding
+//! its memoisation from zero.
 
-use std::collections::HashMap;
+use std::cell::OnceCell;
 use std::ops::ControlFlow;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use hypergraph::subsets::for_each_subset;
-use hypergraph::{
-    separate, Edge, EdgeSet, Hypergraph, SpecialArena, SpecialId, Subproblem, VertexSet,
-};
+use hypergraph::{separate, Edge, Hypergraph, SpecialArena, Subproblem, VertexSet};
+
+pub mod memo;
+
+pub use memo::{MemoProbe, MemoSnapshot, SharedMemo};
 
 /// Result of a whole-hypergraph solve.
 pub type SolveResult = Result<Option<Decomposition>, Interrupted>;
 
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    edges: EdgeSet,
-    specials: Vec<SpecialId>,
-    conn: VertexSet,
+/// The engine's memo table: owned by this engine, or borrowed from the
+/// hybrid driver that shares one table across every handoff. The owned
+/// table is built on first use, so engines that are immediately handed a
+/// shared table (one per hybrid handoff!) never pay for shard
+/// construction they will throw away.
+enum MemoHandle<'a> {
+    Owned {
+        cell: OnceCell<Box<SharedMemo>>,
+        k: usize,
+        cap: usize,
+    },
+    Shared(&'a SharedMemo),
 }
 
-/// Reusable `det-k-decomp` engine with its memoisation cache.
+impl MemoHandle<'_> {
+    fn get(&self) -> &SharedMemo {
+        match self {
+            MemoHandle::Owned { cell, k, cap } => {
+                cell.get_or_init(|| Box::new(SharedMemo::new(*k, *cap)))
+            }
+            MemoHandle::Shared(m) => m,
+        }
+    }
+}
+
+/// Reusable `det-k-decomp` engine over a [`SharedMemo`].
 ///
 /// The engine borrows the hypergraph and control; the special-edge arena is
 /// passed per call so that `log-k-decomp`'s hybrid driver can hand over
@@ -39,10 +66,7 @@ pub struct DetKDecomp<'h> {
     hg: &'h Hypergraph,
     k: usize,
     ctrl: &'h Control,
-    cache: HashMap<CacheKey, Option<Fragment>>,
-    /// Soft cap on cache entries, mirroring the paper's 1 GB memory limit
-    /// discipline: beyond the cap we keep solving but stop memoising.
-    cache_cap: usize,
+    memo: MemoHandle<'h>,
     /// Current recursion depth (diagnostics).
     depth: usize,
     /// Deepest recursion reached — Θ(|E|) on chains, in contrast to
@@ -56,35 +80,73 @@ impl<'h> DetKDecomp<'h> {
     /// Default soft cap on memoised subproblems.
     pub const DEFAULT_CACHE_CAP: usize = 1 << 20;
 
-    /// Creates an engine for width bound `k`.
+    /// Creates an engine for width bound `k` with its own (lazily built)
+    /// memo table.
     pub fn new(hg: &'h Hypergraph, k: usize, ctrl: &'h Control) -> Self {
         assert!(k >= 1, "width parameter k must be at least 1");
         DetKDecomp {
             hg,
             k,
             ctrl,
-            cache: HashMap::new(),
-            cache_cap: Self::DEFAULT_CACHE_CAP,
+            memo: MemoHandle::Owned {
+                cell: OnceCell::new(),
+                k,
+                cap: Self::DEFAULT_CACHE_CAP,
+            },
             depth: 0,
             max_depth: 0,
         }
     }
 
-    /// Replaces the memo-table entry cap (`log-k-decomp`'s hybrid driver
-    /// threads its `EngineConfig::detk_cache_cap` through here).
+    /// Replaces the memo-table entry cap of an engine-owned table.
+    /// No-op when the table is shared — the sharer configured its cap.
     pub fn with_cache_cap(mut self, cap: usize) -> Self {
-        self.cache_cap = cap;
+        if matches!(self.memo, MemoHandle::Owned { .. }) {
+            self.memo = MemoHandle::Owned {
+                cell: OnceCell::new(),
+                k: self.k,
+                cap,
+            };
+        }
         self
+    }
+
+    /// Replaces the engine-owned memo table with one shared by the caller
+    /// — `log-k-decomp`'s hybrid driver threads a single lock-striped
+    /// table through every handoff and rayon branch this way.
+    ///
+    /// # Panics
+    ///
+    /// If the table was created for a different width bound: its verdicts
+    /// ("refuted at k", "witness of width ≤ k") are meaningless at any
+    /// other `k`, so sharing across bounds would be unsound.
+    pub fn with_shared_memo<'m>(self, memo: &'m SharedMemo) -> DetKDecomp<'m>
+    where
+        'h: 'm,
+    {
+        assert_eq!(
+            memo.k(),
+            self.k,
+            "a SharedMemo stores verdicts relative to one width bound"
+        );
+        DetKDecomp {
+            hg: self.hg,
+            k: self.k,
+            ctrl: self.ctrl,
+            memo: MemoHandle::Shared(memo),
+            depth: self.depth,
+            max_depth: self.max_depth,
+        }
     }
 
     /// Number of memoised subproblems (diagnostics).
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.memo.get().len()
     }
 
     /// The configured memo-table entry cap (diagnostics).
     pub fn cache_cap(&self) -> usize {
-        self.cache_cap
+        self.memo.get().cap()
     }
 
     /// Deepest recursion level reached so far (diagnostics; the paper's
@@ -131,19 +193,15 @@ impl<'h> DetKDecomp<'h> {
             return Ok(None);
         }
 
-        let key = CacheKey {
-            edges: sub.edges.clone(),
-            specials: sub.specials.clone(),
-            conn: conn.clone(),
+        // Borrowed-key probe: no owned key is built unless the result is
+        // actually memoised.
+        let hash = match self.memo.get().probe(arena, sub, conn) {
+            MemoProbe::Hit(result) => return Ok(result),
+            MemoProbe::Miss(h) => h,
         };
-        if let Some(hit) = self.cache.get(&key) {
-            return Ok(hit.clone());
-        }
 
         let result = self.search(arena, sub, conn)?;
-        if self.cache.len() < self.cache_cap {
-            self.cache.insert(key, result.clone());
-        }
+        self.memo.get().insert(hash, arena, sub, conn, &result);
         Ok(result)
     }
 
@@ -335,6 +393,36 @@ mod tests {
         let mut engine = DetKDecomp::new(&hg, 2, &ctrl);
         let r = engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
         assert!(r.is_none());
+    }
+
+    #[test]
+    fn shared_memo_carries_results_across_engines() {
+        // Two engine instances over one SharedMemo — the shape of the
+        // hybrid driver's repeated handoffs. The second engine must answer
+        // from the table built by the first.
+        let hg = cycle(12);
+        let ctrl = Control::unlimited();
+        let memo = SharedMemo::new(2, 1 << 16);
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+
+        let mut first = DetKDecomp::new(&hg, 2, &ctrl).with_shared_memo(&memo);
+        let f = first.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(f.is_some());
+        let after_first = memo.snapshot();
+        assert!(after_first.inserts > 0);
+
+        let mut second = DetKDecomp::new(&hg, 2, &ctrl).with_shared_memo(&memo);
+        let g = second.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(g.is_some());
+        let after_second = memo.snapshot();
+        assert!(
+            after_second.hits > after_first.hits,
+            "second engine must reuse the shared table"
+        );
+        // The top-level answer itself is served from the memo: no new
+        // entries were needed.
+        assert_eq!(after_second.inserts, after_first.inserts);
     }
 
     #[test]

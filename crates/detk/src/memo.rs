@@ -1,0 +1,309 @@
+//! Shared, lock-striped memo table for `det-k-decomp`.
+//!
+//! The hybrid strategy (Appendix D.2 of the log-k-decomp paper) hands
+//! simple subproblems to `det-k-decomp` from *many* places: every rayon
+//! branch and every recursion level below the hybrid threshold. Each
+//! handoff used to build a fresh, private memo table, so the extensive
+//! `(component, connector)` memoisation the algorithm's practicality rests
+//! on (Gottlob & Samer) restarted from zero each time. This module makes
+//! the table shareable:
+//!
+//! * **Resolved keys.** The old key included `Vec<SpecialId>` — ids local
+//!   to one branch's [`SpecialArena`]. Keys here resolve specials to their
+//!   vertex sets (stored sorted, matched as a multiset), so the same
+//!   subproblem met under different arenas is one entry.
+//! * **Portable values.** Positive results are stored as
+//!   [`PortableFragment`]s and re-interned against the prober's arena on a
+//!   hit — the same id-rewrite pass the engine's unified subproblem cache
+//!   uses.
+//! * **Lock striping.** 16 mutex shards, so concurrent handoffs from
+//!   sibling rayon branches rarely contend.
+//!
+//! The entry cap mirrors the paper's memory-limit discipline: beyond the
+//! cap the table keeps serving hits but stops memoising.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use decomp::{specials_multiset_match, Fragment, PortableFragment};
+use hypergraph::{EdgeSet, SpecialArena, Subproblem, VertexSet};
+
+const SHARDS: usize = 16;
+
+struct MemoEntry {
+    edges: EdgeSet,
+    /// Special edges resolved to vertex sets, sorted canonically.
+    specials: Vec<VertexSet>,
+    conn: VertexSet,
+    /// `None` = exhaustively refuted; `Some` = arena-independent witness.
+    /// `Arc`-wrapped so a hit can leave the shard lock before the
+    /// re-interning clone pass runs.
+    result: Option<Arc<PortableFragment>>,
+}
+
+impl MemoEntry {
+    /// Whether this stored entry describes the borrowed subproblem — the
+    /// single definition of key identity, used by probe and insert alike.
+    fn matches(&self, arena: &SpecialArena, sub: &Subproblem, conn: &VertexSet) -> bool {
+        self.edges == sub.edges
+            && self.conn == *conn
+            && specials_multiset_match(&self.specials, arena, &sub.specials)
+    }
+}
+
+/// Result of a borrowed-key memo probe.
+pub enum MemoProbe {
+    /// Memoised verdict: `None` (refuted) or the fragment re-interned
+    /// against the prober's arena.
+    Hit(Option<Fragment>),
+    /// Unknown; carries the key hash for the follow-up insert.
+    Miss(u64),
+}
+
+/// Point-in-time counters of a [`SharedMemo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoSnapshot {
+    /// Width bound the table's verdicts are relative to.
+    pub k: usize,
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Configured entry cap.
+    pub cap: usize,
+}
+
+/// The shared `det-k-decomp` memo table. One instance serves every hybrid
+/// handoff and rayon branch of a solve.
+pub struct SharedMemo {
+    shards: Vec<Mutex<HashMap<u64, Vec<MemoEntry>>>>,
+    hasher: RandomState,
+    entries: AtomicUsize,
+    /// Width bound the memoised verdicts are relative to. A verdict for
+    /// `k = 2` is meaningless at `k = 3` (and vice versa), so sharers are
+    /// checked against this at attach time.
+    k: usize,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl SharedMemo {
+    /// Creates an empty table for width bound `k`, capped at `cap`
+    /// entries. Every engine sharing the table must search at this `k` —
+    /// [`super::DetKDecomp::with_shared_memo`] enforces it.
+    pub fn new(k: usize, cap: usize) -> Self {
+        SharedMemo {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            entries: AtomicUsize::new(0),
+            k,
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The width bound this table's verdicts are relative to.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured entry cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hashes the borrowed key parts; specials combine commutatively so
+    /// the unsorted branch-local view matches the sorted stored key.
+    fn key_hash(&self, arena: &SpecialArena, sub: &Subproblem, conn: &VertexSet) -> u64 {
+        let mut h = self.hasher.hash_one(&sub.edges);
+        h = h.rotate_left(17) ^ self.hasher.hash_one(conn);
+        let mut sp = 0u64;
+        for &s in &sub.specials {
+            sp = sp.wrapping_add(self.hasher.hash_one(arena.get(s)));
+        }
+        h ^ sp
+    }
+
+    /// Looks up `(sub, conn)` without building an owned key. A positive
+    /// hit clones only an `Arc` under the shard lock; the re-interning
+    /// pass over the fragment runs after the lock is released, so
+    /// concurrent handoffs don't convoy behind fragment clones.
+    pub fn probe(&self, arena: &SpecialArena, sub: &Subproblem, conn: &VertexSet) -> MemoProbe {
+        let hash = self.key_hash(arena, sub, conn);
+        let hit: Option<Option<Arc<PortableFragment>>> = {
+            let shard = self.shards[(hash as usize) % SHARDS]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            shard.get(&hash).and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|entry| entry.matches(arena, sub, conn))
+                    .map(|entry| entry.result.clone())
+            })
+        };
+        match hit {
+            Some(None) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return MemoProbe::Hit(None);
+            }
+            Some(Some(pf)) => {
+                if let Some((frag, _rewrites)) = pf.instantiate(arena, &sub.specials) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return MemoProbe::Hit(Some(frag));
+                }
+                debug_assert!(false, "matched memo entry failed to instantiate");
+            }
+            None => {}
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        MemoProbe::Miss(hash)
+    }
+
+    /// Memoises the verdict for `(sub, conn)` under the cap discipline.
+    pub fn insert(
+        &self,
+        hash: u64,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        result: &Option<Fragment>,
+    ) {
+        if self.entries.load(Ordering::Relaxed) >= self.cap {
+            return;
+        }
+        let entry = MemoEntry {
+            edges: sub.edges.clone(),
+            specials: {
+                let mut v: Vec<VertexSet> =
+                    sub.specials.iter().map(|&s| arena.get(s).clone()).collect();
+                v.sort_unstable();
+                v
+            },
+            conn: conn.clone(),
+            result: result
+                .as_ref()
+                .map(|f| Arc::new(PortableFragment::from_fragment(f, arena))),
+        };
+        let mut shard = self.shards[(hash as usize) % SHARDS]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let bucket = shard.entry(hash).or_default();
+        // Duplicate key (a racing handoff beat us): keep the incumbent.
+        if bucket.iter().any(|e| e.matches(arena, sub, conn)) {
+            return;
+        }
+        bucket.push(entry);
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of the counters.
+    pub fn snapshot(&self) -> MemoSnapshot {
+        MemoSnapshot {
+            k: self.k,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len(),
+            cap: self.cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{Edge, Hypergraph, Vertex};
+
+    #[test]
+    fn memo_resolves_specials_across_arenas() {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let n = hg.num_vertices();
+        let memo = SharedMemo::new(2, 1 << 10);
+
+        let mut a1 = SpecialArena::new();
+        let s1 = a1.push(VertexSet::from_iter(n, [Vertex(0), Vertex(3)]));
+        let mut sub1 = Subproblem::empty(&hg);
+        sub1.edges.insert(Edge(1));
+        sub1.specials.push(s1);
+        let conn = hg.vertex_set();
+
+        let hash = match memo.probe(&a1, &sub1, &conn) {
+            MemoProbe::Miss(h) => h,
+            _ => panic!("fresh memo must miss"),
+        };
+        let mut frag = Fragment::leaf(vec![Edge(1)], hg.union_of_slice(&[Edge(1)]));
+        frag.attach_under(0, Fragment::special_leaf(s1, a1.get(s1).clone()));
+        memo.insert(hash, &a1, &sub1, &conn, &Some(frag));
+
+        // A different arena with a different id for the same set hits.
+        let mut a2 = SpecialArena::new();
+        let _pad = a2.push(VertexSet::from_iter(n, [Vertex(2)]));
+        let s2 = a2.push(VertexSet::from_iter(n, [Vertex(0), Vertex(3)]));
+        let mut sub2 = Subproblem::empty(&hg);
+        sub2.edges.insert(Edge(1));
+        sub2.specials.push(s2);
+        match memo.probe(&a2, &sub2, &conn) {
+            MemoProbe::Hit(Some(f)) => assert_eq!(f.find_special_leaf(s2), Some(1)),
+            _ => panic!("resolved key must hit across arenas"),
+        }
+        assert_eq!(memo.snapshot().hits, 1);
+    }
+
+    #[test]
+    fn cap_freezes_inserts() {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let memo = SharedMemo::new(2, 1);
+        for e in 0..3u32 {
+            let mut sub = Subproblem::empty(&hg);
+            sub.edges.insert(Edge(e));
+            let hash = match memo.probe(&arena, &sub, &conn) {
+                MemoProbe::Miss(h) => h,
+                _ => panic!("must miss"),
+            };
+            memo.insert(hash, &arena, &sub, &conn, &None);
+        }
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.snapshot().inserts, 1);
+    }
+
+    #[test]
+    fn negative_verdicts_hit() {
+        let hg = Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2]]);
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let memo = SharedMemo::new(2, 16);
+        let sub = Subproblem::whole(&hg);
+        let hash = match memo.probe(&arena, &sub, &conn) {
+            MemoProbe::Miss(h) => h,
+            _ => panic!("must miss"),
+        };
+        memo.insert(hash, &arena, &sub, &conn, &None);
+        assert!(matches!(
+            memo.probe(&arena, &sub, &conn),
+            MemoProbe::Hit(None)
+        ));
+    }
+}

@@ -208,9 +208,15 @@ impl<I: Ix> TypedBitSet<I> {
 
     /// Makes `self` a copy of `other`, reusing the existing block storage
     /// when possible (the in-place counterpart of `clone`).
+    ///
+    /// Returns `true` if the block buffer had to grow (an allocation
+    /// happened) — scratch-workspace users thread this into their regrowth
+    /// meters, exactly like [`Self::reset`].
     #[inline]
-    pub fn copy_from(&mut self, other: &Self) {
+    pub fn copy_from(&mut self, other: &Self) -> bool {
+        let grew = other.blocks.len() > self.blocks.capacity();
         self.clone_from(other);
+        grew
     }
 
     /// In-place union: `self ∪= other`.

@@ -143,11 +143,10 @@ impl Scratch {
             }
         });
         // Count regrowth too: a pooled slot warmed on a smaller hypergraph
-        // still reallocates when reused on a larger one.
-        let grew = c.sub.edges.reset(hg.num_edges()) | c.vertices.reset(hg.num_vertices());
-        if grew {
-            self.grow_events += 1;
-        }
+        // still reallocates when reused on a larger one. Each buffer is
+        // metered individually so two growths report as two events.
+        self.grow_events += c.sub.edges.reset(hg.num_edges()) as u64;
+        self.grow_events += c.vertices.reset(hg.num_vertices()) as u64;
         c.sub.specials.clear();
         c
     }
@@ -183,18 +182,15 @@ pub fn separate_into(
 ) {
     // Recycle the previous result's component slots.
     scratch.pool.append(&mut out.components);
-    if out.covered_edges.reset(hg.num_edges()) {
-        scratch.grow_events += 1;
-    }
+    scratch.grow_events += out.covered_edges.reset(hg.num_edges()) as u64;
     out.covered_specials.clear();
 
-    let mut grew = scratch.remaining_edges.reset(hg.num_edges());
-    grew |= scratch.visited.reset(hg.num_vertices());
-    grew |= scratch.frontier.reset(hg.num_vertices());
-    grew |= scratch.next.reset(hg.num_vertices());
-    if grew {
-        scratch.grow_events += 1;
-    }
+    // Per-buffer metering: four growing buffers report four events, not
+    // one OR-ed event — the meter's resolution matches the allocator's.
+    scratch.grow_events += scratch.remaining_edges.reset(hg.num_edges()) as u64;
+    scratch.grow_events += scratch.visited.reset(hg.num_vertices()) as u64;
+    scratch.grow_events += scratch.frontier.reset(hg.num_vertices()) as u64;
+    scratch.grow_events += scratch.next.reset(hg.num_vertices()) as u64;
     scratch.remaining_edges.union_with(&sub.edges);
     scratch.remaining_specials.clear();
     scratch.special_alive.clear();

@@ -178,11 +178,21 @@ impl Subproblem {
     }
 
     /// Like [`Self::vertices`], writing into a caller-owned buffer.
-    pub fn vertices_into(&self, hg: &Hypergraph, arena: &SpecialArena, out: &mut VertexSet) {
-        hg.union_of_into(&self.edges, out);
+    ///
+    /// Returns `true` if `out`'s buffer had to grow (threading the
+    /// regrowth flag of [`Hypergraph::union_of_into`] to the caller's
+    /// allocation meter).
+    pub fn vertices_into(
+        &self,
+        hg: &Hypergraph,
+        arena: &SpecialArena,
+        out: &mut VertexSet,
+    ) -> bool {
+        let grew = hg.union_of_into(&self.edges, out);
         for &s in &self.specials {
             out.union_with(arena.get(s));
         }
+        grew
     }
 }
 

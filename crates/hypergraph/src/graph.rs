@@ -99,21 +99,29 @@ impl Hypergraph {
 
     /// Like [`Self::union_of`], writing into a caller-owned buffer instead
     /// of allocating. `out` is reset to this hypergraph's vertex universe.
-    pub fn union_of_into(&self, edges: &EdgeSet, out: &mut VertexSet) {
-        out.reset(self.num_vertices());
+    ///
+    /// Returns `true` if `out`'s buffer had to grow, so scratch-workspace
+    /// callers can meter steady-state reallocation.
+    pub fn union_of_into(&self, edges: &EdgeSet, out: &mut VertexSet) -> bool {
+        let grew = out.reset(self.num_vertices());
         for e in edges {
             out.union_with(self.edge(e));
         }
+        grew
     }
 
     /// Like [`Self::union_of_slice`], writing into a caller-owned buffer
     /// instead of allocating. `out` is reset to this hypergraph's vertex
     /// universe.
-    pub fn union_of_slice_into(&self, edges: &[Edge], out: &mut VertexSet) {
-        out.reset(self.num_vertices());
+    ///
+    /// Returns `true` if `out`'s buffer had to grow (see
+    /// [`Self::union_of_into`]).
+    pub fn union_of_slice_into(&self, edges: &[Edge], out: &mut VertexSet) -> bool {
+        let grew = out.reset(self.num_vertices());
         for &e in edges {
             out.union_with(self.edge(e));
         }
+        grew
     }
 
     /// Name of vertex `v`.

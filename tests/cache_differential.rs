@@ -1,9 +1,13 @@
-//! Differential tests for the negative-subproblem memoisation layer: the
+//! Differential tests for the unified subproblem-memoisation layer: the
 //! caching engine must be *observationally identical* to the uncached
 //! engine — same decidability for every k, and every witness passes the
 //! full HD validator — in both the sequential and the parallel
 //! (`parallel_depth > 0`) configurations. The cache may only change how
-//! fast the answer arrives, never the answer.
+//! fast the answer arrives, never the answer. Since PR 2 the cache stores
+//! *positive* fragments too (arena-independent, re-interned on reuse) and
+//! evicts under memory pressure, so the suite additionally asserts that
+//! positive hits actually occur and that eviction degrades capacity, not
+//! correctness.
 
 use decomp::{validate_hd_width, Control};
 use logk::LogK;
@@ -11,8 +15,9 @@ use proptest::prelude::*;
 use workloads::{hyperbench_like, CorpusConfig};
 
 /// Cached and uncached engines across the workloads corpus, sequential
-/// and parallel. Also asserts the acceptance criterion that the cache is
-/// actually exercised: cyclic corpus instances must produce hits.
+/// and parallel. Also asserts the acceptance criteria that the cache is
+/// actually exercised: cyclic corpus instances must produce hits, and the
+/// corpus as a whole must produce *positive* (fragment-reuse) hits.
 #[test]
 fn corpus_cached_matches_uncached_sequential_and_parallel() {
     let corpus = hyperbench_like(CorpusConfig {
@@ -37,6 +42,7 @@ fn corpus_cached_matches_uncached_sequential_and_parallel() {
 
     for (mode, cached, uncached) in configs {
         let mut cyclic_hits = 0u64;
+        let mut pos_hits = 0u64;
         let mut checked = 0usize;
         for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 40) {
             for k in 1..=k_max {
@@ -49,13 +55,17 @@ fn corpus_cached_matches_uncached_sequential_and_parallel() {
                     inst.name
                 );
                 assert_eq!(
-                    su.cache.hits + su.cache.misses + su.cache.inserts,
+                    su.cache.hits() + su.cache.misses + su.cache.inserts,
                     0,
                     "{mode}: uncached engine must not touch the cache"
                 );
                 if !hypergraph::is_acyclic(&inst.hg) {
-                    cyclic_hits += sc.cache.hits;
+                    cyclic_hits += sc.cache.hits();
                 }
+                pos_hits += sc.cache.pos_hits;
+                // Every stitched decomposition goes through decomp's full
+                // validator — including those assembled from re-interned
+                // positive-cache fragments.
                 if let Some(d) = &dc {
                     validate_hd_width(&inst.hg, d, k).unwrap_or_else(|e| {
                         panic!(
@@ -83,12 +93,44 @@ fn corpus_cached_matches_uncached_sequential_and_parallel() {
             cyclic_hits > 0,
             "{mode}: expected cache hits on cyclic corpus instances"
         );
+        assert!(
+            pos_hits > 0,
+            "{mode}: expected positive-fragment reuse across the corpus"
+        );
     }
 }
 
-/// The memoisation showcase workload — two K5 cliques sharing two
-/// vertices, searched at the failing width k = 2 — must agree with the
-/// uncached engine, and the cache must actually fire (this is the
+/// The positive-memoisation showcase — the 5×6 grid at its true width
+/// k = 3 re-derives the same solvable subproblems hundreds of times
+/// (`micro/pos_cache` benchmarks the ~40× wall-clock win). The cached
+/// engine must reuse fragments, rewrite special-leaf ids while doing so,
+/// and still produce a fully valid decomposition.
+#[test]
+fn grid5x6_positive_search_reuses_fragments() {
+    let hg = workloads::families::grid(5, 6);
+    let ctrl = Control::unlimited();
+    let (d, stats) = LogK::sequential()
+        .decompose_with_stats(&hg, 3, &ctrl)
+        .unwrap();
+    let d = d.expect("the 5×6 grid has hw = 3");
+    validate_hd_width(&hg, &d, 3).unwrap();
+    assert!(
+        stats.cache.pos_hits > 0,
+        "grid search must reuse successful fragments"
+    );
+    assert!(
+        stats.cache.id_rewrites > 0,
+        "fragment reuse under specials must rewrite leaf ids"
+    );
+    assert!(
+        stats.cache.neg_hits > 0,
+        "grid search must also reuse refutations"
+    );
+}
+
+/// The negative-memoisation showcase workload — two K5 cliques sharing
+/// two vertices, searched at the failing width k = 2 — must agree with
+/// the uncached engine, and the cache must actually fire (this is the
 /// instance `micro.rs` benchmarks for the wall-clock win).
 #[test]
 fn twin_k5_negative_search_agrees_and_hits() {
@@ -112,7 +154,7 @@ fn twin_k5_negative_search_agrees_and_hits() {
         .unwrap();
     assert!(d.is_none(), "two glued K5s have hw = 3 > 2");
     assert!(
-        stats.cache.hits > 0,
+        stats.cache.neg_hits > 0,
         "negative search must reuse refuted subproblems"
     );
     let uncached = LogK::sequential()
@@ -129,10 +171,11 @@ fn twin_k5_negative_search_agrees_and_hits() {
 }
 
 /// A tiny cache budget must degrade capacity, never correctness: with a
-/// budget that fits only a handful of entries the engine still agrees
-/// with the uncached engine everywhere.
+/// budget that fits only a handful of entries the second-chance sweep
+/// churns constantly, and the engine still agrees with the uncached
+/// engine everywhere.
 #[test]
-fn tiny_cache_budget_is_still_sound() {
+fn tiny_cache_budget_evicts_but_stays_sound() {
     let corpus = hyperbench_like(CorpusConfig {
         seed: 7,
         scale: 1.0 / 150.0,
@@ -142,11 +185,35 @@ fn tiny_cache_budget_is_still_sound() {
     let off = LogK::sequential().with_cache_bytes(0);
     for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 25) {
         for k in 1..=3 {
-            let a = tiny.decide(&inst.hg, k, &ctrl).unwrap();
+            let (da, sa) = tiny.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
             let b = off.decide(&inst.hg, k, &ctrl).unwrap();
-            assert_eq!(a, b, "{} at k={k}", inst.name);
+            assert_eq!(da.is_some(), b, "{} at k={k}", inst.name);
+            assert!(
+                sa.cache.bytes <= 4096,
+                "{} at k={k}: cache exceeded its byte budget",
+                inst.name
+            );
+            if let Some(d) = &da {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
         }
     }
+
+    // The 40-cycle at k = 2 inserts ~35 entries of ~1 KiB each, so a
+    // 4 KiB budget forces the second-chance sweep to actually evict —
+    // while the answer and its witness stay correct.
+    let hg = workloads::families::cycle(40);
+    let (d, stats) = tiny.decompose_with_stats(&hg, 2, &ctrl).unwrap();
+    validate_hd_width(&hg, &d.expect("cycles have hw = 2"), 2).unwrap();
+    assert!(
+        stats.cache.evictions > 0,
+        "a 4 KiB budget must force the second-chance sweep to evict"
+    );
+    assert!(stats.cache.bytes <= 4096);
+    assert!(
+        off.decide(&hg, 2, &ctrl).unwrap(),
+        "uncached engine agrees on the evicting instance"
+    );
 }
 
 fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {
@@ -177,6 +244,20 @@ proptest! {
             if let Some(d) = p {
                 prop_assert!(validate_hd_width(&hg, &d, k).is_ok());
             }
+        }
+    }
+
+    /// Eviction fuzzing: a minuscule budget (heavy sweep churn) must not
+    /// change any decision on arbitrary hypergraphs.
+    #[test]
+    fn tiny_budget_decisions_match_uncached(hg in arb_hypergraph()) {
+        let ctrl = Control::unlimited();
+        let tiny = LogK::sequential().with_cache_bytes(2048);
+        let off = LogK::sequential().with_cache_bytes(0);
+        for k in 1..=3usize {
+            let a = tiny.decide(&hg, k, &ctrl).unwrap();
+            let b = off.decide(&hg, k, &ctrl).unwrap();
+            prop_assert_eq!(a, b, "tiny-budget vs uncached at k={}", k);
         }
     }
 }
