@@ -13,20 +13,18 @@
 //!
 //! A bench regresses when `candidate_median > baseline_median × (1 + t)`
 //! with threshold `t` (default 0.10, overridable by the third argument or
-//! `BENCH_DIFF_THRESHOLD`). Any regression exits non-zero. Benches or
-//! files present on only one side are reported but never fatal, so groups
-//! can be added and retired freely.
-//!
-//! The parser is a minimal scanner over the schema this workspace itself
-//! emits — `"id"`/`"median_ns"` pairs in order — deliberately free of
-//! JSON-crate dependencies (the container has no crates.io access).
+//! `BENCH_DIFF_THRESHOLD`). Any regression exits non-zero. A bench
+//! present only in the fresh output is **new — skipped (reported)** and a
+//! bench present only in the baseline is retired — likewise reported,
+//! never fatal — so PRs can add or retire benches without a two-step
+//! baseline dance. The comparison semantics (and that policy) live in
+//! [`bench::diff_medians`], where they are unit-tested; this binary only
+//! does I/O and exit codes.
 
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// `(file stem, bench id) → median_ns` for every BENCH_*.json in a dir.
-type Medians = BTreeMap<(String, String), f64>;
+use bench::{diff_medians, parse_medians, Medians, Verdict};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,40 +59,52 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut regressions = 0usize;
-    let mut compared = 0usize;
-    for ((file, id), base) in &baseline {
-        let Some(cand) = candidate.get(&(file.clone(), id.clone())) else {
-            println!("  MISSING  {file}:{id} (baseline {base:.1} ns; not in candidate run)");
-            continue;
-        };
-        compared += 1;
-        let ratio = if *base > 0.0 { cand / base } else { 1.0 };
-        let verdict = if ratio > 1.0 + threshold {
-            regressions += 1;
-            "REGRESSED"
-        } else if ratio < 1.0 - threshold {
-            "improved"
-        } else {
-            "ok"
-        };
-        println!("  {verdict:>9}  {file}:{id}  {base:.1} ns -> {cand:.1} ns  ({ratio:.2}x)");
-    }
-    for (file, id) in candidate.keys() {
-        if !baseline.contains_key(&(file.clone(), id.clone())) {
-            println!("  NEW      {file}:{id} (no baseline yet)");
+    let report = diff_medians(&baseline, &candidate, threshold);
+    for e in &report.entries {
+        match e.verdict {
+            Verdict::New => println!(
+                "  NEW      {}:{} ({:.1} ns; no baseline yet — skipped)",
+                e.file,
+                e.id,
+                e.candidate_ns.unwrap_or(0.0)
+            ),
+            Verdict::Missing => println!(
+                "  MISSING  {}:{} (baseline {:.1} ns; not in candidate run — skipped)",
+                e.file,
+                e.id,
+                e.baseline_ns.unwrap_or(0.0)
+            ),
+            v => {
+                let label = match v {
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::Improved => "improved",
+                    _ => "ok",
+                };
+                println!(
+                    "  {label:>9}  {}:{}  {:.1} ns -> {:.1} ns  ({:.2}x)",
+                    e.file,
+                    e.id,
+                    e.baseline_ns.unwrap_or(0.0),
+                    e.candidate_ns.unwrap_or(0.0),
+                    e.ratio().unwrap_or(1.0)
+                );
+            }
         }
     }
 
     println!(
-        "bench_diff: {compared} benches compared, {regressions} regressed \
-         (threshold {:.0}%)",
+        "bench_diff: {} benches compared, {} regressed, {} new (skipped), \
+         {} retired (skipped) (threshold {:.0}%)",
+        report.compared(),
+        report.regressions(),
+        report.new_benches(),
+        report.missing_benches(),
         threshold * 100.0
     );
-    if regressions > 0 {
-        ExitCode::FAILURE
-    } else {
+    if report.passes() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -120,46 +130,4 @@ fn collect_medians(dir: &Path) -> Medians {
         }
     }
     out
-}
-
-/// Extracts `(id, median_ns)` pairs from one BENCH_*.json in emission
-/// order. Relies only on the schema the vendored criterion writes: each
-/// bench object contains `"id": "<string>"` followed by
-/// `"median_ns": <number>`.
-fn parse_medians(text: &str) -> Vec<(String, f64)> {
-    let mut pairs = Vec::new();
-    let mut rest = text;
-    while let Some(idx) = rest.find("\"id\"") {
-        rest = &rest[idx + 4..];
-        let Some(id) = next_string_value(rest) else {
-            break;
-        };
-        let Some(midx) = rest.find("\"median_ns\"") else {
-            break;
-        };
-        let after = &rest[midx + 11..];
-        let Some(median) = next_number_value(after) else {
-            break;
-        };
-        pairs.push((id, median));
-    }
-    pairs
-}
-
-/// Parses the next `: "value"` after a key.
-fn next_string_value(s: &str) -> Option<String> {
-    let colon = s.find(':')?;
-    let open = s[colon..].find('"')? + colon;
-    let close = s[open + 1..].find('"')? + open + 1;
-    Some(s[open + 1..close].to_owned())
-}
-
-/// Parses the next `: <number>` after a key.
-fn next_number_value(s: &str) -> Option<f64> {
-    let colon = s.find(':')?;
-    let tail = s[colon + 1..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
 }

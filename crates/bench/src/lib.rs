@@ -1,5 +1,299 @@
-//! Criterion benchmark suite for the workspace — see `benches/`.
+//! Criterion benchmark suite for the workspace — see `benches/` — plus
+//! the library half of the `bench_diff` trajectory gate: parsing the
+//! `BENCH_*.json` schema the vendored criterion emits and classifying
+//! baseline-vs-candidate median movements.
 //!
-//! This crate intentionally contains no library code; it exists to host the
-//! Criterion bench targets that regenerate every table and figure of the
-//! paper at micro/meso scale.
+//! The binary (`src/bin/bench_diff.rs`) only does I/O and process exit;
+//! the comparison semantics live here so they are unit-testable. The key
+//! policy, pinned by tests: a bench present only in the *candidate* run
+//! (a freshly added group or id) is **new — reported and skipped, never
+//! fatal** — so a PR introducing a bench doesn't need a two-step
+//! baseline dance; and a bench present only in the baseline is likewise
+//! reported as missing without failing, so benches can be retired
+//! freely. Only a genuine median regression beyond the threshold fails
+//! the gate.
+
+use std::collections::BTreeMap;
+
+/// `(file stem, bench id) → median_ns` for one run's `BENCH_*.json` set.
+pub type Medians = BTreeMap<(String, String), f64>;
+
+/// Classification of one `(file, id)` pair across the two runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Within the threshold band.
+    Ok,
+    /// Candidate median faster than baseline beyond the threshold.
+    Improved,
+    /// Candidate median slower than baseline beyond the threshold —
+    /// the only fatal verdict.
+    Regressed,
+    /// Present only in the candidate run: new bench, skipped.
+    New,
+    /// Present only in the baseline: retired (or not run), skipped.
+    Missing,
+}
+
+/// One row of the diff report.
+#[derive(Clone, Debug)]
+pub struct DiffEntry {
+    /// File stem (`BENCH_micro_components`) the bench came from.
+    pub file: String,
+    /// Bench id within its group.
+    pub id: String,
+    /// Baseline median, if the bench exists there.
+    pub baseline_ns: Option<f64>,
+    /// Candidate median, if the bench exists there.
+    pub candidate_ns: Option<f64>,
+    /// Outcome for this bench.
+    pub verdict: Verdict,
+}
+
+impl DiffEntry {
+    /// candidate / baseline, when both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.baseline_ns, self.candidate_ns) {
+            (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+            (Some(_), Some(_)) => Some(1.0),
+            _ => None,
+        }
+    }
+}
+
+/// Full diff of two runs.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every `(file, id)` seen on either side, in deterministic order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Benches compared on both sides.
+    pub fn compared(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !matches!(e.verdict, Verdict::New | Verdict::Missing))
+            .count()
+    }
+
+    /// Fatal regressions.
+    pub fn regressions(&self) -> usize {
+        self.count(Verdict::Regressed)
+    }
+
+    /// New benches (candidate only, skipped).
+    pub fn new_benches(&self) -> usize {
+        self.count(Verdict::New)
+    }
+
+    /// Retired benches (baseline only, skipped).
+    pub fn missing_benches(&self) -> usize {
+        self.count(Verdict::Missing)
+    }
+
+    fn count(&self, v: Verdict) -> usize {
+        self.entries.iter().filter(|e| e.verdict == v).count()
+    }
+
+    /// Whether the gate passes (no regressions; new/missing never fail).
+    pub fn passes(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+/// Diffs candidate medians against a baseline with relative `threshold`
+/// (`0.10` = 10%). Pure: no I/O, no exit codes.
+pub fn diff_medians(baseline: &Medians, candidate: &Medians, threshold: f64) -> DiffReport {
+    let mut entries = Vec::new();
+    for ((file, id), &base) in baseline {
+        let key = (file.clone(), id.clone());
+        match candidate.get(&key) {
+            Some(&cand) => {
+                let ratio = if base > 0.0 { cand / base } else { 1.0 };
+                let verdict = if ratio > 1.0 + threshold {
+                    Verdict::Regressed
+                } else if ratio < 1.0 - threshold {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                entries.push(DiffEntry {
+                    file: file.clone(),
+                    id: id.clone(),
+                    baseline_ns: Some(base),
+                    candidate_ns: Some(cand),
+                    verdict,
+                });
+            }
+            None => entries.push(DiffEntry {
+                file: file.clone(),
+                id: id.clone(),
+                baseline_ns: Some(base),
+                candidate_ns: None,
+                verdict: Verdict::Missing,
+            }),
+        }
+    }
+    for ((file, id), &cand) in candidate {
+        if !baseline.contains_key(&(file.clone(), id.clone())) {
+            entries.push(DiffEntry {
+                file: file.clone(),
+                id: id.clone(),
+                baseline_ns: None,
+                candidate_ns: Some(cand),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    DiffReport { entries }
+}
+
+/// Extracts `(id, median_ns)` pairs from one `BENCH_*.json` in emission
+/// order. Relies only on the schema the vendored criterion writes: each
+/// bench object contains `"id": "<string>"` followed by
+/// `"median_ns": <number>`. Deliberately free of JSON-crate dependencies
+/// (the container has no crates.io access).
+pub fn parse_medians(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut rest = text;
+    while let Some(idx) = rest.find("\"id\"") {
+        rest = &rest[idx + 4..];
+        let Some(id) = next_string_value(rest) else {
+            break;
+        };
+        let Some(midx) = rest.find("\"median_ns\"") else {
+            break;
+        };
+        let after = &rest[midx + 11..];
+        let Some(median) = next_number_value(after) else {
+            break;
+        };
+        pairs.push((id, median));
+    }
+    pairs
+}
+
+/// Parses the next `: "value"` after a key.
+fn next_string_value(s: &str) -> Option<String> {
+    let colon = s.find(':')?;
+    let open = s[colon..].find('"')? + colon;
+    let close = s[open + 1..].find('"')? + open + 1;
+    Some(s[open + 1..close].to_owned())
+}
+
+/// Parses the next `: <number>` after a key.
+fn next_number_value(s: &str) -> Option<f64> {
+    let colon = s.find(':')?;
+    let tail = s[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medians(rows: &[(&str, &str, f64)]) -> Medians {
+        rows.iter()
+            .map(|(f, i, m)| ((f.to_string(), i.to_string()), *m))
+            .collect()
+    }
+
+    #[test]
+    fn parses_the_emitted_schema() {
+        let json = r#"{
+  "group": "micro/selftest",
+  "samples_requested": 20,
+  "benches": [
+    {"id": "a", "mean_ns": 10.0, "median_ns": 9.5, "min_ns": 9.0, "max_ns": 11.0, "stddev_ns": 0.5, "samples": 20, "iters_per_sample": 100},
+    {"id": "b", "mean_ns": 20.0, "median_ns": 19.5, "min_ns": 19.0, "max_ns": 21.0, "stddev_ns": 0.5, "samples": 20, "iters_per_sample": 100}
+  ]
+}"#;
+        let pairs = parse_medians(json);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], ("a".to_string(), 9.5));
+        assert_eq!(pairs[1], ("b".to_string(), 19.5));
+    }
+
+    #[test]
+    fn classifies_ok_improved_regressed() {
+        let base = medians(&[
+            ("f", "ok", 100.0),
+            ("f", "fast", 100.0),
+            ("f", "slow", 100.0),
+        ]);
+        let cand = medians(&[
+            ("f", "ok", 105.0),
+            ("f", "fast", 50.0),
+            ("f", "slow", 150.0),
+        ]);
+        let r = diff_medians(&base, &cand, 0.10);
+        let verdict = |id: &str| r.entries.iter().find(|e| e.id == id).unwrap().verdict;
+        assert_eq!(verdict("ok"), Verdict::Ok);
+        assert_eq!(verdict("fast"), Verdict::Improved);
+        assert_eq!(verdict("slow"), Verdict::Regressed);
+        assert_eq!(r.compared(), 3);
+        assert_eq!(r.regressions(), 1);
+        assert!(!r.passes());
+    }
+
+    /// The policy this PR pins: a bench id (or whole group file) present
+    /// only in the fresh output is "new, skipped (reported)" — never an
+    /// error — so adding a bench like `micro/lp_prune` needs no two-step
+    /// baseline dance.
+    #[test]
+    fn new_benches_are_reported_but_never_fatal() {
+        let base = medians(&[("BENCH_micro_components", "cycle100", 100.0)]);
+        let cand = medians(&[
+            ("BENCH_micro_components", "cycle100", 100.0),
+            ("BENCH_micro_components", "fresh_id", 42.0),
+            ("BENCH_micro_lp_prune", "grid4x4_k3_prefiltered", 7.0),
+        ]);
+        let r = diff_medians(&base, &cand, 0.10);
+        assert_eq!(r.new_benches(), 2);
+        assert_eq!(r.compared(), 1);
+        assert!(r.passes(), "new benches must not fail the gate");
+        let fresh = r
+            .entries
+            .iter()
+            .find(|e| e.id == "grid4x4_k3_prefiltered")
+            .unwrap();
+        assert_eq!(fresh.verdict, Verdict::New);
+        assert_eq!(fresh.baseline_ns, None);
+        assert_eq!(fresh.ratio(), None);
+    }
+
+    #[test]
+    fn retired_benches_are_reported_but_never_fatal() {
+        let base = medians(&[("f", "kept", 10.0), ("f", "retired", 10.0)]);
+        let cand = medians(&[("f", "kept", 10.0)]);
+        let r = diff_medians(&base, &cand, 0.10);
+        assert_eq!(r.missing_benches(), 1);
+        assert!(r.passes());
+    }
+
+    #[test]
+    fn zero_baseline_never_divides() {
+        let base = medians(&[("f", "z", 0.0)]);
+        let cand = medians(&[("f", "z", 5.0)]);
+        let r = diff_medians(&base, &cand, 0.10);
+        assert_eq!(r.entries[0].verdict, Verdict::Ok);
+        assert_eq!(r.entries[0].ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn threshold_is_relative() {
+        let base = medians(&[("f", "x", 100.0)]);
+        let cand = medians(&[("f", "x", 149.0)]);
+        assert!(diff_medians(&base, &cand, 0.50).passes());
+        assert!(!diff_medians(&base, &cand, 0.10).passes());
+    }
+
+    #[test]
+    fn malformed_json_yields_no_pairs() {
+        assert!(parse_medians("not json at all").is_empty());
+        assert!(parse_medians("{\"id\": \"x\"}").is_empty()); // no median
+    }
+}

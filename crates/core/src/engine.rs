@@ -42,13 +42,14 @@
 //! each branch's "clone" is a reference-count bump instead of a deep copy.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
-use detk::{DetKDecomp, MemoSnapshot, SharedMemo};
-use hypergraph::subsets::{for_each_subset_in, for_each_subset_with_lead_in};
+use detk::{DetKDecomp, DetkScratch, MemoSnapshot, SharedMemo};
+use hypergraph::subsets::{for_each_subset_in, for_each_subset_with_lead_in, subset_space_size};
 use hypergraph::{
     separate_into, Component, Edge, EdgeSet, Hypergraph, Scratch, Separation, SpecialArena,
     Subproblem, VertexSet,
@@ -62,6 +63,29 @@ pub const DEFAULT_CACHE_BYTES: usize = 32 << 20;
 
 /// Default entry cap for the `det-k-decomp` handoff memo table.
 pub const DEFAULT_DETK_CACHE_CAP: usize = DetKDecomp::DEFAULT_CACHE_CAP;
+
+/// Default node-count cap for *positive* cache inserts: a found fragment
+/// is stored only when it has at most this many nodes. The cost of an
+/// insert (portable-fragment conversion + key build) scales with the
+/// fragment, while measured re-use concentrates on 1–2-node fragments
+/// (every positive hit of `micro/pos_cache` survives this cap) — larger
+/// fragments sit on the unique success path of a solve and are rarely
+/// re-derived. Capping the stored size keeps the `micro/pos_cache` wins
+/// intact and erases the insert tax on trivial instances
+/// (`bounded40_k2`, previously ~40% over the uncached engine).
+pub const DEFAULT_POS_CACHE_MAX_FRAG: usize = 2;
+
+/// Byte budget of the node-local λp split memo (`⋃λp → comp_down`). An
+/// entry's footprint scales with the instance (a vertex-set key plus a
+/// component's subproblem/vertex bitsets), so the entry cap is derived
+/// from the hypergraph's bitset sizes at engine construction
+/// ([`LogKEngine::lp_memo_cap`]) — a flat entry count would balloon to
+/// hundreds of megabytes per level on large instances. Candidates past
+/// the cap simply run the BFS. Entries are freed when their node's
+/// `ChildLoop` ends ([`LevelScratch::retire_lp_memo`]), so the live
+/// aggregate is bounded by the *active* recursion path (O(log n) levels
+/// by Theorem 4.2) per branch, not by every idle pooled scratch.
+const LP_MEMO_BYTES: usize = 4 << 20;
 
 /// Complexity metric steering the hybrid handoff to `det-k-decomp`
 /// (Appendix D.2).
@@ -145,6 +169,15 @@ pub struct EngineConfig {
     /// Entry cap for the memo table of `det-k-decomp` handoffs
     /// (Appendix D.2); was previously hard-coded inside `detk`.
     pub detk_cache_cap: usize,
+    /// Ablation: reject λp candidates with cheap coverage-bitmask tests
+    /// before running the BFS separation (see [`PreFilter`]). On by
+    /// default; turning it off only adds `separate_into` calls — the
+    /// differential suite pins that verdicts are identical either way.
+    pub lambda_p_prefilter: bool,
+    /// Largest fragment (node count) stored by a positive cache insert;
+    /// `usize::MAX` stores every found fragment, `0` disables positive
+    /// inserts. See [`DEFAULT_POS_CACHE_MAX_FRAG`].
+    pub pos_cache_max_frag: usize,
 }
 
 impl EngineConfig {
@@ -159,6 +192,8 @@ impl EngineConfig {
             use_allowed_edges: true,
             cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
+            lambda_p_prefilter: true,
+            pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
         }
     }
 }
@@ -231,6 +266,17 @@ pub struct EngineStats {
     pub lambda_c_rejected: AtomicU64,
     /// λp candidates enumerated but rejected.
     pub lambda_p_rejected: AtomicU64,
+    /// λp candidate sets discarded by the admissibility pre-filter
+    /// before the BFS stage. An *upper bound* on separations avoided:
+    /// whole parent loops skipped by the per-λc test count their full
+    /// subset space, parts of which the cheap pre-BFS checks (new-edge,
+    /// k-bound) would also have rejected — `separations` is the exact
+    /// complementary count of BFS calls that did run.
+    pub lambda_p_prefiltered: AtomicU64,
+    /// `separate_into` calls performed (λc splits, λp splits and
+    /// `[χc]`-splits of `comp_down`) — the denominator the pre-filter
+    /// exists to shrink.
+    pub separations: AtomicU64,
 }
 
 impl EngineStats {
@@ -278,6 +324,16 @@ impl EngineStats {
     pub fn lambda_p_rejected(&self) -> u64 {
         self.lambda_p_rejected.load(Ordering::Relaxed)
     }
+
+    /// Snapshot of pre-filtered λp candidate sets (separations avoided).
+    pub fn lambda_p_prefiltered(&self) -> u64 {
+        self.lambda_p_prefiltered.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of `separate_into` calls performed.
+    pub fn separations(&self) -> u64 {
+        self.separations.load(Ordering::Relaxed)
+    }
 }
 
 /// Per-level meters, shared by the split borrows of a [`LevelScratch`]
@@ -294,6 +350,11 @@ struct LevelMeters {
     rejected_c: Cell<u64>,
     /// λp candidates rejected at this level.
     rejected_p: Cell<u64>,
+    /// λp candidate sets cut by the admissibility pre-filter at this
+    /// level (BFS separations avoided).
+    prefiltered_p: Cell<u64>,
+    /// `separate_into` calls at this level.
+    separations: Cell<u64>,
 }
 
 impl LevelMeters {
@@ -313,6 +374,17 @@ impl LevelMeters {
     fn reject_p(&self) {
         self.rejected_p.set(self.rejected_p.get() + 1);
     }
+
+    #[inline]
+    fn prefilter_p(&self, n: u64) {
+        self.prefiltered_p
+            .set(self.prefiltered_p.get().saturating_add(n));
+    }
+
+    #[inline]
+    fn bump_separation(&self) {
+        self.separations.set(self.separations.get() + 1);
+    }
 }
 
 /// Totals of the per-level meters, for delta reporting when a pooled
@@ -322,6 +394,8 @@ struct MeterTotals {
     grow: u64,
     rejected_c: u64,
     rejected_p: u64,
+    prefiltered_p: u64,
+    separations: u64,
 }
 
 impl std::ops::Add for MeterTotals {
@@ -331,6 +405,8 @@ impl std::ops::Add for MeterTotals {
             grow: self.grow + rhs.grow,
             rejected_c: self.rejected_c + rhs.rejected_c,
             rejected_p: self.rejected_p + rhs.rejected_p,
+            prefiltered_p: self.prefiltered_p + rhs.prefiltered_p,
+            separations: self.separations + rhs.separations,
         }
     }
 }
@@ -342,6 +418,8 @@ impl std::ops::Sub for MeterTotals {
             grow: self.grow - rhs.grow,
             rejected_c: self.rejected_c - rhs.rejected_c,
             rejected_p: self.rejected_p - rhs.rejected_p,
+            prefiltered_p: self.prefiltered_p - rhs.prefiltered_p,
+            separations: self.separations - rhs.separations,
         }
     }
 }
@@ -381,6 +459,29 @@ struct LevelScratch {
     lam_buf: Vec<Edge>,
     /// Enumeration buffer for the λp subset walk.
     lam_buf_p: Vec<Edge>,
+    /// Coverage mask of ⋃λc: edges touching it (λp alphabet test).
+    touch_uc: EdgeSet,
+    /// `X = (Conn \ ⋃λc) ∩ V(H')` — connector vertices λp can never
+    /// admit into `comp_down` (per λc).
+    x_conn: VertexSet,
+    /// `Conn ∩ ⋃λc ∩ V(H')` (per λc): the connector part whose
+    /// `comp_down` membership hinges on ⋃λp coverage.
+    conn_uc: VertexSet,
+    /// Members of the subproblem touching `X` (per λc).
+    touch_x: EdgeSet,
+    /// Per-λp inadmissible-vertex set (⋃λp spill ∪ uncovered connector).
+    bad: VertexSet,
+    /// Second operand buffer for assembling `bad`.
+    bad_tmp: VertexSet,
+    /// Members touching `bad ∪ X` (per λp).
+    touch_bad: EdgeSet,
+    /// Node-local λp split memo: `⋃λp → comp_down` (`None` = no
+    /// oversized component). The `[⋃λp]`-separation depends only on the
+    /// subproblem and the separator vertex set — not on λc — and the
+    /// same λp sets recur across every λc's parent loop of one `Decomp`
+    /// node, so repeat candidates skip the BFS entirely. Cleared on
+    /// `child_loop` entry (keys are only meaningful per subproblem).
+    lp_memo: HashMap<VertexSet, Option<Component>>,
 }
 
 /// Stack of per-level scratch bundles, indexed by recursion depth. Levels
@@ -424,6 +525,20 @@ impl LevelScratch {
             grow: self.bfs.grow_events + self.meters.grow.get(),
             rejected_c: self.meters.rejected_c.get(),
             rejected_p: self.meters.rejected_p.get(),
+            prefiltered_p: self.meters.prefiltered_p.get(),
+            separations: self.meters.separations.get(),
+        }
+    }
+
+    /// Drops the node's λp memo entries — keys and components are
+    /// instance-sized, and this level (or its pooled branch) may sit
+    /// idle arbitrarily long before the next `ChildLoop` re-clears it —
+    /// along with any oversized bucket array a memo-heavy node left
+    /// behind.
+    fn retire_lp_memo(&mut self) {
+        self.lp_memo.clear();
+        if self.lp_memo.capacity() > 1 << 12 {
+            self.lp_memo.shrink_to(1 << 12);
         }
     }
 }
@@ -458,6 +573,10 @@ struct ChildCtx<'a> {
     chi_root: &'a mut VertexSet,
     cands_p: &'a mut Vec<Edge>,
     lam_buf_p: &'a mut Vec<Edge>,
+    touch_uc: &'a mut EdgeSet,
+    x_conn: &'a mut VertexSet,
+    conn_uc: &'a mut VertexSet,
+    touch_x: &'a mut EdgeSet,
     pair: PairCtx<'a>,
 }
 
@@ -466,7 +585,34 @@ struct PairCtx<'a> {
     seps_p: &'a mut Separation,
     union_p: &'a mut VertexSet,
     chi_pair: &'a mut VertexSet,
+    bad: &'a mut VertexSet,
+    bad_tmp: &'a mut VertexSet,
+    touch_bad: &'a mut EdgeSet,
+    lp_memo: &'a mut HashMap<VertexSet, Option<Component>>,
     down: DownCtx<'a>,
+}
+
+/// Per-λc inputs of the λp admissibility pre-filter, borrowed by every
+/// `try_parent` call of one `ParentLoop`. The underlying sets live in the
+/// level's [`ChildCtx`] buffers; this view freezes them for the loop.
+///
+/// Soundness argument (why a hit can skip the BFS separation): a vertex
+/// `v ∈ ⋃λp ∩ V(comp_down)` must lie in `χc ⊆ ⋃λc` (lines 31–32), and a
+/// vertex `v ∈ Conn ∩ V(comp_down)` must lie in ⋃λp (lines 29–30) and
+/// hence also in ⋃λc. So no vertex of
+/// `bad = ((⋃λp \ ⋃λc) ∪ (Conn \ (⋃λc ∩ ⋃λp))) ∩ V(H')`
+/// can appear in `V(comp_down)` — any member edge or special touching
+/// `bad` is excluded from `comp_down`. If the members left over number at
+/// most `|H'|/2`, no oversized component can exist (lines 24–27) and the
+/// candidate is rejected exactly as the full separation would reject it.
+struct PreFilter<'a> {
+    /// `(Conn \ ⋃λc) ∩ V(H')` — λp-independent part of `bad`.
+    x_conn: &'a VertexSet,
+    /// `Conn ∩ ⋃λc ∩ V(H')` — per-λp, the part of it outside ⋃λp joins
+    /// `bad`.
+    conn_uc: &'a VertexSet,
+    /// Members of the subproblem touching `x_conn`.
+    touch_x: &'a EdgeSet,
 }
 
 /// Buffers that survive into the child recursions (`try_as_root`,
@@ -509,6 +655,14 @@ impl LevelScratch {
             cands_p,
             lam_buf,
             lam_buf_p,
+            touch_uc,
+            x_conn,
+            conn_uc,
+            touch_x,
+            bad,
+            bad_tmp,
+            touch_bad,
+            lp_memo,
         } = self;
         let meters = &*meters;
         (
@@ -519,10 +673,18 @@ impl LevelScratch {
                 chi_root,
                 cands_p,
                 lam_buf_p,
+                touch_uc,
+                x_conn,
+                conn_uc,
+                touch_x,
                 pair: PairCtx {
                     seps_p,
                     union_p,
                     chi_pair,
+                    bad,
+                    bad_tmp,
+                    touch_bad,
+                    lp_memo,
                     down: DownCtx {
                         meters,
                         bfs,
@@ -564,6 +726,13 @@ pub struct LogKEngine<'h> {
     detk_memo: SharedMemo,
     /// Warm scratch bundles recycled across parallel branches.
     branch_pool: std::sync::Mutex<Vec<BranchScratch>>,
+    /// Warm `det-k-decomp` scratch stacks recycled across hybrid
+    /// handoffs (and rayon branches), so handoffs stop paying cold
+    /// buffer allocations per call.
+    detk_pool: std::sync::Mutex<Vec<DetkScratch>>,
+    /// Entry cap of each node-local λp split memo, derived from
+    /// [`LP_MEMO_BYTES`] and this instance's per-entry bitset footprint.
+    lp_memo_cap: usize,
 }
 
 type FragResult = Result<Option<Fragment>, Stop>;
@@ -579,6 +748,13 @@ impl<'h> LogKEngine<'h> {
         for (rank, e) in order.into_iter().enumerate() {
             edge_rank[e.0 as usize] = rank as u32;
         }
+        // One λp memo entry ≈ the ⋃λp key (one vertex bitset) plus the
+        // memoised component (vertex bitset + subproblem edge/special
+        // bitsets) plus map overhead.
+        let vs_bytes = hg.num_vertices().div_ceil(64) * 8;
+        let es_bytes = hg.num_edges().div_ceil(64) * 8;
+        let entry_bytes = 2 * vs_bytes + 2 * es_bytes + 96;
+        let lp_memo_cap = (LP_MEMO_BYTES / entry_bytes).clamp(16, 1 << 15);
         LogKEngine {
             hg,
             ctrl,
@@ -588,6 +764,8 @@ impl<'h> LogKEngine<'h> {
             cache: SubproblemCache::new(cfg.cache_bytes),
             detk_memo: SharedMemo::new(cfg.k, cfg.detk_cache_cap),
             branch_pool: std::sync::Mutex::new(Vec::new()),
+            detk_pool: std::sync::Mutex::new(Vec::new()),
+            lp_memo_cap,
         }
     }
 
@@ -644,6 +822,12 @@ impl<'h> LogKEngine<'h> {
         self.stats
             .lambda_p_rejected
             .fetch_add(t.rejected_p, Ordering::Relaxed);
+        self.stats
+            .lambda_p_prefiltered
+            .fetch_add(t.prefiltered_p, Ordering::Relaxed);
+        self.stats
+            .separations
+            .fetch_add(t.separations, Ordering::Relaxed);
     }
 
     /// Function `Decomp(H', Conn, A)` of Algorithm 2, wrapped with the
@@ -700,10 +884,17 @@ impl<'h> LogKEngine<'h> {
                 // instead, so the negative verdict is safe to share.
                 Ok(None) => self.cache.insert_negative(hash, arena, sub, conn, allowed),
                 // A found fragment is a complete witness — always safe.
-                Ok(Some(frag)) => self
+                // Only fragments up to the configured node count are
+                // stored: insert cost scales with the fragment while
+                // re-use concentrates on small ones, so memoising the
+                // big fragments of the (unique) success path would only
+                // tax trivial instances — measured by `bounded40_k2`
+                // (the low-reuse contrast in `micro/neg_cache`), with
+                // the preserved wins on `micro/pos_cache`.
+                Ok(Some(frag)) if frag.num_nodes() <= self.cfg.pos_cache_max_frag => self
                     .cache
                     .insert_positive(hash, arena, sub, conn, allowed, frag),
-                Err(_) => {}
+                Ok(Some(_)) | Err(_) => {}
             }
         }
         result
@@ -728,13 +919,35 @@ impl<'h> LogKEngine<'h> {
         // one branch is never repeated by another.
         if let Some(h) = self.cfg.hybrid {
             if h.metric.evaluate(self.hg, arena, sub, self.cfg.k) < h.threshold {
+                // Reuse a warm det-k scratch stack from the engine pool;
+                // allocate a cold one only when every warm stack is in
+                // use by a sibling branch.
+                let scratch = self
+                    .detk_pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop()
+                    .unwrap_or_else(|| {
+                        self.stats.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+                        DetkScratch::new()
+                    });
+                let grow_before = scratch.grow_events();
                 let mut detk = DetKDecomp::new(self.hg, self.cfg.k, self.ctrl)
-                    .with_shared_memo(&self.detk_memo);
+                    .with_shared_memo(&self.detk_memo)
+                    .with_scratch(scratch);
                 let result = detk.decompose(arena, sub, conn).map_err(Stop::External);
                 self.stats.detk_handoffs.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .detk_cache_peak
                     .fetch_max(self.detk_memo.len(), Ordering::Relaxed);
+                let scratch = detk.take_scratch();
+                self.stats
+                    .scratch_grow_events
+                    .fetch_add(scratch.grow_events() - grow_before, Ordering::Relaxed);
+                self.detk_pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(scratch);
                 return result;
             }
         }
@@ -762,6 +975,8 @@ impl<'h> LogKEngine<'h> {
         stack: &mut ScratchStack,
         lvl: &mut LevelScratch,
     ) -> FragResult {
+        // λp memo keys are only meaningful for one subproblem.
+        lvl.lp_memo.clear();
         let (mut ctx, bufs) = lvl.split(stack);
         let EnumBufs {
             vsub,
@@ -790,7 +1005,7 @@ impl<'h> LogKEngine<'h> {
             let lam_cap = lam_buf.capacity();
             let found = for_each_subset_in(cands, self.cfg.k, lam_buf, |lam_c| {
                 self.try_child(
-                    arena, sub, conn, allowed, depth, prune, vsub, lam_c, &mut ctx,
+                    arena, sub, conn, allowed, depth, prune, vsub, cands, lam_c, &mut ctx,
                 )
             });
             ctx.meters.bump_grow(lam_buf.capacity() > lam_cap);
@@ -803,6 +1018,7 @@ impl<'h> LogKEngine<'h> {
         // Stack discipline: whatever happened below, only specials that
         // existed on entry may be referenced by the returned fragment.
         arena.truncate(checkpoint);
+        lvl.retire_lp_memo();
         result
     }
 
@@ -853,7 +1069,9 @@ impl<'h> LogKEngine<'h> {
                 reported: _,
             } = &mut branch;
             // The branch enumerates the caller's (sealed-level) `vsub` and
-            // `cands`; its own enumeration buffers serve only the subset walk.
+            // `cands`; its own enumeration buffers serve only the subset
+            // walk. Its λp memo is branch-local and keyed per subproblem.
+            lvl.lp_memo.clear();
             let (mut ctx, bufs) = lvl.split(branch_stack);
             let lam_cap = bufs.lam_buf.capacity();
             let found =
@@ -866,6 +1084,7 @@ impl<'h> LogKEngine<'h> {
                         depth,
                         Some(&race),
                         vsub,
+                        cands,
                         lam_c,
                         &mut ctx,
                     )
@@ -883,6 +1102,7 @@ impl<'h> LogKEngine<'h> {
             let totals = branch.totals();
             self.fold_meters(totals - branch.reported);
             branch.reported = totals;
+            branch.lvl.retire_lp_memo();
             self.branch_pool
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -916,6 +1136,7 @@ impl<'h> LogKEngine<'h> {
         depth: usize,
         prune: Option<&Prune<'_>>,
         vsub: &VertexSet,
+        cands: &[Edge],
         lam_c: &[Edge],
         ctx: &mut ChildCtx<'_>,
     ) -> Found {
@@ -929,6 +1150,10 @@ impl<'h> LogKEngine<'h> {
             chi_root,
             cands_p,
             lam_buf_p,
+            touch_uc,
+            x_conn,
+            conn_uc,
+            touch_x,
             pair,
         } = ctx;
         // λc must contain a "new" edge (progress, Def. 3.5(2)).
@@ -938,6 +1163,7 @@ impl<'h> LogKEngine<'h> {
         }
         meters.bump_grow(self.hg.union_of_slice_into(lam_c, union_c));
         // Line 12: [λc]-components of H'.
+        meters.bump_separation();
         separate_into(self.hg, arena, sub, union_c, pair.down.bfs, seps_c);
         // Line 13: χc must be a balanced separator of H'. (⋃λc
         // over-approximates χc: if ⋃λc is unbalanced, so is χc.)
@@ -976,18 +1202,74 @@ impl<'h> LogKEngine<'h> {
         // Lines 22–43: parent/child pair search.
         // λp candidates: allowed edges intersecting ⋃λc (Theorem C.1) that
         // also touch the subproblem, tried in balance-likelihood order.
+        // `cands` is exactly the allowed-∩-touching-V(H') list in rank
+        // order, so one coverage-mask membership test per edge filters it
+        // — no per-edge vertex-set intersection, no re-sort.
         let cands_p_cap = cands_p.capacity();
         cands_p.clear();
-        cands_p.extend(allowed.iter().filter(|&e| {
-            (!self.cfg.restrict_parent_search || self.hg.edge(e).intersects(union_c))
-                && self.hg.edge(e).intersects(vsub)
-        }));
-        cands_p.sort_unstable_by_key(|&e| self.edge_rank[e.0 as usize]);
+        if self.cfg.restrict_parent_search {
+            meters.bump_grow(self.hg.edges_touching_into(union_c, touch_uc));
+            cands_p.extend(cands.iter().copied().filter(|&e| touch_uc.contains(e)));
+        } else {
+            cands_p.extend_from_slice(cands);
+        }
         meters.bump_grow(cands_p.capacity() > cands_p_cap);
+
+        // λp admissibility pre-filter, per-λc part (see [`PreFilter`] for
+        // the soundness arguments; every test below rejects a candidate
+        // only when the full separation would reject it too).
+        let prefilter = if self.cfg.lambda_p_prefilter {
+            // Exclusion baseline: members touching `X = Conn \ ⋃λc` can
+            // never lie in `comp_down`.
+            meters.bump_grow(x_conn.copy_from(conn));
+            x_conn.difference_with(union_c);
+            x_conn.intersect_with(vsub);
+            meters.bump_grow(conn_uc.copy_from(conn));
+            conn_uc.intersect_with(union_c);
+            conn_uc.intersect_with(vsub);
+            meters.bump_grow(self.hg.edges_touching_into(x_conn, touch_x));
+            touch_x.intersect_with(&sub.edges);
+            let base_excluded = touch_x.len()
+                + sub
+                    .specials
+                    .iter()
+                    .filter(|&&s| arena.get(s).intersects(x_conn))
+                    .count();
+            // If the λp-independent exclusions already claim half the
+            // members, no λp can produce an oversized `comp_down`: the
+            // whole parent loop is skipped, counted at the size of the
+            // subset space it would have enumerated.
+            if 2 * base_excluded >= sub.size() {
+                let skipped =
+                    subset_space_size(cands_p.len(), self.cfg.k).min(u64::MAX as u128) as u64;
+                meters.prefilter_p(skipped);
+                meters.reject_c();
+                return ControlFlow::Continue(());
+            }
+
+            Some(PreFilter {
+                x_conn,
+                conn_uc,
+                touch_x,
+            })
+        } else {
+            None
+        };
         let lam_p_cap = lam_buf_p.capacity();
         let found = for_each_subset_in(cands_p, self.cfg.k, lam_buf_p, |lam_p| {
             self.try_parent(
-                arena, sub, conn, allowed, depth, prune, lam_c, union_c, lam_p, pair,
+                arena,
+                sub,
+                conn,
+                allowed,
+                depth,
+                prune,
+                vsub,
+                lam_c,
+                union_c,
+                lam_p,
+                prefilter.as_ref(),
+                pair,
             )
         });
         meters.bump_grow(lam_buf_p.capacity() > lam_p_cap);
@@ -1057,9 +1339,11 @@ impl<'h> LogKEngine<'h> {
         allowed: &Arc<EdgeSet>,
         depth: usize,
         prune: Option<&Prune<'_>>,
+        vsub: &VertexSet,
         lam_c: &[Edge],
         union_c: &VertexSet,
         lam_p: &[Edge],
+        pf: Option<&PreFilter<'_>>,
         pair: &mut PairCtx<'_>,
     ) -> Found {
         if let Err(e) = poll(self.ctrl, prune) {
@@ -1069,6 +1353,10 @@ impl<'h> LogKEngine<'h> {
             seps_p,
             union_p,
             chi_pair,
+            bad,
+            bad_tmp,
+            touch_bad,
+            lp_memo,
             down,
         } = pair;
         let meters = down.meters;
@@ -1078,14 +1366,108 @@ impl<'h> LogKEngine<'h> {
             return ControlFlow::Continue(());
         }
         meters.bump_grow(self.hg.union_of_slice_into(lam_p, union_p));
-        // Line 23: [λp]-components of H'.
+        // Admissibility pre-filter (see [`PreFilter`]): members touching
+        // `bad = ((⋃λp \ ⋃λc) ∪ (Conn \ (⋃λc ∩ ⋃λp))) ∩ V(H')` are
+        // provably outside any admissible `comp_down`; if at most half the
+        // members remain, the checks of lines 24–32 cannot all pass and
+        // the BFS separation is skipped.
+        if let Some(pf) = pf {
+            meters.bump_grow(bad.copy_from(union_p));
+            bad.difference_with(union_c);
+            bad.intersect_with(vsub);
+            meters.bump_grow(bad_tmp.copy_from(pf.conn_uc));
+            bad_tmp.difference_with(union_p);
+            bad.union_with(bad_tmp);
+            // With `bad` empty the λp-independent baseline already passed
+            // the half-size test in `try_child`, so rejection is
+            // impossible — go straight to the separation.
+            if !bad.is_empty() {
+                meters.bump_grow(self.hg.edges_touching_into(bad, touch_bad));
+                touch_bad.intersect_with(&sub.edges);
+                touch_bad.union_with(pf.touch_x);
+                let excluded = touch_bad.len()
+                    + sub
+                        .specials
+                        .iter()
+                        .filter(|&&s| {
+                            let g = arena.get(s);
+                            g.intersects(bad) || g.intersects(pf.x_conn)
+                        })
+                        .count();
+                if 2 * excluded >= sub.size() {
+                    meters.prefilter_p(1);
+                    return ControlFlow::Continue(());
+                }
+            }
+        }
+        // Line 23: [λp]-components of H'. The split depends only on
+        // `(H', ⋃λp)` — not on λc — and the same λp sets recur across
+        // every λc's parent loop of this `Decomp` node, so the node-local
+        // memo serves repeat candidates without re-running the BFS. Only
+        // `comp_down` is stored: lines 28–43 never look at the small
+        // components of the λp split.
+        if self.cfg.lambda_p_prefilter {
+            if let Some(cached) = lp_memo.get(&**union_p) {
+                let Some(comp_down) = cached else {
+                    meters.reject_p();
+                    return ControlFlow::Continue(());
+                };
+                return self.check_pair(
+                    arena, sub, conn, allowed, depth, prune, lam_c, union_c, union_p, comp_down,
+                    chi_pair, down,
+                );
+            }
+        }
+        meters.bump_separation();
         separate_into(self.hg, arena, sub, union_p, down.bfs, seps_p);
         // Lines 24–27: the oversized component becomes comp_down.
-        let Some(i) = seps_p.oversized_component(sub.size()) else {
+        let over = seps_p.oversized_component(sub.size());
+        if self.cfg.lambda_p_prefilter && lp_memo.len() < self.lp_memo_cap {
+            lp_memo.insert(
+                (**union_p).clone(),
+                over.map(|i| seps_p.components[i].clone()),
+            );
+        }
+        let Some(i) = over else {
             meters.reject_p();
             return ControlFlow::Continue(());
         };
-        let comp_down = &seps_p.components[i];
+        self.check_pair(
+            arena,
+            sub,
+            conn,
+            allowed,
+            depth,
+            prune,
+            lam_c,
+            union_c,
+            union_p,
+            &seps_p.components[i],
+            chi_pair,
+            down,
+        )
+    }
+
+    /// Lines 28–43 against a fixed `comp_down` (freshly separated or
+    /// served from the node-local λp memo): χc, the connectedness and
+    /// trace checks, then the below/above recursions.
+    #[allow(clippy::too_many_arguments)]
+    fn check_pair(
+        &self,
+        arena: &mut SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        lam_c: &[Edge],
+        union_c: &VertexSet,
+        union_p: &VertexSet,
+        comp_down: &Component,
+        chi_pair: &mut VertexSet,
+        down: &mut DownCtx<'_>,
+    ) -> Found {
+        let meters = down.meters;
         // Line 28: χc = ⋃λc ∩ V(comp_down).
         meters.bump_grow(chi_pair.copy_from(union_c));
         chi_pair.intersect_with(&comp_down.vertices);
@@ -1137,6 +1519,7 @@ impl<'h> LogKEngine<'h> {
             stack,
         } = down;
         // Line 33: [χc]-components of comp_down.
+        meters.bump_separation();
         separate_into(
             self.hg,
             arena,

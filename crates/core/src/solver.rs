@@ -11,7 +11,7 @@ use hypergraph::Hypergraph;
 use crate::cache::CacheSnapshot;
 use crate::engine::{
     EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
-    DEFAULT_DETK_CACHE_CAP,
+    DEFAULT_DETK_CACHE_CAP, DEFAULT_POS_CACHE_MAX_FRAG,
 };
 use detk::MemoSnapshot;
 
@@ -46,6 +46,12 @@ pub struct LogK {
     /// Memo-table entry cap for `det-k-decomp` handoffs.
     /// See [`EngineConfig::detk_cache_cap`].
     pub detk_cache_cap: usize,
+    /// λp admissibility pre-filter (cheap bitset rejection before the BFS
+    /// separation). See [`EngineConfig::lambda_p_prefilter`].
+    pub lambda_p_prefilter: bool,
+    /// Largest fragment (node count) stored by a positive cache insert.
+    /// See [`EngineConfig::pos_cache_max_frag`].
+    pub pos_cache_max_frag: usize,
 }
 
 impl LogK {
@@ -59,6 +65,8 @@ impl LogK {
             root_fallthrough: false,
             cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
+            lambda_p_prefilter: true,
+            pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
         }
     }
 
@@ -112,6 +120,20 @@ impl LogK {
         self
     }
 
+    /// Enables or disables the λp admissibility pre-filter (the
+    /// differential tests compare both modes).
+    pub fn with_lambda_p_prefilter(mut self, on: bool) -> Self {
+        self.lambda_p_prefilter = on;
+        self
+    }
+
+    /// Replaces the node-count cap for positive cache inserts
+    /// (`usize::MAX` stores every found fragment, `0` stores none).
+    pub fn with_pos_cache_max_frag(mut self, max: usize) -> Self {
+        self.pos_cache_max_frag = max;
+        self
+    }
+
     fn engine_config(&self, k: usize) -> EngineConfig {
         EngineConfig {
             parallel_depth: if matches!(self.variant, Variant::Parallel) {
@@ -123,6 +145,8 @@ impl LogK {
             root_fallthrough: self.root_fallthrough,
             cache_bytes: self.cache_bytes,
             detk_cache_cap: self.detk_cache_cap,
+            lambda_p_prefilter: self.lambda_p_prefilter,
+            pos_cache_max_frag: self.pos_cache_max_frag,
             ..EngineConfig::sequential(k)
         }
     }
@@ -187,6 +211,8 @@ impl LogK {
                         arena_branch_clones: engine.stats().arena_branch_clones(),
                         lambda_c_rejected: engine.stats().lambda_c_rejected(),
                         lambda_p_rejected: engine.stats().lambda_p_rejected(),
+                        lambda_p_prefiltered: engine.stats().lambda_p_prefiltered(),
+                        separations: engine.stats().separations(),
                         detk_handoffs: engine.stats().detk_handoffs(),
                         detk_cache_peak: engine.stats().detk_cache_peak(),
                         detk_cache_cap: self.detk_cache_cap,
@@ -258,6 +284,13 @@ pub struct SolveStats {
     pub lambda_c_rejected: u64,
     /// λp candidates enumerated but rejected.
     pub lambda_p_rejected: u64,
+    /// λp candidate sets discarded by the admissibility pre-filter
+    /// before the BFS stage (an upper bound on separations avoided —
+    /// whole-loop skips count their full subset space; see
+    /// `EngineStats::lambda_p_prefiltered`).
+    pub lambda_p_prefiltered: u64,
+    /// `separate_into` calls performed — the cost the pre-filter cuts.
+    pub separations: u64,
     /// Hybrid handoffs to `det-k-decomp`.
     pub detk_handoffs: u64,
     /// Largest `det-k-decomp` memo table observed across handoffs.

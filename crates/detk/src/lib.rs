@@ -17,13 +17,24 @@
 //! hybrid handoffs and rayon branches of a `log-k-decomp` solve
 //! ([`DetKDecomp::with_shared_memo`]) instead of each handoff rebuilding
 //! its memoisation from zero.
+//!
+//! The search itself runs on per-level scratch workspaces
+//! ([`DetkScratch`]), mirroring the main engine's `LevelScratch`
+//! discipline: candidate evaluation (`⋃λ`, `χ(u)`, the `[χ(u)]`-split,
+//! per-child connectors) allocates nothing once a level is warm, and the
+//! stack can be moved between engine instances
+//! ([`DetKDecomp::with_scratch`] / [`DetKDecomp::take_scratch`]) so the
+//! hybrid driver's handoffs reuse warm buffers instead of paying cold
+//! allocations per call.
 
 use std::cell::OnceCell;
 use std::ops::ControlFlow;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
-use hypergraph::subsets::for_each_subset;
-use hypergraph::{separate, Edge, Hypergraph, SpecialArena, Subproblem, VertexSet};
+use hypergraph::subsets::for_each_subset_in;
+use hypergraph::{
+    separate_into, Edge, Hypergraph, Scratch, Separation, SpecialArena, Subproblem, VertexSet,
+};
 
 pub mod memo;
 
@@ -31,6 +42,80 @@ pub use memo::{MemoProbe, MemoSnapshot, SharedMemo};
 
 /// Result of a whole-hypergraph solve.
 pub type SolveResult = Result<Option<Decomposition>, Interrupted>;
+
+/// Per-recursion-level scratch buffers of the det-k search: everything
+/// `try_label` touches per candidate lives here, so candidate evaluation
+/// performs no heap allocation once a level is warm — the same discipline
+/// as the main engine's `LevelScratch`.
+#[derive(Default)]
+struct DetkLevel {
+    /// BFS buffers for `separate_into`.
+    bfs: Scratch,
+    /// `[χ(u)]`-components of the current subproblem.
+    seps: Separation,
+    /// `V(H')` of the current subproblem.
+    vsub: VertexSet,
+    /// `⋃λ` of the current candidate.
+    union: VertexSet,
+    /// `χ(u) = ⋃λ ∩ V(H')`.
+    chi: VertexSet,
+    /// Connector handed to child recursions.
+    conn_c: VertexSet,
+    /// λ candidate edges.
+    cands: Vec<Edge>,
+    /// Enumeration buffer for the subset walk.
+    lam_buf: Vec<Edge>,
+    /// Child fragments of the current candidate, drained into the
+    /// returned fragment on acceptance.
+    children: Vec<Fragment>,
+    /// Growth events of the non-BFS buffers (the BFS scratch meters its
+    /// own).
+    grow: u64,
+}
+
+impl DetkLevel {
+    fn grow_events(&self) -> u64 {
+        self.bfs.grow_events + self.grow
+    }
+}
+
+/// Warm per-level scratch stack for [`DetKDecomp`], reusable across
+/// engine instances: the hybrid driver of `log-k-decomp` pools these so
+/// its (very frequent) det-k handoffs stop allocating fresh buffers per
+/// call — move one in with [`DetKDecomp::with_scratch`] and recover it
+/// with [`DetKDecomp::take_scratch`] when the engine retires.
+#[derive(Default)]
+pub struct DetkScratch {
+    levels: Vec<Option<DetkLevel>>,
+}
+
+impl DetkScratch {
+    /// Creates an empty (cold) scratch stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take(&mut self, depth: usize) -> DetkLevel {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, || None);
+        }
+        self.levels[depth].take().unwrap_or_default()
+    }
+
+    fn put(&mut self, depth: usize, lvl: DetkLevel) {
+        self.levels[depth] = Some(lvl);
+    }
+
+    /// Total buffer growth events across all levels — constant once the
+    /// stack is warm (the steady-state zero-allocation meter).
+    pub fn grow_events(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(DetkLevel::grow_events)
+            .sum()
+    }
+}
 
 /// The engine's memo table: owned by this engine, or borrowed from the
 /// hybrid driver that shares one table across every handoff. The owned
@@ -67,6 +152,9 @@ pub struct DetKDecomp<'h> {
     k: usize,
     ctrl: &'h Control,
     memo: MemoHandle<'h>,
+    /// Per-level scratch buffers; either fresh or moved in warm by the
+    /// hybrid driver ([`Self::with_scratch`]).
+    scratch: DetkScratch,
     /// Current recursion depth (diagnostics).
     depth: usize,
     /// Deepest recursion reached — Θ(|E|) on chains, in contrast to
@@ -93,6 +181,7 @@ impl<'h> DetKDecomp<'h> {
                 k,
                 cap: Self::DEFAULT_CACHE_CAP,
             },
+            scratch: DetkScratch::new(),
             depth: 0,
             max_depth: 0,
         }
@@ -134,9 +223,31 @@ impl<'h> DetKDecomp<'h> {
             k: self.k,
             ctrl: self.ctrl,
             memo: MemoHandle::Shared(memo),
+            scratch: self.scratch,
             depth: self.depth,
             max_depth: self.max_depth,
         }
+    }
+
+    /// Moves a (typically warm) scratch stack into the engine, so this
+    /// instance starts with the previous instance's buffers instead of
+    /// allocating its own — the hybrid driver pools stacks across its
+    /// det-k handoffs this way.
+    pub fn with_scratch(mut self, scratch: DetkScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Recovers the scratch stack (leaving this engine a cold one), so
+    /// the caller can pool it for the next engine instance.
+    pub fn take_scratch(&mut self) -> DetkScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Total scratch buffer growth events so far (constant in the steady
+    /// state).
+    pub fn scratch_grow_events(&self) -> u64 {
+        self.scratch.grow_events()
     }
 
     /// Number of memoised subproblems (diagnostics).
@@ -211,18 +322,55 @@ impl<'h> DetKDecomp<'h> {
         sub: &Subproblem,
         conn: &VertexSet,
     ) -> Result<Option<Fragment>, Interrupted> {
-        let vsub = sub.vertices(self.hg, arena);
+        // Take this level's buffers out of the stack so the recursion
+        // below (which draws depth + 1) can borrow the stack freely.
+        let depth = self.depth;
+        let mut lvl = self.scratch.take(depth);
+        let result = self.search_in(arena, sub, conn, &mut lvl);
+        self.scratch.put(depth, lvl);
+        result
+    }
+
+    fn search_in(
+        &mut self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        lvl: &mut DetkLevel,
+    ) -> Result<Option<Fragment>, Interrupted> {
+        let DetkLevel {
+            bfs,
+            seps,
+            vsub,
+            union,
+            chi,
+            conn_c,
+            cands,
+            lam_buf,
+            children,
+            grow,
+        } = lvl;
+        *grow += sub.vertices_into(self.hg, arena, vsub) as u64;
         // Candidate λ-edges: only edges touching the component can change
         // χ(u) = ⋃λ ∩ V(C) or cover Conn ⊆ V(C); others are redundant.
-        let cands: Vec<Edge> = self
-            .hg
-            .edge_ids()
-            .filter(|&e| self.hg.edge(e).intersects(&vsub))
-            .collect();
+        let cands_cap = cands.capacity();
+        cands.clear();
+        cands.extend(
+            self.hg
+                .edge_ids()
+                .filter(|&e| self.hg.edge(e).intersects(vsub)),
+        );
+        *grow += (cands.capacity() > cands_cap) as u64;
 
-        let found = for_each_subset(&cands, self.k, |lambda| {
-            self.try_label(arena, sub, conn, &vsub, lambda)
+        let lam_cap = lam_buf.capacity();
+        let children_cap = children.capacity();
+        let found = for_each_subset_in(cands, self.k, lam_buf, |lambda| {
+            self.try_label(
+                arena, sub, conn, vsub, lambda, bfs, seps, union, chi, conn_c, children, grow,
+            )
         });
+        *grow += (lam_buf.capacity() > lam_cap) as u64;
+        *grow += (children.capacity() > children_cap) as u64;
         match found {
             Some(Ok(f)) => Ok(Some(f)),
             Some(Err(e)) => Err(e),
@@ -230,6 +378,9 @@ impl<'h> DetKDecomp<'h> {
         }
     }
 
+    /// One λ-label candidate. A *rejected* candidate — the common case —
+    /// runs entirely inside the level's scratch buffers: no allocation.
+    #[allow(clippy::too_many_arguments)]
     fn try_label(
         &mut self,
         arena: &SpecialArena,
@@ -237,6 +388,13 @@ impl<'h> DetKDecomp<'h> {
         conn: &VertexSet,
         vsub: &VertexSet,
         lambda: &[Edge],
+        bfs: &mut Scratch,
+        seps: &mut Separation,
+        union: &mut VertexSet,
+        chi: &mut VertexSet,
+        conn_c: &mut VertexSet,
+        children: &mut Vec<Fragment>,
+        grow: &mut u64,
     ) -> Found<Fragment> {
         if let Err(e) = self.ctrl.checkpoint() {
             return ControlFlow::Break(Err(e));
@@ -246,28 +404,32 @@ impl<'h> DetKDecomp<'h> {
         if !lambda.iter().any(|e| sub.edges.contains(*e)) {
             return ControlFlow::Continue(());
         }
-        let union = self.hg.union_of_slice(lambda);
+        *grow += self.hg.union_of_slice_into(lambda, union) as u64;
         // Connectedness: Conn ⊆ χ(u); since Conn ⊆ V(C) this reduces to
         // Conn ⊆ ⋃λ.
-        if !conn.is_subset_of(&union) {
+        if !conn.is_subset_of(union) {
             return ControlFlow::Continue(());
         }
         // Minimal bag (Def. 3.5(3)).
-        let chi = union.intersection(vsub);
+        *grow += chi.copy_from(union) as u64;
+        chi.intersect_with(vsub);
 
-        let seps = separate(self.hg, arena, sub, &chi);
-        let mut children = Vec::with_capacity(seps.components.len());
+        separate_into(self.hg, arena, sub, chi, bfs, seps);
+        children.clear();
         for comp in &seps.components {
-            let conn_c = comp.vertices.intersection(&chi);
-            match self.decompose(arena, &comp.to_subproblem(), &conn_c) {
+            // Conn_C = V(C) ∩ χ(u); the recursion draws its own buffers
+            // from the next level of the stack.
+            *grow += conn_c.copy_from(&comp.vertices) as u64;
+            conn_c.intersect_with(chi);
+            match self.decompose(arena, comp.as_subproblem(), conn_c) {
                 Ok(Some(f)) => children.push(f),
                 Ok(None) => return ControlFlow::Continue(()),
                 Err(e) => return ControlFlow::Break(Err(e)),
             }
         }
 
-        let mut frag = Fragment::leaf(lambda.to_vec(), chi);
-        for f in children {
+        let mut frag = Fragment::leaf(lambda.to_vec(), chi.clone());
+        for f in children.drain(..) {
             frag.attach_under(0, f);
         }
         // Specials fully inside χ(u) still need their dedicated leaves.
@@ -423,6 +585,47 @@ mod tests {
         // The top-level answer itself is served from the memo: no new
         // entries were needed.
         assert_eq!(after_second.inserts, after_first.inserts);
+    }
+
+    #[test]
+    fn scratch_reaches_steady_state_and_survives_handoffs() {
+        // First solve warms the buffers; a second engine instance fed the
+        // same stack (the hybrid-handoff shape) must not regrow any.
+        let hg = cycle(14);
+        let ctrl = Control::unlimited();
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+
+        let mut first = DetKDecomp::new(&hg, 2, &ctrl);
+        first.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        let warm_events = first.scratch_grow_events();
+        assert!(warm_events > 0, "cold buffers must have grown");
+        let scratch = first.take_scratch();
+
+        let mut second = DetKDecomp::new(&hg, 2, &ctrl).with_scratch(scratch);
+        let f = second.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(f.is_some());
+        assert_eq!(
+            second.scratch_grow_events(),
+            warm_events,
+            "a warm scratch stack must not allocate on reuse"
+        );
+    }
+
+    #[test]
+    fn take_scratch_leaves_a_cold_stack() {
+        let hg = cycle(10);
+        let ctrl = Control::unlimited();
+        let arena = SpecialArena::new();
+        let sub = Subproblem::whole(&hg);
+        let mut engine = DetKDecomp::new(&hg, 2, &ctrl);
+        engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        let warm = engine.take_scratch();
+        assert!(warm.grow_events() > 0);
+        assert_eq!(engine.scratch_grow_events(), 0, "engine keeps a cold stack");
+        // The engine still works after losing its warm buffers.
+        let f = engine.decompose(&arena, &sub, &hg.vertex_set()).unwrap();
+        assert!(f.is_some());
     }
 
     #[test]

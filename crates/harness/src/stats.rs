@@ -85,6 +85,13 @@ pub struct EngineCounters {
     pub lambda_c_rejected: u64,
     /// λp candidates enumerated but rejected.
     pub lambda_p_rejected: u64,
+    /// λp candidate sets cut by the admissibility pre-filter before
+    /// the BFS stage (upper bound on separations avoided: whole-loop
+    /// skips count their full subset space).
+    pub lambda_p_prefiltered: u64,
+    /// `separate_into` calls performed — the denominator the λp
+    /// pre-filter and split memo exist to shrink.
+    pub separations: u64,
     /// Scratch-workspace bundles allocated.
     pub scratch_allocs: u64,
     /// Buffer growths inside scratch workspaces.
@@ -113,6 +120,8 @@ impl From<&SolveStats> for EngineCounters {
             detk_cache_cap: s.detk_cache_cap,
             lambda_c_rejected: s.lambda_c_rejected,
             lambda_p_rejected: s.lambda_p_rejected,
+            lambda_p_prefiltered: s.lambda_p_prefiltered,
+            separations: s.separations,
             scratch_allocs: s.scratch_allocs,
             scratch_grow_events: s.scratch_grow_events,
             arena_branch_clones: s.arena_branch_clones,
@@ -146,6 +155,8 @@ impl EngineCounters {
         self.detk_cache_cap = self.detk_cache_cap.max(other.detk_cache_cap);
         self.lambda_c_rejected += other.lambda_c_rejected;
         self.lambda_p_rejected += other.lambda_p_rejected;
+        self.lambda_p_prefiltered += other.lambda_p_prefiltered;
+        self.separations += other.separations;
         self.scratch_allocs += other.scratch_allocs;
         self.scratch_grow_events += other.scratch_grow_events;
         self.arena_branch_clones += other.arena_branch_clones;
@@ -171,7 +182,7 @@ impl EngineCounters {
             "decomp_calls={} max_depth={} cache: {}/{} hits ({:.1}%, {} pos + {} neg), \
              {} inserted, {} evicted, {} id-rewrites, peak {} KiB; \
              detk: {} handoffs, memo {}/{} hits, peak {}/{}; \
-             candidates rejected: {} λc + {} λp; \
+             candidates rejected: {} λc + {} λp ({} λp pre-filtered, {} separations run); \
              alloc: {} scratch bundles ({} regrowths), {} arena checkpoints",
             self.decomp_calls,
             self.max_depth,
@@ -191,6 +202,8 @@ impl EngineCounters {
             self.detk_cache_cap,
             self.lambda_c_rejected,
             self.lambda_p_rejected,
+            self.lambda_p_prefiltered,
+            self.separations,
             self.scratch_allocs,
             self.scratch_grow_events,
             self.arena_branch_clones,
@@ -231,6 +244,8 @@ mod tests {
             arena_branch_clones: 1,
             lambda_c_rejected: 7,
             lambda_p_rejected: 11,
+            lambda_p_prefiltered: 13,
+            separations: 17,
             ..Default::default()
         };
         s.cache.pos_hits = 2;
@@ -255,6 +270,8 @@ mod tests {
         assert_eq!(a.detk_memo_hits, 10);
         assert_eq!(a.lambda_c_rejected, 14);
         assert_eq!(a.lambda_p_rejected, 22);
+        assert_eq!(a.lambda_p_prefiltered, 26);
+        assert_eq!(a.separations, 34);
         assert!((a.hit_rate() - 0.75).abs() < 1e-12);
 
         let mut b = EngineCounters::default();

@@ -124,6 +124,33 @@ impl Hypergraph {
         grew
     }
 
+    /// The set of edges touching any vertex of `vs` — the union of the
+    /// incidence rows of `vs`, i.e. `{e ∈ E(H) : e ∩ vs ≠ ∅}` as one
+    /// word-parallel coverage bitmask.
+    ///
+    /// This is the "per-candidate-set union summary" behind the engine's
+    /// λp admissibility pre-filter: membership of an edge in the mask
+    /// replaces a per-edge vertex-set intersection test.
+    pub fn edges_touching(&self, vs: &VertexSet) -> EdgeSet {
+        let mut out = self.edge_set();
+        self.edges_touching_into(vs, &mut out);
+        out
+    }
+
+    /// Like [`Self::edges_touching`], writing into a caller-owned buffer
+    /// instead of allocating. `out` is reset to this hypergraph's edge
+    /// universe.
+    ///
+    /// Returns `true` if `out`'s buffer had to grow, so scratch-workspace
+    /// callers can meter steady-state reallocation.
+    pub fn edges_touching_into(&self, vs: &VertexSet, out: &mut EdgeSet) -> bool {
+        let grew = out.reset(self.num_edges());
+        for v in vs {
+            out.union_with(&self.incidence[v.0 as usize]);
+        }
+        grew
+    }
+
     /// Name of vertex `v`.
     pub fn vertex_name(&self, v: Vertex) -> &str {
         &self.vertex_names[v.0 as usize]
@@ -341,6 +368,30 @@ mod tests {
         es.insert(Edge(1));
         let u = h.union_of(&es);
         assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn edges_touching_matches_per_edge_intersection() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![5, 6]]);
+        for vs in [
+            VertexSet::empty(h.num_vertices()),
+            VertexSet::from_iter(h.num_vertices(), [Vertex(2)]),
+            VertexSet::from_iter(h.num_vertices(), [Vertex(0), Vertex(4)]),
+            h.all_vertices(),
+        ] {
+            let mask = h.edges_touching(&vs);
+            for e in h.edge_ids() {
+                assert_eq!(
+                    mask.contains(e),
+                    h.edge(e).intersects(&vs),
+                    "edge {e:?} vs {vs:?}"
+                );
+            }
+            // The _into variant agrees and stops growing once warm.
+            let mut out = h.edge_set();
+            assert!(!h.edges_touching_into(&vs, &mut out));
+            assert_eq!(out, mask);
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Nested-parallelism stress: the full hybrid configuration — parallel
+//! `log-k-decomp` branching with `det-k-decomp` handoffs — run under a
+//! deliberately tiny 2-thread pool, the regime where the vendored
+//! rayon's historical oversubscription bug fired (workers spawned by an
+//! outer `find_map_any` did not inherit the installed bound, so nested
+//! races fell back to `available_parallelism()` and multiplied their
+//! thread count). With the shared-budget fix, nested races draw from
+//! one global allowance; this suite pins that the whole engine stack
+//! stays correct — and actually bounded — in that regime.
+//!
+//! CI additionally re-runs the *entire* test suite with
+//! `RAYON_NUM_THREADS=2` (the ambient bound every unpooled parallel
+//! call now inherits), so every parallel test doubles as a stress test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use decomp::{validate_hd_width, Control};
+use logk::LogK;
+use rayon::prelude::*;
+use workloads::{families, hyperbench_like, CorpusConfig};
+
+/// Corpus sweep with hybrid handoffs enabled under a 2-thread pool:
+/// verdicts match the sequential engine, witnesses validate.
+#[test]
+fn hybrid_under_two_thread_pool_matches_sequential() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 99,
+        scale: 1.0 / 120.0,
+    });
+    let ctrl = Control::unlimited();
+    let hybrid = LogK::hybrid(2);
+    let seq = LogK::sequential();
+    let mut handoffs = 0u64;
+    let mut checked = 0usize;
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 30) {
+        for k in 1..=3usize {
+            let (dh, sh) = hybrid.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+            let ds = seq.decide(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(
+                dh.is_some(),
+                ds,
+                "hybrid(2) and sequential disagree on {} at k={k}",
+                inst.name
+            );
+            if let Some(d) = &dh {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            handoffs += sh.detk_handoffs;
+            if dh.is_some() {
+                break;
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked > 10, "corpus slice unexpectedly small");
+    assert!(
+        handoffs > 0,
+        "stress run must actually exercise det-k handoffs"
+    );
+}
+
+/// The grid workload (deep recursion, heavy λ racing) with hybrid
+/// handoffs under a 2-thread pool — the heaviest nested-parallel shape
+/// the engine produces.
+#[test]
+fn grid_hybrid_under_two_thread_pool() {
+    let ctrl = Control::unlimited();
+    let hg = families::grid(4, 4);
+    let d = LogK::hybrid(2)
+        .decompose(&hg, 3, &ctrl)
+        .unwrap()
+        .expect("the 4×4 grid has hw = 3");
+    validate_hd_width(&hg, &d, 3).unwrap();
+}
+
+/// End-to-end pin of the oversubscription fix at the integration level:
+/// engine-shaped nested `find_map_any` races under a 2-thread pool never
+/// have more than 2 innermost closures live at once. (The unit-level
+/// regression test lives in `vendor/rayon`; this one exercises the same
+/// path through the workspace's actual dependency graph.)
+#[test]
+fn nested_find_map_any_stays_within_installed_bound() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .unwrap();
+    let live = AtomicUsize::new(0);
+    let max_seen = AtomicUsize::new(0);
+    pool.install(|| {
+        (0..6usize).into_par_iter().find_map_any(|_| {
+            (0..6usize).into_par_iter().find_map_any(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                None::<()>
+            })
+        })
+    });
+    let max = max_seen.load(Ordering::SeqCst);
+    assert!(max >= 1, "the race must have run at all");
+    assert!(
+        max <= 2,
+        "nested races oversubscribed the 2-thread pool: {max} live workers"
+    );
+}

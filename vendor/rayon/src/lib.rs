@@ -11,33 +11,96 @@
 //!   handing out work once a match is found, and runs the closure on
 //!   multiple OS threads;
 //! * `ThreadPool::install` bounds the concurrency of parallel iterators
-//!   running inside the closure (via a scoped thread-local), including in
-//!   nested `find_map_any` calls on worker threads;
+//!   running inside the closure — **globally**, across arbitrary nesting:
+//!   the installed bound is a shared permit [`Budget`] inherited by every
+//!   spawned worker, so nested `find_map_any` calls on workers draw from
+//!   the same allowance instead of multiplying it (the historical bug:
+//!   workers saw no installed bound, fell back to
+//!   `available_parallelism()`, and nested races oversubscribed);
 //! * work is handed out index-by-index from a shared atomic counter, so
 //!   threads that finish early steal the remaining items.
+//!
+//! The calling thread always participates in the work loop (as in real
+//! rayon), so a `find_map_any` can never deadlock waiting for permits:
+//! with the budget exhausted it simply degrades to a sequential loop on
+//! the caller.
 //!
 //! It is NOT a general rayon replacement: no join/scope/par_bridge, no
 //! splitting adapters, no work-stealing deques.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelIterator;
 }
 
-thread_local! {
-    /// Effective worker count installed by [`ThreadPool::install`];
-    /// `0` means "use all available parallelism".
-    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+/// A global concurrency allowance shared by every parallel iterator that
+/// runs under one [`ThreadPool::install`] (or, without a pool, under one
+/// top-level `find_map_any`). `live` counts threads currently executing a
+/// work loop; spawning an extra worker requires winning a permit.
+struct Budget {
+    limit: usize,
+    live: AtomicUsize,
 }
 
-fn effective_threads() -> usize {
-    let installed = POOL_THREADS.with(|t| t.get());
-    if installed != 0 {
-        return installed;
+impl Budget {
+    fn new(limit: usize) -> Self {
+        Budget {
+            limit: limit.max(1),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tries to win one worker permit; never blocks.
+    fn try_acquire(&self) -> bool {
+        let mut cur = self.live.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                return false;
+            }
+            match self.live.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release(&self, n: usize) {
+        self.live.fetch_sub(n, Ordering::Release);
+    }
+}
+
+thread_local! {
+    /// Budget governing parallel iterators on this thread: set by
+    /// [`ThreadPool::install`] on the caller and inherited by every
+    /// worker thread [`ParRange::find_map_any`] spawns.
+    static CURRENT_BUDGET: RefCell<Option<Arc<Budget>>> = const { RefCell::new(None) };
+    /// Whether this thread already holds a permit of `CURRENT_BUDGET`
+    /// (worker threads do; the top-level caller does not).
+    static HOLDS_PERMIT: Cell<bool> = const { Cell::new(false) };
+}
+
+fn current_budget() -> Option<Arc<Budget>> {
+    CURRENT_BUDGET.with(|b| b.borrow().clone())
+}
+
+/// Ambient parallelism when no pool is installed: `RAYON_NUM_THREADS`
+/// (like real rayon's global pool), else `available_parallelism()`.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -67,7 +130,8 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the worker count; `0` means all cores.
+    /// Sets the worker count; `0` means the ambient default
+    /// (`RAYON_NUM_THREADS`, else all cores).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -76,34 +140,53 @@ impl ThreadPoolBuilder {
     /// Builds the pool. Never fails in this implementation.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            default_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads: n })
+        Ok(ThreadPool {
+            budget: Arc::new(Budget::new(n)),
+        })
     }
 }
 
 /// A concurrency bound for parallel iterators run under [`Self::install`].
+/// Concurrent `install`s of the same pool share one allowance for their
+/// spawned workers, mirroring a real worker pool — though each
+/// top-level calling thread always participates in its own work loop
+/// (it never blocks on permits), so N concurrent callers can run up to
+/// `limit + N - 1` closures at once. Within one caller's tree —
+/// the only shape this workspace produces — the bound is exact.
 pub struct ThreadPool {
-    threads: usize,
+    budget: Arc<Budget>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool's thread count as the ambient parallelism.
+    /// Runs `f` with this pool's budget as the ambient parallelism bound
+    /// (restoring the previous bound afterwards — including when `f`
+    /// panics, so an unwinding test run cannot leave stale thread-locals
+    /// on the calling thread).
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        POOL_THREADS.with(|t| {
-            let prev = t.get();
-            t.set(self.threads);
-            let out = f();
-            t.set(prev);
-            out
-        })
+        struct Restore {
+            prev: Option<Arc<Budget>>,
+            prev_permit: bool,
+        }
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_BUDGET.with(|b| *b.borrow_mut() = self.prev.take());
+                HOLDS_PERMIT.with(|h| h.set(self.prev_permit));
+            }
+        }
+        let _restore = Restore {
+            prev: CURRENT_BUDGET.with(|b| b.replace(Some(Arc::clone(&self.budget)))),
+            prev_permit: HOLDS_PERMIT.with(|h| h.replace(false)),
+        };
+        f()
     }
 
     /// The pool's worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.threads
+        self.budget.limit
     }
 }
 
@@ -136,6 +219,15 @@ impl ParRange {
     /// some `Some` result if any item produces one ("any" semantics: not
     /// necessarily the match with the smallest index). Once a match is
     /// found, no further items are handed out; in-flight calls finish.
+    ///
+    /// The calling thread works through items itself and spawns at most
+    /// `limit - 1` extra workers, where `limit` is the installed pool
+    /// bound (or the ambient default): each extra worker costs one permit
+    /// of the shared [`Budget`], which nested calls on worker threads
+    /// draw from too — within one top-level call tree, total live
+    /// workers never exceed the bound, however deep the nesting. (Each
+    /// *additional* concurrent top-level caller on the same budget adds
+    /// at most its own thread: callers always run, never block.)
     pub fn find_map_any<T, F>(self, f: F) -> Option<T>
     where
         T: Send,
@@ -146,46 +238,146 @@ impl ParRange {
         if len == 0 {
             return None;
         }
-        let workers = effective_threads().min(len);
-        if workers <= 1 {
-            return self.range.into_iter().find_map(f);
+        let budget = match current_budget() {
+            Some(b) => b,
+            // No installed pool: bound this call tree by the ambient
+            // default. Workers (and the caller, below) inherit the ad-hoc
+            // budget, so even fully unpooled nested races stay bounded.
+            None => Arc::new(Budget::new(default_threads())),
+        };
+        // Releases the won permits and (for a top-level caller) the
+        // caller's own charge + thread-local membership when the call
+        // ends — on normal return and on unwind alike, so a panicking
+        // closure cannot leak budget allowance or leave this thread's
+        // `CURRENT_BUDGET`/`HOLDS_PERMIT` pointing at a dead call.
+        struct PermitGuard {
+            budget: Arc<Budget>,
+            extra: usize,
+            /// Whether the caller's own charge is still outstanding
+            /// (returned early once its work loop ends, or here on
+            /// unwind).
+            charged: bool,
+            /// `Some(previous TLS budget)` iff this call installed the
+            /// budget in the caller's thread-locals.
+            prev_budget: Option<Option<Arc<Budget>>>,
+        }
+        impl PermitGuard {
+            /// Returns the caller's charge as soon as its work loop is
+            /// done — the thread then only waits for the scope join, and
+            /// tail workers can win the slot for their nested races.
+            fn release_caller_charge(&mut self) {
+                if std::mem::take(&mut self.charged) {
+                    self.budget.release(1);
+                }
+            }
+        }
+        impl Drop for PermitGuard {
+            fn drop(&mut self) {
+                self.budget.release(self.extra);
+                if std::mem::take(&mut self.charged) {
+                    self.budget.release(1);
+                }
+                if let Some(prev) = self.prev_budget.take() {
+                    CURRENT_BUDGET.with(|b| *b.borrow_mut() = prev);
+                    HOLDS_PERMIT.with(|h| h.set(false));
+                }
+            }
+        }
+        let mut guard = PermitGuard {
+            budget: Arc::clone(&budget),
+            extra: 0,
+            charged: false,
+            prev_budget: None,
+        };
+        if !HOLDS_PERMIT.with(|h| h.get()) {
+            // The top-level caller always runs (never blocks on permits):
+            // charge its work loop against the budget and make this
+            // thread a budget member for the duration, so nested calls
+            // inside `f` draw from the same allowance instead of
+            // re-charging or re-deriving one.
+            budget.live.fetch_add(1, Ordering::Acquire);
+            guard.charged = true;
+            HOLDS_PERMIT.with(|h| h.set(true));
+            guard.prev_budget = Some(CURRENT_BUDGET.with(|b| b.replace(Some(Arc::clone(&budget)))));
         }
 
-        let next = AtomicUsize::new(0);
-        let found = AtomicBool::new(false);
-        let slot: Mutex<Option<T>> = Mutex::new(None);
-        let f = &f;
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let next = &next;
-                let found = &found;
-                let slot = &slot;
-                s.spawn(move || {
-                    POOL_THREADS.with(|t| t.set(workers));
-                    while !found.load(Ordering::Relaxed) {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
-                            break;
-                        }
-                        if let Some(hit) = f(start + i) {
-                            let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
-                            if guard.is_none() {
-                                *guard = Some(hit);
-                            }
-                            found.store(true, Ordering::Relaxed);
-                            break;
+        // Extra workers beyond the caller: cap by items and the bound,
+        // then try to win permits (nested calls lose these races once the
+        // budget is saturated and fall back to the sequential path).
+        let want = budget.limit.min(len).saturating_sub(1);
+        while guard.extra < want && budget.try_acquire() {
+            guard.extra += 1;
+        }
+        let extra = guard.extra;
+
+        if extra == 0 {
+            self.range.into_iter().find_map(&f)
+        } else {
+            // Each spawned worker owns its permit from here on and
+            // releases it the moment its work loop ends (normal exit or
+            // unwind) — not when the whole scope joins — so a long-tail
+            // sibling item can re-win the allowance for its nested races
+            // instead of leaving it pinned on an idle, already-finished
+            // worker.
+            guard.extra = 0;
+            let next = AtomicUsize::new(0);
+            let found = AtomicBool::new(false);
+            let slot: Mutex<Option<T>> = Mutex::new(None);
+            let f = &f;
+            let budget_ref = &budget;
+            let drain = |is_caller: bool| {
+                struct WorkerPermit<'a>(Option<&'a Budget>);
+                impl Drop for WorkerPermit<'_> {
+                    fn drop(&mut self) {
+                        if let Some(b) = self.0 {
+                            b.release(1);
                         }
                     }
-                });
-            }
-        });
-        slot.into_inner().unwrap_or_else(|e| e.into_inner())
+                }
+                let _permit = WorkerPermit((!is_caller).then_some(&**budget_ref));
+                if !is_caller {
+                    // Workers inherit the budget (and their permit), so
+                    // nested parallel calls share the global allowance.
+                    CURRENT_BUDGET.with(|b| *b.borrow_mut() = Some(Arc::clone(budget_ref)));
+                    HOLDS_PERMIT.with(|h| h.set(true));
+                }
+                while !found.load(Ordering::Relaxed) {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    if let Some(hit) = f(start + i) {
+                        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                        if guard.is_none() {
+                            *guard = Some(hit);
+                        }
+                        found.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            };
+            std::thread::scope(|s| {
+                for _ in 0..extra {
+                    s.spawn(|| drain(false));
+                }
+                drain(true);
+                // The caller's work loop is done; it now only waits for
+                // the join, so its charge goes back too (on unwind the
+                // guard's drop returns it instead).
+                guard.release_caller_charge();
+            });
+            slot.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+        // `guard` drops here: permits released, thread-locals restored.
     }
 }
 
 /// The ambient worker count, mirroring `rayon::current_num_threads`.
 pub fn current_num_threads() -> usize {
-    effective_threads()
+    match current_budget() {
+        Some(b) => b.limit,
+        None => default_threads(),
+    }
 }
 
 #[cfg(test)]
@@ -257,5 +449,168 @@ mod tests {
             })
         });
         assert_eq!(hit, Some(35));
+    }
+
+    /// Regression test for the nested-oversubscription bug: workers
+    /// spawned by an outer `find_map_any` did not inherit the installed
+    /// bound, so their nested parallel calls fell back to
+    /// `available_parallelism()` and the race multiplied its thread
+    /// count. With the shared budget, the *innermost* closures — the only
+    /// places actually doing work — never run on more threads than the
+    /// pool allows, at any nesting depth.
+    #[test]
+    fn nested_races_never_exceed_the_installed_bound() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let live = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..4usize).into_par_iter().find_map_any(|_| {
+                (0..4usize).into_par_iter().find_map_any(|_| {
+                    (0..3usize).into_par_iter().find_map_any(|_| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        None::<()>
+                    })
+                })
+            })
+        });
+        assert!(
+            max_seen.load(Ordering::SeqCst) <= 2,
+            "nested races exceeded the 2-thread pool: saw {}",
+            max_seen.load(Ordering::SeqCst)
+        );
+    }
+
+    /// A finished sibling's allowance must be reusable by the slow
+    /// branch's nested races *before* the outer join: permits go back at
+    /// drain-exit, not at scope teardown, so a long-tail branch is not
+    /// pinned sequential while the rest of the pool sits idle.
+    #[test]
+    fn finished_siblings_release_allowance_to_the_long_tail() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let fast_taken = AtomicBool::new(false);
+        let reached_two_wide = AtomicBool::new(false);
+        pool.install(|| {
+            (0..2usize).into_par_iter().find_map_any(|_| {
+                if !fast_taken.swap(true, Ordering::SeqCst) {
+                    // Fast branch: returns immediately, freeing its slot.
+                    return None::<()>;
+                }
+                // Long-tail branch: once the fast sibling's slot is back,
+                // a nested race can run two wide again. Poll briefly —
+                // the assertion is on eventual reuse, not on scheduling.
+                for _ in 0..500 {
+                    let live = AtomicUsize::new(0);
+                    let max = AtomicUsize::new(0);
+                    (0..2usize).into_par_iter().find_map_any(|_| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        max.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        None::<()>
+                    });
+                    if max.load(Ordering::SeqCst) >= 2 {
+                        reached_two_wide.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                None
+            })
+        });
+        assert!(
+            reached_two_wide.load(Ordering::SeqCst),
+            "the long-tail branch never regained the freed allowance"
+        );
+    }
+
+    /// A panic unwinding out of a race must release the caller charge and
+    /// worker permits and restore the thread-locals — otherwise every
+    /// later `find_map_any` on this thread loses its permit races and
+    /// silently degrades to sequential execution (the failure mode of
+    /// straight-line cleanup, which proptest's catch-and-shrink loop
+    /// would trigger).
+    #[test]
+    fn panicking_closure_releases_budget_and_thread_locals() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..4usize).into_par_iter().find_map_any(|i| {
+                    if i == 0 {
+                        panic!("boom");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    None::<()>
+                })
+            })
+        }));
+        assert!(boom.is_err());
+        assert!(
+            !HOLDS_PERMIT.with(|h| h.get()),
+            "unwind must clear the permit flag"
+        );
+        assert!(
+            current_budget().is_none(),
+            "unwind must restore the pre-install budget"
+        );
+        assert_eq!(
+            pool.budget.live.load(Ordering::SeqCst),
+            0,
+            "unwind must return every permit to the pool"
+        );
+        // And the restored allowance is usable: a fresh race on the same
+        // pool stays within bound (and typically runs two wide again — a
+        // leaked permit would force every later call 1-wide, though how
+        // often the extra worker gets scheduled is up to the OS, so only
+        // the bound is asserted).
+        let live = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..32usize).into_par_iter().find_map_any(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+                None::<()>
+            })
+        });
+        assert!(
+            max_seen.load(Ordering::SeqCst) <= 2,
+            "the restored budget must still enforce the 2-thread bound"
+        );
+    }
+
+    /// The installed allowance is restored after `install` returns, and
+    /// nested installs layer correctly.
+    #[test]
+    fn install_restores_previous_bound() {
+        let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 4);
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 4);
+        });
+    }
+
+    /// Unpooled nested races are bounded by the ambient default too (the
+    /// ad-hoc budget is inherited by workers).
+    #[test]
+    fn unpooled_nested_races_stay_bounded() {
+        let ambient = super::default_threads();
+        let live = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        (0..4usize).into_par_iter().find_map_any(|_| {
+            (0..4usize).into_par_iter().find_map_any(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                live.fetch_sub(1, Ordering::SeqCst);
+                None::<()>
+            })
+        });
+        assert!(max_seen.load(Ordering::SeqCst) <= ambient);
     }
 }
