@@ -181,6 +181,29 @@ fn bench_lp_prune(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_par_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/par_scaling");
+    // Parallel-runtime scaling probe: the 4×4 grid at its true width k = 3
+    // solved by the parallel engine on 1/2/4 workers. The λc race at
+    // depths < 2 is the only parallel surface, so this bench measures the
+    // scheduler itself — pool construction, join-splitting of the lead
+    // space, steal latency and early-cancel — on a workload whose
+    // sequential baseline (`micro/lp_prune`, same instance) is ~2 ms.
+    // Each iteration builds its own pool, exactly like `LogK::decompose`
+    // in production, so thread spawn/teardown is part of the measurement.
+    let grid = families::grid(4, 4);
+    for threads in [1usize, 2, 4] {
+        let solver = LogK::parallel(threads);
+        g.bench_function(format!("grid4x4_k3_t{threads}"), |bch| {
+            bch.iter(|| {
+                let ctrl = Control::unlimited();
+                black_box(solver.decide(black_box(&grid), 3, &ctrl).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_subsets(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/subsets");
     let cands: Vec<Edge> = (0..30).map(Edge).collect();
@@ -220,6 +243,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache, bench_pos_cache, bench_lp_prune
+    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache, bench_pos_cache, bench_lp_prune, bench_par_scaling
 }
 criterion_main!(benches);

@@ -6,12 +6,23 @@
 //! of `E(H)`). It exists so that the optimised and parallel engines have a
 //! trusted oracle to be differentially tested against, and so the paper's
 //! pseudo-code can be read side by side with running code.
+//!
+//! The *control flow* is verbatim Algorithm 1; the *memory discipline* is
+//! not: like `detk`'s `DetkScratch`, every recursion level owns a
+//! [`BasicLevel`] bundle (BFS scratch plus the `ParentLoop`/`ChildLoop`
+//! separations), so component splitting runs through `separate_into` on
+//! warm buffers instead of the allocating `separate` wrapper. The oracle
+//! is quadratically slower than the engines by design; it does not also
+//! need to hammer the allocator.
 
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use hypergraph::subsets::for_each_subset;
-use hypergraph::{separate, Edge, Hypergraph, SpecialArena, Subproblem, VertexSet};
+use hypergraph::{
+    separate_into, Edge, Hypergraph, Scratch, Separation, SpecialArena, Subproblem, VertexSet,
+};
 
 /// Result of a solve: `Ok(Some(hd))` on success, `Ok(None)` when no HD of
 /// width ≤ k exists, `Err` when interrupted.
@@ -32,8 +43,40 @@ pub fn decompose_basic(hg: &Hypergraph, k: usize, ctrl: &Control) -> SolveResult
         ctrl,
         arena: SpecialArena::new(),
         all_edges: hg.edge_ids().collect(),
+        scratch: BasicScratch::default(),
     };
     engine.run()
+}
+
+/// Per-recursion-level scratch of the reference search: the BFS workspace
+/// and one [`Separation`] per loop that splits components at this level.
+#[derive(Default)]
+struct BasicLevel {
+    bfs: Scratch,
+    /// `[λp]`-components of `H'` (`ParentLoop`, line 17).
+    seps_p: Separation,
+    /// `[χc]`-components of `comp_down` (`ChildLoop`, line 28).
+    seps_c: Separation,
+}
+
+/// Stack of per-level bundles, taken out while a level is active so the
+/// recursion can borrow the stack freely (the `DetkScratch` pattern).
+#[derive(Default)]
+struct BasicScratch {
+    levels: Vec<Option<BasicLevel>>,
+}
+
+impl BasicScratch {
+    fn take(&mut self, depth: usize) -> BasicLevel {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, || None);
+        }
+        self.levels[depth].take().unwrap_or_default()
+    }
+
+    fn put(&mut self, depth: usize, lvl: BasicLevel) {
+        self.levels[depth] = Some(lvl);
+    }
 }
 
 struct Basic<'h> {
@@ -41,7 +84,10 @@ struct Basic<'h> {
     k: usize,
     ctrl: &'h Control,
     arena: SpecialArena,
-    all_edges: Vec<Edge>,
+    /// Shared candidate list (Algorithm 1 scans all of `E(H)` in every
+    /// loop); `Arc` so the recursion borrows it without a per-call clone.
+    all_edges: Arc<[Edge]>,
+    scratch: BasicScratch,
 }
 
 /// Inner search outcome: a fragment or an interruption, both of which
@@ -51,8 +97,13 @@ type Found<T> = ControlFlow<Result<T, Interrupted>>;
 impl Basic<'_> {
     fn run(&mut self) -> SolveResult {
         let whole = Subproblem::whole(self.hg);
-        let all = self.all_edges.clone();
-        let found = for_each_subset(&all, self.k, |lam_r| self.try_root(lam_r, &whole));
+        let all = Arc::clone(&self.all_edges);
+        // The root loop's own split buffers, warm across candidates.
+        let mut root_bfs = Scratch::new();
+        let mut root_sep = Separation::new();
+        let found = for_each_subset(&all, self.k, |lam_r| {
+            self.try_root(lam_r, &whole, &mut root_bfs, &mut root_sep)
+        });
         match found {
             Some(Ok(d)) => Ok(Some(d)),
             Some(Err(e)) => Err(e),
@@ -61,18 +112,24 @@ impl Basic<'_> {
     }
 
     /// One iteration of `RootLoop` (lines 3–9).
-    fn try_root(&mut self, lam_r: &[Edge], whole: &Subproblem) -> Found<Decomposition> {
+    fn try_root(
+        &mut self,
+        lam_r: &[Edge],
+        whole: &Subproblem,
+        bfs: &mut Scratch,
+        sep: &mut Separation,
+    ) -> Found<Decomposition> {
         if let Err(e) = self.ctrl.checkpoint() {
             return ControlFlow::Break(Err(e));
         }
         // χ(r) = ⋃λ(r) by the special condition, so [λr]-components and
         // [χ(r)]-components coincide (line 4).
         let chi_r = self.hg.union_of_slice(lam_r);
-        let sep = separate(self.hg, &self.arena, whole, &chi_r);
+        separate_into(self.hg, &self.arena, whole, &chi_r, bfs, sep);
         let mut child_frags = Vec::with_capacity(sep.components.len());
         for y in &sep.components {
             let conn_y = y.vertices.intersection(&chi_r); // line 6
-            match self.decomp(&y.to_subproblem(), &conn_y) {
+            match self.decomp(y.as_subproblem(), &conn_y, 0) {
                 Ok(Some(frag)) => child_frags.push(frag),
                 Ok(None) => return ControlFlow::Continue(()), // line 8: reject root
                 Err(e) => return ControlFlow::Break(Err(e)),
@@ -91,10 +148,13 @@ impl Basic<'_> {
 
     /// Function `Decomp` (lines 11–40), returning the HD-fragment of the
     /// extended subhypergraph `(sub, conn)` if one of width ≤ k exists.
+    /// `depth` indexes the scratch stack; the level's bundle is taken out
+    /// for the duration so deeper calls borrow the stack freely.
     fn decomp(
         &mut self,
         sub: &Subproblem,
         conn: &VertexSet,
+        depth: usize,
     ) -> Result<Option<Fragment>, Interrupted> {
         self.ctrl.checkpoint()?;
 
@@ -109,8 +169,27 @@ impl Basic<'_> {
             return Ok(Some(Fragment::special_leaf(s, self.arena.get(s).clone())));
         }
 
-        let all = self.all_edges.clone();
+        let mut lvl = self.scratch.take(depth);
+        let result = self.decomp_level(sub, conn, depth, &mut lvl);
+        self.scratch.put(depth, lvl);
+        result
+    }
+
+    /// The loops of `Decomp`, running on this level's scratch bundle.
+    fn decomp_level(
+        &mut self,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        depth: usize,
+        lvl: &mut BasicLevel,
+    ) -> Result<Option<Fragment>, Interrupted> {
+        let all = Arc::clone(&self.all_edges);
         let size = sub.size();
+        let BasicLevel {
+            bfs,
+            seps_p,
+            seps_c,
+        } = lvl;
 
         // ParentLoop (line 16).
         let found = for_each_subset(&all, self.k, |lam_p| {
@@ -119,12 +198,12 @@ impl Basic<'_> {
             }
             let up = self.hg.union_of_slice(lam_p);
             // Line 17.
-            let seps = separate(self.hg, &self.arena, sub, &up);
+            separate_into(self.hg, &self.arena, sub, &up, bfs, seps_p);
             // Line 18: the (unique) oversized component becomes comp_down.
-            let Some(i) = seps.oversized_component(size) else {
+            let Some(i) = seps_p.oversized_component(size) else {
                 return ControlFlow::Continue(()); // line 21
             };
-            let comp_down = &seps.components[i];
+            let comp_down = &seps_p.components[i];
             // Line 22: connectedness check for Conn against λp.
             if !comp_down.vertices.intersection(conn).is_subset_of(&up) {
                 return ControlFlow::Continue(()); // line 23
@@ -132,7 +211,7 @@ impl Basic<'_> {
 
             // ChildLoop (line 24).
             let r = for_each_subset(&all, self.k, |lam_c| {
-                self.try_child(sub, conn, lam_p, lam_c, comp_down, &up, size)
+                self.try_child(sub, conn, lam_c, comp_down, &up, size, depth, bfs, seps_c)
             });
             match r {
                 Some(res) => ControlFlow::Break(res),
@@ -152,11 +231,13 @@ impl Basic<'_> {
         &mut self,
         sub: &Subproblem,
         conn: &VertexSet,
-        _lam_p: &[Edge],
         lam_c: &[Edge],
         comp_down: &hypergraph::Component,
         up: &VertexSet, // ⋃λp
         size: usize,
+        depth: usize,
+        bfs: &mut Scratch,
+        seps_c: &mut Separation,
     ) -> Found<Fragment> {
         if let Err(e) = self.ctrl.checkpoint() {
             return ControlFlow::Break(Err(e));
@@ -169,8 +250,14 @@ impl Basic<'_> {
             return ControlFlow::Continue(()); // line 27
         }
         // Line 28: [χc]-components of comp_down.
-        let down_sub = comp_down.to_subproblem();
-        let seps_c = separate(self.hg, &self.arena, &down_sub, &chi_c);
+        separate_into(
+            self.hg,
+            &self.arena,
+            comp_down.as_subproblem(),
+            &chi_c,
+            bfs,
+            seps_c,
+        );
         // Line 29: balancedness of the child.
         if seps_c.components.iter().any(|c| 2 * c.size() > size) {
             return ControlFlow::Continue(()); // line 30
@@ -180,7 +267,7 @@ impl Basic<'_> {
         let mut below = Vec::with_capacity(seps_c.components.len());
         for x in &seps_c.components {
             let conn_x = x.vertices.intersection(&chi_c); // line 32
-            match self.decomp(&x.to_subproblem(), &conn_x) {
+            match self.decomp(x.as_subproblem(), &conn_x, depth + 1) {
                 Ok(Some(f)) => below.push(f),
                 Ok(None) => return ControlFlow::Continue(()), // line 34
                 Err(e) => return ControlFlow::Break(Err(e)),
@@ -201,7 +288,7 @@ impl Basic<'_> {
         comp_up.specials.push(sc);
 
         // Line 37: recurse above the child.
-        let mut up_frag = match self.decomp(&comp_up, conn) {
+        let mut up_frag = match self.decomp(&comp_up, conn, depth + 1) {
             Ok(Some(f)) => f,
             Ok(None) => return ControlFlow::Continue(()), // line 38
             Err(e) => return ControlFlow::Break(Err(e)),

@@ -33,8 +33,12 @@
 //!   way, instead of rebuilding a private table per handoff.
 //!
 //! Parallelisation follows Appendix D.1: the λc search space is partitioned
-//! by lead edge across a rayon pool, and sibling branches are pruned as
-//! soon as one candidate succeeds. Special edges are arena-allocated with
+//! by lead edge and raced across the work-stealing pool by recursive
+//! [`rayon::join`] splitting of the lead range — idle workers steal the
+//! published halves, so the wildly uneven per-lead subtree costs balance
+//! themselves — and sibling branches are pruned (early-cancelled at every
+//! split and poll point) as soon as one candidate succeeds. Special
+//! edges are arena-allocated with
 //! stack discipline: a `Decomp` call restores the arena to its entry length
 //! before returning, so a returned fragment only ever references special
 //! edges of its own subproblem. Before branching, the arena is *sealed*
@@ -129,6 +133,24 @@ impl HybridMetric {
     }
 }
 
+/// Order in which λc/λp candidate edges are tried — the
+/// balance-likelihood heuristic behind `edge_rank`. Both orders are
+/// complete (they only permute the enumeration); the differential suite
+/// pins identical verdicts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CandidateOrder {
+    /// Descending arity, ties by ascending id (the PR 2 default): larger
+    /// edges are likelier to cover `Conn` and to balance-separate. On
+    /// uniform-arity families this is a no-op permutation.
+    #[default]
+    Arity,
+    /// Descending covered degree mass `Σ_{v ∈ e} deg(v)` (ties by
+    /// descending arity, then id): prefers edges overlapping many other
+    /// edges, which separate more of the subproblem per λ slot — a
+    /// discriminating order even when every edge has the same arity.
+    DegreeCoverage,
+}
+
 /// Hybridisation policy: below `threshold` the engine switches to
 /// `det-k-decomp` on the subproblem.
 #[derive(Clone, Copy, Debug)]
@@ -178,6 +200,10 @@ pub struct EngineConfig {
     /// `usize::MAX` stores every found fragment, `0` disables positive
     /// inserts. See [`DEFAULT_POS_CACHE_MAX_FRAG`].
     pub pos_cache_max_frag: usize,
+    /// λc/λp candidate enumeration order (see [`CandidateOrder`]). The
+    /// `lambda_c_rejected`/`lambda_p_rejected` counters measure what an
+    /// order saves per workload family.
+    pub candidate_order: CandidateOrder,
 }
 
 impl EngineConfig {
@@ -194,6 +220,7 @@ impl EngineConfig {
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             lambda_p_prefilter: true,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
+            candidate_order: CandidateOrder::Arity,
         }
     }
 }
@@ -223,6 +250,24 @@ impl Prune<'_> {
             None => false,
         }
     }
+}
+
+/// Shared, read-only context of one parallel λc race (see
+/// [`LogKEngine::child_loop_parallel`]): the sealed arena and subproblem
+/// inputs every branch starts from, plus the race's cancellation flag and
+/// first-winner result slot. Borrowed by every `join` branch of the
+/// recursive lead split.
+struct LeadRace<'a> {
+    arena: &'a SpecialArena,
+    sub: &'a Subproblem,
+    conn: &'a VertexSet,
+    allowed: &'a Arc<EdgeSet>,
+    depth: usize,
+    vsub: &'a VertexSet,
+    cands: &'a [Edge],
+    race: &'a Prune<'a>,
+    won: &'a AtomicBool,
+    slot: &'a std::sync::Mutex<Option<Result<Fragment, Stop>>>,
 }
 
 fn poll(ctrl: &Control, prune: Option<&Prune<'_>>) -> Result<(), Stop> {
@@ -743,7 +788,37 @@ impl<'h> LogKEngine<'h> {
     pub fn new(hg: &'h Hypergraph, ctrl: &'h Control, cfg: EngineConfig) -> Self {
         assert!(cfg.k >= 1, "width parameter k must be at least 1");
         let mut order: Vec<Edge> = hg.edge_ids().collect();
-        order.sort_unstable_by_key(|&e| (std::cmp::Reverse(hg.edge(e).len()), e.0));
+        match cfg.candidate_order {
+            CandidateOrder::Arity => {
+                order.sort_unstable_by_key(|&e| (std::cmp::Reverse(hg.edge(e).len()), e.0));
+            }
+            CandidateOrder::DegreeCoverage => {
+                // deg(v) = number of edges containing v; an edge's score
+                // is the degree mass it covers. One pass over the edge
+                // lists, O(Σ|e|).
+                let mut deg = vec![0u64; hg.num_vertices()];
+                for e in hg.edge_ids() {
+                    for v in hg.edge(e) {
+                        deg[v.0 as usize] += 1;
+                    }
+                }
+                let scores: Vec<u64> = (0..hg.num_edges())
+                    .map(|e| {
+                        hg.edge(Edge(e as u32))
+                            .iter()
+                            .map(|v| deg[v.0 as usize])
+                            .sum()
+                    })
+                    .collect();
+                order.sort_unstable_by_key(|&e| {
+                    (
+                        std::cmp::Reverse(scores[e.0 as usize]),
+                        std::cmp::Reverse(hg.edge(e).len()),
+                        e.0,
+                    )
+                });
+            }
+        }
         let mut edge_rank = vec![0u32; hg.num_edges()];
         for (rank, e) in order.into_iter().enumerate() {
             edge_rank[e.0 as usize] = rank as u32;
@@ -1022,8 +1097,18 @@ impl<'h> LogKEngine<'h> {
         result
     }
 
-    /// Races the λc search space across the rayon pool, partitioned by the
-    /// lead candidate index — the partitioning scheme of Appendix D.1.
+    /// Races the λc search space across the work-stealing pool,
+    /// partitioned by the lead candidate index — the partitioning scheme
+    /// of Appendix D.1 — via recursive [`rayon::join`] splitting: the
+    /// lead range is halved until single leads remain, each split's right
+    /// half published for idle workers to steal. Balanced splitting is
+    /// what lets the pool absorb the wildly uneven per-lead subtree costs
+    /// (an early lead can exhaust a huge subset space while a later one
+    /// succeeds instantly); the old single atomic hand-out counter
+    /// serialised exactly there. Early-cancel: every split and every
+    /// branch polls the [`Prune`] chain, so subtrees not yet started are
+    /// dropped as soon as a sibling wins.
+    ///
     /// The caller has sealed `arena`, so each branch's checkpoint shares
     /// the immutable prefix instead of deep-copying it.
     #[allow(clippy::too_many_arguments)]
@@ -1038,79 +1123,40 @@ impl<'h> LogKEngine<'h> {
         vsub: &VertexSet,
         cands: &[Edge],
     ) -> FragResult {
-        use rayon::prelude::*;
         let won = AtomicBool::new(false);
         let race = Prune {
             flag: &won,
             parent: prune,
         };
-        let hit = (0..cands.len()).into_par_iter().find_map_any(|lead| {
-            if race.is_set() {
-                return None;
-            }
-            let mut branch_arena = arena.clone();
-            self.stats
-                .arena_branch_clones
-                .fetch_add(1, Ordering::Relaxed);
-            // Reuse a warm scratch bundle from the engine pool; allocate
-            // only when every warm bundle is in use by a sibling branch.
-            let recycled = self
-                .branch_pool
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop();
-            let mut branch = recycled.unwrap_or_else(|| {
-                self.stats.scratch_allocs.fetch_add(1, Ordering::Relaxed);
-                BranchScratch::default()
-            });
-            let BranchScratch {
-                stack: branch_stack,
-                lvl,
-                reported: _,
-            } = &mut branch;
-            // The branch enumerates the caller's (sealed-level) `vsub` and
-            // `cands`; its own enumeration buffers serve only the subset
-            // walk. Its λp memo is branch-local and keyed per subproblem.
-            lvl.lp_memo.clear();
-            let (mut ctx, bufs) = lvl.split(branch_stack);
-            let lam_cap = bufs.lam_buf.capacity();
-            let found =
-                for_each_subset_with_lead_in(cands, lead, self.cfg.k, bufs.lam_buf, |lam_c| {
-                    self.try_child(
-                        &mut branch_arena,
-                        sub,
-                        conn,
-                        allowed,
-                        depth,
-                        Some(&race),
-                        vsub,
-                        cands,
-                        lam_c,
-                        &mut ctx,
-                    )
-                });
-            ctx.meters.bump_grow(bufs.lam_buf.capacity() > lam_cap);
-            let out = match found {
-                Some(Ok(frag)) => {
-                    won.store(true, Ordering::Relaxed);
-                    Some(Ok(Some(frag)))
+        let slot: std::sync::Mutex<Option<Result<Fragment, Stop>>> = std::sync::Mutex::new(None);
+        let ctx = LeadRace {
+            arena,
+            sub,
+            conn,
+            allowed,
+            depth,
+            vsub,
+            cands,
+            race: &race,
+            won: &won,
+            slot: &slot,
+        };
+        if rayon::current_num_threads() <= 1 {
+            // Degenerate 1-worker pool: same branch bodies, no joins —
+            // the split tree would only add push/pop traffic nobody can
+            // steal from.
+            for lead in 0..cands.len() {
+                if ctx.race.is_set() {
+                    break;
                 }
-                Some(Err(Stop::Pruned)) => None, // a sibling won or an outer race ended
-                Some(Err(e @ Stop::External(_))) => Some(Err(e)),
-                None => None,
-            };
-            let totals = branch.totals();
-            self.fold_meters(totals - branch.reported);
-            branch.reported = totals;
-            branch.lvl.retire_lp_memo();
-            self.branch_pool
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(branch);
-            out
-        });
-        match hit {
-            Some(r) => r,
+                self.try_lead(lead, &ctx);
+            }
+        } else {
+            self.race_leads(0, cands.len(), &ctx);
+        }
+        match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Ok(frag)) => Ok(Some(frag)),
+            Some(Err(e)) => Err(e), // external interruption, first reporter wins
             None => {
                 // Either exhausted, or pruned by an *outer* race.
                 if prune.is_some_and(|p| p.is_set()) {
@@ -1120,6 +1166,106 @@ impl<'h> LogKEngine<'h> {
                 }
             }
         }
+    }
+
+    /// Binary `join` split over the lead range `[lo, hi)`. Left half runs
+    /// on the current worker; the right half goes on its deque for
+    /// thieves (and is popped back for inline execution when nobody
+    /// stole it — the sequential degenerate costs one push/pop per
+    /// level, no threads).
+    fn race_leads(&self, lo: usize, hi: usize, ctx: &LeadRace<'_>) {
+        if ctx.race.is_set() {
+            return;
+        }
+        if hi - lo == 1 {
+            self.try_lead(lo, ctx);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        rayon::join(
+            || self.race_leads(lo, mid, ctx),
+            || self.race_leads(mid, hi, ctx),
+        );
+    }
+
+    /// One branch of the λc race: enumerates every λc whose minimal
+    /// member is `cands[lead]`, on branch-private arena and scratch.
+    fn try_lead(&self, lead: usize, ctx: &LeadRace<'_>) {
+        if ctx.race.is_set() {
+            return;
+        }
+        let mut branch_arena = ctx.arena.clone();
+        self.stats
+            .arena_branch_clones
+            .fetch_add(1, Ordering::Relaxed);
+        // Reuse a warm scratch bundle from the engine pool; allocate
+        // only when every warm bundle is in use by a sibling branch.
+        let recycled = self
+            .branch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        let mut branch = recycled.unwrap_or_else(|| {
+            self.stats.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+            BranchScratch::default()
+        });
+        let BranchScratch {
+            stack: branch_stack,
+            lvl,
+            reported: _,
+        } = &mut branch;
+        // The branch enumerates the caller's (sealed-level) `vsub` and
+        // `cands`; its own enumeration buffers serve only the subset
+        // walk. Its λp memo is branch-local and keyed per subproblem.
+        lvl.lp_memo.clear();
+        let (mut cctx, bufs) = lvl.split(branch_stack);
+        let lam_cap = bufs.lam_buf.capacity();
+        let found =
+            for_each_subset_with_lead_in(ctx.cands, lead, self.cfg.k, bufs.lam_buf, |lam_c| {
+                self.try_child(
+                    &mut branch_arena,
+                    ctx.sub,
+                    ctx.conn,
+                    ctx.allowed,
+                    ctx.depth,
+                    Some(ctx.race),
+                    ctx.vsub,
+                    ctx.cands,
+                    lam_c,
+                    &mut cctx,
+                )
+            });
+        cctx.meters.bump_grow(bufs.lam_buf.capacity() > lam_cap);
+        match found {
+            Some(Ok(frag)) => {
+                let mut slot = ctx.slot.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(Ok(frag));
+                }
+                drop(slot);
+                ctx.won.store(true, Ordering::Relaxed);
+            }
+            Some(Err(Stop::Pruned)) => {} // a sibling won or an outer race ended
+            Some(Err(e @ Stop::External(_))) => {
+                // Interruption: report it (unless a success raced ahead)
+                // and cancel the remaining branches.
+                let mut slot = ctx.slot.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(Err(e));
+                }
+                drop(slot);
+                ctx.won.store(true, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        let totals = branch.totals();
+        self.fold_meters(totals - branch.reported);
+        branch.reported = totals;
+        branch.lvl.retire_lp_memo();
+        self.branch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(branch);
     }
 
     /// One iteration of `ChildLoop` (Algorithm 2, lines 11–43).

@@ -23,7 +23,7 @@ mod tests_theory;
 pub use basic::{decide_basic, decompose_basic, SolveResult};
 pub use cache::{CacheSnapshot, Probe, SubproblemCache};
 pub use engine::{
-    EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
-    DEFAULT_DETK_CACHE_CAP,
+    CandidateOrder, EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine,
+    DEFAULT_CACHE_BYTES, DEFAULT_DETK_CACHE_CAP,
 };
 pub use solver::{LogK, SolveStats, Variant};

@@ -10,7 +10,7 @@ use hypergraph::Hypergraph;
 
 use crate::cache::CacheSnapshot;
 use crate::engine::{
-    EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
+    CandidateOrder, EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
     DEFAULT_DETK_CACHE_CAP, DEFAULT_POS_CACHE_MAX_FRAG,
 };
 use detk::MemoSnapshot;
@@ -52,6 +52,9 @@ pub struct LogK {
     /// Largest fragment (node count) stored by a positive cache insert.
     /// See [`EngineConfig::pos_cache_max_frag`].
     pub pos_cache_max_frag: usize,
+    /// λc/λp candidate enumeration order.
+    /// See [`EngineConfig::candidate_order`].
+    pub candidate_order: CandidateOrder,
 }
 
 impl LogK {
@@ -67,6 +70,7 @@ impl LogK {
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             lambda_p_prefilter: true,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
+            candidate_order: CandidateOrder::Arity,
         }
     }
 
@@ -134,6 +138,14 @@ impl LogK {
         self
     }
 
+    /// Replaces the λc/λp candidate enumeration order (the differential
+    /// tests compare both; `lambda_c_rejected`/`lambda_p_rejected`
+    /// measure the cut).
+    pub fn with_candidate_order(mut self, order: CandidateOrder) -> Self {
+        self.candidate_order = order;
+        self
+    }
+
     fn engine_config(&self, k: usize) -> EngineConfig {
         EngineConfig {
             parallel_depth: if matches!(self.variant, Variant::Parallel) {
@@ -147,6 +159,7 @@ impl LogK {
             detk_cache_cap: self.detk_cache_cap,
             lambda_p_prefilter: self.lambda_p_prefilter,
             pos_cache_max_frag: self.pos_cache_max_frag,
+            candidate_order: self.candidate_order,
             ..EngineConfig::sequential(k)
         }
     }
@@ -166,11 +179,17 @@ impl LogK {
                 match self.threads {
                     None => LogKEngine::new(hg, ctrl, cfg).decompose(),
                     Some(n) => {
+                        // The whole solve — λc join-races, hybrid det-k
+                        // handoffs included — runs inside the pool's
+                        // scope, i.e. on its worker threads: the bound is
+                        // the worker count, exactly, however the search
+                        // nests.
                         let pool = rayon::ThreadPoolBuilder::new()
                             .num_threads(n)
                             .build()
                             .expect("rayon pool construction cannot fail for sane sizes");
-                        pool.install(|| LogKEngine::new(hg, ctrl, cfg).decompose())
+                        let engine = LogKEngine::new(hg, ctrl, cfg);
+                        pool.scope(|_| engine.decompose())
                     }
                 }
             }
@@ -213,6 +232,10 @@ impl LogK {
                         lambda_p_rejected: engine.stats().lambda_p_rejected(),
                         lambda_p_prefiltered: engine.stats().lambda_p_prefiltered(),
                         separations: engine.stats().separations(),
+                        // Scheduler activity is attributed by the caller
+                        // (per-pool totals or ambient-pool delta).
+                        sched_steals: 0,
+                        sched_parks: 0,
                         detk_handoffs: engine.stats().detk_handoffs(),
                         detk_cache_peak: engine.stats().detk_cache_peak(),
                         detk_cache_cap: self.detk_cache_cap,
@@ -223,12 +246,36 @@ impl LogK {
                 };
                 match self.threads {
                     Some(n) if matches!(self.variant, Variant::Parallel) => {
+                        // Run inside the pool's scope (see `decompose`)
+                        // and report the pool's scheduler activity: a
+                        // per-solve pool starts with zeroed counters, so
+                        // the totals are this solve's steals and parks.
                         let pool = rayon::ThreadPoolBuilder::new()
                             .num_threads(n)
                             .build()
                             .expect("rayon pool construction cannot fail for sane sizes");
                         let engine = LogKEngine::new(hg, ctrl, cfg);
-                        pool.install(|| run(&engine))
+                        let out = pool.scope(|_| run(&engine));
+                        let sched = pool.scheduler_stats();
+                        out.map(|(d, mut stats)| {
+                            stats.sched_steals = sched.steals;
+                            stats.sched_parks = sched.parks;
+                            (d, stats)
+                        })
+                    }
+                    _ if matches!(self.variant, Variant::Parallel) => {
+                        // Ambient pool: counters are process-lifetime
+                        // totals, so attribute the delta around the solve
+                        // (advisory — concurrent solves on the same
+                        // global pool blur into each other's deltas).
+                        let before = rayon::current_scheduler_stats();
+                        let out = run(&LogKEngine::new(hg, ctrl, cfg));
+                        let after = rayon::current_scheduler_stats();
+                        out.map(|(d, mut stats)| {
+                            stats.sched_steals = after.steals.saturating_sub(before.steals);
+                            stats.sched_parks = after.parks.saturating_sub(before.parks);
+                            (d, stats)
+                        })
                     }
                     _ => run(&LogKEngine::new(hg, ctrl, cfg)),
                 }
@@ -291,6 +338,13 @@ pub struct SolveStats {
     pub lambda_p_prefiltered: u64,
     /// `separate_into` calls performed — the cost the pre-filter cuts.
     pub separations: u64,
+    /// Jobs the pool's workers stole from a sibling's deque during the
+    /// solve — the work-stealing runtime actually redistributing load
+    /// (0 for sequential engines and degenerate 1-worker pools).
+    pub sched_steals: u64,
+    /// Times a pool worker parked for lack of work during the solve —
+    /// idle capacity the λc race did not fill.
+    pub sched_parks: u64,
     /// Hybrid handoffs to `det-k-decomp`.
     pub detk_handoffs: u64,
     /// Largest `det-k-decomp` memo table observed across handoffs.

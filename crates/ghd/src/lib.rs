@@ -25,8 +25,10 @@
 use std::ops::ControlFlow;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
-use hypergraph::subsets::for_each_subset;
-use hypergraph::{separate, Edge, Hypergraph, SpecialArena, Subproblem, VertexSet};
+use hypergraph::subsets::for_each_subset_in;
+use hypergraph::{
+    separate_into, Edge, Hypergraph, Scratch, Separation, SpecialArena, Subproblem, VertexSet,
+};
 
 /// Result of a solve.
 pub type SolveResult = Result<Option<Decomposition>, Interrupted>;
@@ -38,9 +40,15 @@ pub fn decompose_ghd(hg: &Hypergraph, k: usize, ctrl: &Control) -> SolveResult {
     if hg.num_edges() == 0 {
         return Ok(Some(Decomposition::singleton(vec![], hg.vertex_set())));
     }
-    let engine = Ghd { hg, k, ctrl };
+    let engine = Ghd {
+        hg,
+        k,
+        ctrl,
+        arena: SpecialArena::new(),
+    };
     let sub = Subproblem::whole(hg);
-    match engine.decompose(&sub, &hg.vertex_set())? {
+    let mut scratch = GhdScratch::default();
+    match engine.decompose(&sub, &hg.vertex_set(), 0, &mut scratch)? {
         Some(frag) => Ok(Some(
             frag.into_decomposition()
                 .expect("the GHD search creates no special edges"),
@@ -64,10 +72,55 @@ pub fn minimal_width_ghd(
     Ok(None)
 }
 
+/// Per-recursion-level scratch of the GHD search: BFS workspace, the
+/// `[χ]`-separation, and the per-candidate vertex-set /candidate buffers —
+/// the `DetkScratch` discipline, so candidate evaluation allocates nothing
+/// once a level is warm.
+#[derive(Default)]
+struct GhdLevel {
+    bfs: Scratch,
+    seps: Separation,
+    /// `V(H')` of the current subproblem.
+    vsub: VertexSet,
+    /// `⋃λ` of the current candidate.
+    union: VertexSet,
+    /// `χ = ⋃λ ∩ V(H')`.
+    chi: VertexSet,
+    /// Connector handed to child recursions.
+    conn_c: VertexSet,
+    /// λ candidate edges.
+    cands: Vec<Edge>,
+    /// Enumeration buffer for the subset walk.
+    lam_buf: Vec<Edge>,
+}
+
+/// Stack of per-level bundles, taken out while a level is active so the
+/// recursion can borrow the stack freely.
+#[derive(Default)]
+struct GhdScratch {
+    levels: Vec<Option<GhdLevel>>,
+}
+
+impl GhdScratch {
+    fn take(&mut self, depth: usize) -> GhdLevel {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, || None);
+        }
+        self.levels[depth].take().unwrap_or_default()
+    }
+
+    fn put(&mut self, depth: usize, lvl: GhdLevel) {
+        self.levels[depth] = Some(lvl);
+    }
+}
+
 struct Ghd<'h> {
     hg: &'h Hypergraph,
     k: usize,
     ctrl: &'h Control,
+    /// Always empty (the rooted GHD search creates no special edges);
+    /// exists so `separate_into` has an arena to borrow.
+    arena: SpecialArena,
 }
 
 impl Ghd<'_> {
@@ -75,6 +128,8 @@ impl Ghd<'_> {
         &self,
         sub: &Subproblem,
         conn: &VertexSet,
+        depth: usize,
+        scratch: &mut GhdScratch,
     ) -> Result<Option<Fragment>, Interrupted> {
         self.ctrl.checkpoint()?;
         debug_assert!(sub.specials.is_empty(), "rooted GHD search is special-free");
@@ -85,40 +140,66 @@ impl Ghd<'_> {
             return Ok(Some(Fragment::leaf(lambda, chi)));
         }
 
-        let arena = SpecialArena::new();
-        let vsub = self.hg.union_of(&sub.edges);
-        let cands: Vec<Edge> = self
-            .hg
-            .edge_ids()
-            .filter(|&e| self.hg.edge(e).intersects(&vsub))
-            .collect();
+        let mut lvl = scratch.take(depth);
+        let result = self.decompose_level(sub, conn, depth, &mut lvl, scratch);
+        scratch.put(depth, lvl);
+        result
+    }
+
+    fn decompose_level(
+        &self,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        depth: usize,
+        lvl: &mut GhdLevel,
+        scratch: &mut GhdScratch,
+    ) -> Result<Option<Fragment>, Interrupted> {
+        let GhdLevel {
+            bfs,
+            seps,
+            vsub,
+            union,
+            chi,
+            conn_c,
+            cands,
+            lam_buf,
+        } = lvl;
+        self.hg.union_of_into(&sub.edges, vsub);
+        cands.clear();
+        cands.extend(
+            self.hg
+                .edge_ids()
+                .filter(|&e| self.hg.edge(e).intersects(vsub)),
+        );
         let size = sub.size();
 
-        let found = for_each_subset(&cands, self.k, |lambda| {
+        let found = for_each_subset_in(cands, self.k, lam_buf, |lambda| {
             if let Err(e) = self.ctrl.checkpoint() {
                 return ControlFlow::Break(Err(e));
             }
-            let union = self.hg.union_of_slice(lambda);
+            self.hg.union_of_slice_into(lambda, union);
             // The fragment root must cover the interface to its parent.
-            if !conn.is_subset_of(&union) {
+            if !conn.is_subset_of(union) {
                 return ControlFlow::Continue(());
             }
-            let chi = union.intersection(&vsub);
-            let seps = separate(self.hg, &arena, sub, &chi);
+            chi.copy_from(union);
+            chi.intersect_with(vsub);
+            separate_into(self.hg, &self.arena, sub, chi, bfs, seps);
             // BalancedGo's criterion: χ must be a balanced separator.
             if seps.components.iter().any(|c| 2 * c.size() > size) {
                 return ControlFlow::Continue(());
             }
             let mut children = Vec::with_capacity(seps.components.len());
             for comp in &seps.components {
-                let conn_c = comp.vertices.intersection(&chi);
-                match self.decompose(&comp.to_subproblem(), &conn_c) {
+                conn_c.copy_from(&comp.vertices);
+                conn_c.intersect_with(chi);
+                match self.decompose(comp.as_subproblem(), conn_c, depth + 1, scratch) {
                     Ok(Some(f)) => children.push(f),
                     Ok(None) => return ControlFlow::Continue(()),
                     Err(e) => return ControlFlow::Break(Err(e)),
                 }
             }
-            let mut frag = Fragment::leaf(lambda.to_vec(), chi);
+            let mut frag = Fragment::leaf(lambda.to_vec(), chi.clone());
             for f in children {
                 frag.attach_under(0, f);
             }

@@ -92,6 +92,11 @@ pub struct EngineCounters {
     /// `separate_into` calls performed — the denominator the λp
     /// pre-filter and split memo exist to shrink.
     pub separations: u64,
+    /// Pool-worker deque steals during `log-k-decomp` solves — the
+    /// work-stealing scheduler redistributing uneven λc subtrees.
+    pub sched_steals: u64,
+    /// Pool-worker parks during solves — idle capacity the race left.
+    pub sched_parks: u64,
     /// Scratch-workspace bundles allocated.
     pub scratch_allocs: u64,
     /// Buffer growths inside scratch workspaces.
@@ -122,6 +127,8 @@ impl From<&SolveStats> for EngineCounters {
             lambda_p_rejected: s.lambda_p_rejected,
             lambda_p_prefiltered: s.lambda_p_prefiltered,
             separations: s.separations,
+            sched_steals: s.sched_steals,
+            sched_parks: s.sched_parks,
             scratch_allocs: s.scratch_allocs,
             scratch_grow_events: s.scratch_grow_events,
             arena_branch_clones: s.arena_branch_clones,
@@ -157,6 +164,8 @@ impl EngineCounters {
         self.lambda_p_rejected += other.lambda_p_rejected;
         self.lambda_p_prefiltered += other.lambda_p_prefiltered;
         self.separations += other.separations;
+        self.sched_steals += other.sched_steals;
+        self.sched_parks += other.sched_parks;
         self.scratch_allocs += other.scratch_allocs;
         self.scratch_grow_events += other.scratch_grow_events;
         self.arena_branch_clones += other.arena_branch_clones;
@@ -183,6 +192,7 @@ impl EngineCounters {
              {} inserted, {} evicted, {} id-rewrites, peak {} KiB; \
              detk: {} handoffs, memo {}/{} hits, peak {}/{}; \
              candidates rejected: {} λc + {} λp ({} λp pre-filtered, {} separations run); \
+             sched: {} steals, {} parks; \
              alloc: {} scratch bundles ({} regrowths), {} arena checkpoints",
             self.decomp_calls,
             self.max_depth,
@@ -204,6 +214,8 @@ impl EngineCounters {
             self.lambda_p_rejected,
             self.lambda_p_prefiltered,
             self.separations,
+            self.sched_steals,
+            self.sched_parks,
             self.scratch_allocs,
             self.scratch_grow_events,
             self.arena_branch_clones,
@@ -246,6 +258,8 @@ mod tests {
             lambda_p_rejected: 11,
             lambda_p_prefiltered: 13,
             separations: 17,
+            sched_steals: 19,
+            sched_parks: 23,
             ..Default::default()
         };
         s.cache.pos_hits = 2;
@@ -272,6 +286,8 @@ mod tests {
         assert_eq!(a.lambda_p_rejected, 22);
         assert_eq!(a.lambda_p_prefiltered, 26);
         assert_eq!(a.separations, 34);
+        assert_eq!(a.sched_steals, 38);
+        assert_eq!(a.sched_parks, 46);
         assert!((a.hit_rate() - 0.75).abs() < 1e-12);
 
         let mut b = EngineCounters::default();

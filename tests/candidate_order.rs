@@ -1,0 +1,123 @@
+//! Candidate-order heuristics, phase 2: the degree/coverage-based
+//! `CandidateOrder::DegreeCoverage` knob against the arity-descending
+//! default.
+//!
+//! Both orders only permute the candidate enumeration, so verdicts (and
+//! witness validity) must be identical — pinned differentially here over
+//! a corpus slice and the structured families. The *point* of an order is
+//! the `lambda_c_rejected`/`lambda_p_rejected` cut it buys per workload
+//! family; the `#[ignore]`d reporter at the bottom prints that table (the
+//! numbers recorded in BENCHMARKS.md come from it):
+//!
+//! ```text
+//! cargo test --release --test candidate_order -- --ignored --nocapture
+//! ```
+
+use decomp::{validate_hd_width, Control};
+use logk::{CandidateOrder, LogK};
+use workloads::{families, hyperbench_like, CorpusConfig};
+
+/// Corpus slice: the degree/coverage order decides exactly like the
+/// arity order, and its witnesses validate.
+#[test]
+fn degree_coverage_order_matches_arity_on_corpus() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 7,
+        scale: 1.0 / 120.0,
+    });
+    let ctrl = Control::unlimited();
+    let arity = LogK::sequential();
+    let degree = LogK::sequential().with_candidate_order(CandidateOrder::DegreeCoverage);
+    let mut checked = 0usize;
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 30) {
+        for k in 1..=3usize {
+            let da = arity.decide(&inst.hg, k, &ctrl).unwrap();
+            let dd = degree.decompose(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(
+                da,
+                dd.is_some(),
+                "orders disagree on {} at k={k}",
+                inst.name
+            );
+            if let Some(d) = &dd {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            if da {
+                break;
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked > 10, "corpus slice unexpectedly small");
+}
+
+/// Structured families at their exact widths, both verdict polarities.
+#[test]
+fn degree_coverage_order_matches_arity_on_families() {
+    let ctrl = Control::unlimited();
+    let degree = LogK::sequential().with_candidate_order(CandidateOrder::DegreeCoverage);
+    let arity = LogK::sequential();
+    for (name, hg, k_true) in [
+        ("grid3x3", families::grid(3, 3), 2usize),
+        ("grid4x4", families::grid(4, 4), 3),
+        ("cycle12", families::cycle(12), 2),
+        ("chain20a3", families::chain(20, 3), 2),
+        ("csp60", families::random_csp(5, 60, 45, 4), 3),
+    ] {
+        for k in (k_true.saturating_sub(1).max(1))..=k_true {
+            let da = arity.decide(&hg, k, &ctrl).unwrap();
+            let dd = degree.decompose(&hg, k, &ctrl).unwrap();
+            assert_eq!(da, dd.is_some(), "orders disagree on {name} at k={k}");
+            if let Some(d) = &dd {
+                validate_hd_width(&hg, d, k).unwrap();
+            }
+        }
+    }
+}
+
+/// Reporter behind the BENCHMARKS.md table: per family and order, the
+/// rejected-candidate counters of the full (failing k−1 + succeeding k)
+/// width search. Run with `--ignored --nocapture`.
+#[test]
+#[ignore = "reporter for BENCHMARKS.md, not an assertion"]
+fn report_rejected_candidate_cut_per_family() {
+    let ctrl = Control::unlimited();
+    println!(
+        "{:<12} {:>2} | {:>12} {:>12} | {:>12} {:>12} | cut",
+        "family", "k", "λc rej (ari)", "λp rej (ari)", "λc rej (deg)", "λp rej (deg)"
+    );
+    for (name, hg, k_true) in [
+        ("grid4x4", families::grid(4, 4), 3usize),
+        ("grid4x5", families::grid(4, 5), 3),
+        ("cycle16", families::cycle(16), 2),
+        ("chain24a3", families::chain(24, 3), 2),
+        ("snowflake", families::snowflake(3, 4), 3),
+        ("csp60", families::random_csp(5, 60, 45, 4), 3),
+        ("csp100", families::random_csp(7, 120, 100, 4), 3),
+    ] {
+        let mut row = [[0u64; 2]; 2];
+        for (i, order) in [CandidateOrder::Arity, CandidateOrder::DegreeCoverage]
+            .into_iter()
+            .enumerate()
+        {
+            let solver = LogK::sequential().with_candidate_order(order);
+            // Full width search up to the known optimum, like the sweeps.
+            for k in 1..=k_true {
+                let (_, stats) = solver.decompose_with_stats(&hg, k, &ctrl).unwrap();
+                row[i][0] += stats.lambda_c_rejected;
+                row[i][1] += stats.lambda_p_rejected;
+            }
+        }
+        let tot = |r: [u64; 2]| r[0] + r[1];
+        let (a, d) = (tot(row[0]), tot(row[1]));
+        let cut = if a > 0 {
+            100.0 * (a as f64 - d as f64) / a as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<12} {:>2} | {:>12} {:>12} | {:>12} {:>12} | {:+.1}%",
+            name, k_true, row[0][0], row[0][1], row[1][0], row[1][1], cut
+        );
+    }
+}

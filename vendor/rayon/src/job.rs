@@ -1,0 +1,186 @@
+//! Type-erased units of work the scheduler moves between threads.
+//!
+//! A [`JobRef`] is two raw pointers (data + execute fn), `Copy`, and what
+//! the deques and the injector actually store. The two concrete job kinds
+//! mirror real rayon:
+//!
+//! * [`StackJob`] — lives on the stack of the thread that created it
+//!   (`join`'s second closure, an `in_worker` root). The creator blocks
+//!   until the job's latch is set, which is what makes handing out raw
+//!   pointers to it sound.
+//! * [`HeapJob`] — boxed, fire-and-forget (scope spawns). The closure is
+//!   responsible for its own panic handling and completion signalling.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::Latch;
+
+/// Type-erased pointer to a job, executable exactly once.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// A JobRef is moved across threads by construction (that is its job); the
+// underlying data's thread-safety obligations are discharged by the
+// `Send` bounds on the closures the concrete job types accept.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Creates a job ref from a pointer to a live job.
+    ///
+    /// # Safety
+    ///
+    /// `data` must stay valid until the job has executed (stack jobs:
+    /// the creator blocks on the latch; heap jobs: the box is leaked).
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        JobRef {
+            pointer: data as *const (),
+            execute_fn: <T as Job>::execute,
+        }
+    }
+
+    /// Runs the job. May only be called once per underlying job.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+
+    /// Identity of the underlying job, for pop-back comparisons.
+    #[inline]
+    pub(crate) fn id(&self) -> *const () {
+        self.pointer
+    }
+}
+
+/// Implemented by concrete job types; `this` is the erased self pointer.
+pub(crate) trait Job {
+    /// # Safety
+    ///
+    /// `this` must point at a live instance of the implementing type, and
+    /// must be called at most once for it.
+    unsafe fn execute(this: *const ());
+}
+
+/// Outcome slot of a [`StackJob`].
+pub(crate) enum JobResult<R> {
+    /// Not executed (yet, or abandoned after a sibling panic).
+    None,
+    /// Completed with a value.
+    Ok(R),
+    /// The closure panicked; the payload is re-thrown at the join point.
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job allocated on the creating thread's stack. The creator must not
+/// return before the job has executed (or been explicitly abandoned).
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, func: F) -> StackJob<L, F, R> {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// # Safety
+    ///
+    /// The caller keeps `self` alive until the returned ref has executed
+    /// (or has been popped back and abandoned).
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Takes the result. Only sound after the job executed (latch set, or
+    /// executed inline by the owner) — or after [`Self::abandon`].
+    ///
+    /// # Safety
+    ///
+    /// No concurrent access to the job may exist any more.
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::None)
+    }
+
+    /// Drops the closure without running it (used when a `join` sibling
+    /// panicked and the job was popped back unexecuted).
+    ///
+    /// # Safety
+    ///
+    /// The job must have been reclaimed by the owner (popped back from
+    /// the local deque) — no other thread may race to execute it.
+    pub(crate) unsafe fn abandon(&self) {
+        (*self.func.get()).take();
+    }
+}
+
+impl<L, F, R> Job for StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        *this.result.get() = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        // Last touch: after the latch is set the owner may free the job.
+        Latch::set(&this.latch);
+    }
+}
+
+/// A boxed fire-and-forget job (scope spawns). The closure must handle
+/// its own panics and signal its own completion — nothing waits on the
+/// job itself.
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    pub(crate) fn new(func: F) -> Box<HeapJob<F>> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Leaks the box into a job ref; `execute` re-boxes and frees it.
+    ///
+    /// # Safety
+    ///
+    /// The returned ref must be executed exactly once, and the closure's
+    /// captures must outlive that execution (a scope enforces this by
+    /// waiting for its pending-job count).
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::new(Box::into_raw(self) as *const Self)
+    }
+}
+
+impl<F> Job for HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    unsafe fn execute(this: *const ()) {
+        let this = Box::from_raw(this as *mut Self);
+        (this.func)();
+    }
+}

@@ -1,0 +1,107 @@
+//! `join` — the structured fork-join primitive everything else builds on.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::job::{JobResult, StackJob};
+use crate::latch::SpinLatch;
+use crate::registry::{self, Registry};
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. Mirrors `rayon::join`:
+///
+/// * `oper_b` is published on the calling worker's deque where any idle
+///   worker can steal it; `oper_a` runs immediately. If nobody stole
+///   `oper_b` by the time `oper_a` finishes, it is popped back and run
+///   inline — the sequential fast path costs one deque push/pop.
+/// * Called from outside a pool, the whole join migrates into the current
+///   registry (installed pool, else the global one) first.
+/// * Panics propagate: if either closure panics, the panic is re-thrown
+///   here once the sibling has been joined (or reclaimed unexecuted), so
+///   the stack frames both closures may borrow from stay valid. When both
+///   panic, `oper_a`'s payload wins, as in real rayon.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some((registry, index)) = registry::current_worker() {
+        // A worker runs the join in place — unless a *different* pool was
+        // installed over it, in which case the work belongs there.
+        let compatible = match registry::installed_registry() {
+            Some(installed) => Arc::ptr_eq(&installed, &registry),
+            None => true,
+        };
+        if compatible {
+            return join_on_worker(&registry, index, oper_a, oper_b);
+        }
+    }
+    let registry = Registry::current();
+    registry.in_worker(move || {
+        let (registry, index) = registry::current_worker().expect("in_worker must run on a worker");
+        join_on_worker(&registry, index, oper_a, oper_b)
+    })
+}
+
+fn join_on_worker<A, B, RA, RB>(
+    registry: &Arc<Registry>,
+    index: usize,
+    oper_a: A,
+    oper_b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(SpinLatch::new(), oper_b);
+    // Safety: job_b lives on this frame, and this function does not
+    // return before the job has executed or been abandoned.
+    let bref = unsafe { job_b.as_job_ref() };
+    unsafe {
+        registry.push_local(index, bref);
+    }
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    // Join b: pop it back if still ours, else help out (execute other
+    // jobs — our own or stolen ones) until the thief sets the latch.
+    while !job_b.latch().probe() {
+        // Safety: still on worker `index`'s thread.
+        if let Some(job) = unsafe { registry.pop_local(index) } {
+            if job.id() == bref.id() {
+                if result_a.is_ok() {
+                    unsafe { job.execute() };
+                } else {
+                    // `oper_a` panicked: reclaim b unexecuted and let the
+                    // panic propagate below.
+                    unsafe { job_b.abandon() };
+                }
+                break;
+            }
+            unsafe { job.execute() };
+        } else if let Some(job) = registry.steal_for(index) {
+            unsafe { job.execute() };
+        } else if let Some(job) = registry.pop_injected() {
+            unsafe { job.execute() };
+        } else {
+            SpinLatch::park_brief();
+        }
+    }
+
+    let ra = match result_a {
+        Ok(ra) => ra,
+        // b has completed or was reclaimed — its borrows are dead.
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    // Safety: the job executed (latch/pop-back above); no other thread
+    // touches it any more.
+    match unsafe { job_b.take_result() } {
+        JobResult::Ok(rb) => (ra, rb),
+        JobResult::Panic(payload) => panic::resume_unwind(payload),
+        JobResult::None => unreachable!("join: b neither executed nor abandoned"),
+    }
+}

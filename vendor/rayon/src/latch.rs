@@ -1,0 +1,101 @@
+//! Latches — one-shot completion flags that jobs use to signal the thread
+//! waiting on them.
+//!
+//! The safety contract shared by every implementation: the waiter may free
+//! the latch the instant it observes the set state, so [`Latch::set`] must
+//! never touch `self` after the store/unlock that makes the waiter's
+//! `probe`/`wait` succeed (any handle it needs afterwards — a `Thread` to
+//! unpark — is cloned *before* that point).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// The interface a job needs to signal completion.
+pub(crate) trait Latch {
+    /// Marks the latch as set, waking the waiter. See the module docs for
+    /// the use-after-set safety contract.
+    fn set(&self);
+}
+
+/// Latch for waiters that are themselves pool workers: they poll
+/// [`Self::probe`] between stealing other work, parking briefly when the
+/// registry runs dry. `set` stores the flag and unparks the owner thread.
+pub(crate) struct SpinLatch {
+    flag: AtomicBool,
+    /// The thread that will wait on this latch (captured at creation —
+    /// latches are created by their waiter).
+    owner: Thread,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> SpinLatch {
+        SpinLatch {
+            flag: AtomicBool::new(false),
+            owner: std::thread::current(),
+        }
+    }
+
+    /// Whether the latch has been set. `Acquire` pairs with the `Release`
+    /// store in [`Latch::set`], so a true result also publishes the
+    /// result slot the job wrote before setting the latch.
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Brief timed park used by latch wait loops when there is no work to
+    /// steal. The timeout bounds the one benign race (an unpark delivered
+    /// between the probe and the park) without wiring latches into the
+    /// registry sleep protocol.
+    pub(crate) fn park_brief() {
+        std::thread::park_timeout(Duration::from_micros(100));
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        // Clone the handle first: the owner may free the latch the moment
+        // the store below becomes visible.
+        let owner = self.owner.clone();
+        self.flag.store(true, Ordering::Release);
+        owner.unpark();
+    }
+}
+
+/// Latch for external (non-worker) waiters: a mutex-protected flag, so
+/// the waiter blocks on a condvar instead of burning its core. `wait` can
+/// only return after `set` has released the lock, which makes freeing the
+/// latch on return safe.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> LockLatch {
+        LockLatch {
+            state: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut done = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cond.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        // Notify while holding the lock: the waiter cannot wake, observe
+        // the flag and free the latch before we are done touching it.
+        self.cond.notify_all();
+    }
+}

@@ -1,108 +1,62 @@
-//! Vendored minimal stand-in for the `rayon` crate.
+//! Vendored work-stealing stand-in for the `rayon` crate.
 //!
 //! The build container has no access to crates.io, so this crate provides
-//! the API subset the workspace uses — `ThreadPoolBuilder` / `ThreadPool::
-//! install`, and `into_par_iter().find_map_any(..)` over index ranges —
-//! implemented with `std::thread::scope` and an atomic work counter.
+//! the API subset the workspace uses — `ThreadPoolBuilder` /
+//! `ThreadPool::{install, scope}`, `join`, `scope`, and
+//! `into_par_iter().find_map_any(..)` over index ranges — implemented as
+//! a real work-stealing runtime, architecturally equivalent to the real
+//! crate (so a future swap to crates.io rayon stays a dependency edit):
 //!
-//! Semantics match rayon where the workspace relies on them:
+//! * each pool is a [`registry`](registry) of long-lived worker threads,
+//!   one Chase–Lev [`deque`](deque) per worker plus a shared injector for
+//!   work arriving from outside the pool;
+//! * [`join`] publishes its second closure on the local deque where idle
+//!   workers steal it, and pops it back for inline execution when nobody
+//!   did — nested joins therefore cost a deque push/pop, not a thread;
+//! * idle workers park on a condvar and are woken when work appears;
+//!   steal and park counts are surfaced via [`SchedulerStats`];
+//! * [`scope`] provides structured spawns that may borrow from the
+//!   enclosing frame.
 //!
-//! * `find_map_any` returns *some* match (not necessarily the first), stops
-//!   handing out work once a match is found, and runs the closure on
-//!   multiple OS threads;
-//! * `ThreadPool::install` bounds the concurrency of parallel iterators
-//!   running inside the closure — **globally**, across arbitrary nesting:
-//!   the installed bound is a shared permit [`Budget`] inherited by every
-//!   spawned worker, so nested `find_map_any` calls on workers draw from
-//!   the same allowance instead of multiplying it (the historical bug:
-//!   workers saw no installed bound, fell back to
-//!   `available_parallelism()`, and nested races oversubscribed);
-//! * work is handed out index-by-index from a shared atomic counter, so
-//!   threads that finish early steal the remaining items.
+//! Semantics preserved from the previous permit-budget implementation
+//! (regression-tested here and in `tests/nested_parallel_stress.rs`):
 //!
-//! The calling thread always participates in the work loop (as in real
-//! rayon), so a `find_map_any` can never deadlock waiting for permits:
-//! with the budget exhausted it simply degrades to a sequential loop on
-//! the caller.
+//! * **the concurrency bound is global across arbitrary nesting** — only
+//!   a pool's `N` workers ever execute its closures (external callers
+//!   block on a latch instead of participating), so nested parallel calls
+//!   share one allowance instead of multiplying it;
+//! * **`RAYON_NUM_THREADS`** sizes the ambient (global) pool used when no
+//!   pool is installed;
+//! * **panic safety via drop guards** — a panicking closure propagates to
+//!   the caller with the installed-pool thread-local restored and every
+//!   worker back in its scheduling loop; a poisoned solve cannot degrade
+//!   later parallelism on the thread.
 //!
-//! It is NOT a general rayon replacement: no join/scope/par_bridge, no
-//! splitting adapters, no work-stealing deques.
+//! `find_map_any` returns *some* match (not necessarily the first), stops
+//! handing out work once a match is found, and is implemented as a
+//! recursive [`join`] split over the index range — the binary splitting
+//! that gives work-stealing its balanced distribution.
 
-use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+mod deque;
+mod job;
+mod latch;
+mod registry;
+
+mod join_impl;
+mod scope_impl;
+
+pub use join_impl::join;
+pub use registry::SchedulerStats;
+pub use scope_impl::{scope, Scope};
+
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+use registry::Registry;
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelIterator;
-}
-
-/// A global concurrency allowance shared by every parallel iterator that
-/// runs under one [`ThreadPool::install`] (or, without a pool, under one
-/// top-level `find_map_any`). `live` counts threads currently executing a
-/// work loop; spawning an extra worker requires winning a permit.
-struct Budget {
-    limit: usize,
-    live: AtomicUsize,
-}
-
-impl Budget {
-    fn new(limit: usize) -> Self {
-        Budget {
-            limit: limit.max(1),
-            live: AtomicUsize::new(0),
-        }
-    }
-
-    /// Tries to win one worker permit; never blocks.
-    fn try_acquire(&self) -> bool {
-        let mut cur = self.live.load(Ordering::Relaxed);
-        loop {
-            if cur >= self.limit {
-                return false;
-            }
-            match self.live.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(now) => cur = now,
-            }
-        }
-    }
-
-    fn release(&self, n: usize) {
-        self.live.fetch_sub(n, Ordering::Release);
-    }
-}
-
-thread_local! {
-    /// Budget governing parallel iterators on this thread: set by
-    /// [`ThreadPool::install`] on the caller and inherited by every
-    /// worker thread [`ParRange::find_map_any`] spawns.
-    static CURRENT_BUDGET: RefCell<Option<Arc<Budget>>> = const { RefCell::new(None) };
-    /// Whether this thread already holds a permit of `CURRENT_BUDGET`
-    /// (worker threads do; the top-level caller does not).
-    static HOLDS_PERMIT: Cell<bool> = const { Cell::new(false) };
-}
-
-fn current_budget() -> Option<Arc<Budget>> {
-    CURRENT_BUDGET.with(|b| b.borrow().clone())
-}
-
-/// Ambient parallelism when no pool is installed: `RAYON_NUM_THREADS`
-/// (like real rayon's global pool), else `available_parallelism()`.
-fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Error type of [`ThreadPoolBuilder::build`] (construction cannot fail in
@@ -137,57 +91,83 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool. Never fails in this implementation.
+    /// Builds the pool, spawning its workers. Never fails in this
+    /// implementation.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            default_threads()
+            registry::default_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool {
-            budget: Arc::new(Budget::new(n)),
-        })
+        let (registry, handles) = Registry::spawn(n);
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A concurrency bound for parallel iterators run under [`Self::install`].
-/// Concurrent `install`s of the same pool share one allowance for their
-/// spawned workers, mirroring a real worker pool — though each
-/// top-level calling thread always participates in its own work loop
-/// (it never blocks on permits), so N concurrent callers can run up to
-/// `limit + N - 1` closures at once. Within one caller's tree —
-/// the only shape this workspace produces — the bound is exact.
+/// A work-stealing pool of `N` worker threads. Parallel constructs run
+/// under [`Self::install`] (or entered via [`Self::scope`]) execute on
+/// the pool's workers only, so at most `N` of their closures are live at
+/// any instant — across arbitrary nesting, because nested `join`s and
+/// races stay on the same workers.
 pub struct ThreadPool {
-    budget: Arc<Budget>,
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool's budget as the ambient parallelism bound
-    /// (restoring the previous bound afterwards — including when `f`
-    /// panics, so an unwinding test run cannot leave stale thread-locals
-    /// on the calling thread).
+    /// Runs `f` on the calling thread with this pool installed as the
+    /// target of parallel constructs inside it. The previous installation
+    /// is restored afterwards — including when `f` panics, via a drop
+    /// guard, so an unwinding test run cannot leave a stale pool
+    /// installed on the thread.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Restore {
-            prev: Option<Arc<Budget>>,
-            prev_permit: bool,
-        }
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                CURRENT_BUDGET.with(|b| *b.borrow_mut() = self.prev.take());
-                HOLDS_PERMIT.with(|h| h.set(self.prev_permit));
-            }
-        }
-        let _restore = Restore {
-            prev: CURRENT_BUDGET.with(|b| b.replace(Some(Arc::clone(&self.budget)))),
-            prev_permit: HOLDS_PERMIT.with(|h| h.replace(false)),
-        };
+        let _guard = registry::InstallGuard::new(Arc::clone(&self.registry));
         f()
+    }
+
+    /// Creates a [`scope`] whose body runs on one of this pool's workers
+    /// and whose spawns execute on the pool; blocks until all complete.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        scope_impl::scope_in(Arc::clone(&self.registry), op)
     }
 
     /// The pool's worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.budget.limit
+        self.registry.num_threads()
     }
+
+    /// Steal/park counters accumulated by this pool's workers.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.registry.stats()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker count of the current registry (installed pool, else the
+/// worker's own pool, else the ambient default), mirroring
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    Registry::current().num_threads()
+}
+
+/// Steal/park counters of the current registry (see
+/// [`current_num_threads`] for the resolution order). For the ambient
+/// pool the counters are process-lifetime totals: diff two snapshots to
+/// attribute activity to a region.
+pub fn current_scheduler_stats() -> SchedulerStats {
+    Registry::current().stats()
 }
 
 /// Conversion into a parallel iterator, mirroring rayon's trait of the
@@ -214,169 +194,79 @@ pub struct ParRange {
     range: std::ops::Range<usize>,
 }
 
+/// Shared state of one `find_map_any` race.
+struct FindCtx<'a, T, F> {
+    f: &'a F,
+    found: &'a AtomicBool,
+    slot: &'a Mutex<Option<T>>,
+    grain: usize,
+}
+
+fn find_split<T, F>(lo: usize, hi: usize, ctx: &FindCtx<'_, T, F>)
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    // Early-cancel: a found match prunes every subtree not yet started.
+    if ctx.found.load(Ordering::Relaxed) {
+        return;
+    }
+    if hi - lo <= ctx.grain {
+        for i in lo..hi {
+            if ctx.found.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(hit) = (ctx.f)(i) {
+                let mut slot = ctx.slot.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(hit);
+                }
+                ctx.found.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        join(|| find_split(lo, mid, ctx), || find_split(mid, hi, ctx));
+    }
+}
+
 impl ParRange {
-    /// Applies `f` to the items on a scoped pool of OS threads, returning
-    /// some `Some` result if any item produces one ("any" semantics: not
-    /// necessarily the match with the smallest index). Once a match is
-    /// found, no further items are handed out; in-flight calls finish.
+    /// Applies `f` to the items across the current pool's workers,
+    /// returning some `Some` result if any item produces one ("any"
+    /// semantics: not necessarily the match with the smallest index).
+    /// Once a match is found, subtrees of the recursive [`join`] split
+    /// that have not started yet are cancelled; in-flight calls finish.
     ///
-    /// The calling thread works through items itself and spawns at most
-    /// `limit - 1` extra workers, where `limit` is the installed pool
-    /// bound (or the ambient default): each extra worker costs one permit
-    /// of the shared [`Budget`], which nested calls on worker threads
-    /// draw from too — within one top-level call tree, total live
-    /// workers never exceed the bound, however deep the nesting. (Each
-    /// *additional* concurrent top-level caller on the same budget adds
-    /// at most its own thread: callers always run, never block.)
+    /// On a 1-worker pool (or a 1-item range) this degrades to a plain
+    /// sequential `find_map` on the calling thread.
     pub fn find_map_any<T, F>(self, f: F) -> Option<T>
     where
         T: Send,
         F: Fn(usize) -> Option<T> + Sync,
     {
-        let start = self.range.start;
-        let len = self.range.end.saturating_sub(start);
+        let len = self.range.end.saturating_sub(self.range.start);
         if len == 0 {
             return None;
         }
-        let budget = match current_budget() {
-            Some(b) => b,
-            // No installed pool: bound this call tree by the ambient
-            // default. Workers (and the caller, below) inherit the ad-hoc
-            // budget, so even fully unpooled nested races stay bounded.
-            None => Arc::new(Budget::new(default_threads())),
+        let registry = Registry::current();
+        let threads = registry.num_threads();
+        if threads <= 1 || len == 1 {
+            return self.range.into_iter().find_map(&f);
+        }
+        let found = AtomicBool::new(false);
+        let slot = Mutex::new(None);
+        let ctx = FindCtx {
+            f: &f,
+            found: &found,
+            slot: &slot,
+            // Split down to single items once there is enough to keep
+            // every worker busy; wide trivial ranges batch up.
+            grain: (len / (threads * 8)).max(1),
         };
-        // Releases the won permits and (for a top-level caller) the
-        // caller's own charge + thread-local membership when the call
-        // ends — on normal return and on unwind alike, so a panicking
-        // closure cannot leak budget allowance or leave this thread's
-        // `CURRENT_BUDGET`/`HOLDS_PERMIT` pointing at a dead call.
-        struct PermitGuard {
-            budget: Arc<Budget>,
-            extra: usize,
-            /// Whether the caller's own charge is still outstanding
-            /// (returned early once its work loop ends, or here on
-            /// unwind).
-            charged: bool,
-            /// `Some(previous TLS budget)` iff this call installed the
-            /// budget in the caller's thread-locals.
-            prev_budget: Option<Option<Arc<Budget>>>,
-        }
-        impl PermitGuard {
-            /// Returns the caller's charge as soon as its work loop is
-            /// done — the thread then only waits for the scope join, and
-            /// tail workers can win the slot for their nested races.
-            fn release_caller_charge(&mut self) {
-                if std::mem::take(&mut self.charged) {
-                    self.budget.release(1);
-                }
-            }
-        }
-        impl Drop for PermitGuard {
-            fn drop(&mut self) {
-                self.budget.release(self.extra);
-                if std::mem::take(&mut self.charged) {
-                    self.budget.release(1);
-                }
-                if let Some(prev) = self.prev_budget.take() {
-                    CURRENT_BUDGET.with(|b| *b.borrow_mut() = prev);
-                    HOLDS_PERMIT.with(|h| h.set(false));
-                }
-            }
-        }
-        let mut guard = PermitGuard {
-            budget: Arc::clone(&budget),
-            extra: 0,
-            charged: false,
-            prev_budget: None,
-        };
-        if !HOLDS_PERMIT.with(|h| h.get()) {
-            // The top-level caller always runs (never blocks on permits):
-            // charge its work loop against the budget and make this
-            // thread a budget member for the duration, so nested calls
-            // inside `f` draw from the same allowance instead of
-            // re-charging or re-deriving one.
-            budget.live.fetch_add(1, Ordering::Acquire);
-            guard.charged = true;
-            HOLDS_PERMIT.with(|h| h.set(true));
-            guard.prev_budget = Some(CURRENT_BUDGET.with(|b| b.replace(Some(Arc::clone(&budget)))));
-        }
-
-        // Extra workers beyond the caller: cap by items and the bound,
-        // then try to win permits (nested calls lose these races once the
-        // budget is saturated and fall back to the sequential path).
-        let want = budget.limit.min(len).saturating_sub(1);
-        while guard.extra < want && budget.try_acquire() {
-            guard.extra += 1;
-        }
-        let extra = guard.extra;
-
-        if extra == 0 {
-            self.range.into_iter().find_map(&f)
-        } else {
-            // Each spawned worker owns its permit from here on and
-            // releases it the moment its work loop ends (normal exit or
-            // unwind) — not when the whole scope joins — so a long-tail
-            // sibling item can re-win the allowance for its nested races
-            // instead of leaving it pinned on an idle, already-finished
-            // worker.
-            guard.extra = 0;
-            let next = AtomicUsize::new(0);
-            let found = AtomicBool::new(false);
-            let slot: Mutex<Option<T>> = Mutex::new(None);
-            let f = &f;
-            let budget_ref = &budget;
-            let drain = |is_caller: bool| {
-                struct WorkerPermit<'a>(Option<&'a Budget>);
-                impl Drop for WorkerPermit<'_> {
-                    fn drop(&mut self) {
-                        if let Some(b) = self.0 {
-                            b.release(1);
-                        }
-                    }
-                }
-                let _permit = WorkerPermit((!is_caller).then_some(&**budget_ref));
-                if !is_caller {
-                    // Workers inherit the budget (and their permit), so
-                    // nested parallel calls share the global allowance.
-                    CURRENT_BUDGET.with(|b| *b.borrow_mut() = Some(Arc::clone(budget_ref)));
-                    HOLDS_PERMIT.with(|h| h.set(true));
-                }
-                while !found.load(Ordering::Relaxed) {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
-                    }
-                    if let Some(hit) = f(start + i) {
-                        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
-                        if guard.is_none() {
-                            *guard = Some(hit);
-                        }
-                        found.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            };
-            std::thread::scope(|s| {
-                for _ in 0..extra {
-                    s.spawn(|| drain(false));
-                }
-                drain(true);
-                // The caller's work loop is done; it now only waits for
-                // the join, so its charge goes back too (on unwind the
-                // guard's drop returns it instead).
-                guard.release_caller_charge();
-            });
-            slot.into_inner().unwrap_or_else(|e| e.into_inner())
-        }
-        // `guard` drops here: permits released, thread-locals restored.
-    }
-}
-
-/// The ambient worker count, mirroring `rayon::current_num_threads`.
-pub fn current_num_threads() -> usize {
-    match current_budget() {
-        Some(b) => b.limit,
-        None => default_threads(),
+        let (lo, hi) = (self.range.start, self.range.end);
+        registry.in_worker(|| find_split(lo, hi, &ctx));
+        slot.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -384,7 +274,7 @@ pub fn current_num_threads() -> usize {
 mod tests {
     use super::prelude::*;
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     #[test]
     fn finds_a_match() {
@@ -418,6 +308,100 @@ mod tests {
     }
 
     #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_a() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let b_ran = AtomicBool::new(false);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|_| join(|| panic!("boom-a"), || b_ran.store(true, Ordering::SeqCst)))
+        }));
+        let payload = result.expect_err("panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom-a"));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|_| join(|| 7usize, || panic!("boom-b")))
+        }));
+        let payload = result.expect_err("panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom-b"));
+    }
+
+    #[test]
+    fn scope_runs_spawns_to_completion() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let count = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_spawns_recursively() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let count = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    for _ in 0..4 {
+                        s.spawn(|_| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4 + 16);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic_after_draining() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("spawn-boom"));
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+        }));
+        assert!(result.is_err(), "spawn panic must propagate");
+        // Structured: every sibling spawn completed before the panic
+        // surfaced — no job outlives its scope.
+        assert_eq!(finished.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
     fn install_bounds_parallelism() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let max_seen = AtomicUsize::new(0);
@@ -432,6 +416,22 @@ mod tests {
             })
         });
         assert!(max_seen.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn single_worker_pool_is_strictly_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let max_seen = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..32usize).into_par_iter().find_map_any(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                live.fetch_sub(1, Ordering::SeqCst);
+                None::<()>
+            })
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -451,13 +451,12 @@ mod tests {
         assert_eq!(hit, Some(35));
     }
 
-    /// Regression test for the nested-oversubscription bug: workers
-    /// spawned by an outer `find_map_any` did not inherit the installed
-    /// bound, so their nested parallel calls fell back to
-    /// `available_parallelism()` and the race multiplied its thread
-    /// count. With the shared budget, the *innermost* closures — the only
-    /// places actually doing work — never run on more threads than the
-    /// pool allows, at any nesting depth.
+    /// Regression test for the historical nested-oversubscription bug:
+    /// nested parallel calls must never run more closures than the pool
+    /// has workers, at any nesting depth. Under the work-stealing runtime
+    /// this holds by construction — only the pool's workers execute jobs
+    /// — but the bound is the load-bearing invariant consumers rely on,
+    /// so it stays pinned here.
     #[test]
     fn nested_races_never_exceed_the_installed_bound() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
@@ -483,10 +482,9 @@ mod tests {
         );
     }
 
-    /// A finished sibling's allowance must be reusable by the slow
-    /// branch's nested races *before* the outer join: permits go back at
-    /// drain-exit, not at scope teardown, so a long-tail branch is not
-    /// pinned sequential while the rest of the pool sits idle.
+    /// A finished sibling's worker must be available to the slow branch's
+    /// nested races *before* the outer race completes — idle workers
+    /// steal the long tail's work instead of sitting on a joined scope.
     #[test]
     fn finished_siblings_release_allowance_to_the_long_tail() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
@@ -495,12 +493,13 @@ mod tests {
         pool.install(|| {
             (0..2usize).into_par_iter().find_map_any(|_| {
                 if !fast_taken.swap(true, Ordering::SeqCst) {
-                    // Fast branch: returns immediately, freeing its slot.
+                    // Fast branch: returns immediately, freeing its worker.
                     return None::<()>;
                 }
-                // Long-tail branch: once the fast sibling's slot is back,
-                // a nested race can run two wide again. Poll briefly —
-                // the assertion is on eventual reuse, not on scheduling.
+                // Long-tail branch: once the fast sibling's worker is
+                // idle, a nested race can run two wide again. Poll
+                // briefly — the assertion is on eventual reuse, not on
+                // scheduling.
                 for _ in 0..500 {
                     let live = AtomicUsize::new(0);
                     let max = AtomicUsize::new(0);
@@ -522,18 +521,18 @@ mod tests {
         });
         assert!(
             reached_two_wide.load(Ordering::SeqCst),
-            "the long-tail branch never regained the freed allowance"
+            "the long-tail branch never regained the freed worker"
         );
     }
 
-    /// A panic unwinding out of a race must release the caller charge and
-    /// worker permits and restore the thread-locals — otherwise every
-    /// later `find_map_any` on this thread loses its permit races and
-    /// silently degrades to sequential execution (the failure mode of
-    /// straight-line cleanup, which proptest's catch-and-shrink loop
-    /// would trigger).
+    /// A panic unwinding out of a race must propagate to the caller with
+    /// the thread-locals restored and every worker back in its loop —
+    /// later parallel calls on the same pool must still work and still
+    /// respect the bound (the failure mode of leaked state would be
+    /// permanent sequential degradation, which proptest's
+    /// catch-and-shrink loop would trigger).
     #[test]
-    fn panicking_closure_releases_budget_and_thread_locals() {
+    fn panicking_closure_releases_workers_and_thread_locals() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.install(|| {
@@ -548,27 +547,17 @@ mod tests {
         }));
         assert!(boom.is_err());
         assert!(
-            !HOLDS_PERMIT.with(|h| h.get()),
-            "unwind must clear the permit flag"
+            registry::installed_registry().is_none(),
+            "unwind must restore the pre-install thread-local"
         );
-        assert!(
-            current_budget().is_none(),
-            "unwind must restore the pre-install budget"
-        );
-        assert_eq!(
-            pool.budget.live.load(Ordering::SeqCst),
-            0,
-            "unwind must return every permit to the pool"
-        );
-        // And the restored allowance is usable: a fresh race on the same
-        // pool stays within bound (and typically runs two wide again — a
-        // leaked permit would force every later call 1-wide, though how
-        // often the extra worker gets scheduled is up to the OS, so only
-        // the bound is asserted).
+        // The pool is still fully usable: a fresh race completes, visits
+        // everything, and stays within the 2-worker bound.
         let live = AtomicUsize::new(0);
         let max_seen = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
         pool.install(|| {
             (0..32usize).into_par_iter().find_map_any(|_| {
+                count.fetch_add(1, Ordering::SeqCst);
                 let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                 max_seen.fetch_max(now, Ordering::SeqCst);
                 std::thread::sleep(std::time::Duration::from_millis(2));
@@ -576,14 +565,15 @@ mod tests {
                 None::<()>
             })
         });
+        assert_eq!(count.load(Ordering::SeqCst), 32);
         assert!(
             max_seen.load(Ordering::SeqCst) <= 2,
-            "the restored budget must still enforce the 2-thread bound"
+            "the pool must still enforce the 2-worker bound after a panic"
         );
     }
 
-    /// The installed allowance is restored after `install` returns, and
-    /// nested installs layer correctly.
+    /// The installed pool is restored after `install` returns, and nested
+    /// installs layer correctly.
     #[test]
     fn install_restores_previous_bound() {
         let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
@@ -596,10 +586,11 @@ mod tests {
     }
 
     /// Unpooled nested races are bounded by the ambient default too (the
-    /// ad-hoc budget is inherited by workers).
+    /// global registry has `RAYON_NUM_THREADS` workers and nothing else
+    /// executes jobs).
     #[test]
     fn unpooled_nested_races_stay_bounded() {
-        let ambient = super::default_threads();
+        let ambient = registry::default_threads();
         let live = AtomicUsize::new(0);
         let max_seen = AtomicUsize::new(0);
         (0..4usize).into_par_iter().find_map_any(|_| {
@@ -612,5 +603,75 @@ mod tests {
             })
         });
         assert!(max_seen.load(Ordering::SeqCst) <= ambient);
+    }
+
+    /// Early-cancel: once a match is found, un-started subtrees of the
+    /// split are pruned — the race must not grind through the whole
+    /// range. The timed items make in-flight stragglers visible: only a
+    /// bounded handful may still run after the hit at index 0.
+    #[test]
+    fn find_map_any_cancels_remaining_work_after_a_hit() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let evaluated = AtomicUsize::new(0);
+        let hit = pool.install(|| {
+            (0..1000usize).into_par_iter().find_map_any(|i| {
+                evaluated.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    Some(i)
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    None
+                }
+            })
+        });
+        assert_eq!(hit, Some(0));
+        let n = evaluated.load(Ordering::SeqCst);
+        assert!(
+            n < 200,
+            "early-cancel failed: {n} of 1000 items ran after an immediate hit"
+        );
+    }
+
+    /// Work published by a busy worker is stolen by an idle one — the
+    /// steal counter moves. (On a long-enough race the probability of
+    /// zero steals is negligible: the second worker can only get work by
+    /// stealing half the split.)
+    #[test]
+    fn steals_are_counted() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = pool.scheduler_stats().steals;
+        pool.install(|| {
+            (0..64usize).into_par_iter().find_map_any(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                None::<()>
+            })
+        });
+        let after = pool.scheduler_stats().steals;
+        assert!(
+            after > before,
+            "a 2-worker race over 64 timed items must involve stealing"
+        );
+    }
+
+    /// Workers park when the pool runs dry and wake when work arrives.
+    #[test]
+    fn idle_workers_park_and_wake() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        // Give the freshly spawned workers a moment to find nothing and
+        // park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            pool.scheduler_stats().parks > 0,
+            "idle workers must park rather than spin"
+        );
+        // And parked workers still pick up new work promptly.
+        let done = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..8usize).into_par_iter().find_map_any(|_| {
+                done.fetch_add(1, Ordering::SeqCst);
+                None::<()>
+            })
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 8);
     }
 }

@@ -1,0 +1,396 @@
+//! The worker-thread registry: one [`Deque`] per worker, a shared
+//! injector for jobs arriving from outside the pool, and the park/wake
+//! protocol that lets idle workers sleep without missing work.
+//!
+//! ## Thread roles
+//!
+//! *Workers* are the registry's own threads: they run a
+//! pop-local → steal → injector loop and park when everything is dry.
+//! *External threads* (the application) never execute pool work — they
+//! [`Registry::in_worker`] a stack job into the injector and block on a
+//! [`LockLatch`] until a worker has run it. That makes the concurrency
+//! bound exact: at most `num_threads` closures of a pool execute at any
+//! instant, however deeply parallel calls nest, because *only* the
+//! registry's workers ever execute them. (The previous implementation
+//! approximated this with a shared permit budget over ad-hoc scoped
+//! threads; the invariant is unchanged and regression-tested, the
+//! mechanism is now a real pool.)
+//!
+//! ## Sleep protocol
+//!
+//! A parking worker increments `parked` (SeqCst) *before* re-checking the
+//! queues under the sleep lock; a publisher makes its job visible, issues
+//! a SeqCst fence, then reads `parked` — if it reads 0 the parker's
+//! re-check is ordered after the publish and finds the job, and if it
+//! reads ≥ 1 it takes the lock and notifies. A timed wait bounds any
+//! interleaving this pairing does not cover.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::deque::{Deque, Steal};
+use crate::job::{JobRef, JobResult, StackJob};
+use crate::latch::LockLatch;
+
+/// Counters of scheduler activity, exposed through
+/// [`crate::ThreadPool::scheduler_stats`] and
+/// [`crate::current_scheduler_stats`] so solver layers can report how the
+/// pool behaved (see `SolveStats` in the engine crates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Times a worker parked for lack of work.
+    pub parks: u64,
+}
+
+/// Ambient worker count when no pool is installed: `RAYON_NUM_THREADS`
+/// (like real rayon's global pool), else `available_parallelism()`.
+pub(crate) fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    parked: AtomicUsize,
+    /// Workers currently in their steal/injector search phase: a
+    /// publisher need not wake anyone while a searcher is about to find
+    /// the job anyway (wake throttling, see [`Registry::wake_one`]).
+    searching: AtomicUsize,
+    /// A worker was notified but has not re-entered its search loop yet;
+    /// further wakes are suppressed until it does (bounds the notify
+    /// storm when many small jobs are published back-to-back, which on
+    /// few cores otherwise costs a condvar syscall per `join`).
+    wake_pending: AtomicBool,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: its registry and index.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+    /// Registry installed by `ThreadPool::install` on this thread
+    /// (restored by a drop guard — panic-safe).
+    static INSTALLED: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// `(registry, index)` of the current thread if it is a pool worker.
+pub(crate) fn current_worker() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with(|w| {
+        w.borrow()
+            .as_ref()
+            .map(|c| (Arc::clone(&c.registry), c.index))
+    })
+}
+
+/// The registry installed on this thread by `ThreadPool::install`, if any.
+pub(crate) fn installed_registry() -> Option<Arc<Registry>> {
+    INSTALLED.with(|r| r.borrow().clone())
+}
+
+/// RAII guard for `ThreadPool::install`: swaps the installed registry in
+/// and restores the previous value on drop — including on unwind, so a
+/// panicking closure cannot leave a stale pool installed on the thread.
+pub(crate) struct InstallGuard {
+    prev: Option<Arc<Registry>>,
+}
+
+impl InstallGuard {
+    pub(crate) fn new(registry: Arc<Registry>) -> InstallGuard {
+        InstallGuard {
+            prev: INSTALLED.with(|r| r.replace(Some(registry))),
+        }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|r| *r.borrow_mut() = self.prev.take());
+    }
+}
+
+impl Registry {
+    /// Creates a registry and spawns its workers, returning the join
+    /// handles (dropped for the detached global registry).
+    pub(crate) fn spawn(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let n = num_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            parked: AtomicUsize::new(0),
+            searching: AtomicUsize::new(0),
+            wake_pending: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{index}"))
+                    .spawn(move || worker_main(reg, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    /// The lazily created ambient registry (`RAYON_NUM_THREADS` workers).
+    pub(crate) fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| {
+            let (registry, handles) = Registry::spawn(default_threads());
+            // The global pool lives for the process: detach the workers.
+            drop(handles);
+            registry
+        }))
+    }
+
+    /// The registry parallel constructs on this thread target, in
+    /// precedence order: installed pool → own registry (worker threads)
+    /// → global.
+    pub(crate) fn current() -> Arc<Registry> {
+        if let Some(r) = installed_registry() {
+            return r;
+        }
+        if let Some((r, _)) = current_worker() {
+            return r;
+        }
+        Registry::global()
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    pub(crate) fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            steals: self.steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queues a job from outside the pool (or from a worker of another
+    /// registry) and wakes a worker for it.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.wake_one();
+    }
+
+    /// Pushes a job on worker `index`'s own deque and wakes a thief.
+    ///
+    /// # Safety
+    ///
+    /// May only be called on the worker thread that owns `index`.
+    pub(crate) unsafe fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].push(job);
+        self.wake_one();
+    }
+
+    /// Routes a job to the local deque when called on one of this
+    /// registry's workers, to the injector otherwise (scope spawns).
+    pub(crate) fn push_local_or_inject(self: &Arc<Self>, job: JobRef) {
+        match current_worker() {
+            Some((reg, index)) if Arc::ptr_eq(&reg, self) => unsafe {
+                self.push_local(index, job);
+            },
+            _ => self.inject(job),
+        }
+    }
+
+    /// Owner-only pop of worker `index`'s deque.
+    ///
+    /// # Safety
+    ///
+    /// May only be called on the worker thread that owns `index`.
+    pub(crate) unsafe fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].pop()
+    }
+
+    /// Finds a job for worker `index`: local LIFO first (join locality),
+    /// then stealing a sibling's oldest job, then the injector.
+    ///
+    /// # Safety
+    ///
+    /// May only be called on the worker thread that owns `index`.
+    pub(crate) unsafe fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.pop_local(index) {
+            return Some(job);
+        }
+        if let Some(job) = self.steal_for(index) {
+            return Some(job);
+        }
+        self.pop_injected()
+    }
+
+    /// Steals from the other workers' deques, round-robin from `index`.
+    pub(crate) fn steal_for(&self, index: usize) -> Option<JobRef> {
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    pub(crate) fn pop_injected(&self) -> Option<JobRef> {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    fn has_visible_work(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+        {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// Wakes one parked worker if any. Callers publish their job first;
+    /// the fence pairs with the parker's SeqCst increment (module docs).
+    ///
+    /// Throttled: no notify while a worker is already searching (it will
+    /// find the job), or while a previously notified worker has not
+    /// started searching yet (it will). A wake lost to these heuristics'
+    /// races is recovered by the parker's under-lock work re-check and by
+    /// the timed wait backstop.
+    fn wake_one(&self) {
+        fence(Ordering::SeqCst);
+        if self.searching.load(Ordering::SeqCst) > 0 || self.wake_pending.load(Ordering::SeqCst) {
+            return;
+        }
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.wake_pending.store(true, Ordering::SeqCst);
+            self.sleep_cond.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.sleep_cond.notify_all();
+    }
+
+    /// Parks the calling worker until woken (or a backstop timeout).
+    fn sleep(&self) {
+        let guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        if self.has_visible_work() || self.shutdown.load(Ordering::SeqCst) {
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sleep_cond
+            .wait_timeout(guard, Duration::from_millis(100));
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Runs `op` on a worker of this registry: inline when already on
+    /// one, else injected as a stack job with the caller blocked on a
+    /// lock latch (panics propagate to the caller).
+    pub(crate) fn in_worker<OP, R>(self: &Arc<Self>, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some((reg, _)) = current_worker() {
+            if Arc::ptr_eq(&reg, self) {
+                return op();
+            }
+        }
+        let job = StackJob::new(LockLatch::new(), op);
+        unsafe {
+            self.inject(job.as_job_ref());
+        }
+        job.latch().wait();
+        match unsafe { job.take_result() } {
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => std::panic::resume_unwind(p),
+            JobResult::None => unreachable!("injected job completed without a result"),
+        }
+    }
+
+    /// Signals the workers to exit once the queues drain.
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx {
+            registry: Arc::clone(&registry),
+            index,
+        })
+    });
+    loop {
+        // Safety: this thread owns deque `index` for its whole life.
+        if let Some(job) = unsafe { registry.pop_local(index) } {
+            // Both job kinds catch panics internally (StackJob into its
+            // result slot, scope spawns into the scope), so execution
+            // never unwinds the worker loop.
+            unsafe { job.execute() };
+            continue;
+        }
+        // Search phase: announce it (and clear any pending-wake debt, as
+        // the notified worker others are waiting on may be us) so that
+        // publishers can skip redundant notifies while we scan.
+        registry.wake_pending.store(false, Ordering::SeqCst);
+        registry.searching.fetch_add(1, Ordering::SeqCst);
+        let job = registry
+            .steal_for(index)
+            .or_else(|| registry.pop_injected());
+        registry.searching.fetch_sub(1, Ordering::SeqCst);
+        if let Some(job) = job {
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        registry.sleep();
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+}

@@ -1,0 +1,149 @@
+//! `scope` — structured spawning of jobs that may borrow from the
+//! enclosing stack frame.
+//!
+//! A scope migrates into the target registry (like `join`), runs its body
+//! on a worker, and then *waits* — helping execute work the whole time —
+//! until every job spawned inside it has completed. That wait is what
+//! makes handing `'scope` borrows to heap jobs sound.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+use crate::job::HeapJob;
+use crate::latch::SpinLatch;
+use crate::registry::{self, Registry};
+
+/// A scope handle; see [`scope`]. Spawned closures receive `&Scope` again
+/// so they can spawn recursively.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Spawned jobs not yet completed.
+    pending: AtomicUsize,
+    /// First panic from a spawned job, re-thrown when the scope ends.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The worker running the scope body, unparked on completion.
+    owner: Thread,
+    /// Borrows handed to spawned jobs live at least as long as `'scope`.
+    marker: PhantomData<ScopeBody<'scope>>,
+}
+
+/// Marker alias tying a scope to the closures spawned into it.
+type ScopeBody<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + Sync + 'scope>;
+
+/// Creates a scope in the current registry (installed pool, worker's own
+/// registry, or the global one) and blocks until the body *and every job
+/// it spawned* have finished. Panics from the body or any spawned job are
+/// re-thrown here once all jobs are accounted for.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    scope_in(Registry::current(), op)
+}
+
+/// [`scope`] targeted at a specific registry (`ThreadPool::scope`).
+pub(crate) fn scope_in<'scope, OP, R>(registry: Arc<Registry>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    registry.in_worker(move || {
+        let (registry, index) = registry::current_worker().expect("in_worker must run on a worker");
+        let scope = Scope {
+            registry,
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            owner: std::thread::current(),
+            marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Wait for the spawned jobs even when the body panicked: they
+        // borrow from frames below us.
+        scope.wait_all(index);
+        match result {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(r) => {
+                if let Some(payload) = scope.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+                {
+                    panic::resume_unwind(payload);
+                }
+                r
+            }
+        }
+    })
+}
+
+/// `*const Scope` that may cross threads; sound because the scope outlives
+/// every spawned job (enforced by `wait_all`).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> ScopePtr<'scope> {
+    /// Method (not field) access, so closures capture the whole `Send`
+    /// wrapper rather than the raw pointer field.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the scope. It may run on any worker of the
+    /// scope's registry, any time before the scope ends; it may borrow
+    /// anything that outlives `'scope`.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        // Count before publishing: the count can only reach zero once
+        // every published job has run.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let job = HeapJob::new(move || {
+            // Safety: the scope waits for `pending` to drain before its
+            // frame is torn down, so the pointer is live.
+            let scope = unsafe { &*scope_ptr.get() };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.record_panic(payload);
+            }
+            scope.complete_one();
+        });
+        // Safety: executed exactly once by the registry; captures outlive
+        // the scope's wait.
+        let job_ref = unsafe { job.into_job_ref() };
+        self.registry.push_local_or_inject(job_ref);
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn complete_one(&self) {
+        // Clone the owner handle first: once the count hits zero the
+        // scope frame may be torn down.
+        let owner = self.owner.clone();
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            owner.unpark();
+        }
+    }
+
+    /// Helps execute work until every spawned job has completed.
+    fn wait_all(&self, index: usize) {
+        while self.pending.load(Ordering::SeqCst) != 0 {
+            // Safety: called on the worker that owns `index` (the one
+            // running the scope body).
+            if let Some(job) = unsafe { self.registry.find_work(index) } {
+                unsafe { job.execute() };
+            } else {
+                SpinLatch::park_brief();
+            }
+        }
+    }
+}
