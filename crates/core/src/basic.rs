@@ -9,7 +9,7 @@
 //!
 //! The *control flow* is verbatim Algorithm 1; the *memory discipline* is
 //! not: like `detk`'s `DetkScratch`, every recursion level owns a
-//! [`BasicLevel`] bundle (BFS scratch plus the `ParentLoop`/`ChildLoop`
+//! `BasicLevel` bundle (BFS scratch plus the `ParentLoop`/`ChildLoop`
 //! separations), so component splitting runs through `separate_into` on
 //! warm buffers instead of the allocating `separate` wrapper. The oracle
 //! is quadratically slower than the engines by design; it does not also
@@ -21,7 +21,8 @@ use std::sync::Arc;
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use hypergraph::subsets::for_each_subset;
 use hypergraph::{
-    separate_into, Edge, Hypergraph, Scratch, Separation, SpecialArena, Subproblem, VertexSet,
+    separate_into, Edge, Hypergraph, LevelStack, Scratch, Separation, SpecialArena, Subproblem,
+    VertexSet,
 };
 
 /// Result of a solve: `Ok(Some(hd))` on success, `Ok(None)` when no HD of
@@ -60,24 +61,9 @@ struct BasicLevel {
 }
 
 /// Stack of per-level bundles, taken out while a level is active so the
-/// recursion can borrow the stack freely (the `DetkScratch` pattern).
-#[derive(Default)]
-struct BasicScratch {
-    levels: Vec<Option<BasicLevel>>,
-}
-
-impl BasicScratch {
-    fn take(&mut self, depth: usize) -> BasicLevel {
-        if self.levels.len() <= depth {
-            self.levels.resize_with(depth + 1, || None);
-        }
-        self.levels[depth].take().unwrap_or_default()
-    }
-
-    fn put(&mut self, depth: usize, lvl: BasicLevel) {
-        self.levels[depth] = Some(lvl);
-    }
-}
+/// recursion can borrow the stack freely — an instantiation of the
+/// generic [`LevelStack`] take/put discipline.
+type BasicScratch = LevelStack<BasicLevel>;
 
 struct Basic<'h> {
     hg: &'h Hypergraph,
@@ -169,7 +155,7 @@ impl Basic<'_> {
             return Ok(Some(Fragment::special_leaf(s, self.arena.get(s).clone())));
         }
 
-        let mut lvl = self.scratch.take(depth);
+        let mut lvl = self.scratch.take_or_default(depth);
         let result = self.decomp_level(sub, conn, depth, &mut lvl);
         self.scratch.put(depth, lvl);
         result

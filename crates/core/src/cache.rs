@@ -14,106 +14,30 @@
 //!   stores the found fragment in arena-independent form
 //!   ([`PortableFragment`]: special leaves resolved to vertex sets); on a
 //!   hit the fragment is re-interned against the prober's
-//!   [`SpecialArena`] by a set-preserving id-rewrite pass, so a success
-//!   found in one λc branch is reused verbatim by every other branch and
-//!   across recursion levels.
+//!   [`SpecialArena`] by a set-preserving
+//!   id-rewrite pass, so a success found in one λc branch is reused
+//!   verbatim by every other branch and across recursion levels.
 //! * **Exhaustive failures only.** The engine inserts a negative entry
 //!   only when a `Decomp` call returns `None` after exhausting its search
 //!   space. Branches that were pruned (a sibling won) or interrupted
 //!   (timeout / cancellation) propagate errors and are never cached.
 //!   Positive entries carry a complete witness and are always safe.
-//! * **Resolved keys.** Special edges are keyed by *vertex set*, not by
-//!   arena id: ids are branch-local, vertex sets are canonical. Stored
-//!   keys keep them sorted (the `Ord` on `TypedBitSet` exists for exactly
-//!   this); probes match them as a multiset without sorting — see below.
-//!   The `allowed` edge set participates in the key because `Decomp`'s
-//!   result is relative to the allowed λ alphabet; it is held behind an
-//!   [`Arc`] shared with the engine's recursion, so storing a key bumps a
-//!   refcount instead of duplicating the set.
-//! * **Borrowed-key probes.** Lookups never build an owned key: the probe
-//!   hashes the borrowed `(edges, specials, conn, allowed)` directly
-//!   (specials are combined commutatively, so no sort buffer is needed)
-//!   and walks the hash's bucket comparing stored entries against the
-//!   borrowed data. The owned key is built once, on insert — misses and
-//!   hits allocate nothing.
-//! * **Second-chance eviction.** Instead of freezing inserts at the byte
-//!   budget, each shard runs a CLOCK sweep when an insert would overflow:
-//!   entries touched since the last sweep get a second chance (their
-//!   reference bit is cleared), cold entries are evicted until the new
-//!   entry fits. Hot entries survive memory pressure; the first-come set
-//!   no longer squats the budget.
 //!
-//! Lock striping: keys are spread over 16 shards by hash, so parallel
-//! branches rarely contend on the same mutex.
+//! The concurrency machinery — resolved keys, commutative-hash
+//! borrowed-key probes, 16-shard lock striping, owned-key-on-insert,
+//! under-lock dedup — is the shared [`decomp::striped`] core; this module
+//! instantiates it with the engine's value type (a `Verdict`) and the
+//! byte-budgeted second-chance retention policy
+//! ([`ClockEviction`]): instead of freezing
+//! inserts at the budget, each shard runs a CLOCK sweep when an insert
+//! would overflow — entries touched since the last sweep get a second
+//! chance, cold entries are evicted until the new entry fits.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasher, RandomState};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use decomp::{specials_multiset_match, Fragment, PortableFragment};
+use decomp::{ClockEviction, Fragment, InsertOutcome, PortableFragment, StripedTable};
 use hypergraph::{EdgeSet, SpecialArena, Subproblem, VertexSet};
-
-const SHARDS: usize = 16;
-
-/// Canonical identity of a `Decomp(H', Conn, A)` call, stored per entry.
-#[derive(Debug)]
-struct SubKey {
-    edges: EdgeSet,
-    /// Special edges resolved to vertex sets, sorted canonically.
-    specials: Vec<VertexSet>,
-    conn: VertexSet,
-    /// Shared with the engine's recursion: storing a key is a refcount
-    /// bump, not a set clone.
-    allowed: Arc<EdgeSet>,
-}
-
-impl SubKey {
-    fn build(
-        arena: &SpecialArena,
-        sub: &Subproblem,
-        conn: &VertexSet,
-        allowed: &Arc<EdgeSet>,
-    ) -> Self {
-        let mut specials: Vec<VertexSet> =
-            sub.specials.iter().map(|&s| arena.get(s).clone()).collect();
-        specials.sort_unstable();
-        SubKey {
-            edges: sub.edges.clone(),
-            specials,
-            conn: conn.clone(),
-            allowed: Arc::clone(allowed),
-        }
-    }
-
-    /// Estimated heap footprint in bytes (for the byte budget). The
-    /// `allowed` set is physically shared via `Arc` but counted in full —
-    /// a conservative over-estimate that can only make eviction earlier,
-    /// never let the cache overrun its budget.
-    fn approx_bytes(&self) -> usize {
-        let set_bytes = |s: &EdgeSet| s.capacity().div_ceil(64) * 8 + 32;
-        let vset_bytes = |s: &VertexSet| s.capacity().div_ceil(64) * 8 + 32;
-        set_bytes(&self.edges)
-            + set_bytes(&self.allowed)
-            + vset_bytes(&self.conn)
-            + self.specials.iter().map(vset_bytes).sum::<usize>()
-            + 48 // slot + Vec header overhead
-    }
-
-    /// Whether this stored key describes the borrowed subproblem.
-    fn matches(
-        &self,
-        arena: &SpecialArena,
-        sub: &Subproblem,
-        conn: &VertexSet,
-        allowed: &Arc<EdgeSet>,
-    ) -> bool {
-        self.edges == sub.edges
-            && self.conn == *conn
-            && (Arc::ptr_eq(&self.allowed, allowed) || *self.allowed == **allowed)
-            && specials_multiset_match(&self.specials, arena, &sub.specials)
-    }
-}
 
 /// A memoised verdict: refuted, or solved with a shareable witness.
 #[derive(Debug)]
@@ -126,83 +50,14 @@ enum Verdict {
     Positive(Arc<PortableFragment>),
 }
 
-struct Entry {
-    hash: u64,
-    key: SubKey,
-    verdict: Verdict,
-    /// Byte cost charged against the budget when this entry was stored.
-    cost: usize,
-    /// CLOCK reference bit: set on every hit, cleared (second chance) by
-    /// the eviction sweep.
-    referenced: bool,
-}
-
-/// One lock-striped shard: a slab of entries plus a hash → slot index.
-/// The slab gives the CLOCK hand a stable circular order, which a plain
-/// `HashMap` iteration cannot.
-#[derive(Default)]
-struct Shard {
-    slots: Vec<Option<Entry>>,
-    free: Vec<u32>,
-    index: HashMap<u64, Vec<u32>>,
-    hand: usize,
-}
-
-impl Shard {
-    fn find(
-        &self,
-        hash: u64,
-        arena: &SpecialArena,
-        sub: &Subproblem,
-        conn: &VertexSet,
-        allowed: &Arc<EdgeSet>,
-    ) -> Option<u32> {
-        let ids = self.index.get(&hash)?;
-        ids.iter().copied().find(|&id| {
-            let entry = self.slots[id as usize]
-                .as_ref()
-                .expect("indexed slots are occupied");
-            entry.hash == hash && entry.key.matches(arena, sub, conn, allowed)
-        })
-    }
-
-    fn remove_slot(&mut self, id: u32) -> Entry {
-        let entry = self.slots[id as usize].take().expect("slot occupied");
-        if let Some(ids) = self.index.get_mut(&entry.hash) {
-            ids.retain(|&i| i != id);
-            if ids.is_empty() {
-                self.index.remove(&entry.hash);
-            }
-        }
-        self.free.push(id);
-        entry
-    }
-
-    fn place(&mut self, entry: Entry) {
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.slots[id as usize] = Some(entry);
-                id
-            }
-            None => {
-                let id = self.slots.len() as u32;
-                self.slots.push(Some(entry));
-                id
-            }
-        };
-        let hash = self.slots[id as usize].as_ref().expect("just placed").hash;
-        self.index.entry(hash).or_default().push(id);
-    }
-}
-
-/// Monotone counters, shared across rayon branches.
+/// Monotone counters, shared across rayon branches. (Evictions live in
+/// the shared table's policy totals.)
 #[derive(Debug, Default)]
 struct Counters {
     pos_hits: AtomicU64,
     neg_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
-    evictions: AtomicU64,
     rejected: AtomicU64,
     id_rewrites: AtomicU64,
 }
@@ -252,12 +107,10 @@ pub enum Probe {
     Miss(u64),
 }
 
-/// The sharded subproblem cache (both verdicts, byte-budgeted, evicting).
+/// The sharded subproblem cache (both verdicts, byte-budgeted, evicting):
+/// the engine's instantiation of the shared striped-table core.
 pub struct SubproblemCache {
-    shards: Vec<Mutex<Shard>>,
-    hasher: RandomState,
-    bytes: AtomicUsize,
-    byte_budget: usize,
+    table: StripedTable<Verdict, ClockEviction>,
     counters: Counters,
 }
 
@@ -266,10 +119,7 @@ impl SubproblemCache {
     /// (every lookup misses, every insert is dropped).
     pub fn new(byte_budget: usize) -> Self {
         SubproblemCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            hasher: RandomState::new(),
-            bytes: AtomicUsize::new(0),
-            byte_budget,
+            table: StripedTable::new(ClockEviction::new(byte_budget)),
             counters: Counters::default(),
         }
     }
@@ -277,32 +127,7 @@ impl SubproblemCache {
     /// Whether lookups can ever hit.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.byte_budget > 0
-    }
-
-    /// Hashes the borrowed key parts. Specials are combined with a
-    /// commutative `wrapping_add` of per-set hashes, so the canonical
-    /// (sorted) stored key and the unsorted branch-local view hash
-    /// identically without materialising a sorted buffer.
-    fn key_hash(
-        &self,
-        arena: &SpecialArena,
-        sub: &Subproblem,
-        conn: &VertexSet,
-        allowed: &EdgeSet,
-    ) -> u64 {
-        let mut h = self.hasher.hash_one(&sub.edges);
-        h = h.rotate_left(17) ^ self.hasher.hash_one(conn);
-        h = h.rotate_left(17) ^ self.hasher.hash_one(allowed);
-        let mut sp = 0u64;
-        for &s in &sub.specials {
-            sp = sp.wrapping_add(self.hasher.hash_one(arena.get(s)));
-        }
-        h ^ sp
-    }
-
-    fn shard(&self, hash: u64) -> &Mutex<Shard> {
-        &self.shards[(hash as usize) % SHARDS]
+        self.table.policy().byte_budget() > 0
     }
 
     /// Looks up the subproblem without building an owned key. On a
@@ -315,23 +140,17 @@ impl SubproblemCache {
         conn: &VertexSet,
         allowed: &Arc<EdgeSet>,
     ) -> Probe {
-        let hash = self.key_hash(arena, sub, conn, allowed);
         if !self.enabled() {
-            return Probe::Miss(hash);
+            return Probe::Miss(self.table.hash_key(arena, sub, conn, Some(allowed)));
         }
         // Under the lock: find, mark referenced, and (for positives)
         // clone an `Arc` handle. The fragment re-interning runs unlocked.
-        let hit: Option<Option<Arc<PortableFragment>>> = {
-            let mut shard = self.shard(hash).lock().unwrap_or_else(|e| e.into_inner());
-            shard.find(hash, arena, sub, conn, allowed).map(|id| {
-                let entry = shard.slots[id as usize].as_mut().expect("found slot");
-                entry.referenced = true;
-                match &entry.verdict {
-                    Verdict::Negative => None,
-                    Verdict::Positive(pf) => Some(Arc::clone(pf)),
-                }
-            })
-        };
+        let (hash, hit) = self
+            .table
+            .probe_with(arena, sub, conn, Some(allowed), |verdict| match verdict {
+                Verdict::Negative => None,
+                Verdict::Positive(pf) => Some(Arc::clone(pf)),
+            });
         match hit {
             Some(None) => {
                 self.counters.neg_hits.fetch_add(1, Ordering::Relaxed);
@@ -367,8 +186,15 @@ impl SubproblemCache {
         if !self.enabled() {
             return;
         }
-        let key = SubKey::build(arena, sub, conn, allowed);
-        self.insert_entry(hash, key, Verdict::Negative, arena, sub, conn, allowed);
+        self.finish_insert(self.table.insert(
+            hash,
+            arena,
+            sub,
+            conn,
+            Some(allowed),
+            Verdict::Negative,
+            0,
+        ));
     }
 
     /// Records a found fragment for the subproblem, resolved to
@@ -391,104 +217,39 @@ impl SubproblemCache {
             sub.specials.len(),
             "a fragment covers each special of its subproblem by one leaf"
         );
-        let key = SubKey::build(arena, sub, conn, allowed);
-        self.insert_entry(
+        let cost = portable.approx_bytes();
+        self.finish_insert(self.table.insert(
             hash,
-            key,
-            Verdict::Positive(Arc::new(portable)),
             arena,
             sub,
             conn,
-            allowed,
-        );
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn insert_entry(
-        &self,
-        hash: u64,
-        key: SubKey,
-        verdict: Verdict,
-        arena: &SpecialArena,
-        sub: &Subproblem,
-        conn: &VertexSet,
-        allowed: &Arc<EdgeSet>,
-    ) {
-        let cost = key.approx_bytes()
-            + match &verdict {
-                Verdict::Negative => 0,
-                Verdict::Positive(pf) => pf.approx_bytes(),
-            };
-        let mut shard = self.shard(hash).lock().unwrap_or_else(|e| e.into_inner());
-        // Duplicate key (another branch beat us): keep the incumbent.
-        if shard.find(hash, arena, sub, conn, allowed).is_some() {
-            return;
-        }
-        // Reserve-then-sweep keeps the cap exact under concurrent inserts;
-        // the CLOCK sweep frees cold entries of this shard until the new
-        // entry fits (hash striping is uniform, so per-shard pressure
-        // tracks global pressure).
-        let prev = self.bytes.fetch_add(cost, Ordering::Relaxed);
-        if prev + cost > self.byte_budget {
-            self.sweep(&mut shard);
-            if self.bytes.load(Ordering::Relaxed) > self.byte_budget {
-                self.bytes.fetch_sub(cost, Ordering::Relaxed);
-                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-        shard.place(Entry {
-            hash,
-            key,
-            verdict,
+            Some(allowed),
+            Verdict::Positive(Arc::new(portable)),
             cost,
-            referenced: false,
-        });
-        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        ));
     }
 
-    /// Second-chance (CLOCK) sweep over one shard: referenced entries are
-    /// spared once (bit cleared), unreferenced entries are evicted, until
-    /// the global footprint fits the budget or two full revolutions have
-    /// given every entry its chance.
-    fn sweep(&self, shard: &mut Shard) {
-        let n = shard.slots.len();
-        let mut steps = 0usize;
-        while steps < 2 * n && self.bytes.load(Ordering::Relaxed) > self.byte_budget {
-            let i = shard.hand % n;
-            shard.hand = (shard.hand + 1) % n.max(1);
-            steps += 1;
-            let Some(entry) = shard.slots[i].as_mut() else {
-                continue;
-            };
-            if entry.referenced {
-                entry.referenced = false;
-                continue;
+    fn finish_insert(&self, outcome: InsertOutcome) {
+        match outcome {
+            InsertOutcome::Inserted => {
+                self.counters.inserts.fetch_add(1, Ordering::Relaxed);
             }
-            let evicted = shard.remove_slot(i as u32);
-            self.bytes.fetch_sub(evicted.cost, Ordering::Relaxed);
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            InsertOutcome::Rejected => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            // Duplicate key (another branch beat us): keep the incumbent.
+            InsertOutcome::Duplicate => {}
         }
     }
 
     /// Entries currently stored.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .slots
-                    .iter()
-                    .flatten()
-                    .count()
-            })
-            .sum()
+        self.table.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.table.is_empty()
     }
 
     /// Point-in-time snapshot of counters and footprint.
@@ -498,12 +259,12 @@ impl SubproblemCache {
             neg_hits: self.counters.neg_hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
             inserts: self.counters.inserts.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            evictions: self.table.totals().evictions(),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             id_rewrites: self.counters.id_rewrites.load(Ordering::Relaxed),
-            entries: self.len(),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            byte_budget: self.byte_budget,
+            entries: self.table.len(),
+            bytes: self.table.totals().bytes(),
+            byte_budget: self.table.policy().byte_budget(),
         }
     }
 }
@@ -511,7 +272,7 @@ impl SubproblemCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use decomp::Fragment;
+    use decomp::{striped::SHARDS, Fragment, StripedKey};
     use hypergraph::{Edge, Hypergraph, Vertex};
 
     fn hg4() -> Hypergraph {
@@ -524,6 +285,15 @@ mod tests {
             sub.edges.insert(Edge(e));
         }
         sub
+    }
+
+    fn key_cost(
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+    ) -> usize {
+        StripedKey::build(arena, sub, conn, Some(allowed)).approx_bytes()
     }
 
     fn probe_hash(
@@ -624,7 +394,7 @@ mod tests {
             }
         }
         // All candidate keys have identical capacity-derived cost.
-        let one_cost = SubKey::build(&arena, &candidates[0], &conn, &allowed).approx_bytes();
+        let one_cost = key_cost(&arena, &candidates[0], &conn, &allowed);
         let cache = SubproblemCache::new(2 * one_cost + one_cost / 2);
         let mut by_shard: Vec<Vec<(Subproblem, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
         for sub in candidates {
@@ -675,7 +445,7 @@ mod tests {
         let conn = hg.vertex_set();
         let allowed = Arc::new(hg.all_edges());
         let sub = sub_of(&hg, &[0]);
-        let cost = SubKey::build(&arena, &sub, &conn, &allowed).approx_bytes();
+        let cost = key_cost(&arena, &sub, &conn, &allowed);
         let cache = SubproblemCache::new(cost / 2); // nothing ever fits
         let h = probe_hash(&cache, &arena, &sub, &conn, &allowed);
         cache.insert_negative(h, &arena, &sub, &conn, &allowed);

@@ -53,10 +53,13 @@ use std::sync::Arc;
 
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use detk::{DetKDecomp, DetkScratch, MemoSnapshot, SharedMemo};
-use hypergraph::subsets::{for_each_subset_in, for_each_subset_with_lead_in, subset_space_size};
+use hypergraph::subsets::{
+    for_each_subset_driven_in, for_each_subset_in, for_each_subset_with_lead_in, subset_space_size,
+    SubsetStep,
+};
 use hypergraph::{
-    separate_into, Component, Edge, EdgeSet, Hypergraph, Scratch, Separation, SpecialArena,
-    Subproblem, VertexSet,
+    separate_into, Component, Edge, EdgeSet, Hypergraph, LevelStack, Scratch, Separation,
+    SpecialArena, Subproblem, VertexSet,
 };
 
 use crate::cache::{CacheSnapshot, Probe, SubproblemCache};
@@ -192,10 +195,24 @@ pub struct EngineConfig {
     /// (Appendix D.2); was previously hard-coded inside `detk`.
     pub detk_cache_cap: usize,
     /// Ablation: reject λp candidates with cheap coverage-bitmask tests
-    /// before running the BFS separation (see [`PreFilter`]). On by
+    /// before running the BFS separation (see `PreFilter` in the module
+    /// source). On by
     /// default; turning it off only adds `separate_into` calls — the
     /// differential suite pins that verdicts are identical either way.
     pub lambda_p_prefilter: bool,
+    /// Maintain the pre-filter's `edges_touching` spill masks
+    /// *incrementally* across the λp subset walk (per-candidate masks
+    /// precomputed once per λc, prefix union/touch stacks extended by one
+    /// word-parallel union per push) instead of re-walking the spill
+    /// vertices for every (λc, λp) pair. Identical rejections either way
+    /// (differential-tested); this knob trades per-pair sparse walks for
+    /// per-push full-width mask copies. Measured on the micro corpus
+    /// (`micro/lp_prune` `grid4x4_k3_inc`, BENCHMARKS.md): the sparse
+    /// walk wins on word-sized instances — small `bad` sets make the
+    /// per-pair walk nearly free while the stack copies are pure
+    /// overhead — so the default stays per-pair; the incremental walk is
+    /// the candidate for wide-bitset instances with large spills.
+    pub lambda_p_incremental: bool,
     /// Largest fragment (node count) stored by a positive cache insert;
     /// `usize::MAX` stores every found fragment, `0` disables positive
     /// inserts. See [`DEFAULT_POS_CACHE_MAX_FRAG`].
@@ -219,6 +236,7 @@ impl EngineConfig {
             cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             lambda_p_prefilter: true,
+            lambda_p_incremental: false,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
         }
@@ -520,6 +538,21 @@ struct LevelScratch {
     bad_tmp: VertexSet,
     /// Members touching `bad ∪ X` (per λp).
     touch_bad: EdgeSet,
+    /// Edges touching the uncovered connector part (per λp): the only
+    /// coverage walk left on the incremental pre-filter path.
+    touch_uncov: EdgeSet,
+    /// Per-candidate coverage masks for the incremental λp walk:
+    /// `spill_touch[i]` holds the edges touching `(cands_p[i] \ ⋃λc) ∩
+    /// V(H')`, computed once per λc instead of re-walking the spill
+    /// vertices for every (λc, λp) pair.
+    spill_touch: Vec<EdgeSet>,
+    /// Depth-indexed stack of `⋃` of the current λp prefix, maintained
+    /// across the subset walk (one union per push, not `|λp|` per
+    /// candidate).
+    lp_union_stack: Vec<VertexSet>,
+    /// Depth-indexed stack of the prefix's spill-touch mask
+    /// (`⋃ spill_touch[i]` over the prefix members).
+    lp_touch_stack: Vec<EdgeSet>,
     /// Node-local λp split memo: `⋃λp → comp_down` (`None` = no
     /// oversized component). The `[⋃λp]`-separation depends only on the
     /// subproblem and the separator vertex set — not on λc — and the
@@ -529,37 +562,18 @@ struct LevelScratch {
     lp_memo: HashMap<VertexSet, Option<Component>>,
 }
 
-/// Stack of per-level scratch bundles, indexed by recursion depth. Levels
-/// are created lazily (base-case calls never allocate one) and taken out
-/// while a level is active, so recursion borrows the stack freely.
-#[derive(Default)]
-struct ScratchStack {
-    levels: Vec<Option<LevelScratch>>,
-}
+/// Stack of per-level scratch bundles, indexed by recursion depth — the
+/// engine's instantiation of the generic [`LevelStack`] take/put
+/// discipline. Levels are created lazily (base-case calls never allocate
+/// one) and taken out while a level is active, so recursion borrows the
+/// stack freely.
+type ScratchStack = LevelStack<LevelScratch>;
 
-impl ScratchStack {
-    fn new() -> Self {
-        Self::default()
-    }
-
-    fn take(&mut self, depth: usize) -> Option<LevelScratch> {
-        if self.levels.len() <= depth {
-            self.levels.resize_with(depth + 1, || None);
-        }
-        self.levels[depth].take()
-    }
-
-    fn put(&mut self, depth: usize, lvl: LevelScratch) {
-        self.levels[depth] = Some(lvl);
-    }
-
-    /// Meter totals (growth + rejections) across the stack's levels.
-    fn totals(&self) -> MeterTotals {
-        self.levels
-            .iter()
-            .flatten()
-            .fold(MeterTotals::default(), |t, l| t + l.totals())
-    }
+/// Meter totals (growth + rejections) across a stack's parked levels.
+fn stack_totals(stack: &ScratchStack) -> MeterTotals {
+    stack
+        .warm()
+        .fold(MeterTotals::default(), |t, l| t + l.totals())
 }
 
 impl LevelScratch {
@@ -603,7 +617,7 @@ struct BranchScratch {
 
 impl BranchScratch {
     fn totals(&self) -> MeterTotals {
-        self.lvl.totals() + self.stack.totals()
+        self.lvl.totals() + stack_totals(&self.stack)
     }
 }
 
@@ -622,6 +636,9 @@ struct ChildCtx<'a> {
     x_conn: &'a mut VertexSet,
     conn_uc: &'a mut VertexSet,
     touch_x: &'a mut EdgeSet,
+    spill_touch: &'a mut Vec<EdgeSet>,
+    lp_union_stack: &'a mut Vec<VertexSet>,
+    lp_touch_stack: &'a mut Vec<EdgeSet>,
     pair: PairCtx<'a>,
 }
 
@@ -633,6 +650,7 @@ struct PairCtx<'a> {
     bad: &'a mut VertexSet,
     bad_tmp: &'a mut VertexSet,
     touch_bad: &'a mut EdgeSet,
+    touch_uncov: &'a mut EdgeSet,
     lp_memo: &'a mut HashMap<VertexSet, Option<Component>>,
     down: DownCtx<'a>,
 }
@@ -658,6 +676,49 @@ struct PreFilter<'a> {
     conn_uc: &'a VertexSet,
     /// Members of the subproblem touching `x_conn`.
     touch_x: &'a EdgeSet,
+}
+
+/// Per-λp view of the incremental pre-filter walk handed to
+/// `LogKEngine::try_parent`: the λc-level [`PreFilter`] sets plus the
+/// subset walk's depth-indexed stack tops for the current λp prefix.
+/// `union_p` equals `⋃λp` and `touch_spill` equals the edges touching
+/// `(⋃λp \ ⋃λc) ∩ V(H')` — both maintained across the walk (one
+/// word-parallel union per prefix push) instead of recomputed per
+/// candidate pair.
+struct LpIncremental<'a> {
+    pf: &'a PreFilter<'a>,
+    /// `⋃λp` of the visited candidate (stack top).
+    union_p: &'a VertexSet,
+    /// Edges touching the candidate's spill `(⋃λp \ ⋃λc) ∩ V(H')`
+    /// (stack top).
+    touch_spill: &'a EdgeSet,
+}
+
+/// Pre-filter mode of one `ParentLoop` iteration. Both filtering modes
+/// reject exactly the same candidates (the differential suite pins it);
+/// they differ in how the spill's coverage-touch mask is obtained — a
+/// sparse per-pair vertex walk, or the incremental stacks of the driven
+/// subset walk (see [`EngineConfig::lambda_p_incremental`] for the
+/// measured trade-off).
+enum LpFilter<'a> {
+    /// Pre-filter disabled (`lambda_p_prefilter: false`).
+    Off,
+    /// Recompute `edges_touching(bad)` per candidate pair — the
+    /// output-sensitive walk over `bad`'s set bits.
+    PerPair(&'a PreFilter<'a>),
+    /// Read the masks off the walk's depth-indexed stacks.
+    Incremental(LpIncremental<'a>),
+}
+
+impl<'a> LpFilter<'a> {
+    /// The λc-level pre-filter sets, when filtering is on.
+    fn prefilter(&self) -> Option<&'a PreFilter<'a>> {
+        match self {
+            LpFilter::Off => None,
+            LpFilter::PerPair(pf) => Some(pf),
+            LpFilter::Incremental(i) => Some(i.pf),
+        }
+    }
 }
 
 /// Buffers that survive into the child recursions (`try_as_root`,
@@ -707,6 +768,10 @@ impl LevelScratch {
             bad,
             bad_tmp,
             touch_bad,
+            touch_uncov,
+            spill_touch,
+            lp_union_stack,
+            lp_touch_stack,
             lp_memo,
         } = self;
         let meters = &*meters;
@@ -722,6 +787,9 @@ impl LevelScratch {
                 x_conn,
                 conn_uc,
                 touch_x,
+                spill_touch,
+                lp_union_stack,
+                lp_touch_stack,
                 pair: PairCtx {
                     seps_p,
                     union_p,
@@ -729,6 +797,7 @@ impl LevelScratch {
                     bad,
                     bad_tmp,
                     touch_bad,
+                    touch_uncov,
                     lp_memo,
                     down: DownCtx {
                         meters,
@@ -874,7 +943,7 @@ impl<'h> LogKEngine<'h> {
         let conn = self.hg.vertex_set();
         let allowed = Arc::new(self.hg.all_edges());
         let result = self.decomp(&mut arena, &sub, &conn, &allowed, 0, None, &mut stack);
-        self.fold_meters(stack.totals());
+        self.fold_meters(stack_totals(&stack));
         match result {
             Ok(Some(frag)) => Ok(Some(
                 frag.into_decomposition()
@@ -1300,6 +1369,9 @@ impl<'h> LogKEngine<'h> {
             x_conn,
             conn_uc,
             touch_x,
+            spill_touch,
+            lp_union_stack,
+            lp_touch_stack,
             pair,
         } = ctx;
         // λc must contain a "new" edge (progress, Def. 3.5(2)).
@@ -1402,22 +1474,87 @@ impl<'h> LogKEngine<'h> {
             None
         };
         let lam_p_cap = lam_buf_p.capacity();
-        let found = for_each_subset_in(cands_p, self.cfg.k, lam_buf_p, |lam_p| {
-            self.try_parent(
-                arena,
-                sub,
-                conn,
-                allowed,
-                depth,
-                prune,
-                vsub,
-                lam_c,
-                union_c,
-                lam_p,
-                prefilter.as_ref(),
-                pair,
-            )
-        });
+        let found = if let (Some(pf), true) = (prefilter.as_ref(), self.cfg.lambda_p_incremental) {
+            // Incremental pre-filter walk: the coverage-touch mask of the
+            // λp spill — a vertex walk over `(⋃λp \ ⋃λc) ∩ V(H')`
+            // recomputed for every (λc, λp) pair in the default mode — is
+            // maintained across the subset walk instead. Per λc, one mask
+            // per *candidate edge* is precomputed; per *push* of the walk
+            // the prefix's union and touch mask extend by one
+            // word-parallel union; per visited λp the filter reads the
+            // stack tops. Depth-indexed stacks make pops free (the next
+            // push at a depth overwrites it).
+            let k = self.cfg.k;
+            if spill_touch.len() < cands_p.len() {
+                let cap = spill_touch.capacity();
+                spill_touch.resize_with(cands_p.len(), EdgeSet::default);
+                meters.bump_grow(spill_touch.capacity() > cap);
+            }
+            for (i, &e) in cands_p.iter().enumerate() {
+                // spill_e = (V(e) \ ⋃λc) ∩ V(H'), assembled in `bad`
+                // (free at this point: the walk below owns it per λp).
+                meters.bump_grow(pair.bad.copy_from(self.hg.edge(e)));
+                pair.bad.difference_with(union_c);
+                pair.bad.intersect_with(vsub);
+                meters.bump_grow(self.hg.edges_touching_into(pair.bad, &mut spill_touch[i]));
+            }
+            if lp_union_stack.len() < k {
+                lp_union_stack.resize_with(k, VertexSet::default);
+                lp_touch_stack.resize_with(k, EdgeSet::default);
+            }
+            for_each_subset_driven_in(cands_p, k, lam_buf_p, |step| match step {
+                SubsetStep::Push {
+                    edge,
+                    index,
+                    depth: d,
+                } => {
+                    if d == 0 {
+                        meters.bump_grow(lp_union_stack[0].copy_from(self.hg.edge(edge)));
+                        meters.bump_grow(lp_touch_stack[0].copy_from(&spill_touch[index]));
+                    } else {
+                        let (head, tail) = lp_union_stack.split_at_mut(d);
+                        meters.bump_grow(tail[0].copy_from(&head[d - 1]));
+                        tail[0].union_with(self.hg.edge(edge));
+                        let (head, tail) = lp_touch_stack.split_at_mut(d);
+                        meters.bump_grow(tail[0].copy_from(&head[d - 1]));
+                        tail[0].union_with(&spill_touch[index]);
+                    }
+                    ControlFlow::Continue(())
+                }
+                SubsetStep::Pop { .. } => ControlFlow::Continue(()),
+                SubsetStep::Visit { subset: lam_p } => {
+                    let top = lam_p.len() - 1;
+                    self.try_parent(
+                        arena,
+                        sub,
+                        conn,
+                        allowed,
+                        depth,
+                        prune,
+                        vsub,
+                        lam_c,
+                        union_c,
+                        lam_p,
+                        LpFilter::Incremental(LpIncremental {
+                            pf,
+                            union_p: &lp_union_stack[top],
+                            touch_spill: &lp_touch_stack[top],
+                        }),
+                        pair,
+                    )
+                }
+            })
+        } else {
+            for_each_subset_in(cands_p, self.cfg.k, lam_buf_p, |lam_p| {
+                let lp = match prefilter.as_ref() {
+                    Some(pf) => LpFilter::PerPair(pf),
+                    None => LpFilter::Off,
+                };
+                self.try_parent(
+                    arena, sub, conn, allowed, depth, prune, vsub, lam_c, union_c, lam_p, lp, pair,
+                )
+            })
+        };
         meters.bump_grow(lam_buf_p.capacity() > lam_p_cap);
         match found {
             Some(r) => ControlFlow::Break(r),
@@ -1489,7 +1626,7 @@ impl<'h> LogKEngine<'h> {
         lam_c: &[Edge],
         union_c: &VertexSet,
         lam_p: &[Edge],
-        pf: Option<&PreFilter<'_>>,
+        lp: LpFilter<'_>,
         pair: &mut PairCtx<'_>,
     ) -> Found {
         if let Err(e) = poll(self.ctrl, prune) {
@@ -1497,11 +1634,12 @@ impl<'h> LogKEngine<'h> {
         }
         let PairCtx {
             seps_p,
-            union_p,
+            union_p: union_p_buf,
             chi_pair,
             bad,
             bad_tmp,
             touch_bad,
+            touch_uncov,
             lp_memo,
             down,
         } = pair;
@@ -1511,16 +1649,29 @@ impl<'h> LogKEngine<'h> {
             meters.reject_p();
             return ControlFlow::Continue(());
         }
-        meters.bump_grow(self.hg.union_of_slice_into(lam_p, union_p));
+        // ⋃λp: maintained by the incremental walk, else computed into the
+        // level buffer.
+        let union_p: &VertexSet = match &lp {
+            LpFilter::Incremental(i) => i.union_p,
+            _ => {
+                meters.bump_grow(self.hg.union_of_slice_into(lam_p, union_p_buf));
+                union_p_buf
+            }
+        };
         // Admissibility pre-filter (see [`PreFilter`]): members touching
         // `bad = ((⋃λp \ ⋃λc) ∪ (Conn \ (⋃λc ∩ ⋃λp))) ∩ V(H')` are
         // provably outside any admissible `comp_down`; if at most half the
         // members remain, the checks of lines 24–32 cannot all pass and
-        // the BFS separation is skipped.
-        if let Some(pf) = pf {
+        // the BFS separation is skipped. The two filtering modes assemble
+        // `touch_bad` differently — per-pair walks `bad`'s set bits, the
+        // incremental mode reads the walk's stack and only walks the
+        // (small) uncovered-connector part — but reject identically.
+        if let Some(pf) = lp.prefilter() {
+            // spill = (⋃λp \ ⋃λc) ∩ V(H')
             meters.bump_grow(bad.copy_from(union_p));
             bad.difference_with(union_c);
             bad.intersect_with(vsub);
+            // uncov = Conn ∩ ⋃λc ∩ V(H') \ ⋃λp
             meters.bump_grow(bad_tmp.copy_from(pf.conn_uc));
             bad_tmp.difference_with(union_p);
             bad.union_with(bad_tmp);
@@ -1528,7 +1679,19 @@ impl<'h> LogKEngine<'h> {
             // the half-size test in `try_child`, so rejection is
             // impossible — go straight to the separation.
             if !bad.is_empty() {
-                meters.bump_grow(self.hg.edges_touching_into(bad, touch_bad));
+                match &lp {
+                    LpFilter::Off => unreachable!("prefilter() returned Some"),
+                    LpFilter::PerPair(_) => {
+                        meters.bump_grow(self.hg.edges_touching_into(bad, touch_bad));
+                    }
+                    LpFilter::Incremental(i) => {
+                        meters.bump_grow(touch_bad.copy_from(i.touch_spill));
+                        if !bad_tmp.is_empty() {
+                            meters.bump_grow(self.hg.edges_touching_into(bad_tmp, touch_uncov));
+                            touch_bad.union_with(touch_uncov);
+                        }
+                    }
+                }
                 touch_bad.intersect_with(&sub.edges);
                 touch_bad.union_with(pf.touch_x);
                 let excluded = touch_bad.len()
@@ -1553,7 +1716,7 @@ impl<'h> LogKEngine<'h> {
         // `comp_down` is stored: lines 28–43 never look at the small
         // components of the λp split.
         if self.cfg.lambda_p_prefilter {
-            if let Some(cached) = lp_memo.get(&**union_p) {
+            if let Some(cached) = lp_memo.get(union_p) {
                 let Some(comp_down) = cached else {
                     meters.reject_p();
                     return ControlFlow::Continue(());
@@ -1569,10 +1732,7 @@ impl<'h> LogKEngine<'h> {
         // Lines 24–27: the oversized component becomes comp_down.
         let over = seps_p.oversized_component(sub.size());
         if self.cfg.lambda_p_prefilter && lp_memo.len() < self.lp_memo_cap {
-            lp_memo.insert(
-                (**union_p).clone(),
-                over.map(|i| seps_p.components[i].clone()),
-            );
+            lp_memo.insert(union_p.clone(), over.map(|i| seps_p.components[i].clone()));
         }
         let Some(i) = over else {
             meters.reject_p();

@@ -26,4 +26,4 @@ pub use engine::{
     CandidateOrder, EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine,
     DEFAULT_CACHE_BYTES, DEFAULT_DETK_CACHE_CAP,
 };
-pub use solver::{LogK, SolveStats, Variant};
+pub use solver::{shared_pool, LogK, SolveStats, Variant};

@@ -5,8 +5,12 @@
 //! `k` is a per-call argument, matching the paper's usage where one
 //! instance is solved for `k = 1, 2, …` until the optimum is certified.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use decomp::{Control, Decomposition, Interrupted};
 use hypergraph::Hypergraph;
+use rayon::ThreadPool;
 
 use crate::cache::CacheSnapshot;
 use crate::engine::{
@@ -14,6 +18,35 @@ use crate::engine::{
     DEFAULT_DETK_CACHE_CAP, DEFAULT_POS_CACHE_MAX_FRAG,
 };
 use detk::MemoSnapshot;
+
+/// Process-wide cache of work-stealing pools, keyed by worker count.
+///
+/// Building a pool spawns (and joining it reaps) OS threads — ~0.1 ms on
+/// a bench box, which dominates sub-millisecond solves
+/// (`micro/par_scaling` t1 measured the tax). Solvers therefore share one
+/// long-lived pool per thread count: harness sweeps, benches and repeated
+/// [`LogK::decompose`] calls at the same width all reuse the same warm
+/// workers. Pools live for the process and are never reaped; idle workers
+/// park on a condvar with a 100 ms timeout backstop, so each cached pool
+/// keeps a small (~10 wakeups/s per worker) but permanent background
+/// cost — negligible for the handful of distinct thread counts real
+/// callers use, and the trade the cache makes for spawn-free solves.
+static POOL_CACHE: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+
+/// Returns the process-wide work-stealing pool for `threads` workers,
+/// building (and caching) it on first use.
+pub fn shared_pool(threads: usize) -> Arc<ThreadPool> {
+    let cache = POOL_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("rayon pool construction cannot fail for sane sizes"),
+        )
+    }))
+}
 
 /// Search strategy selection.
 #[derive(Clone, Copy, Debug)]
@@ -27,13 +60,18 @@ pub enum Variant {
 }
 
 /// Configurable `log-k-decomp` solver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LogK {
     /// Which engine to run.
     pub variant: Variant,
     /// Worker threads for [`Variant::Parallel`]; `None` uses the ambient
-    /// rayon pool (all cores).
+    /// rayon pool (all cores). Resolved through the process-wide pool
+    /// cache (see [`shared_pool`]) unless an explicit pool was attached
+    /// with [`Self::with_pool`].
     pub threads: Option<usize>,
+    /// Explicit pool attached by [`Self::with_pool`]; takes precedence
+    /// over `threads` for [`Variant::Parallel`] solves.
+    pub pool: Option<Arc<ThreadPool>>,
     /// Recursion depths that race their separator search in parallel.
     pub parallel_depth: usize,
     /// Hybrid handoff to `det-k-decomp` (Appendix D.2), if any.
@@ -49,6 +87,10 @@ pub struct LogK {
     /// λp admissibility pre-filter (cheap bitset rejection before the BFS
     /// separation). See [`EngineConfig::lambda_p_prefilter`].
     pub lambda_p_prefilter: bool,
+    /// Incremental (walk-maintained) pre-filter touch masks instead of
+    /// per-pair recomputation. See
+    /// [`EngineConfig::lambda_p_incremental`] for the measured trade-off.
+    pub lambda_p_incremental: bool,
     /// Largest fragment (node count) stored by a positive cache insert.
     /// See [`EngineConfig::pos_cache_max_frag`].
     pub pos_cache_max_frag: usize,
@@ -63,12 +105,14 @@ impl LogK {
         LogK {
             variant: Variant::Optimized,
             threads: None,
+            pool: None,
             parallel_depth: 0,
             hybrid: None,
             root_fallthrough: false,
             cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             lambda_p_prefilter: true,
+            lambda_p_incremental: false,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
         }
@@ -111,6 +155,17 @@ impl LogK {
         self
     }
 
+    /// Attaches an explicit work-stealing pool: every
+    /// [`Variant::Parallel`] solve of this solver runs inside `pool`'s
+    /// scope instead of resolving one from the process-wide cache.
+    /// Callers that already own a pool (long-running services, tests
+    /// pinning worker counts) amortise construction this way; everyone
+    /// else gets the same effect automatically via [`shared_pool`].
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Replaces the subproblem-cache budget (`0` disables
     /// memoisation — the differential tests compare both modes).
     pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
@@ -128,6 +183,14 @@ impl LogK {
     /// differential tests compare both modes).
     pub fn with_lambda_p_prefilter(mut self, on: bool) -> Self {
         self.lambda_p_prefilter = on;
+        self
+    }
+
+    /// Switches the pre-filter's touch masks to incremental maintenance
+    /// across the λp subset walk (identical rejections, different
+    /// constant — measured in BENCHMARKS.md; per-pair stays the default).
+    pub fn with_lambda_p_incremental(mut self, on: bool) -> Self {
+        self.lambda_p_incremental = on;
         self
     }
 
@@ -158,9 +221,21 @@ impl LogK {
             cache_bytes: self.cache_bytes,
             detk_cache_cap: self.detk_cache_cap,
             lambda_p_prefilter: self.lambda_p_prefilter,
+            lambda_p_incremental: self.lambda_p_incremental,
             pos_cache_max_frag: self.pos_cache_max_frag,
             candidate_order: self.candidate_order,
             ..EngineConfig::sequential(k)
+        }
+    }
+
+    /// The pool a [`Variant::Parallel`] solve runs on: the explicitly
+    /// attached one, else the process-wide cached pool for the configured
+    /// thread count, else `None` (ambient pool).
+    fn solve_pool(&self) -> Option<Arc<ThreadPool>> {
+        match (&self.pool, self.threads) {
+            (Some(pool), _) => Some(Arc::clone(pool)),
+            (None, Some(n)) => Some(shared_pool(n)),
+            (None, None) => None,
         }
     }
 
@@ -176,18 +251,15 @@ impl LogK {
             Variant::Optimized => LogKEngine::new(hg, ctrl, self.engine_config(k)).decompose(),
             Variant::Parallel => {
                 let cfg = self.engine_config(k);
-                match self.threads {
+                match self.solve_pool() {
                     None => LogKEngine::new(hg, ctrl, cfg).decompose(),
-                    Some(n) => {
+                    Some(pool) => {
                         // The whole solve — λc join-races, hybrid det-k
                         // handoffs included — runs inside the pool's
                         // scope, i.e. on its worker threads: the bound is
                         // the worker count, exactly, however the search
-                        // nests.
-                        let pool = rayon::ThreadPoolBuilder::new()
-                            .num_threads(n)
-                            .build()
-                            .expect("rayon pool construction cannot fail for sane sizes");
+                        // nests. The pool itself is long-lived (cached or
+                        // caller-owned), so no per-solve spawn/join tax.
                         let engine = LogKEngine::new(hg, ctrl, cfg);
                         pool.scope(|_| engine.decompose())
                     }
@@ -244,26 +316,31 @@ impl LogK {
                     };
                     Ok((d, stats))
                 };
-                match self.threads {
-                    Some(n) if matches!(self.variant, Variant::Parallel) => {
-                        // Run inside the pool's scope (see `decompose`)
-                        // and report the pool's scheduler activity: a
-                        // per-solve pool starts with zeroed counters, so
-                        // the totals are this solve's steals and parks.
-                        let pool = rayon::ThreadPoolBuilder::new()
-                            .num_threads(n)
-                            .build()
-                            .expect("rayon pool construction cannot fail for sane sizes");
+                // Resolve a pool only for the parallel variant —
+                // `solve_pool` spawns (and caches) threads as a side
+                // effect, which a sequential solve must not trigger.
+                if !matches!(self.variant, Variant::Parallel) {
+                    return run(&LogKEngine::new(hg, ctrl, cfg));
+                }
+                match self.solve_pool() {
+                    Some(pool) => {
+                        // Run inside the pool's scope (see `decompose`).
+                        // Cached pools live across solves, so their
+                        // counters are cumulative: attribute the delta
+                        // around this solve (advisory — concurrent solves
+                        // sharing the pool blur into each other's deltas,
+                        // same as the ambient path below).
+                        let before = pool.scheduler_stats();
                         let engine = LogKEngine::new(hg, ctrl, cfg);
                         let out = pool.scope(|_| run(&engine));
-                        let sched = pool.scheduler_stats();
+                        let after = pool.scheduler_stats();
                         out.map(|(d, mut stats)| {
-                            stats.sched_steals = sched.steals;
-                            stats.sched_parks = sched.parks;
+                            stats.sched_steals = after.steals.saturating_sub(before.steals);
+                            stats.sched_parks = after.parks.saturating_sub(before.parks);
                             (d, stats)
                         })
                     }
-                    _ if matches!(self.variant, Variant::Parallel) => {
+                    None => {
                         // Ambient pool: counters are process-lifetime
                         // totals, so attribute the delta around the solve
                         // (advisory — concurrent solves on the same
@@ -277,7 +354,6 @@ impl LogK {
                             (d, stats)
                         })
                     }
-                    _ => run(&LogKEngine::new(hg, ctrl, cfg)),
                 }
             }
         }

@@ -5,6 +5,9 @@
 //!   stitching operations used by `log-k-decomp`'s soundness construction;
 //! * [`portable`] — arena-independent fragments (special leaves resolved
 //!   to vertex sets), the storable form shared by the memoisation caches;
+//! * [`striped`] — the lock-striped, borrowed-key table core both
+//!   memoisation caches (the engine's subproblem cache and det-k's
+//!   shared memo) instantiate, with pluggable retention policies;
 //! * [`validate`] — exact checkers for the GHD conditions, the HD special
 //!   condition, the six conditions of Definition 3.3 (HDs of extended
 //!   subhypergraphs), and the normal form of Definition 3.5.
@@ -16,6 +19,7 @@ pub mod control;
 pub mod export;
 pub mod fragment;
 pub mod portable;
+pub mod striped;
 pub mod tree;
 pub mod validate;
 
@@ -23,6 +27,7 @@ pub use control::{Control, Interrupted};
 pub use export::{to_dtd_text, to_gml};
 pub use fragment::{FragLabel, FragNode, Fragment};
 pub use portable::{specials_multiset_match, PortableFragment, PortableLabel, PortableNode};
+pub use striped::{ClockEviction, EntryCap, InsertOutcome, Retention, StripedKey, StripedTable};
 pub use tree::{Decomposition, Node, NodeId};
 pub use validate::{
     is_normal_form, validate_extended_hd, validate_ghd, validate_hd, validate_hd_width, Violation,

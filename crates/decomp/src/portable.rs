@@ -1,6 +1,6 @@
 //! Arena-independent HD-fragments, for cross-branch memoisation.
 //!
-//! A [`Fragment`](crate::Fragment) references its special-edge leaves by
+//! A [`Fragment`] references its special-edge leaves by
 //! [`SpecialId`] — an index into the *branch-local* [`SpecialArena`] of the
 //! search that produced it. That makes fragments unshareable across rayon
 //! branches or `det-k-decomp` handoffs: the same id means different vertex

@@ -1,0 +1,656 @@
+//! The shared lock-striped, borrowed-key table core behind both
+//! memoisation tables of the workspace — the engine's
+//! `SubproblemCache` (negative + positive `Decomp` verdicts, CLOCK
+//! eviction) and `det-k-decomp`'s `SharedMemo` (per-`(component,
+//! connector)` verdicts, entry cap). Both tables memoise the same kind of
+//! key — a resolved extended subproblem — with the same concurrency
+//! discipline; this module is that discipline, written once:
+//!
+//! * **Resolved keys.** Special edges are keyed by *vertex set*, not by
+//!   branch-local [`SpecialArena`] id: ids mean different sets in
+//!   different arenas, vertex sets are canonical. Stored keys keep their
+//!   specials sorted; probes match them as a multiset
+//!   ([`specials_multiset_match`]) without sorting. The optional
+//!   `allowed` edge alphabet participates in the key behind an [`Arc`]
+//!   shared with the prober's recursion, so storing a key bumps a
+//!   refcount instead of cloning the set.
+//! * **Borrowed-key probes.** A lookup never builds an owned key: it
+//!   hashes the borrowed `(edges, specials, conn[, allowed])` directly —
+//!   per-special hashes are combined *commutatively* (`wrapping_add`), so
+//!   the unsorted branch-local view and the sorted stored key hash
+//!   identically without a sort buffer — and walks the hash's bucket
+//!   comparing stored entries against the borrowed data. Hits and misses
+//!   allocate nothing.
+//! * **Owned-key-on-insert.** The owned [`StripedKey`] is built exactly
+//!   once, when a verdict is actually stored. The probe hands its hash
+//!   back on a miss so the follow-up insert does not recompute it.
+//! * **Lock striping.** Keys are spread over [`SHARDS`] mutex shards by
+//!   hash; parallel branches rarely contend on the same lock, and
+//!   poisoned locks are ignored (the tables hold no invariants across a
+//!   panicking insert).
+//! * **Under-lock dedup.** An insert whose key is already present (a
+//!   racing branch beat us) keeps the incumbent and reports
+//!   [`InsertOutcome::Duplicate`] — entry counts and byte budgets never
+//!   leak on the race.
+//!
+//! What stays *outside* the core is the [`Retention`] policy — the one
+//! place the two tables genuinely differ. The engine cache evicts under a
+//! byte budget with a per-shard second-chance (CLOCK) sweep
+//! ([`ClockEviction`]); the det-k memo freezes inserts past an entry cap
+//! ([`EntryCap`]). Policies run under the shard lock and account against
+//! the table-wide [`TableTotals`], so the cap/budget stays exact under
+//! concurrent inserts.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hypergraph::{EdgeSet, SpecialArena, Subproblem, VertexSet};
+
+use crate::portable::specials_multiset_match;
+
+/// Number of lock stripes. Keys spread uniformly by hash, so per-shard
+/// pressure tracks global pressure.
+pub const SHARDS: usize = 16;
+
+/// Canonical identity of a memoised subproblem: resolved edges, specials
+/// (sorted vertex sets), connector, and optionally the allowed λ alphabet
+/// (the engine cache keys on it; the det-k memo does not).
+#[derive(Debug)]
+pub struct StripedKey {
+    edges: EdgeSet,
+    /// Special edges resolved to vertex sets, sorted canonically.
+    specials: Vec<VertexSet>,
+    conn: VertexSet,
+    /// Shared with the prober's recursion: storing a key is a refcount
+    /// bump, not a set clone.
+    allowed: Option<Arc<EdgeSet>>,
+}
+
+impl StripedKey {
+    /// Builds the owned (canonical) key from the borrowed probe parts.
+    pub fn build(
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: Option<&Arc<EdgeSet>>,
+    ) -> Self {
+        let mut specials: Vec<VertexSet> =
+            sub.specials.iter().map(|&s| arena.get(s).clone()).collect();
+        specials.sort_unstable();
+        StripedKey {
+            edges: sub.edges.clone(),
+            specials,
+            conn: conn.clone(),
+            allowed: allowed.map(Arc::clone),
+        }
+    }
+
+    /// Estimated heap footprint in bytes (for byte-budget policies). The
+    /// `allowed` set is physically shared via `Arc` but counted in full —
+    /// a conservative over-estimate that can only make eviction earlier,
+    /// never let a cache overrun its budget.
+    pub fn approx_bytes(&self) -> usize {
+        let set_bytes = |s: &EdgeSet| s.capacity().div_ceil(64) * 8 + 32;
+        let vset_bytes = |s: &VertexSet| s.capacity().div_ceil(64) * 8 + 32;
+        set_bytes(&self.edges)
+            + self.allowed.as_deref().map_or(0, set_bytes)
+            + vset_bytes(&self.conn)
+            + self.specials.iter().map(vset_bytes).sum::<usize>()
+            + 48 // slot + Vec header overhead
+    }
+
+    /// Whether this stored key describes the borrowed subproblem — the
+    /// single definition of key identity, used by probe and insert alike.
+    fn matches(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: Option<&Arc<EdgeSet>>,
+    ) -> bool {
+        let allowed_match = match (&self.allowed, allowed) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b) || **a == **b,
+            _ => false,
+        };
+        allowed_match
+            && self.edges == sub.edges
+            && self.conn == *conn
+            && specials_multiset_match(&self.specials, arena, &sub.specials)
+    }
+}
+
+/// One stored entry: the key, the caller's value, and the retention
+/// bookkeeping ([`ClockEviction`]'s cost charge and reference bit).
+pub struct Entry<V> {
+    hash: u64,
+    key: StripedKey,
+    value: V,
+    /// Byte cost charged against a byte budget when this entry was
+    /// stored (unused by count-based policies).
+    cost: usize,
+    /// CLOCK reference bit: set on every hit, cleared (second chance) by
+    /// the eviction sweep.
+    referenced: bool,
+}
+
+/// One lock stripe: a slab of entries plus a hash → slot index. The slab
+/// gives a CLOCK hand a stable circular order, which a plain `HashMap`
+/// iteration cannot.
+pub struct Shard<V> {
+    slots: Vec<Option<Entry<V>>>,
+    free: Vec<u32>,
+    index: HashMap<u64, Vec<u32>>,
+    hand: usize,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
+        }
+    }
+}
+
+impl<V> Shard<V> {
+    fn find(
+        &self,
+        hash: u64,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: Option<&Arc<EdgeSet>>,
+    ) -> Option<u32> {
+        let ids = self.index.get(&hash)?;
+        ids.iter().copied().find(|&id| {
+            let entry = self.slots[id as usize]
+                .as_ref()
+                .expect("indexed slots are occupied");
+            entry.hash == hash && entry.key.matches(arena, sub, conn, allowed)
+        })
+    }
+
+    fn remove_slot(&mut self, id: u32) -> Entry<V> {
+        let entry = self.slots[id as usize].take().expect("slot occupied");
+        if let Some(ids) = self.index.get_mut(&entry.hash) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.index.remove(&entry.hash);
+            }
+        }
+        self.free.push(id);
+        entry
+    }
+
+    fn place(&mut self, entry: Entry<V>) {
+        let hash = entry.hash;
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(entry);
+                id
+            }
+            None => {
+                let id = self.slots.len() as u32;
+                self.slots.push(Some(entry));
+                id
+            }
+        };
+        self.index.entry(hash).or_default().push(id);
+    }
+}
+
+/// Table-wide counters shared between the core and its retention policy.
+/// The policy reserves entries/bytes atomically in `admit` (and releases
+/// them on eviction), so caps and budgets hold exactly even when inserts
+/// race on different shards.
+#[derive(Debug, Default)]
+pub struct TableTotals {
+    entries: AtomicUsize,
+    bytes: AtomicUsize,
+    evictions: AtomicU64,
+}
+
+impl TableTotals {
+    /// Entries currently stored.
+    pub fn entries(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes currently stored (byte-budget policies only).
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far (evicting policies only).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// A pluggable retention policy: decides admission (possibly evicting)
+/// and marks hits. Called under the owning shard's lock.
+pub trait Retention: Send + Sync {
+    /// Admits an entry of `cost` bytes into `shard`, evicting as the
+    /// policy allows; returns `false` to reject the insert. On success
+    /// the policy must have *reserved* the entry in `totals` (entry
+    /// count, and bytes if it budgets them) atomically — reservation
+    /// inside `admit` is what keeps caps exact when inserts race on
+    /// different shards; the table only places the entry afterwards.
+    fn admit<V>(&self, shard: &mut Shard<V>, cost: usize, totals: &TableTotals) -> bool;
+
+    /// Marks a probe hit (e.g. sets the CLOCK reference bit).
+    fn on_hit<V>(&self, _entry: &mut Entry<V>) {}
+}
+
+/// Byte-budgeted retention with a per-shard second-chance (CLOCK) sweep:
+/// when an insert would overflow the budget, entries touched since the
+/// last sweep get their reference bit cleared (a second chance) and cold
+/// entries are evicted until the new entry fits. Hot entries survive
+/// memory pressure; the first-come set cannot squat the budget.
+#[derive(Debug)]
+pub struct ClockEviction {
+    byte_budget: usize,
+}
+
+impl ClockEviction {
+    /// Policy bounded by `byte_budget` bytes.
+    pub fn new(byte_budget: usize) -> Self {
+        ClockEviction { byte_budget }
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Second-chance sweep over one shard: referenced entries are spared
+    /// once (bit cleared), unreferenced entries are evicted, until the
+    /// global footprint fits the budget or two full revolutions have
+    /// given every entry its chance.
+    fn sweep<V>(&self, shard: &mut Shard<V>, totals: &TableTotals) {
+        let n = shard.slots.len();
+        let mut steps = 0usize;
+        while steps < 2 * n && totals.bytes.load(Ordering::Relaxed) > self.byte_budget {
+            let i = shard.hand % n;
+            shard.hand = (shard.hand + 1) % n.max(1);
+            steps += 1;
+            let Some(entry) = shard.slots[i].as_mut() else {
+                continue;
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                continue;
+            }
+            let evicted = shard.remove_slot(i as u32);
+            totals.bytes.fetch_sub(evicted.cost, Ordering::Relaxed);
+            totals.entries.fetch_sub(1, Ordering::Relaxed);
+            totals.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Retention for ClockEviction {
+    fn admit<V>(&self, shard: &mut Shard<V>, cost: usize, totals: &TableTotals) -> bool {
+        // Reserve-then-sweep keeps the budget exact under concurrent
+        // inserts; the sweep frees cold entries of this shard until the
+        // new entry fits.
+        let prev = totals.bytes.fetch_add(cost, Ordering::Relaxed);
+        if prev + cost > self.byte_budget {
+            self.sweep(shard, totals);
+            if totals.bytes.load(Ordering::Relaxed) > self.byte_budget {
+                totals.bytes.fetch_sub(cost, Ordering::Relaxed);
+                return false;
+            }
+        }
+        totals.entries.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn on_hit<V>(&self, entry: &mut Entry<V>) {
+        entry.referenced = true;
+    }
+}
+
+/// Count-capped retention, mirroring the paper's memory-limit discipline
+/// for `det-k-decomp`: past the cap the table keeps serving hits but
+/// stops memoising. Never evicts.
+#[derive(Debug)]
+pub struct EntryCap {
+    cap: usize,
+}
+
+impl EntryCap {
+    /// Policy capped at `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        EntryCap { cap }
+    }
+
+    /// The configured entry cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl Retention for EntryCap {
+    fn admit<V>(&self, _shard: &mut Shard<V>, _cost: usize, totals: &TableTotals) -> bool {
+        // Atomic reserve: a check-then-act on the shared count would let
+        // concurrent inserts on *different* shards all pass the check
+        // and overshoot the cap by up to the shard count.
+        totals
+            .entries
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.cap).then_some(n + 1)
+            })
+            .is_ok()
+    }
+}
+
+/// Outcome of a [`StripedTable::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The entry was stored.
+    Inserted,
+    /// An equal key was already present (a racing branch beat us); the
+    /// incumbent is kept.
+    Duplicate,
+    /// The retention policy could not make room.
+    Rejected,
+}
+
+/// The shared striped-table core, generic over the stored value and the
+/// retention policy. See the module docs for the invariants.
+pub struct StripedTable<V, R> {
+    shards: Vec<Mutex<Shard<V>>>,
+    hasher: RandomState,
+    totals: TableTotals,
+    policy: R,
+}
+
+impl<V, R: Retention> StripedTable<V, R> {
+    /// Creates an empty table under `policy`.
+    pub fn new(policy: R) -> Self {
+        StripedTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hasher: RandomState::new(),
+            totals: TableTotals::default(),
+            policy,
+        }
+    }
+
+    /// The retention policy (for wrappers exposing its configuration).
+    pub fn policy(&self) -> &R {
+        &self.policy
+    }
+
+    /// The table-wide counters (entries, bytes, evictions).
+    pub fn totals(&self) -> &TableTotals {
+        &self.totals
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.totals.entries()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hashes the borrowed key parts. Per-special hashes are combined
+    /// with a commutative `wrapping_add`, so the canonical (sorted)
+    /// stored key and the unsorted branch-local view hash identically
+    /// without materialising a sorted buffer.
+    pub fn hash_key(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: Option<&EdgeSet>,
+    ) -> u64 {
+        let mut h = self.hasher.hash_one(&sub.edges);
+        h = h.rotate_left(17) ^ self.hasher.hash_one(conn);
+        if let Some(allowed) = allowed {
+            h = h.rotate_left(17) ^ self.hasher.hash_one(allowed);
+        }
+        let mut sp = 0u64;
+        for &s in &sub.specials {
+            sp = sp.wrapping_add(self.hasher.hash_one(arena.get(s)));
+        }
+        h ^ sp
+    }
+
+    /// Borrowed-key probe: hashes the borrowed parts, and on a hit marks
+    /// the entry via the policy and returns `read`'s view of the stored
+    /// value — `read` runs under the shard lock, so it should only take a
+    /// cheap handle (e.g. clone an `Arc`), never walk the value. Returns
+    /// the key hash either way, so a miss's follow-up insert does not
+    /// recompute it.
+    pub fn probe_with<T>(
+        &self,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: Option<&Arc<EdgeSet>>,
+        read: impl FnOnce(&V) -> T,
+    ) -> (u64, Option<T>) {
+        let hash = self.hash_key(arena, sub, conn, allowed.map(Arc::as_ref));
+        let mut shard = self.shards[(hash as usize) % SHARDS]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let hit = shard.find(hash, arena, sub, conn, allowed).map(|id| {
+            let entry = shard.slots[id as usize].as_mut().expect("found slot");
+            self.policy.on_hit(entry);
+            read(&entry.value)
+        });
+        (hash, hit)
+    }
+
+    /// Stores `value` under the borrowed key (the owned [`StripedKey`] is
+    /// built here — the single owned-key construction of the table's
+    /// lifecycle). `value_cost` is the value's byte footprint for
+    /// byte-budget policies; the key's own footprint is added internally.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &self,
+        hash: u64,
+        arena: &SpecialArena,
+        sub: &Subproblem,
+        conn: &VertexSet,
+        allowed: Option<&Arc<EdgeSet>>,
+        value: V,
+        value_cost: usize,
+    ) -> InsertOutcome {
+        let key = StripedKey::build(arena, sub, conn, allowed);
+        let cost = key.approx_bytes() + value_cost;
+        let mut shard = self.shards[(hash as usize) % SHARDS]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if shard.find(hash, arena, sub, conn, allowed).is_some() {
+            return InsertOutcome::Duplicate;
+        }
+        if !self.policy.admit(&mut shard, cost, &self.totals) {
+            return InsertOutcome::Rejected;
+        }
+        // `admit` reserved the entry in the totals; placing it cannot
+        // fail past this point.
+        shard.place(Entry {
+            hash,
+            key,
+            value,
+            cost,
+            referenced: false,
+        });
+        InsertOutcome::Inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{Edge, Hypergraph};
+
+    fn hg4() -> Hypergraph {
+        Hypergraph::from_edge_lists(&[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]])
+    }
+
+    fn sub_of(hg: &Hypergraph, edges: &[u32]) -> Subproblem {
+        let mut sub = Subproblem::empty(hg);
+        for &e in edges {
+            sub.edges.insert(Edge(e));
+        }
+        sub
+    }
+
+    #[test]
+    fn borrowed_probe_and_insert_roundtrip_without_allowed() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let table: StripedTable<u32, EntryCap> = StripedTable::new(EntryCap::new(8));
+        let sub = sub_of(&hg, &[0, 1]);
+        let (hash, hit) = table.probe_with(&arena, &sub, &conn, None, |&v| v);
+        assert_eq!(hit, None);
+        assert_eq!(
+            table.insert(hash, &arena, &sub, &conn, None, 17, 0),
+            InsertOutcome::Inserted
+        );
+        let (_, hit) = table.probe_with(&arena, &sub, &conn, None, |&v| v);
+        assert_eq!(hit, Some(17));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_incumbent() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let table: StripedTable<u32, EntryCap> = StripedTable::new(EntryCap::new(8));
+        let sub = sub_of(&hg, &[2]);
+        let (hash, _) = table.probe_with(&arena, &sub, &conn, None, |&v| v);
+        assert_eq!(
+            table.insert(hash, &arena, &sub, &conn, None, 1, 0),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(
+            table.insert(hash, &arena, &sub, &conn, None, 2, 0),
+            InsertOutcome::Duplicate
+        );
+        let (_, hit) = table.probe_with(&arena, &sub, &conn, None, |&v| v);
+        assert_eq!(hit, Some(1), "the racing insert must not replace the value");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn entry_cap_freezes_inserts_but_keeps_serving() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let table: StripedTable<u32, EntryCap> = StripedTable::new(EntryCap::new(1));
+        let first = sub_of(&hg, &[0]);
+        let second = sub_of(&hg, &[1]);
+        let (h1, _) = table.probe_with(&arena, &first, &conn, None, |&v| v);
+        assert_eq!(
+            table.insert(h1, &arena, &first, &conn, None, 10, 0),
+            InsertOutcome::Inserted
+        );
+        let (h2, _) = table.probe_with(&arena, &second, &conn, None, |&v| v);
+        assert_eq!(
+            table.insert(h2, &arena, &second, &conn, None, 20, 0),
+            InsertOutcome::Rejected
+        );
+        let (_, hit) = table.probe_with(&arena, &first, &conn, None, |&v| v);
+        assert_eq!(hit, Some(10), "a frozen table still serves its entries");
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.totals().evictions(), 0, "entry-cap never evicts");
+    }
+
+    #[test]
+    fn allowed_alphabet_distinguishes_keys() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let sub = sub_of(&hg, &[0]);
+        let all = Arc::new(hg.all_edges());
+        let mut restricted = hg.all_edges();
+        restricted.remove(Edge(3));
+        let restricted = Arc::new(restricted);
+        let table: StripedTable<u32, EntryCap> = StripedTable::new(EntryCap::new(8));
+        let (hash, _) = table.probe_with(&arena, &sub, &conn, Some(&all), |&v| v);
+        table.insert(hash, &arena, &sub, &conn, Some(&all), 1, 0);
+        let (_, hit) = table.probe_with(&arena, &sub, &conn, Some(&restricted), |&v| v);
+        assert_eq!(hit, None, "a different allowed alphabet is a different key");
+        let (_, hit) = table.probe_with(&arena, &sub, &conn, Some(&all), |&v| v);
+        assert_eq!(hit, Some(1));
+    }
+
+    #[test]
+    fn clock_eviction_respects_reference_bits_across_policies() {
+        // Same shard-collision construction as the engine cache's test,
+        // run directly against the shared core: the hot (touched) entry
+        // survives the sweep, the cold one is evicted.
+        let edges: Vec<Vec<u32>> = (0..12u32).map(|i| vec![i, (i + 1) % 12]).collect();
+        let hg = Hypergraph::from_edge_lists(&edges);
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let mut candidates: Vec<Subproblem> = Vec::new();
+        for i in 0..12u32 {
+            for j in i + 1..12 {
+                candidates.push(sub_of(&hg, &[i, j]));
+            }
+        }
+        let one_cost = StripedKey::build(&arena, &candidates[0], &conn, None).approx_bytes();
+        let table: StripedTable<u32, ClockEviction> =
+            StripedTable::new(ClockEviction::new(2 * one_cost + one_cost / 2));
+        let mut by_shard: Vec<Vec<(Subproblem, u64)>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for sub in candidates {
+            let (h, _) = table.probe_with(&arena, &sub, &conn, None, |&v| v);
+            by_shard[(h as usize) % SHARDS].push((sub, h));
+        }
+        let triple = by_shard
+            .into_iter()
+            .find(|v| v.len() >= 3)
+            .expect("66 keys over 16 shards must collide");
+        let [(hot, h_hot), (cold, h_cold), (new, h_new)] = &triple[..3] else {
+            unreachable!()
+        };
+        table.insert(*h_hot, &arena, hot, &conn, None, 1, 0);
+        table.insert(*h_cold, &arena, cold, &conn, None, 2, 0);
+        // Touch the hot entry so its reference bit is set.
+        let (_, hit) = table.probe_with(&arena, hot, &conn, None, |&v| v);
+        assert_eq!(hit, Some(1));
+        assert_eq!(
+            table.insert(*h_new, &arena, new, &conn, None, 3, 0),
+            InsertOutcome::Inserted
+        );
+        assert_eq!(table.totals().evictions(), 1);
+        let (_, hot_hit) = table.probe_with(&arena, hot, &conn, None, |&v| v);
+        assert_eq!(hot_hit, Some(1), "referenced entry survives the sweep");
+        let (_, cold_hit) = table.probe_with(&arena, cold, &conn, None, |&v| v);
+        assert_eq!(cold_hit, None, "cold entry is gone");
+        assert!(table.totals().bytes() <= 2 * one_cost + one_cost / 2);
+    }
+
+    #[test]
+    fn clock_rejects_when_nothing_fits_and_releases_bytes() {
+        let hg = hg4();
+        let arena = SpecialArena::new();
+        let conn = hg.vertex_set();
+        let sub = sub_of(&hg, &[0]);
+        let cost = StripedKey::build(&arena, &sub, &conn, None).approx_bytes();
+        let table: StripedTable<u32, ClockEviction> =
+            StripedTable::new(ClockEviction::new(cost / 2));
+        let (hash, _) = table.probe_with(&arena, &sub, &conn, None, |&v| v);
+        assert_eq!(
+            table.insert(hash, &arena, &sub, &conn, None, 1, 0),
+            InsertOutcome::Rejected
+        );
+        assert_eq!(table.totals().bytes(), 0, "rejection must release bytes");
+        assert!(table.is_empty());
+    }
+}

@@ -33,7 +33,8 @@ use std::ops::ControlFlow;
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use hypergraph::subsets::for_each_subset_in;
 use hypergraph::{
-    separate_into, Edge, Hypergraph, Scratch, Separation, SpecialArena, Subproblem, VertexSet,
+    separate_into, Edge, Hypergraph, LevelStack, Scratch, Separation, SpecialArena, Subproblem,
+    VertexSet,
 };
 
 pub mod memo;
@@ -79,14 +80,15 @@ impl DetkLevel {
     }
 }
 
-/// Warm per-level scratch stack for [`DetKDecomp`], reusable across
+/// Warm per-level scratch stack for [`DetKDecomp`] — an instantiation of
+/// the generic [`LevelStack`] take/put discipline — reusable across
 /// engine instances: the hybrid driver of `log-k-decomp` pools these so
 /// its (very frequent) det-k handoffs stop allocating fresh buffers per
 /// call — move one in with [`DetKDecomp::with_scratch`] and recover it
 /// with [`DetKDecomp::take_scratch`] when the engine retires.
 #[derive(Default)]
 pub struct DetkScratch {
-    levels: Vec<Option<DetkLevel>>,
+    levels: LevelStack<DetkLevel>,
 }
 
 impl DetkScratch {
@@ -96,24 +98,17 @@ impl DetkScratch {
     }
 
     fn take(&mut self, depth: usize) -> DetkLevel {
-        if self.levels.len() <= depth {
-            self.levels.resize_with(depth + 1, || None);
-        }
-        self.levels[depth].take().unwrap_or_default()
+        self.levels.take_or_default(depth)
     }
 
     fn put(&mut self, depth: usize, lvl: DetkLevel) {
-        self.levels[depth] = Some(lvl);
+        self.levels.put(depth, lvl);
     }
 
     /// Total buffer growth events across all levels — constant once the
     /// stack is warm (the steady-state zero-allocation meter).
     pub fn grow_events(&self) -> u64 {
-        self.levels
-            .iter()
-            .flatten()
-            .map(DetkLevel::grow_events)
-            .sum()
+        self.levels.warm().map(DetkLevel::grow_events).sum()
     }
 }
 

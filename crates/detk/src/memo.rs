@@ -16,42 +16,19 @@
 //!   [`PortableFragment`]s and re-interned against the prober's arena on a
 //!   hit — the same id-rewrite pass the engine's unified subproblem cache
 //!   uses.
-//! * **Lock striping.** 16 mutex shards, so concurrent handoffs from
-//!   sibling rayon branches rarely contend.
 //!
-//! The entry cap mirrors the paper's memory-limit discipline: beyond the
+//! The striping, borrowed-key probing and under-lock dedup are the shared
+//! [`decomp::striped`] core — the same machinery behind the engine's
+//! subproblem cache — instantiated here with `Option<PortableFragment>`
+//! values (`None` = exhaustively refuted) and the [`EntryCap`] retention
+//! policy, which mirrors the paper's memory-limit discipline: beyond the
 //! cap the table keeps serving hits but stops memoising.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasher, RandomState};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use decomp::{specials_multiset_match, Fragment, PortableFragment};
-use hypergraph::{EdgeSet, SpecialArena, Subproblem, VertexSet};
-
-const SHARDS: usize = 16;
-
-struct MemoEntry {
-    edges: EdgeSet,
-    /// Special edges resolved to vertex sets, sorted canonically.
-    specials: Vec<VertexSet>,
-    conn: VertexSet,
-    /// `None` = exhaustively refuted; `Some` = arena-independent witness.
-    /// `Arc`-wrapped so a hit can leave the shard lock before the
-    /// re-interning clone pass runs.
-    result: Option<Arc<PortableFragment>>,
-}
-
-impl MemoEntry {
-    /// Whether this stored entry describes the borrowed subproblem — the
-    /// single definition of key identity, used by probe and insert alike.
-    fn matches(&self, arena: &SpecialArena, sub: &Subproblem, conn: &VertexSet) -> bool {
-        self.edges == sub.edges
-            && self.conn == *conn
-            && specials_multiset_match(&self.specials, arena, &sub.specials)
-    }
-}
+use decomp::{EntryCap, Fragment, InsertOutcome, PortableFragment, StripedTable};
+use hypergraph::{SpecialArena, Subproblem, VertexSet};
 
 /// Result of a borrowed-key memo probe.
 pub enum MemoProbe {
@@ -81,15 +58,16 @@ pub struct MemoSnapshot {
 
 /// The shared `det-k-decomp` memo table. One instance serves every hybrid
 /// handoff and rayon branch of a solve.
+///
+/// `None` values mean "exhaustively refuted"; `Some` values are
+/// arena-independent witnesses, `Arc`-wrapped so a hit can leave the
+/// shard lock before the re-interning clone pass runs.
 pub struct SharedMemo {
-    shards: Vec<Mutex<HashMap<u64, Vec<MemoEntry>>>>,
-    hasher: RandomState,
-    entries: AtomicUsize,
+    table: StripedTable<Option<Arc<PortableFragment>>, EntryCap>,
     /// Width bound the memoised verdicts are relative to. A verdict for
     /// `k = 2` is meaningless at `k = 3` (and vice versa), so sharers are
     /// checked against this at attach time.
     k: usize,
-    cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -101,11 +79,8 @@ impl SharedMemo {
     /// [`super::DetKDecomp::with_shared_memo`] enforces it.
     pub fn new(k: usize, cap: usize) -> Self {
         SharedMemo {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hasher: RandomState::new(),
-            entries: AtomicUsize::new(0),
+            table: StripedTable::new(EntryCap::new(cap)),
             k,
-            cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -119,29 +94,17 @@ impl SharedMemo {
 
     /// The configured entry cap.
     pub fn cap(&self) -> usize {
-        self.cap
+        self.table.policy().cap()
     }
 
     /// Entries currently stored.
     pub fn len(&self) -> usize {
-        self.entries.load(Ordering::Relaxed)
+        self.table.len()
     }
 
     /// Whether the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Hashes the borrowed key parts; specials combine commutatively so
-    /// the unsorted branch-local view matches the sorted stored key.
-    fn key_hash(&self, arena: &SpecialArena, sub: &Subproblem, conn: &VertexSet) -> u64 {
-        let mut h = self.hasher.hash_one(&sub.edges);
-        h = h.rotate_left(17) ^ self.hasher.hash_one(conn);
-        let mut sp = 0u64;
-        for &s in &sub.specials {
-            sp = sp.wrapping_add(self.hasher.hash_one(arena.get(s)));
-        }
-        h ^ sp
+        self.table.is_empty()
     }
 
     /// Looks up `(sub, conn)` without building an owned key. A positive
@@ -149,18 +112,9 @@ impl SharedMemo {
     /// pass over the fragment runs after the lock is released, so
     /// concurrent handoffs don't convoy behind fragment clones.
     pub fn probe(&self, arena: &SpecialArena, sub: &Subproblem, conn: &VertexSet) -> MemoProbe {
-        let hash = self.key_hash(arena, sub, conn);
-        let hit: Option<Option<Arc<PortableFragment>>> = {
-            let shard = self.shards[(hash as usize) % SHARDS]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            shard.get(&hash).and_then(|bucket| {
-                bucket
-                    .iter()
-                    .find(|entry| entry.matches(arena, sub, conn))
-                    .map(|entry| entry.result.clone())
-            })
-        };
+        let (hash, hit) = self
+            .table
+            .probe_with(arena, sub, conn, None, |result| result.clone());
         match hit {
             Some(None) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -188,33 +142,17 @@ impl SharedMemo {
         conn: &VertexSet,
         result: &Option<Fragment>,
     ) {
-        if self.entries.load(Ordering::Relaxed) >= self.cap {
+        // Early-out before the (portable-conversion) value build: past
+        // the cap nothing will be admitted anyway.
+        if self.len() >= self.cap() {
             return;
         }
-        let entry = MemoEntry {
-            edges: sub.edges.clone(),
-            specials: {
-                let mut v: Vec<VertexSet> =
-                    sub.specials.iter().map(|&s| arena.get(s).clone()).collect();
-                v.sort_unstable();
-                v
-            },
-            conn: conn.clone(),
-            result: result
-                .as_ref()
-                .map(|f| Arc::new(PortableFragment::from_fragment(f, arena))),
-        };
-        let mut shard = self.shards[(hash as usize) % SHARDS]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        let bucket = shard.entry(hash).or_default();
-        // Duplicate key (a racing handoff beat us): keep the incumbent.
-        if bucket.iter().any(|e| e.matches(arena, sub, conn)) {
-            return;
+        let value = result
+            .as_ref()
+            .map(|f| Arc::new(PortableFragment::from_fragment(f, arena)));
+        if self.table.insert(hash, arena, sub, conn, None, value, 0) == InsertOutcome::Inserted {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
         }
-        bucket.push(entry);
-        self.entries.fetch_add(1, Ordering::Relaxed);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot of the counters.
@@ -225,7 +163,7 @@ impl SharedMemo {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             entries: self.len(),
-            cap: self.cap,
+            cap: self.cap(),
         }
     }
 }

@@ -27,7 +27,8 @@ use std::ops::ControlFlow;
 use decomp::{Control, Decomposition, Fragment, Interrupted};
 use hypergraph::subsets::for_each_subset_in;
 use hypergraph::{
-    separate_into, Edge, Hypergraph, Scratch, Separation, SpecialArena, Subproblem, VertexSet,
+    separate_into, Edge, Hypergraph, LevelStack, Scratch, Separation, SpecialArena, Subproblem,
+    VertexSet,
 };
 
 /// Result of a solve.
@@ -95,24 +96,9 @@ struct GhdLevel {
 }
 
 /// Stack of per-level bundles, taken out while a level is active so the
-/// recursion can borrow the stack freely.
-#[derive(Default)]
-struct GhdScratch {
-    levels: Vec<Option<GhdLevel>>,
-}
-
-impl GhdScratch {
-    fn take(&mut self, depth: usize) -> GhdLevel {
-        if self.levels.len() <= depth {
-            self.levels.resize_with(depth + 1, || None);
-        }
-        self.levels[depth].take().unwrap_or_default()
-    }
-
-    fn put(&mut self, depth: usize, lvl: GhdLevel) {
-        self.levels[depth] = Some(lvl);
-    }
-}
+/// recursion can borrow the stack freely — an instantiation of the
+/// generic [`LevelStack`] take/put discipline.
+type GhdScratch = LevelStack<GhdLevel>;
 
 struct Ghd<'h> {
     hg: &'h Hypergraph,
@@ -140,7 +126,7 @@ impl Ghd<'_> {
             return Ok(Some(Fragment::leaf(lambda, chi)));
         }
 
-        let mut lvl = scratch.take(depth);
+        let mut lvl = scratch.take_or_default(depth);
         let result = self.decompose_level(sub, conn, depth, &mut lvl, scratch);
         scratch.put(depth, lvl);
         result

@@ -5,7 +5,7 @@
 //!
 //! HtdLEO decides *hypertree width* with an ordering-based SAT encoding
 //! that includes special-condition constraints. This crate's encoding
-//! ([`encode`]) decides **generalized hypertree width** exactly:
+//! ([`encode`](mod@encode)) decides **generalized hypertree width** exactly:
 //!
 //! * `ghw(H) ≤ k` **iff** some elimination ordering of `H`'s primal graph
 //!   yields fill-in bags that are each coverable by ≤ k hyperedges.

@@ -1,0 +1,121 @@
+//! Depth-indexed scratch stacks — the shared per-level workspace
+//! discipline of every solver in the workspace.
+//!
+//! All four search engines (the optimised `log-k-decomp` engine, the
+//! `det-k-decomp` baseline, the Algorithm 1 reference oracle and the GHD
+//! search) recurse with one bundle of warm scratch buffers per recursion
+//! level. The access pattern is always the same *take/put discipline*:
+//!
+//! 1. on entering recursion depth `d`, the level's bundle is **taken out**
+//!    of the stack (leaving `None` behind), so the recursion below — which
+//!    only ever draws depths `> d` — can borrow the stack freely without
+//!    aliasing the active level;
+//! 2. on leaving the level, the bundle is **put back** at `d`, warm, for
+//!    the next subproblem that reaches this depth.
+//!
+//! Levels are created lazily: a depth that is never reached (or whose
+//! calls all hit a base case) never allocates a bundle. A warm stack can
+//! be moved between engine instances — the hybrid driver pools
+//! `det-k-decomp` stacks across handoffs this way — which is why the
+//! stack owns its bundles rather than borrowing them.
+//!
+//! [`LevelStack<T>`] is that discipline, generic over the bundle type.
+//! Callers that meter cold allocations use [`LevelStack::take`] (which
+//! reports a missing bundle as `None`); callers that don't, use
+//! [`LevelStack::take_or_default`].
+
+/// A lazily grown stack of per-recursion-level scratch bundles, indexed
+/// by depth. See the module docs for the take/put discipline.
+#[derive(Debug)]
+pub struct LevelStack<T> {
+    levels: Vec<Option<T>>,
+}
+
+impl<T> LevelStack<T> {
+    /// Creates an empty (cold) stack.
+    pub fn new() -> Self {
+        LevelStack { levels: Vec::new() }
+    }
+
+    /// Takes the bundle parked at `depth` out of the stack, or `None` if
+    /// this depth has never parked one — the caller allocates (and may
+    /// count) the cold bundle, then returns it via [`Self::put`].
+    pub fn take(&mut self, depth: usize) -> Option<T> {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, || None);
+        }
+        self.levels[depth].take()
+    }
+
+    /// Parks `lvl` at `depth` for the next visitor of this level.
+    pub fn put(&mut self, depth: usize, lvl: T) {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, || None);
+        }
+        self.levels[depth] = Some(lvl);
+    }
+
+    /// Iterates over the parked (warm) bundles — for folding per-level
+    /// meters when a stack retires. Active levels are taken out and thus
+    /// not visited; callers fold those separately.
+    pub fn warm(&self) -> impl Iterator<Item = &T> {
+        self.levels.iter().flatten()
+    }
+}
+
+impl<T: Default> LevelStack<T> {
+    /// Like [`Self::take`], allocating a default (cold) bundle when the
+    /// depth has none parked.
+    pub fn take_or_default(&mut self, depth: usize) -> T {
+        self.take(depth).unwrap_or_default()
+    }
+}
+
+impl<T> Default for LevelStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_keeps_bundles_warm() {
+        let mut stack: LevelStack<Vec<u32>> = LevelStack::new();
+        assert!(stack.take(3).is_none(), "cold depth has nothing parked");
+        stack.put(3, vec![1, 2, 3]);
+        let warm = stack.take(3).expect("parked bundle must come back");
+        assert_eq!(warm, vec![1, 2, 3]);
+        assert!(
+            stack.take(3).is_none(),
+            "taking leaves the slot empty while the level is active"
+        );
+    }
+
+    #[test]
+    fn take_or_default_allocates_cold_bundles() {
+        let mut stack: LevelStack<String> = LevelStack::default();
+        assert_eq!(stack.take_or_default(0), "");
+        stack.put(0, "warm".to_string());
+        assert_eq!(stack.take_or_default(0), "warm");
+    }
+
+    #[test]
+    fn put_beyond_current_length_grows_the_stack() {
+        let mut stack: LevelStack<u8> = LevelStack::new();
+        stack.put(5, 7);
+        assert_eq!(stack.take(5), Some(7));
+    }
+
+    #[test]
+    fn warm_iterates_only_parked_levels() {
+        let mut stack: LevelStack<u8> = LevelStack::new();
+        stack.put(0, 10);
+        stack.put(2, 30);
+        let _active = stack.take(0);
+        let warm: Vec<u8> = stack.warm().copied().collect();
+        assert_eq!(warm, vec![30]);
+    }
+}

@@ -10,9 +10,11 @@
 //!   (Definition 3.1 of the paper) with arena-allocated special edges;
 //! * [`components`] — `[U]`-components (Definition 3.2), the balanced
 //!   separation primitive;
-//! * [`gyo`] — GYO reduction / α-acyclicity (hw ≤ 1);
+//! * [`gyo`](mod@gyo) — GYO reduction / α-acyclicity (hw ≤ 1);
 //! * [`subsets`] — bounded-size subset enumeration with lead-partitioning
-//!   for parallel search.
+//!   for parallel search;
+//! * [`levels`] — the generic depth-indexed [`LevelStack`] scratch
+//!   workspace every solver's recursion runs on.
 //!
 //! Paper: Gottlob, Lanzinger, Okulmus, Pichler. *Fast Parallel Hypertree
 //! Decompositions in Logarithmic Recursion Depth.* PODS 2022.
@@ -22,6 +24,7 @@ pub mod components;
 pub mod extended;
 pub mod graph;
 pub mod gyo;
+pub mod levels;
 pub mod parse;
 pub mod subsets;
 
@@ -30,4 +33,5 @@ pub use components::{separate, separate_into, Component, Scratch, Separation};
 pub use extended::{SpecialArena, SpecialId, Subproblem};
 pub use graph::{Hypergraph, HypergraphBuilder};
 pub use gyo::{gyo, is_acyclic, GyoResult};
+pub use levels::LevelStack;
 pub use parse::{parse_hyperbench, parse_pace, write_hyperbench, write_pace, ParseError};

@@ -7,7 +7,7 @@
 //!
 //! * [`families`] — structured generators (cycles, grids, chains, stars,
 //!   snowflakes, cliques, random CSPs);
-//! * [`known_width`] — hypergraphs generated *from* a random HD, with the
+//! * [`known_width`](mod@known_width) — hypergraphs generated *from* a random HD, with the
 //!   witness decomposition returned for ground truth;
 //! * [`corpus`] — the Table-1-shaped corpus and the `HB_large` analogue.
 

@@ -222,6 +222,104 @@ fn tiny_cache_budget_evicts_but_stays_sound() {
     );
 }
 
+/// The det-k memo's entry-cap retention, driven through the shared
+/// striped-table core by real hybrid solves: a cap small enough to freeze
+/// almost immediately must degrade reuse, never correctness, and the cap
+/// must hold exactly (the core's admission runs under the shard lock).
+#[test]
+fn detk_entry_cap_policy_sound() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 2024,
+        scale: 1.0 / 100.0,
+    });
+    let ctrl = Control::unlimited();
+    let capped = LogK::hybrid(1).with_detk_cache_cap(4);
+    let roomy = LogK::hybrid(1);
+    let oracle = LogK::sequential().with_cache_bytes(0);
+    let mut handoffs = 0u64;
+    let mut capped_inserts = 0u64;
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 30) {
+        for k in 1..=3usize {
+            let (dc, sc) = capped.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+            let (dr, _) = roomy.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+            let b = oracle.decide(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(
+                dc.is_some(),
+                b,
+                "capped hybrid vs oracle: {} k={k}",
+                inst.name
+            );
+            assert_eq!(
+                dr.is_some(),
+                b,
+                "roomy hybrid vs oracle: {} k={k}",
+                inst.name
+            );
+            assert!(
+                sc.detk_memo.entries <= 4,
+                "{} k={k}: entry cap exceeded ({} entries)",
+                inst.name,
+                sc.detk_memo.entries
+            );
+            handoffs += sc.detk_handoffs;
+            capped_inserts += sc.detk_memo.inserts;
+            if let Some(d) = &dc {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            if dc.is_some() {
+                break;
+            }
+        }
+    }
+    assert!(handoffs > 0, "the hybrid corpus run must hand off to det-k");
+    assert!(
+        capped_inserts > 0,
+        "the capped memo must still admit its first entries"
+    );
+}
+
+/// Cross-policy soundness: both retention policies of the shared core
+/// active at once — the engine cache churning under a 4 KiB CLOCK budget
+/// *and* the det-k memo frozen at a tiny entry cap — against both
+/// disabled. Same decisions, validated witnesses, budgets respected.
+#[test]
+fn cross_policy_tiny_limits_stay_sound() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 7,
+        scale: 1.0 / 150.0,
+    });
+    let ctrl = Control::unlimited();
+    let tiny = LogK::hybrid(1)
+        .with_cache_bytes(4096)
+        .with_detk_cache_cap(2)
+        .with_pos_cache_max_frag(usize::MAX);
+    let off = LogK::hybrid(1).with_cache_bytes(0).with_detk_cache_cap(0);
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 25) {
+        for k in 1..=3usize {
+            let (da, sa) = tiny.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+            let (db, sb) = off.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(
+                da.is_some(),
+                db.is_some(),
+                "both-policies-tiny vs both-off disagree on {} at k={k}",
+                inst.name
+            );
+            assert!(sa.cache.bytes <= 4096, "CLOCK budget exceeded");
+            assert!(sa.detk_memo.entries <= 2, "entry cap exceeded");
+            assert_eq!(
+                sb.detk_memo.inserts, 0,
+                "a zero cap must freeze the memo entirely"
+            );
+            if let Some(d) = &da {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            if da.is_some() {
+                break;
+            }
+        }
+    }
+}
+
 fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {
     prop::collection::vec(prop::collection::vec(0u32..9, 2..4), 1..9)
         .prop_map(|edges| hypergraph::Hypergraph::from_edge_lists(&edges))
@@ -264,6 +362,28 @@ proptest! {
             let a = tiny.decide(&hg, k, &ctrl).unwrap();
             let b = off.decide(&hg, k, &ctrl).unwrap();
             prop_assert_eq!(a, b, "tiny-budget vs uncached at k={}", k);
+        }
+    }
+
+    /// Both retention policies of the shared striped core fuzzed at once:
+    /// a 4 KiB CLOCK budget (ungated positive inserts, maximum eviction
+    /// churn) on the engine cache plus a 2-entry cap on the det-k memo,
+    /// against both disabled. Decisions must coincide and both limits
+    /// must hold on every arbitrary hypergraph.
+    #[test]
+    fn tiny_budget_and_cap_decisions_match(hg in arb_hypergraph()) {
+        let ctrl = Control::unlimited();
+        let tiny = LogK::hybrid(1)
+            .with_cache_bytes(4096)
+            .with_detk_cache_cap(2)
+            .with_pos_cache_max_frag(usize::MAX);
+        let off = LogK::hybrid(1).with_cache_bytes(0).with_detk_cache_cap(0);
+        for k in 1..=3usize {
+            let (da, sa) = tiny.decompose_with_stats(&hg, k, &ctrl).unwrap();
+            let b = off.decide(&hg, k, &ctrl).unwrap();
+            prop_assert_eq!(da.is_some(), b, "both-tiny vs both-off at k={}", k);
+            prop_assert!(sa.cache.bytes <= 4096, "CLOCK budget exceeded at k={}", k);
+            prop_assert!(sa.detk_memo.entries <= 2, "entry cap exceeded at k={}", k);
         }
     }
 }

@@ -142,6 +142,69 @@ fn grid_prefilter_fires_and_erases_most_separations() {
     }
 }
 
+/// The incremental filtering mode (touch masks maintained across the λp
+/// subset walk) must be *counter-identical* to the default per-pair mode
+/// sequentially — same verdicts, same witnesses, and the exact same
+/// number of separations and pre-filter rejections, since both modes
+/// compute the same `bad`/`touch_bad` sets in a different way.
+#[test]
+fn incremental_mode_is_counter_identical_to_per_pair() {
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 2024,
+        scale: 1.0 / 100.0,
+    });
+    let ctrl = Control::unlimited();
+    let per_pair = LogK::sequential();
+    let incremental = LogK::sequential().with_lambda_p_incremental(true);
+    // The incremental stacks also live in every parallel branch's pooled
+    // scratch bundle; decisions (counters are racy under the "any" race)
+    // must agree there too.
+    let incremental_par = LogK::parallel(2).with_lambda_p_incremental(true);
+    let mut fired = 0u64;
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 40) {
+        for k in 1..=4usize {
+            let (dp, sp) = per_pair.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+            let (di, si) = incremental
+                .decompose_with_stats(&inst.hg, k, &ctrl)
+                .unwrap();
+            let dpar = incremental_par.decompose(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(
+                dp.is_some(),
+                di.is_some(),
+                "modes disagree on {} at k={k}",
+                inst.name
+            );
+            assert_eq!(
+                dp.is_some(),
+                dpar.is_some(),
+                "parallel incremental disagrees on {} at k={k}",
+                inst.name
+            );
+            if let Some(d) = &dpar {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            assert_eq!(
+                sp.separations, si.separations,
+                "{} at k={k}: incremental mode changed the separation count",
+                inst.name
+            );
+            assert_eq!(
+                sp.lambda_p_prefiltered, si.lambda_p_prefiltered,
+                "{} at k={k}: incremental mode changed the pre-filter cut",
+                inst.name
+            );
+            fired += si.lambda_p_prefiltered;
+            if let Some(d) = &di {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            if dp.is_some() {
+                break;
+            }
+        }
+    }
+    assert!(fired > 0, "the incremental filter must actually fire");
+}
+
 fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {
     prop::collection::vec(prop::collection::vec(0u32..9, 2..4), 1..9)
         .prop_map(|edges| hypergraph::Hypergraph::from_edge_lists(&edges))
@@ -151,24 +214,42 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Arbitrary small hypergraphs: pre-filtered (sequential and
-    /// parallel) and unfiltered decisions coincide for every k,
-    /// witnesses validate.
+    /// parallel, per-pair and incremental) and unfiltered decisions
+    /// coincide for every k, witnesses validate, and the two filtering
+    /// modes run counter-identically.
     #[test]
     fn prefiltered_decisions_match_unfiltered(hg in arb_hypergraph()) {
         let ctrl = Control::unlimited();
         let filtered_seq = LogK::sequential();
         let filtered_par = LogK::parallel(2);
+        let filtered_inc = LogK::sequential().with_lambda_p_incremental(true);
+        let filtered_inc_par = LogK::parallel(2).with_lambda_p_incremental(true);
         let unfiltered = LogK::sequential().with_lambda_p_prefilter(false);
         for k in 1..=3usize {
-            let a = filtered_seq.decompose(&hg, k, &ctrl).unwrap();
+            let (a, sa) = filtered_seq.decompose_with_stats(&hg, k, &ctrl).unwrap();
             let p = filtered_par.decompose(&hg, k, &ctrl).unwrap();
+            let (i, si) = filtered_inc.decompose_with_stats(&hg, k, &ctrl).unwrap();
+            let ip = filtered_inc_par.decide(&hg, k, &ctrl).unwrap();
             let b = unfiltered.decide(&hg, k, &ctrl).unwrap();
             prop_assert_eq!(a.is_some(), b, "sequential vs unfiltered at k={}", k);
             prop_assert_eq!(p.is_some(), b, "parallel vs unfiltered at k={}", k);
+            prop_assert_eq!(i.is_some(), b, "incremental vs unfiltered at k={}", k);
+            prop_assert_eq!(ip, b, "parallel incremental vs unfiltered at k={}", k);
+            prop_assert_eq!(
+                sa.separations, si.separations,
+                "incremental mode changed separations at k={}", k
+            );
+            prop_assert_eq!(
+                sa.lambda_p_prefiltered, si.lambda_p_prefiltered,
+                "incremental mode changed the pre-filter cut at k={}", k
+            );
             if let Some(d) = a {
                 prop_assert!(validate_hd_width(&hg, &d, k).is_ok());
             }
             if let Some(d) = p {
+                prop_assert!(validate_hd_width(&hg, &d, k).is_ok());
+            }
+            if let Some(d) = i {
                 prop_assert!(validate_hd_width(&hg, &d, k).is_ok());
             }
         }

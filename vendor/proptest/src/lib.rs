@@ -217,7 +217,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy produced by [`vec`].
+        /// Strategy produced by [`vec`](fn@vec).
         pub struct VecStrategy<S> {
             elem: S,
             size: SizeRange,

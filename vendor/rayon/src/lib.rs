@@ -7,8 +7,8 @@
 //! a real work-stealing runtime, architecturally equivalent to the real
 //! crate (so a future swap to crates.io rayon stays a dependency edit):
 //!
-//! * each pool is a [`registry`](registry) of long-lived worker threads,
-//!   one Chase–Lev [`deque`](deque) per worker plus a shared injector for
+//! * each pool is a `registry` of long-lived worker threads,
+//!   one Chase–Lev `deque` per worker plus a shared injector for
 //!   work arriving from outside the pool;
 //! * [`join`] publishes its second closure on the local deque where idle
 //!   workers steal it, and pops it back for inline execution when nobody
@@ -112,6 +112,14 @@ impl ThreadPoolBuilder {
 pub struct ThreadPool {
     registry: Arc<Registry>,
     handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
 }
 
 impl ThreadPool {
