@@ -221,6 +221,67 @@ fn bench_par_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ctrl_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/ctrl_overhead");
+    // The cancellation tax: `Control::checkpoint` sits on every solver's
+    // innermost loop, so its cost *is* the price of interruptibility.
+    // Three tiers, in ascending work per poll:
+    //   - unlimited: one relaxed load of the stop flag;
+    //   - deadline: plus the per-thread poll-stride bookkeeping (clock
+    //     consulted every CLOCK_STRIDE-th poll, amortised to ~nothing);
+    //   - deep child: plus the ancestor stop-flag walk a service's
+    //     root→request→per-width control chain pays (depth 3 here).
+    // Each iteration runs 1024 checkpoints so per-call cost lands in a
+    // measurable range; divide the reported time by 1024.
+    const POLLS_PER_ITER: u32 = 1024;
+    let unlimited = Control::unlimited();
+    g.bench_function("checkpoint_unlimited_x1024", |bch| {
+        bch.iter(|| {
+            for _ in 0..POLLS_PER_ITER {
+                black_box(black_box(&unlimited).checkpoint().is_ok());
+            }
+        })
+    });
+    let deadline = Control::with_timeout(std::time::Duration::from_secs(3600));
+    g.bench_function("checkpoint_deadline_x1024", |bch| {
+        bch.iter(|| {
+            for _ in 0..POLLS_PER_ITER {
+                black_box(black_box(&deadline).checkpoint().is_ok());
+            }
+        })
+    });
+    let root = std::sync::Arc::new(Control::with_timeout(std::time::Duration::from_secs(3600)));
+    let grandchild = root.child().child();
+    g.bench_function("checkpoint_child_depth3_x1024", |bch| {
+        bch.iter(|| {
+            for _ in 0..POLLS_PER_ITER {
+                black_box(black_box(&grandchild).checkpoint().is_ok());
+            }
+        })
+    });
+    // End-to-end: the same solve polled through an unlimited control
+    // versus a (never-firing) deadline chain — the whole-solve overhead
+    // the service adds to every request. The two medians should be
+    // within noise of each other; that *is* the claim.
+    let cyc = families::cycle(24);
+    let solver = LogK::sequential();
+    g.bench_function("solve_cycle24_k2_unlimited", |bch| {
+        bch.iter(|| {
+            let ctrl = Control::unlimited();
+            black_box(solver.decide(black_box(&cyc), 2, &ctrl).unwrap())
+        })
+    });
+    g.bench_function("solve_cycle24_k2_deadline_chain", |bch| {
+        bch.iter(|| {
+            let root =
+                std::sync::Arc::new(Control::with_timeout(std::time::Duration::from_secs(3600)));
+            let ctrl = root.child();
+            black_box(solver.decide(black_box(&cyc), 2, &ctrl).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn bench_subsets(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/subsets");
     let cands: Vec<Edge> = (0..30).map(Edge).collect();
@@ -260,6 +321,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache, bench_pos_cache, bench_lp_prune, bench_par_scaling
+    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache, bench_pos_cache, bench_lp_prune, bench_par_scaling, bench_ctrl_overhead
 }
 criterion_main!(benches);

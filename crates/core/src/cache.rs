@@ -186,6 +186,7 @@ impl SubproblemCache {
         if !self.enabled() {
             return;
         }
+        decomp::faults::hit("logk/cache/insert");
         self.finish_insert(self.table.insert(
             hash,
             arena,
@@ -211,6 +212,7 @@ impl SubproblemCache {
         if !self.enabled() {
             return;
         }
+        decomp::faults::hit("logk/cache/insert");
         let portable = PortableFragment::from_fragment(frag, arena);
         debug_assert_eq!(
             portable.num_special_leaves(),

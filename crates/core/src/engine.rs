@@ -289,6 +289,7 @@ struct LeadRace<'a> {
 }
 
 fn poll(ctrl: &Control, prune: Option<&Prune<'_>>) -> Result<(), Stop> {
+    decomp::faults::hit_ctrl("logk/engine/poll", ctrl);
     ctrl.checkpoint().map_err(Stop::External)?;
     if prune.is_some_and(|p| p.is_set()) {
         return Err(Stop::Pruned);
@@ -834,10 +835,14 @@ pub struct LogKEngine<'h> {
     /// small result, so the per-candidate cost stays proportional to the
     /// allowed set, not to `|E(H)|`.
     edge_rank: Vec<u32>,
-    cache: SubproblemCache,
+    /// Subproblem verdict cache. `Arc`-held so a long-running caller
+    /// ([`Self::with_tables`]) can share one table across solves of the
+    /// same instance at the same width.
+    cache: Arc<SubproblemCache>,
     /// One `det-k-decomp` memo table shared by every hybrid handoff and
-    /// rayon branch (previously each handoff rebuilt a private table).
-    detk_memo: SharedMemo,
+    /// rayon branch (previously each handoff rebuilt a private table);
+    /// `Arc`-held for the same cross-solve sharing as `cache`.
+    detk_memo: Arc<SharedMemo>,
     /// Warm scratch bundles recycled across parallel branches.
     branch_pool: std::sync::Mutex<Vec<BranchScratch>>,
     /// Warm `det-k-decomp` scratch stacks recycled across hybrid
@@ -905,11 +910,42 @@ impl<'h> LogKEngine<'h> {
             cfg,
             stats: EngineStats::default(),
             edge_rank,
-            cache: SubproblemCache::new(cfg.cache_bytes),
-            detk_memo: SharedMemo::new(cfg.k, cfg.detk_cache_cap),
+            cache: Arc::new(SubproblemCache::new(cfg.cache_bytes)),
+            detk_memo: Arc::new(SharedMemo::new(cfg.k, cfg.detk_cache_cap)),
             branch_pool: std::sync::Mutex::new(Vec::new()),
             detk_pool: std::sync::Mutex::new(Vec::new()),
             lp_memo_cap,
+        }
+    }
+
+    /// Like [`Self::new`], but memoising into caller-owned tables, so
+    /// verdicts survive the solve and are shared across solves (the
+    /// `htdserve` server hands repeated queries the same pair).
+    ///
+    /// # Soundness contract
+    ///
+    /// Cached verdicts are relative to a hypergraph and a width bound:
+    /// `cache` must only ever be shared between engines over the **same
+    /// hypergraph** (same edge numbering) at the **same `k`**, and
+    /// `detk_memo.k()` must equal `cfg.k` (asserted). The
+    /// `htdserve::TableHub` enforces this by keying table pairs by
+    /// instance content and width.
+    pub fn with_tables(
+        hg: &'h Hypergraph,
+        ctrl: &'h Control,
+        cfg: EngineConfig,
+        cache: Arc<SubproblemCache>,
+        detk_memo: Arc<SharedMemo>,
+    ) -> Self {
+        assert_eq!(
+            detk_memo.k(),
+            cfg.k,
+            "shared det-k memo must match the engine's width bound"
+        );
+        LogKEngine {
+            cache,
+            detk_memo,
+            ..Self::new(hg, ctrl, cfg)
         }
     }
 
@@ -1077,7 +1113,7 @@ impl<'h> LogKEngine<'h> {
                     });
                 let grow_before = scratch.grow_events();
                 let mut detk = DetKDecomp::new(self.hg, self.cfg.k, self.ctrl)
-                    .with_shared_memo(&self.detk_memo)
+                    .with_shared_memo(self.detk_memo.as_ref())
                     .with_scratch(scratch);
                 let result = detk.decompose(arena, sub, conn).map_err(Stop::External);
                 self.stats.detk_handoffs.fetch_add(1, Ordering::Relaxed);

@@ -26,4 +26,6 @@ pub use engine::{
     CandidateOrder, EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine,
     DEFAULT_CACHE_BYTES, DEFAULT_DETK_CACHE_CAP,
 };
-pub use solver::{shared_pool, LogK, SolveStats, Variant};
+pub use solver::{
+    shared_pool, width_bounds_with, LogK, SharedTables, SolveStats, Variant, WidthBounds,
+};

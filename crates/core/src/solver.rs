@@ -7,17 +7,18 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use decomp::{Control, Decomposition, Interrupted};
 use hypergraph::Hypergraph;
 use rayon::ThreadPool;
 
-use crate::cache::CacheSnapshot;
+use crate::cache::{CacheSnapshot, SubproblemCache};
 use crate::engine::{
     CandidateOrder, EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
     DEFAULT_DETK_CACHE_CAP, DEFAULT_POS_CACHE_MAX_FRAG,
 };
-use detk::MemoSnapshot;
+use detk::{MemoSnapshot, SharedMemo};
 
 /// Process-wide cache of work-stealing pools, keyed by worker count.
 ///
@@ -46,6 +47,90 @@ pub fn shared_pool(threads: usize) -> Arc<ThreadPool> {
                 .expect("rayon pool construction cannot fail for sane sizes"),
         )
     }))
+}
+
+/// A cross-solve memoisation pair: the engine's [`SubproblemCache`] and
+/// the `det-k-decomp` handoff memo, `Arc`-held so repeated solves (and
+/// concurrent solves in a server) warm each other.
+///
+/// # Soundness contract
+///
+/// Cached verdicts are relative to a hypergraph (its edge numbering) and
+/// a width bound `k`. A `SharedTables` value must only be used for solves
+/// of *that* instance at *that* `k`; [`LogK`] enforces this by consulting
+/// an attached pair only when the solve's `k` matches ([`Self::k`]) and —
+/// when the pair was bound to an instance with [`Self::for_instance`] —
+/// the solved hypergraph is the bound one (by address; the
+/// `htdserve::TableHub` canonicalises content-equal instances to one
+/// `Arc`).
+#[derive(Clone)]
+pub struct SharedTables {
+    /// Subproblem verdict cache (positive + negative, byte-budgeted).
+    cache: Arc<SubproblemCache>,
+    /// `det-k-decomp` handoff memo (entry-capped, width-checked).
+    detk_memo: Arc<SharedMemo>,
+    /// The instance the verdicts are relative to, when bound.
+    hg: Option<Arc<Hypergraph>>,
+}
+
+impl SharedTables {
+    /// A fresh unbound pair for width bound `k`. The caller takes on the
+    /// contract of only using it for one instance (see the type docs).
+    pub fn new(k: usize, cache_bytes: usize, detk_cache_cap: usize) -> Self {
+        SharedTables {
+            cache: Arc::new(SubproblemCache::new(cache_bytes)),
+            detk_memo: Arc::new(SharedMemo::new(k, detk_cache_cap)),
+            hg: None,
+        }
+    }
+
+    /// A fresh pair bound to `hg`: solves of any other instance skip it.
+    pub fn for_instance(
+        hg: Arc<Hypergraph>,
+        k: usize,
+        cache_bytes: usize,
+        detk_cache_cap: usize,
+    ) -> Self {
+        SharedTables {
+            hg: Some(hg),
+            ..Self::new(k, cache_bytes, detk_cache_cap)
+        }
+    }
+
+    /// The width bound the pair's verdicts are relative to.
+    pub fn k(&self) -> usize {
+        self.detk_memo.k()
+    }
+
+    /// Counter snapshot of the subproblem cache.
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        self.cache.snapshot()
+    }
+
+    /// Counter snapshot of the `det-k-decomp` memo.
+    pub fn memo_snapshot(&self) -> MemoSnapshot {
+        self.detk_memo.snapshot()
+    }
+
+    /// Whether this pair applies to a solve of `hg` at width `k`.
+    fn applies_to(&self, hg: &Hypergraph, k: usize) -> bool {
+        self.k() == k
+            && self
+                .hg
+                .as_deref()
+                .is_none_or(|bound| std::ptr::eq(bound, hg))
+    }
+}
+
+impl std::fmt::Debug for SharedTables {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTables")
+            .field("k", &self.k())
+            .field("bound", &self.hg.is_some())
+            .field("cache_entries", &self.cache.len())
+            .field("memo_entries", &self.detk_memo.len())
+            .finish()
+    }
 }
 
 /// Search strategy selection.
@@ -97,6 +182,10 @@ pub struct LogK {
     /// λc/λp candidate enumeration order.
     /// See [`EngineConfig::candidate_order`].
     pub candidate_order: CandidateOrder,
+    /// Cross-solve memo tables attached by [`Self::with_shared_tables`];
+    /// consulted only for solves they apply to (matching `k` and, when
+    /// instance-bound, matching hypergraph).
+    pub shared_tables: Option<SharedTables>,
 }
 
 impl LogK {
@@ -115,6 +204,7 @@ impl LogK {
             lambda_p_incremental: false,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
+            shared_tables: None,
         }
     }
 
@@ -209,6 +299,39 @@ impl LogK {
         self
     }
 
+    /// Attaches cross-solve memo tables: solves the pair applies to
+    /// (matching width and, for instance-bound pairs, matching
+    /// hypergraph — see [`SharedTables`]) memoise into it instead of a
+    /// fresh per-solve pair, so repeated and concurrent solves of the
+    /// same query warm each other. Solves the pair does not apply to
+    /// silently build their own tables, keeping width sweeps sound.
+    pub fn with_shared_tables(mut self, tables: SharedTables) -> Self {
+        self.shared_tables = Some(tables);
+        self
+    }
+
+    /// The attached table pair, when it applies to this solve.
+    fn tables_for(&self, hg: &Hypergraph, k: usize) -> Option<SharedTables> {
+        self.shared_tables
+            .as_ref()
+            .filter(|t| t.applies_to(hg, k))
+            .cloned()
+    }
+
+    /// Builds the engine for one solve, routing memoisation into the
+    /// attached shared tables when they apply.
+    fn build_engine<'h>(
+        &self,
+        hg: &'h Hypergraph,
+        ctrl: &'h Control,
+        cfg: EngineConfig,
+    ) -> LogKEngine<'h> {
+        match self.tables_for(hg, cfg.k) {
+            Some(t) => LogKEngine::with_tables(hg, ctrl, cfg, t.cache, t.detk_memo),
+            None => LogKEngine::new(hg, ctrl, cfg),
+        }
+    }
+
     fn engine_config(&self, k: usize) -> EngineConfig {
         EngineConfig {
             parallel_depth: if matches!(self.variant, Variant::Parallel) {
@@ -246,13 +369,16 @@ impl LogK {
         k: usize,
         ctrl: &Control,
     ) -> Result<Option<Decomposition>, Interrupted> {
+        decomp::faults::hit_ctrl("logk/solve", ctrl);
         match self.variant {
             Variant::Basic => crate::basic::decompose_basic(hg, k, ctrl),
-            Variant::Optimized => LogKEngine::new(hg, ctrl, self.engine_config(k)).decompose(),
+            Variant::Optimized => self
+                .build_engine(hg, ctrl, self.engine_config(k))
+                .decompose(),
             Variant::Parallel => {
                 let cfg = self.engine_config(k);
                 match self.solve_pool() {
-                    None => LogKEngine::new(hg, ctrl, cfg).decompose(),
+                    None => self.build_engine(hg, ctrl, cfg).decompose(),
                     Some(pool) => {
                         // The whole solve — λc join-races, hybrid det-k
                         // handoffs included — runs inside the pool's
@@ -260,7 +386,7 @@ impl LogK {
                         // the worker count, exactly, however the search
                         // nests. The pool itself is long-lived (cached or
                         // caller-owned), so no per-solve spawn/join tax.
-                        let engine = LogKEngine::new(hg, ctrl, cfg);
+                        let engine = self.build_engine(hg, ctrl, cfg);
                         pool.scope(|_| engine.decompose())
                     }
                 }
@@ -282,6 +408,7 @@ impl LogK {
         k: usize,
         ctrl: &Control,
     ) -> Result<(Option<Decomposition>, SolveStats), Interrupted> {
+        decomp::faults::hit_ctrl("logk/solve", ctrl);
         match self.variant {
             Variant::Basic => {
                 let d = crate::basic::decompose_basic(hg, k, ctrl)?;
@@ -320,7 +447,7 @@ impl LogK {
                 // `solve_pool` spawns (and caches) threads as a side
                 // effect, which a sequential solve must not trigger.
                 if !matches!(self.variant, Variant::Parallel) {
-                    return run(&LogKEngine::new(hg, ctrl, cfg));
+                    return run(&self.build_engine(hg, ctrl, cfg));
                 }
                 match self.solve_pool() {
                     Some(pool) => {
@@ -331,7 +458,7 @@ impl LogK {
                         // sharing the pool blur into each other's deltas,
                         // same as the ambient path below).
                         let before = pool.scheduler_stats();
-                        let engine = LogKEngine::new(hg, ctrl, cfg);
+                        let engine = self.build_engine(hg, ctrl, cfg);
                         let out = pool.scope(|_| run(&engine));
                         let after = pool.scheduler_stats();
                         out.map(|(d, mut stats)| {
@@ -346,7 +473,7 @@ impl LogK {
                         // (advisory — concurrent solves on the same
                         // global pool blur into each other's deltas).
                         let before = rayon::current_scheduler_stats();
-                        let out = run(&LogKEngine::new(hg, ctrl, cfg));
+                        let out = run(&self.build_engine(hg, ctrl, cfg));
                         let after = rayon::current_scheduler_stats();
                         out.map(|(d, mut stats)| {
                             stats.sched_steals = after.steals.saturating_sub(before.steals);
@@ -377,12 +504,128 @@ impl LogK {
         }
         Ok(None)
     }
+
+    /// Anytime variant of [`Self::minimal_width`]: instead of discarding
+    /// completed `k`-runs on interruption, returns the [`WidthBounds`]
+    /// the sweep *did* prove. See [`width_bounds_with`] for the sweep
+    /// discipline (`per_k_budget` gives each width its own sub-deadline,
+    /// so one hard width cannot starve the rest of the sweep).
+    pub fn width_bounds(
+        &self,
+        hg: &Hypergraph,
+        k_max: usize,
+        ctrl: &Arc<Control>,
+        per_k_budget: Option<Duration>,
+    ) -> WidthBounds {
+        width_bounds_with(hg, k_max, ctrl, per_k_budget, |_| self.clone())
+    }
 }
 
 impl Default for LogK {
     fn default() -> Self {
         Self::sequential()
     }
+}
+
+/// Partial verdict of an interrupted width search — what the sweep
+/// proved before (or despite) running out of budget.
+///
+/// Invariants: every `k < proven_lower` was *refuted* (exhaustive search,
+/// no HD of width `≤ k`), so `hw(H) ≥ proven_lower`; `best_upper` (when
+/// present) was *witnessed*, so `hw(H) ≤ best_upper` and `witness` holds
+/// the validated-by-construction decomposition. When the two meet
+/// ([`Self::exact`]) the width is certified optimal, exactly as in
+/// [`LogK::minimal_width`].
+#[derive(Clone, Debug)]
+pub struct WidthBounds {
+    /// `hw(H) ≥ proven_lower`: all smaller widths exhaustively refuted.
+    pub proven_lower: usize,
+    /// `hw(H) ≤ best_upper`, when some width was witnessed.
+    pub best_upper: Option<usize>,
+    /// The witness decomposition behind `best_upper`.
+    pub witness: Option<Decomposition>,
+    /// Why the sweep ended early, if it did: the last interruption
+    /// observed (a per-`k` sub-deadline or the overall control firing).
+    /// `None` for a completed sweep.
+    pub interrupted: Option<Interrupted>,
+}
+
+impl WidthBounds {
+    /// Whether the bounds meet: the width is certified optimal.
+    pub fn exact(&self) -> bool {
+        self.best_upper == Some(self.proven_lower)
+    }
+}
+
+impl std::fmt::Display for WidthBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.best_upper, self.exact()) {
+            (Some(u), true) => write!(f, "hw = {u}"),
+            (Some(u), false) => write!(f, "{} ≤ hw ≤ {u}", self.proven_lower),
+            (None, _) => write!(f, "hw ≥ {}", self.proven_lower),
+        }
+    }
+}
+
+/// Anytime minimal-width sweep with per-width solver selection: runs
+/// `k = 1, 2, …, k_max` and accumulates [`WidthBounds`] instead of
+/// discarding completed runs on interruption.
+///
+/// Each width runs under a [`Control::child`] of `ctrl` — capped at
+/// `per_k_budget` when given — so a single intractable width times out
+/// *locally* and the sweep moves on: a larger width may still be
+/// witnessed quickly (solvers are typically faster at larger `k` on
+/// positive instances), yielding a genuine `lower ≤ hw ≤ upper` window.
+/// Only when `ctrl` itself fires does the sweep stop. `solver_for(k)`
+/// picks the solver per width — the `htdserve` server uses it to route
+/// each width to its width-matched shared table pair.
+pub fn width_bounds_with(
+    hg: &Hypergraph,
+    k_max: usize,
+    ctrl: &Arc<Control>,
+    per_k_budget: Option<Duration>,
+    solver_for: impl Fn(usize) -> LogK,
+) -> WidthBounds {
+    let mut out = WidthBounds {
+        proven_lower: 1,
+        best_upper: None,
+        witness: None,
+        interrupted: None,
+    };
+    for k in 1..=k_max {
+        if let Err(e) = ctrl.checkpoint() {
+            out.interrupted = Some(e);
+            break;
+        }
+        let child = match per_k_budget {
+            Some(budget) => ctrl.child_with_timeout(budget),
+            None => ctrl.child(),
+        };
+        match solver_for(k).decompose(hg, k, &child) {
+            Ok(Some(d)) => {
+                out.best_upper = Some(k);
+                out.witness = Some(d);
+                break;
+            }
+            // The lower bound only advances through a contiguous refuted
+            // prefix: past a skipped (locally timed-out) width it stays
+            // put, keeping the invariant exact.
+            Ok(None) => {
+                if out.proven_lower == k {
+                    out.proven_lower = k + 1;
+                }
+            }
+            Err(e) => {
+                out.interrupted = Some(e);
+                // The overall control fired: stop. A merely-local
+                // interruption (this width's sub-deadline) skips ahead.
+                if ctrl.checkpoint().is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Search statistics returned by [`LogK::decompose_with_stats`].

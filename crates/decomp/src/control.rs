@@ -4,8 +4,34 @@
 //! (Section 5.1). All solvers in this workspace poll a shared [`Control`]
 //! in their inner search loops, so the harness can enforce timeouts without
 //! killing threads and without ever accepting a partially-computed answer.
+//!
+//! # Linked controls
+//!
+//! A [`Control`] can be the *child* of another ([`Control::child`],
+//! [`Control::child_with_timeout`]), mirroring the engine's `Prune` chain
+//! for nested parallel races: cancelling a parent fires every transitive
+//! child at its next checkpoint. A long-running service hands each request
+//! a child of its own root control — the request's deadline is local, but
+//! one `cancel()` on the root cooperatively stops every in-flight solve
+//! (see the `htdserve` crate). Deadlines fold downward at construction:
+//! a child's effective deadline is the minimum of its own budget and the
+//! parent's, so the chain walk on the hot path touches only stop flags.
+//!
+//! # Hot-path cost
+//!
+//! [`Control::checkpoint`] is called in every inner loop of every solver.
+//! It performs relaxed atomic loads only; the deadline clock
+//! (`Instant::now()`, a syscall on some targets) is consulted on the
+//! *first* poll of a control — so sub-millisecond budgets fire promptly
+//! even on short solves — and then once every [`CLOCK_STRIDE`] polls,
+//! counted on a per-thread counter. Earlier revisions shared one
+//! `AtomicU64` poll counter between all workers, which put a contended
+//! cross-core cache line in every inner loop; the per-thread stride
+//! removes that line entirely (`micro/ctrl_overhead` pins the cost).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a solver stopped early.
@@ -28,76 +54,171 @@ impl std::fmt::Display for Interrupted {
 
 impl std::error::Error for Interrupted {}
 
-/// Shared stop signal. Cheap to poll: a relaxed atomic load in the common
-/// case; the deadline clock is consulted only every 256th poll.
-#[derive(Debug)]
+/// Polls between deadline-clock consultations on one thread (after the
+/// first poll of a control, which always consults the clock).
+pub const CLOCK_STRIDE: u64 = 256;
+
+thread_local! {
+    /// Per-thread poll counter driving the clock stride. Shared by every
+    /// control polled on the thread: a thread alternating between `m`
+    /// deadline controls consults the clock for each roughly every
+    /// `m × CLOCK_STRIDE` of its own polls — still bounded, with no
+    /// cross-core traffic.
+    static POLLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Shared stop signal with an optional deadline and an optional parent
+/// link. Cheap to poll: relaxed atomic loads in the common case (see the
+/// module docs for the clock-stride discipline).
+#[derive(Debug, Default)]
 pub struct Control {
     stop: AtomicBool,
     timed_out: AtomicBool,
     deadline: Option<Instant>,
-    polls: AtomicU64,
+    /// Whether the first checkpoint has consulted the clock yet.
+    armed: AtomicBool,
+    /// Enclosing control; its `stop` fires this one at the next poll.
+    parent: Option<Arc<Control>>,
 }
 
 impl Control {
     /// A control that never fires on its own (cancellable only).
     pub fn unlimited() -> Self {
-        Control {
-            stop: AtomicBool::new(false),
-            timed_out: AtomicBool::new(false),
-            deadline: None,
-            polls: AtomicU64::new(0),
-        }
+        Control::default()
     }
 
     /// A control that times out `budget` from now.
     pub fn with_timeout(budget: Duration) -> Self {
         Control {
-            stop: AtomicBool::new(false),
-            timed_out: AtomicBool::new(false),
-            deadline: Some(Instant::now() + budget),
-            polls: AtomicU64::new(0),
+            deadline: Instant::now().checked_add(budget),
+            ..Control::default()
         }
     }
 
-    /// Requests cancellation; all subsequent checkpoints fail.
+    /// A control that times out at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Control {
+            deadline: Some(deadline),
+            ..Control::default()
+        }
+    }
+
+    /// A child control: fires when `self` fires, and only then.
+    ///
+    /// The child inherits the parent's deadline (folded in at
+    /// construction) and observes the parent's `cancel()` at its next
+    /// checkpoint, however deep the chain. Cancelling the *child* does
+    /// not affect the parent.
+    pub fn child(self: &Arc<Self>) -> Arc<Control> {
+        Arc::new(Control {
+            deadline: self.deadline,
+            parent: Some(Arc::clone(self)),
+            ..Control::default()
+        })
+    }
+
+    /// A child control with its own budget: fires after `budget`, at the
+    /// parent's deadline, or on any ancestor's `cancel()` — whichever
+    /// comes first. This is the per-request deadline primitive of the
+    /// `htdserve` server.
+    pub fn child_with_timeout(self: &Arc<Self>, budget: Duration) -> Arc<Control> {
+        let own = Instant::now().checked_add(budget);
+        let deadline = match (own, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Arc::new(Control {
+            deadline,
+            parent: Some(Arc::clone(self)),
+            ..Control::default()
+        })
+    }
+
+    /// Requests cancellation; all subsequent checkpoints (of this control
+    /// and of every transitive child) fail.
     pub fn cancel(&self) {
         self.stop.store(true, Ordering::Relaxed);
     }
 
+    /// Time left until the deadline (`None` if the control has no
+    /// deadline; zero once it passed). Deadline-aware admission control
+    /// consults this before accepting work it could never finish.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The effective deadline, if any (parent deadlines already folded
+    /// in at construction).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Which interruption this control's own flags record.
+    #[inline]
+    fn kind(&self) -> Interrupted {
+        if self.timed_out.load(Ordering::Relaxed) {
+            Interrupted::Timeout
+        } else {
+            Interrupted::Cancelled
+        }
+    }
+
+    /// Latches an interruption into this control's flags and returns it.
+    #[cold]
+    fn latch(&self, why: Interrupted) -> Interrupted {
+        self.timed_out
+            .store(why == Interrupted::Timeout, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        why
+    }
+
     /// Non-consuming poll used in hot loops.
     ///
-    /// Returns `Err` once cancelled or past the deadline.
+    /// Returns `Err` once cancelled (directly or via an ancestor) or past
+    /// the deadline.
     #[inline]
     pub fn checkpoint(&self) -> Result<(), Interrupted> {
         if self.stop.load(Ordering::Relaxed) {
-            return Err(if self.timed_out.load(Ordering::Relaxed) {
-                Interrupted::Timeout
-            } else {
-                Interrupted::Cancelled
-            });
+            return Err(self.kind());
+        }
+        // Ancestor stop flags (deadlines were folded in at construction,
+        // so this walk is loads only). A fired ancestor is latched
+        // locally: subsequent polls take the one-load fast path above.
+        let mut ancestor = self.parent.as_deref();
+        while let Some(p) = ancestor {
+            if p.stop.load(Ordering::Relaxed) {
+                return Err(self.latch(p.kind()));
+            }
+            ancestor = p.parent.as_deref();
         }
         if let Some(deadline) = self.deadline {
-            // Consult the clock only occasionally; `Instant::now()` is
-            // far more expensive than the atomic increment.
-            let n = self.polls.fetch_add(1, Ordering::Relaxed);
-            if n.is_multiple_of(256) && Instant::now() >= deadline {
-                self.timed_out.store(true, Ordering::Relaxed);
-                self.stop.store(true, Ordering::Relaxed);
-                return Err(Interrupted::Timeout);
+            // Consult the clock on the first poll (short budgets must
+            // fire even on short solves), then on a per-thread stride —
+            // `Instant::now()` is far more expensive than the loads, and
+            // a shared poll counter would be a contended cache line.
+            let check = if self.armed.load(Ordering::Relaxed) {
+                POLLS.with(|c| {
+                    let n = c.get().wrapping_add(1);
+                    c.set(n);
+                    n.is_multiple_of(CLOCK_STRIDE)
+                })
+            } else {
+                self.armed.store(true, Ordering::Relaxed);
+                true
+            };
+            if check && Instant::now() >= deadline {
+                return Err(self.latch(Interrupted::Timeout));
             }
         }
         Ok(())
     }
 
-    /// Whether the control has fired (for display/bookkeeping).
+    /// Whether the control has fired (for display/bookkeeping). Only
+    /// reflects *observed* interruptions: an ancestor's `cancel()` or a
+    /// passed deadline registers here once a checkpoint has seen it.
     pub fn is_stopped(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
-    }
-}
-
-impl Default for Control {
-    fn default() -> Self {
-        Control::unlimited()
     }
 }
 
@@ -122,13 +243,24 @@ mod tests {
     }
 
     #[test]
-    fn deadline_fires_as_timeout() {
+    fn deadline_fires_as_timeout_on_first_poll() {
+        // The first poll always consults the clock: a zero budget fires
+        // without needing CLOCK_STRIDE polls.
         let c = Control::with_timeout(Duration::from_millis(0));
-        // The deadline is checked every 256 polls; loop until it trips.
+        assert_eq!(c.checkpoint(), Err(Interrupted::Timeout));
+    }
+
+    #[test]
+    fn deadline_fires_within_stride() {
+        let c = Control::with_timeout(Duration::from_millis(5));
+        let start = Instant::now();
         let mut fired = None;
-        for _ in 0..1000 {
+        for _ in 0..200_000_000 {
             if let Err(e) = c.checkpoint() {
                 fired = Some(e);
+                break;
+            }
+            if start.elapsed() > Duration::from_secs(30) {
                 break;
             }
         }
@@ -137,11 +269,69 @@ mod tests {
 
     #[test]
     fn cancellation_from_another_thread() {
-        use std::sync::Arc;
         let c = Arc::new(Control::unlimited());
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.cancel());
         h.join().unwrap();
         assert!(c.checkpoint().is_err());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let c = Control::unlimited();
+        assert_eq!(c.remaining(), None);
+        let c = Control::with_timeout(Duration::from_secs(60));
+        let r = c.remaining().unwrap();
+        assert!(r <= Duration::from_secs(60) && r > Duration::from_secs(50));
+        let c = Control::with_timeout(Duration::from_millis(0));
+        // Saturates at zero once passed.
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(c.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn parent_cancel_fires_child_and_grandchild() {
+        let root = Arc::new(Control::unlimited());
+        let child = root.child();
+        let grandchild = child.child();
+        assert!(grandchild.checkpoint().is_ok());
+        root.cancel();
+        assert_eq!(grandchild.checkpoint(), Err(Interrupted::Cancelled));
+        assert_eq!(child.checkpoint(), Err(Interrupted::Cancelled));
+        // The interruption latches: the child now reports stopped.
+        assert!(child.is_stopped());
+    }
+
+    #[test]
+    fn child_cancel_leaves_parent_running() {
+        let root = Arc::new(Control::unlimited());
+        let child = root.child();
+        child.cancel();
+        assert!(child.checkpoint().is_err());
+        assert!(root.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn child_deadline_folds_parent_deadline() {
+        // Parent's tighter deadline wins over the child's longer budget.
+        let root = Arc::new(Control::with_timeout(Duration::from_millis(0)));
+        let child = root.child_with_timeout(Duration::from_secs(3600));
+        assert_eq!(child.checkpoint(), Err(Interrupted::Timeout));
+        // Child's tighter budget wins over the parent's longer one.
+        let root = Arc::new(Control::with_timeout(Duration::from_secs(3600)));
+        let child = root.child_with_timeout(Duration::from_millis(0));
+        assert_eq!(child.checkpoint(), Err(Interrupted::Timeout));
+        assert!(child.remaining().unwrap() < Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn parent_timeout_reports_timeout_in_child() {
+        let root = Arc::new(Control::with_timeout(Duration::from_millis(0)));
+        // The parent observes its deadline...
+        assert_eq!(root.checkpoint(), Err(Interrupted::Timeout));
+        // ...and a deadline-less child classifies the inherited stop as
+        // a timeout, not a cancellation.
+        let child = root.child();
+        assert_eq!(child.checkpoint(), Err(Interrupted::Timeout));
     }
 }

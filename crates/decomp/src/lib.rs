@@ -17,6 +17,7 @@
 
 pub mod control;
 pub mod export;
+pub mod faults;
 pub mod fragment;
 pub mod portable;
 pub mod striped;

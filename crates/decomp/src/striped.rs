@@ -471,6 +471,11 @@ impl<V, R: Retention> StripedTable<V, R> {
         let mut shard = self.shards[(hash as usize) % SHARDS]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
+        // Fault site *inside* the critical section: an injected panic
+        // here poisons the shard mutex mid-insert — the exact scenario
+        // the `unwrap_or_else(into_inner)` recovery pattern exists for.
+        // (The shard's state is still coherent: nothing was mutated yet.)
+        crate::faults::hit("striped/insert_locked");
         if shard.find(hash, arena, sub, conn, allowed).is_some() {
             return InsertOutcome::Duplicate;
         }

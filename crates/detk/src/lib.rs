@@ -269,6 +269,7 @@ impl<'h> DetKDecomp<'h> {
         sub: &Subproblem,
         conn: &VertexSet,
     ) -> Result<Option<Fragment>, Interrupted> {
+        decomp::faults::hit_ctrl("detk/decomp", self.ctrl);
         self.ctrl.checkpoint()?;
         self.depth += 1;
         self.max_depth = self.max_depth.max(self.depth);

@@ -1,0 +1,184 @@
+//! Decomposition-service demo: drives an `htdserve::Server` through a
+//! mixed workload — decisions, an anytime minimal-width sweep, a
+//! deadline-doomed request and (with `--features fault-injection` and
+//! `--inject-panic`) a deliberately panicking solve — then prints every
+//! verdict and the server's final accounting. Exits non-zero if any
+//! verdict is unexpected, so CI can use it as a smoke test.
+//!
+//! Flags: `--executors N` (2), `--workers N` (0 = sequential),
+//! `--queue N` (16), `--deadline-ms N` (5000 default per request),
+//! `--inject-panic` (needs the `fault-injection` feature).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use htdserve::{Outcome, Request, Server, ServerConfig};
+use workloads::families;
+
+struct Args {
+    executors: usize,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    inject_panic: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        executors: 2,
+        workers: 0,
+        queue_depth: 16,
+        deadline_ms: 5000,
+        inject_panic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match flag.as_str() {
+            "--executors" => args.executors = num("--executors"),
+            "--workers" => args.workers = num("--workers"),
+            "--queue" => args.queue_depth = num("--queue"),
+            "--deadline-ms" => args.deadline_ms = num("--deadline-ms") as u64,
+            "--inject-panic" => args.inject_panic = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn describe(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Decided {
+            k,
+            witness: Some(_),
+        } => format!("hw ≤ {k} (witnessed)"),
+        Outcome::Decided { k, witness: None } => format!("hw > {k} (refuted)"),
+        Outcome::Width(b) => format!("{b}"),
+        Outcome::TimedOut => "timed out".into(),
+        Outcome::Cancelled => "cancelled".into(),
+        Outcome::Panicked { message } => format!("panicked: {message}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.inject_panic && cfg!(not(feature = "fault-injection")) {
+        eprintln!("--inject-panic needs --features fault-injection");
+        std::process::exit(2);
+    }
+
+    let server = Server::start(ServerConfig {
+        executors: args.executors,
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        default_deadline: Some(Duration::from_millis(args.deadline_ms)),
+        // A contained panic should be *visible* in the demo, not
+        // silently retried away.
+        max_retries: if args.inject_panic { 0 } else { 1 },
+        ..ServerConfig::default()
+    });
+    println!(
+        "serving with {} executor(s), {} pool worker(s), queue depth {}",
+        args.executors, args.workers, args.queue_depth
+    );
+
+    #[cfg(feature = "fault-injection")]
+    if args.inject_panic {
+        decomp::faults::arm("logk/solve", 1, decomp::faults::Fault::Panic);
+        println!("armed: panic at the first solver entry");
+    }
+
+    // Mixed workload. Expectation key: W = witnessed, R = refuted,
+    // E = exact width, T = timed out, P = panicked, A = any verdict.
+    let cycle = Arc::new(families::cycle(24));
+    let grid = Arc::new(families::grid(4, 4));
+    let hard = Arc::new(families::chorded_cycle(96, 48, 3));
+    let mut workload: Vec<(&str, char, Request)> = Vec::new();
+    if args.inject_panic {
+        // Submitted first so the one-shot fault lands here (with one
+        // executor this is deterministic; with more it usually is).
+        workload.push((
+            "cycle24 k=2 [victim]",
+            'A',
+            Request::decide(Arc::clone(&cycle), 2),
+        ));
+    }
+    workload.extend([
+        ("cycle24 k=2", 'W', Request::decide(Arc::clone(&cycle), 2)),
+        ("cycle24 k=1", 'R', Request::decide(Arc::clone(&cycle), 1)),
+        (
+            "grid4x4 minimal width",
+            'E',
+            Request::minimal_width(Arc::clone(&grid), 4),
+        ),
+        (
+            "chorded(96,48) k=3, 30 ms deadline",
+            'T',
+            Request::decide(Arc::clone(&hard), 3).with_deadline(Duration::from_millis(30)),
+        ),
+        (
+            "cycle24 k=2 (warm resubmit)",
+            'W',
+            Request::decide(Arc::clone(&cycle), 2),
+        ),
+    ]);
+
+    let mut failures = 0;
+    let mut panicked_seen = 0;
+    let tickets: Vec<_> = workload
+        .into_iter()
+        .map(|(name, expect, req)| (name, expect, server.submit(req)))
+        .collect();
+    for (name, expect, ticket) in tickets {
+        let Ok(ticket) = ticket else {
+            println!("  {name:<40} REJECTED: {:?}", ticket.err());
+            failures += 1;
+            continue;
+        };
+        let resp = ticket.wait();
+        let ok = match (expect, &resp.outcome) {
+            (
+                'W',
+                Outcome::Decided {
+                    witness: Some(_), ..
+                },
+            ) => true,
+            ('R', Outcome::Decided { witness: None, .. }) => true,
+            ('E', Outcome::Width(b)) => b.exact(),
+            ('T', Outcome::TimedOut) => true,
+            ('A', _) => true,
+            _ => false,
+        };
+        if let Outcome::Panicked { .. } = &resp.outcome {
+            panicked_seen += 1;
+        }
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {name:<40} {:<28} [queue {:?}, solve {:?}]{}",
+            describe(&resp.outcome),
+            resp.queue_wait,
+            resp.solve_time,
+            if ok { "" } else { "  << UNEXPECTED" },
+        );
+    }
+
+    if args.inject_panic && panicked_seen != 1 {
+        println!("expected exactly one contained panic, saw {panicked_seen}");
+        failures += 1;
+    }
+
+    println!("hub: {:?}", server.hub_snapshot());
+    let stats = server.drain();
+    println!("stats: {stats}");
+
+    if failures > 0 {
+        eprintln!("{failures} unexpected verdict(s)");
+        std::process::exit(1);
+    }
+}

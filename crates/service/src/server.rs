@@ -1,0 +1,616 @@
+//! The decomposition server: bounded admission, deadline-scoped
+//! execution, panic containment, graceful drain.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! submit ──(closed? headroom? queue full?)──▶ bounded queue
+//!                   │ shed                        │
+//!                   ▼                             ▼ executor dequeues
+//!              Err(Rejected)               pre-flight checkpoint
+//!                                                 │
+//!                                       catch_unwind(solve) ⟲ retry
+//!                                                 │
+//!                                          Response { Outcome }
+//! ```
+//!
+//! Every request gets a [`decomp::Control`] *child* of the server's root
+//! control at submit time, capped at the request's deadline — the
+//! deadline therefore spans queue wait, and [`Server::shutdown`]
+//! cancelling the root cooperatively stops every queued *and* in-flight
+//! solve through the parent link, without tearing down threads.
+//!
+//! Panics inside a solve (including ones surfacing through the shared
+//! rayon pool's scope) are contained per request with
+//! [`std::panic::catch_unwind`]: the request gets an
+//! [`Outcome::Panicked`] verdict (after up to
+//! [`ServerConfig::max_retries`] re-executions) and the executor moves
+//! on. A second panic *while containing the first* aborts the process
+//! rather than unwinding into unaccounted state.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::process;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use decomp::{Control, Decomposition, Interrupted};
+use hypergraph::Hypergraph;
+use logk::{
+    width_bounds_with, LogK, SharedTables, Variant, WidthBounds, DEFAULT_CACHE_BYTES,
+    DEFAULT_DETK_CACHE_CAP,
+};
+use rayon::ThreadPool;
+
+use crate::stats::{add_duration, ServiceCounters, ServiceStats};
+use crate::tables::{HubSnapshot, TableHub};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Executor threads dequeuing and running requests (≥ 1 enforced).
+    /// Each runs one request at a time, so this bounds solve concurrency.
+    pub executors: usize,
+    /// Worker threads of the shared work-stealing pool. `> 0` runs every
+    /// solve as [`Variant::Parallel`] on one process-wide pool shared by
+    /// all executors; `0` runs [`Self::solver`] as configured, on the
+    /// executor thread.
+    pub workers: usize,
+    /// Bounded queue capacity (≥ 1 enforced); a full queue sheds with
+    /// [`Rejected::Overloaded`] instead of buffering unboundedly.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Admission headroom: a request whose deadline leaves `≤` this much
+    /// time at submit is shed as [`Rejected::Expired`] rather than
+    /// queued to die.
+    pub min_headroom: Duration,
+    /// Re-executions granted after a contained panic (the deadline keeps
+    /// running; a retry is only attempted while the request's control is
+    /// still live).
+    pub max_retries: u32,
+    /// Per-pair byte budget of each shared subproblem cache.
+    pub cache_bytes: usize,
+    /// Per-pair entry cap of each shared `det-k-decomp` memo.
+    pub detk_cache_cap: usize,
+    /// Distinct instances the table hub keeps warm (LRU beyond this).
+    pub max_instances: usize,
+    /// Per-width sub-deadline for minimal-width sweeps (see
+    /// [`width_bounds_with`]); `None` lets each width run to the
+    /// request deadline.
+    pub width_slice: Option<Duration>,
+    /// Solver template; each request's engine is built from a clone with
+    /// the hub's shared tables (and the shared pool, when `workers > 0`)
+    /// attached.
+    pub solver: LogK,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            executors: 2,
+            workers: 0,
+            queue_depth: 64,
+            default_deadline: None,
+            min_headroom: Duration::ZERO,
+            max_retries: 1,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
+            max_instances: 4,
+            width_slice: None,
+            solver: LogK::sequential(),
+        }
+    }
+}
+
+/// What to compute for one hypergraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Job {
+    /// Decide `hw(H) ≤ k`, returning a witness when it holds.
+    Decide {
+        /// Width bound to decide.
+        k: usize,
+    },
+    /// Anytime minimal-width sweep up to `k_max` (see [`WidthBounds`]).
+    MinimalWidth {
+        /// Largest width the sweep tries.
+        k_max: usize,
+    },
+}
+
+/// One unit of work offered to [`Server::submit`].
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The instance. Content-equal submissions share memo tables (the
+    /// hub canonicalises them), so resubmitting the same query is cheap.
+    pub hg: Arc<Hypergraph>,
+    /// What to compute.
+    pub job: Job,
+    /// Deadline budget, measured from submit (spans queue wait). `None`
+    /// falls back to [`ServerConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A `hw(H) ≤ k` decision request.
+    pub fn decide(hg: Arc<Hypergraph>, k: usize) -> Self {
+        Request {
+            hg,
+            job: Job::Decide { k },
+            deadline: None,
+        }
+    }
+
+    /// A minimal-width request sweeping `k = 1..=k_max`.
+    pub fn minimal_width(hg: Arc<Hypergraph>, k_max: usize) -> Self {
+        Request {
+            hg,
+            job: Job::MinimalWidth { k_max },
+            deadline: None,
+        }
+    }
+
+    /// Caps the request at `budget` from submit time.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+/// Terminal verdict of an executed request.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The decision ran to completion: `witness` is `Some` iff
+    /// `hw(H) ≤ k`.
+    Decided {
+        /// The width bound that was decided.
+        k: usize,
+        /// Validated-by-construction decomposition, when one exists.
+        witness: Option<Decomposition>,
+    },
+    /// Minimal-width verdict — possibly partial bounds if the sweep was
+    /// cut short (check [`WidthBounds::interrupted`]).
+    Width(WidthBounds),
+    /// The deadline expired before a verdict (possibly while queued).
+    TimedOut,
+    /// The request's control was cancelled (server shutdown, or the
+    /// deadline chain's parent firing).
+    Cancelled,
+    /// Every execution attempt panicked; the panic was contained and the
+    /// server kept serving.
+    Panicked {
+        /// The final attempt's panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// The witness decomposition, for outcomes that carry one.
+    pub fn witness(&self) -> Option<&Decomposition> {
+        match self {
+            Outcome::Decided { witness, .. } => witness.as_ref(),
+            Outcome::Width(b) => b.witness.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// A finished request: the verdict plus per-request accounting.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Server-assigned request id (matches [`Ticket::id`]).
+    pub id: u64,
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Time spent queued between admission and execution start.
+    pub queue_wait: Duration,
+    /// Wall-clock execution time (including retries).
+    pub solve_time: Duration,
+    /// Contained-panic re-executions this request consumed.
+    pub retries: u32,
+}
+
+impl Response {
+    /// Synthetic response for a request whose executor went away without
+    /// replying (only possible after a containment abort).
+    fn severed(id: u64) -> Self {
+        Response {
+            id,
+            outcome: Outcome::Cancelled,
+            queue_wait: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            retries: 0,
+        }
+    }
+}
+
+/// Why [`Server::submit`] shed a request at admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded queue is full — retry later or against another
+    /// server. Load shedding, not failure: nothing was enqueued.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        queue_depth: usize,
+    },
+    /// The deadline leaves less than the configured admission headroom.
+    Expired {
+        /// Time the deadline had left at submit.
+        remaining: Duration,
+    },
+    /// The server is shutting down and admits nothing new.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Overloaded { queue_depth } => {
+                write!(f, "queue full ({queue_depth} slots)")
+            }
+            Rejected::Expired { remaining } => {
+                write!(f, "deadline leaves only {remaining:?} at admission")
+            }
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Claim check for an admitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// The server-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request finishes. Admitted requests always get
+    /// a response — shutdown cancels rather than drops them.
+    pub fn wait(self) -> Response {
+        let id = self.id;
+        self.rx.recv().unwrap_or_else(|_| Response::severed(id))
+    }
+
+    /// Non-blocking poll; `None` while the request is still queued or
+    /// running.
+    pub fn try_wait(&self) -> Option<Response> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Response::severed(self.id)),
+        }
+    }
+}
+
+/// An admitted request travelling from `submit` to an executor.
+struct Queued {
+    hg: Arc<Hypergraph>,
+    job: Job,
+    ctrl: Arc<Control>,
+    reply: mpsc::Sender<Response>,
+    enqueued: Instant,
+    id: u64,
+}
+
+/// State shared between the handle, the submit path and the executors.
+struct Inner {
+    cfg: ServerConfig,
+    /// Root of the control chain: every request control is a child, so
+    /// cancelling this cooperatively stops the whole server's work.
+    root: Arc<Control>,
+    counters: ServiceCounters,
+    hub: TableHub,
+    /// Shared work-stealing pool (when `workers > 0`); all executors'
+    /// parallel solves run on it concurrently.
+    pool: Option<Arc<ThreadPool>>,
+    closed: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// Long-running decomposition service.
+///
+/// Owns the executor threads, the shared worker pool and the shared
+/// memo-table hub. See the [module docs](self) for the request
+/// lifecycle; see `crates/harness`'s `serve` binary for a demo driver.
+pub struct Server {
+    inner: Arc<Inner>,
+    /// `Some` while accepting; dropped (closing the queue) on stop.
+    tx: Option<SyncSender<Queued>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the executor threads (and the shared pool, if configured)
+    /// and begins accepting requests.
+    pub fn start(cfg: ServerConfig) -> Server {
+        let pool = (cfg.workers > 0).then(|| logk::shared_pool(cfg.workers));
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_depth.max(1));
+        let executors = cfg.executors.max(1);
+        let inner = Arc::new(Inner {
+            root: Arc::new(Control::unlimited()),
+            counters: ServiceCounters::default(),
+            hub: TableHub::new(cfg.cache_bytes, cfg.detk_cache_cap, cfg.max_instances),
+            pool,
+            closed: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            cfg,
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let executors = (0..executors)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("htdserve-exec-{i}"))
+                    .spawn(move || run_executor(&inner, &rx))
+                    .expect("executor thread spawn cannot fail under normal limits")
+            })
+            .collect();
+        Server {
+            inner,
+            tx: Some(tx),
+            executors,
+        }
+    }
+
+    /// Offers a request. Admission control runs here: a closed server,
+    /// an (almost-)spent deadline, or a full queue shed the request
+    /// *synchronously* with the reason — nothing is buffered beyond the
+    /// bounded queue.
+    pub fn submit(&self, req: Request) -> Result<Ticket, Rejected> {
+        let inner = &self.inner;
+        inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if inner.closed.load(Ordering::Acquire) {
+            inner
+                .counters
+                .rejected_closed
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::ShuttingDown);
+        }
+        // The control is created at submit so the deadline covers queue
+        // wait, and as a child of the root so shutdown reaches it.
+        let ctrl = match req.deadline.or(inner.cfg.default_deadline) {
+            Some(budget) => inner.root.child_with_timeout(budget),
+            None => inner.root.child(),
+        };
+        if let Some(remaining) = ctrl.remaining() {
+            if remaining <= inner.cfg.min_headroom {
+                inner.counters.shed_expired.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::Expired { remaining });
+            }
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        let queued = Queued {
+            hg: req.hg,
+            job: req.job,
+            ctrl,
+            reply,
+            enqueued: Instant::now(),
+            id,
+        };
+        let tx = self
+            .tx
+            .as_ref()
+            .expect("queue is open while the handle is live");
+        match tx.try_send(queued) {
+            Ok(()) => Ok(Ticket { id, rx }),
+            Err(TrySendError::Full(_)) => {
+                inner.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::Overloaded {
+                    queue_depth: inner.cfg.queue_depth.max(1),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                inner
+                    .counters
+                    .rejected_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::ShuttingDown)
+            }
+        }
+    }
+
+    /// Counter snapshot (cheap; callable at any time).
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Shared-table hub counters.
+    pub fn hub_snapshot(&self) -> HubSnapshot {
+        self.inner.hub.snapshot()
+    }
+
+    /// Stops accepting, **cancels** every queued and in-flight request
+    /// through the control chain, waits for the executors to finish
+    /// delivering (cancellation) responses, and returns the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop(true);
+        self.inner.counters.snapshot()
+    }
+
+    /// Graceful variant of [`Self::shutdown`]: stops accepting but lets
+    /// queued and in-flight requests run to their natural verdicts.
+    pub fn drain(mut self) -> ServiceStats {
+        self.stop(false);
+        self.inner.counters.snapshot()
+    }
+
+    fn stop(&mut self, cancel: bool) {
+        self.inner.closed.store(true, Ordering::Release);
+        if cancel {
+            self.inner.root.cancel();
+        }
+        // Closing the queue lets executors drain the backlog, then stop.
+        drop(self.tx.take());
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping the handle shuts the server down (cancelling, like
+    /// [`Self::shutdown`]) — a `Server` never leaks detached executors.
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+impl Inner {
+    /// Builds the solver for one checkout: the configured template with
+    /// the request's shared tables — and the shared pool, when the
+    /// server runs one — attached.
+    fn solver_for(&self, tables: SharedTables) -> LogK {
+        let mut solver = self.cfg.solver.clone().with_shared_tables(tables);
+        if let Some(pool) = &self.pool {
+            solver.variant = Variant::Parallel;
+            solver = solver.with_pool(Arc::clone(pool));
+        }
+        solver
+    }
+
+    /// Runs one request to a verdict (the panic-unsafe part wrapped by
+    /// `execute_one`'s `catch_unwind`).
+    fn solve(&self, q: &Queued) -> Outcome {
+        match q.job {
+            Job::Decide { k } => {
+                let (hg, tables) = self.hub.checkout(&q.hg, k);
+                match self.solver_for(tables).decompose(&hg, k, &q.ctrl) {
+                    Ok(witness) => Outcome::Decided { k, witness },
+                    Err(Interrupted::Timeout) => Outcome::TimedOut,
+                    Err(Interrupted::Cancelled) => Outcome::Cancelled,
+                }
+            }
+            Job::MinimalWidth { k_max } => {
+                // Canonicalise once so the sweep solves the instance the
+                // per-width table pairs are bound to.
+                let (hg, _) = self.hub.checkout(&q.hg, 1);
+                let bounds = width_bounds_with(&hg, k_max, &q.ctrl, self.cfg.width_slice, |k| {
+                    let (_, tables) = self.hub.checkout(&q.hg, k);
+                    self.solver_for(tables)
+                });
+                Outcome::Width(bounds)
+            }
+        }
+    }
+}
+
+/// Executor main loop: dequeue, execute, repeat until the queue closes.
+fn run_executor(inner: &Arc<Inner>, rx: &Arc<Mutex<Receiver<Queued>>>) {
+    loop {
+        // Holding the lock across `recv` is the standard shared-receiver
+        // pattern: the blocked holder releases it as soon as an item (or
+        // disconnect) arrives, so only the dequeue handoff serialises.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match next {
+            Ok(q) => execute_one(inner, q),
+            Err(_) => break, // queue closed and drained
+        }
+    }
+}
+
+/// Runs one dequeued request: pre-flight deadline check, panic-contained
+/// execution with retries, accounting, reply.
+fn execute_one(inner: &Arc<Inner>, q: Queued) {
+    let c = &inner.counters;
+    c.admitted.fetch_add(1, Ordering::Relaxed);
+    let queue_wait = q.enqueued.elapsed();
+    add_duration(&c.queue_wait_ns, queue_wait);
+
+    // Pre-flight: the deadline may have expired (or shutdown fired)
+    // while the request sat queued — don't start a doomed solve.
+    let preempted = match q.ctrl.checkpoint() {
+        Ok(()) => None,
+        Err(Interrupted::Timeout) => Some(Outcome::TimedOut),
+        Err(Interrupted::Cancelled) => Some(Outcome::Cancelled),
+    };
+
+    let started = Instant::now();
+    let mut retries = 0u32;
+    let outcome = match preempted {
+        Some(o) => o,
+        None => loop {
+            match panic::catch_unwind(AssertUnwindSafe(|| inner.solve(&q))) {
+                Ok(outcome) => break outcome,
+                Err(payload) => {
+                    // A panic *while containing this panic* (exotic
+                    // payload Drop, poisoned accounting) must abort the
+                    // process, not unwind the executor into silence.
+                    let guard = AbortOnPanic;
+                    let message = panic_message(payload.as_ref());
+                    drop(payload);
+                    c.panicked.fetch_add(1, Ordering::Relaxed);
+                    let retry = retries < inner.cfg.max_retries && q.ctrl.checkpoint().is_ok();
+                    std::mem::forget(guard);
+                    if retry {
+                        retries += 1;
+                        c.retried.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    break Outcome::Panicked { message };
+                }
+            }
+        },
+    };
+    let solve_time = started.elapsed();
+    add_duration(&c.solve_ns, solve_time);
+
+    let class = match &outcome {
+        Outcome::Decided { .. } => &c.completed,
+        // A sweep counts as completed when it proved what it was asked
+        // (exact) or ran out of widths, as timed-out/cancelled when the
+        // interruption cut it short of that.
+        Outcome::Width(b) => match (b.exact(), b.interrupted) {
+            (true, _) | (false, None) => &c.completed,
+            (false, Some(Interrupted::Timeout)) => &c.timed_out,
+            (false, Some(Interrupted::Cancelled)) => &c.cancelled,
+        },
+        Outcome::TimedOut => &c.timed_out,
+        Outcome::Cancelled => &c.cancelled,
+        Outcome::Panicked { .. } => &c.failed,
+    };
+    class.fetch_add(1, Ordering::Relaxed);
+
+    // A dropped ticket just means nobody is waiting; not an error.
+    let _ = q.reply.send(Response {
+        id: q.id,
+        outcome,
+        queue_wait,
+        solve_time,
+        retries,
+    });
+}
+
+/// Aborts the process if dropped; disarm with [`std::mem::forget`].
+struct AbortOnPanic;
+
+impl Drop for AbortOnPanic {
+    fn drop(&mut self) {
+        eprintln!("htdserve: panic while containing a panic; aborting");
+        process::abort();
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -1,0 +1,127 @@
+//! Service-level counters.
+//!
+//! One `ServiceCounters` value lives inside the server and is bumped
+//! lock-free from the submit path and the executor threads; callers read
+//! consistent-enough [`ServiceStats`] snapshots at any time (each field
+//! is individually atomic — a snapshot taken mid-request may be ahead on
+//! one counter and behind on another, which is fine for monitoring).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters; see [`ServiceStats`] for field semantics.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceCounters {
+    pub submitted: AtomicU64,
+    pub shed_overload: AtomicU64,
+    pub shed_expired: AtomicU64,
+    pub rejected_closed: AtomicU64,
+    pub admitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub panicked: AtomicU64,
+    pub failed: AtomicU64,
+    pub retried: AtomicU64,
+    pub queue_wait_ns: AtomicU64,
+    pub solve_ns: AtomicU64,
+}
+
+impl ServiceCounters {
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: ld(&self.submitted),
+            shed_overload: ld(&self.shed_overload),
+            shed_expired: ld(&self.shed_expired),
+            rejected_closed: ld(&self.rejected_closed),
+            admitted: ld(&self.admitted),
+            completed: ld(&self.completed),
+            timed_out: ld(&self.timed_out),
+            cancelled: ld(&self.cancelled),
+            panicked: ld(&self.panicked),
+            failed: ld(&self.failed),
+            retried: ld(&self.retried),
+            queue_wait: Duration::from_nanos(ld(&self.queue_wait_ns)),
+            solve_time: Duration::from_nanos(ld(&self.solve_ns)),
+        }
+    }
+}
+
+/// Bumps `counter` by `d` (saturating at `u64::MAX` nanoseconds — ~584
+/// years of aggregate time, i.e. never in practice).
+pub(crate) fn add_duration(counter: &AtomicU64, d: Duration) {
+    let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    counter.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Point-in-time snapshot of a server's request accounting.
+///
+/// The request-count invariants (once the server has drained):
+///
+/// * `submitted = shed_overload + shed_expired + rejected_closed +
+///   admitted`, and
+/// * `admitted = completed + timed_out + cancelled + failed`.
+///
+/// [`Self::panicked`] counts *panic events contained* (per attempt), not
+/// requests: a request that panics once and succeeds on retry moves
+/// `panicked`, `retried` *and* `completed`. [`Self::failed`] counts
+/// requests whose final outcome was a panic verdict.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests offered to [`crate::Server::submit`].
+    pub submitted: u64,
+    /// Requests shed at admission because the queue was full.
+    pub shed_overload: u64,
+    /// Requests shed at admission because their deadline left less than
+    /// the configured headroom (or had already passed).
+    pub shed_expired: u64,
+    /// Requests rejected because the server was shutting down.
+    pub rejected_closed: u64,
+    /// Requests dequeued by an executor (admission succeeded).
+    pub admitted: u64,
+    /// Requests that ran to a verdict ([`crate::Outcome::Decided`], or a
+    /// [`crate::Outcome::Width`] sweep that was not cut short).
+    pub completed: u64,
+    /// Requests whose final outcome was a deadline expiry.
+    pub timed_out: u64,
+    /// Requests whose final outcome was a cancellation (their own
+    /// control's, or the server-wide cancel on shutdown).
+    pub cancelled: u64,
+    /// Panic events contained by an executor (per attempt; see type docs).
+    pub panicked: u64,
+    /// Requests whose final outcome was [`crate::Outcome::Panicked`].
+    pub failed: u64,
+    /// Re-executions after a contained panic.
+    pub retried: u64,
+    /// Aggregate time requests spent queued between admission and
+    /// execution start.
+    pub queue_wait: Duration,
+    /// Aggregate wall-clock time executors spent solving (including
+    /// retries).
+    pub solve_time: Duration,
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted {} | shed {}+{} | closed {} | admitted {} | \
+             completed {} timed-out {} cancelled {} failed {} | \
+             panics {} retries {} | queue-wait {:?} solve {:?}",
+            self.submitted,
+            self.shed_overload,
+            self.shed_expired,
+            self.rejected_closed,
+            self.admitted,
+            self.completed,
+            self.timed_out,
+            self.cancelled,
+            self.failed,
+            self.panicked,
+            self.retried,
+            self.queue_wait,
+            self.solve_time,
+        )
+    }
+}
