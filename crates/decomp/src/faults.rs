@@ -11,7 +11,11 @@
 //! * [`Fault::Delay`] — sleep, simulating a stalled solve so deadlines
 //!   and load shedding are testable without giant instances;
 //! * [`Fault::Cancel`] — spuriously cancel the solve's [`Control`]
-//!   (sites that carry one), simulating an external kill mid-search.
+//!   (sites that carry one), simulating an external kill mid-search;
+//! * [`Fault::Net`] — network chaos for wire-protocol sites (see
+//!   [`NetFault`]): the registry only *schedules* the misbehaviour; the
+//!   site's owner (the `htdwire` crate) interprets it against its own
+//!   socket via [`take_net`], so this crate stays free of any I/O types.
 //!
 //! Determinism: hits are counted per site **from the moment the site is
 //! armed**, so `arm(site, 3, Fault::Panic)` fires on exactly the third
@@ -27,7 +31,7 @@
 //! [`Control`]: crate::Control
 
 #[cfg(feature = "fault-injection")]
-pub use enabled::{arm, armed_sites, hits, reset, Fault};
+pub use enabled::{arm, armed_sites, hits, reset, take_net, Fault, NetFault};
 
 #[cfg(feature = "fault-injection")]
 mod enabled {
@@ -49,6 +53,42 @@ mod enabled {
         Delay(Duration),
         /// Cancel the solve's [`Control`] (no-op at sites without one).
         Cancel,
+        /// Network misbehaviour, interpreted by wire-protocol sites via
+        /// [`take_net`]. A no-op when it fires at a site that is polled
+        /// through [`hit`](super::hit)/[`hit_ctrl`](super::hit_ctrl)
+        /// instead.
+        Net(NetFault),
+    }
+
+    /// What a fired [`Fault::Net`] asks the owning socket operation to
+    /// do. The registry carries only the *plan*; the wire layer executes
+    /// it against its own streams, so each variant's exact meaning is
+    /// per-site (documented at the site):
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum NetFault {
+        /// Tear the connection down immediately (mid-frame when armed on
+        /// a write site with a frame in flight).
+        Disconnect,
+        /// Perform only the first `keep` bytes of the operation, then
+        /// tear the connection down — a torn frame / partial write.
+        Truncate {
+            /// Bytes actually transferred before the cut.
+            keep: usize,
+        },
+        /// Dribble the operation `chunk` bytes at a time, sleeping
+        /// `delay` between chunks — a slow-loris peer.
+        Throttle {
+            /// Bytes per dribble.
+            chunk: usize,
+            /// Pause between dribbles.
+            delay: Duration,
+        },
+        /// Stall the operation (e.g. an accept loop) for `delay` before
+        /// proceeding normally.
+        Stall {
+            /// How long the site stalls.
+            delay: Duration,
+        },
     }
 
     struct Site {
@@ -136,7 +176,7 @@ mod enabled {
             None => {}
             Some(Fault::Panic) => panic!("fault-injection: deliberate panic at `{site}`"),
             Some(Fault::Delay(d)) => std::thread::sleep(d),
-            Some(Fault::Cancel) => {}
+            Some(Fault::Cancel) | Some(Fault::Net(_)) => {}
         }
     }
 
@@ -149,6 +189,28 @@ mod enabled {
             Some(Fault::Panic) => panic!("fault-injection: deliberate panic at `{site}`"),
             Some(Fault::Delay(d)) => std::thread::sleep(d),
             Some(Fault::Cancel) => ctrl.cancel(),
+            Some(Fault::Net(_)) => {}
+        }
+    }
+
+    /// A network fault site: records a hit and returns the fired
+    /// [`NetFault`] for the caller to execute against its socket.
+    ///
+    /// Non-network faults armed on such a site keep their usual
+    /// semantics ([`Fault::Panic`] unwinds, [`Fault::Delay`] sleeps,
+    /// [`Fault::Cancel`] is a no-op), so a single site name can be
+    /// driven with either kind. Same determinism contract as
+    /// [`hit`](super::hit): one-shot, ordinal counted from arming.
+    #[inline]
+    pub fn take_net(site: &'static str) -> Option<NetFault> {
+        match trip(site) {
+            None | Some(Fault::Cancel) => None,
+            Some(Fault::Panic) => panic!("fault-injection: deliberate panic at `{site}`"),
+            Some(Fault::Delay(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            Some(Fault::Net(n)) => Some(n),
         }
     }
 }
@@ -229,6 +291,42 @@ mod tests {
         let t0 = Instant::now();
         hit("faults/test/delay");
         assert!(t0.elapsed() >= Duration::from_millis(20));
+        reset();
+    }
+
+    #[test]
+    fn net_faults_surface_only_through_take_net() {
+        let _g = guard();
+        reset();
+        arm(
+            "faults/test/net",
+            2,
+            Fault::Net(NetFault::Truncate { keep: 7 }),
+        );
+        // A net fault firing at a plain `hit` site is a no-op...
+        assert_eq!(take_net("faults/test/net"), None); // hit 1: not yet
+        assert_eq!(
+            take_net("faults/test/net"),
+            Some(NetFault::Truncate { keep: 7 })
+        );
+        // ...and one-shot: disarmed afterwards.
+        assert_eq!(take_net("faults/test/net"), None);
+        assert!(armed_sites().is_empty());
+        // Non-network faults keep their semantics at net sites.
+        arm("faults/test/net2", 1, Fault::Panic);
+        let err = std::panic::catch_unwind(|| take_net("faults/test/net2"));
+        assert!(err.is_err(), "panic fault must unwind from take_net");
+        reset();
+    }
+
+    #[test]
+    fn net_fault_is_inert_at_plain_hit_sites() {
+        let _g = guard();
+        reset();
+        arm("faults/test/net3", 1, Fault::Net(NetFault::Disconnect));
+        hit("faults/test/net3"); // must not panic or sleep
+        assert_eq!(hits("faults/test/net3"), 1);
+        assert!(armed_sites().is_empty(), "fired and disarmed");
         reset();
     }
 

@@ -1,8 +1,11 @@
-//! Decomposition-service demo: drives an `htdserve::Server` through a
-//! mixed workload — decisions, an anytime minimal-width sweep, a
-//! deadline-doomed request and (with `--features fault-injection` and
-//! `--inject-panic`) a deliberately panicking solve — then prints every
-//! verdict and the server's final accounting. Exits non-zero if any
+//! Decomposition-service demo: drives the same mixed workload through
+//! BOTH service paths — in-process `htdserve::Server::submit`, then the
+//! full wire stack (`htdwire::WireServer` on a loopback socket, spoken
+//! through the retrying `htdwire::WireClient`) — and prints every
+//! verdict plus each server's final accounting. With `--features
+//! fault-injection` and `--inject-panic`, each phase additionally
+//! absorbs one deliberately panicking solve and verifies it surfaced as
+//! exactly one contained `Panicked` verdict. Exits non-zero if any
 //! verdict is unexpected, so CI can use it as a smoke test.
 //!
 //! Flags: `--executors N` (2), `--workers N` (0 = sequential),
@@ -13,6 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use htdserve::{Outcome, Request, Server, ServerConfig};
+use htdwire::{ClientConfig, JobSpec, WireClient, WireConfig, WireOutcome, WireServer};
 use workloads::families;
 
 struct Args {
@@ -50,6 +54,86 @@ fn parse_args() -> Args {
     args
 }
 
+/// Expectation key: W = witnessed, R = refuted, E = exact width,
+/// T = timed out, P = panicked, A = any verdict.
+struct Item {
+    name: &'static str,
+    expect: char,
+    edges: Vec<Vec<u32>>,
+    /// `(k, decide?)`: decide `hw ≤ k` or sweep widths up to `k`.
+    k: u32,
+    decide: bool,
+    deadline: Option<Duration>,
+}
+
+fn edge_lists(hg: &hypergraph::Hypergraph) -> Vec<Vec<u32>> {
+    hg.edge_ids()
+        .map(|e| hg.edge(e).iter().map(|v| v.0).collect())
+        .collect()
+}
+
+/// The mixed workload both phases run. The victim (when panic injection
+/// is on) is prepended by the phases themselves so it deterministically
+/// absorbs the one-shot fault.
+fn workload() -> Vec<Item> {
+    let cycle = edge_lists(&families::cycle(24));
+    let grid = edge_lists(&families::grid(4, 4));
+    let hard = edge_lists(&families::chorded_cycle(96, 48, 3));
+    vec![
+        Item {
+            name: "cycle24 k=2",
+            expect: 'W',
+            edges: cycle.clone(),
+            k: 2,
+            decide: true,
+            deadline: None,
+        },
+        Item {
+            name: "cycle24 k=1",
+            expect: 'R',
+            edges: cycle.clone(),
+            k: 1,
+            decide: true,
+            deadline: None,
+        },
+        Item {
+            name: "grid4x4 minimal width",
+            expect: 'E',
+            edges: grid,
+            k: 4,
+            decide: false,
+            deadline: None,
+        },
+        Item {
+            name: "chorded(96,48) k=3, 30 ms deadline",
+            expect: 'T',
+            edges: hard,
+            k: 3,
+            decide: true,
+            deadline: Some(Duration::from_millis(30)),
+        },
+        Item {
+            name: "cycle24 k=2 (warm resubmit)",
+            expect: 'W',
+            edges: cycle,
+            k: 2,
+            decide: true,
+            deadline: None,
+        },
+    ]
+}
+
+fn victim() -> Item {
+    Item {
+        name: "cycle24 k=2 [victim]",
+        expect: 'A',
+        edges: edge_lists(&families::cycle(24)),
+        k: 2,
+        decide: true,
+        deadline: None,
+    }
+}
+
 fn describe(outcome: &Outcome) -> String {
     match outcome {
         Outcome::Decided {
@@ -64,14 +148,51 @@ fn describe(outcome: &Outcome) -> String {
     }
 }
 
-fn main() {
-    let args = parse_args();
-    if args.inject_panic && cfg!(not(feature = "fault-injection")) {
-        eprintln!("--inject-panic needs --features fault-injection");
-        std::process::exit(2);
+fn describe_wire(outcome: &WireOutcome) -> String {
+    match outcome {
+        WireOutcome::Decided {
+            k,
+            witness: Some(_),
+        } => format!("hw ≤ {k} (witnessed)"),
+        WireOutcome::Decided { k, witness: None } => format!("hw > {k} (refuted)"),
+        WireOutcome::Width {
+            proven_lower,
+            best_upper,
+            ..
+        } => format!("bounds [{proven_lower}, {best_upper:?}]"),
+        WireOutcome::TimedOut => "timed out".into(),
+        WireOutcome::Cancelled => "cancelled".into(),
+        WireOutcome::Panicked { message } => format!("panicked: {message}"),
     }
+}
 
-    let server = Server::start(ServerConfig {
+/// `(ok, panicked)` for one verdict against its expectation.
+fn judge_wire(expect: char, outcome: &WireOutcome) -> (bool, bool) {
+    let ok = match (expect, outcome) {
+        (
+            'W',
+            WireOutcome::Decided {
+                witness: Some(_), ..
+            },
+        ) => true,
+        ('R', WireOutcome::Decided { witness: None, .. }) => true,
+        (
+            'E',
+            WireOutcome::Width {
+                proven_lower,
+                best_upper,
+                ..
+            },
+        ) => *best_upper == Some(*proven_lower),
+        ('T', WireOutcome::TimedOut) => true,
+        ('A', _) => true,
+        _ => false,
+    };
+    (ok, matches!(outcome, WireOutcome::Panicked { .. }))
+}
+
+fn service_config(args: &Args) -> ServerConfig {
+    ServerConfig {
         executors: args.executors,
         workers: args.workers,
         queue_depth: args.queue_depth,
@@ -80,58 +201,52 @@ fn main() {
         // silently retried away.
         max_retries: if args.inject_panic { 0 } else { 1 },
         ..ServerConfig::default()
-    });
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+fn arm_panic() {
+    decomp::faults::arm("logk/solve", 1, decomp::faults::Fault::Panic);
+    println!("armed: panic at the first solver entry");
+}
+
+/// Phase 1: the workload through `Server::submit` directly.
+fn run_in_process(args: &Args) -> usize {
     println!(
-        "serving with {} executor(s), {} pool worker(s), queue depth {}",
+        "[in-process] {} executor(s), {} pool worker(s), queue depth {}",
         args.executors, args.workers, args.queue_depth
     );
+    let server = Server::start(service_config(args));
 
     #[cfg(feature = "fault-injection")]
     if args.inject_panic {
-        decomp::faults::arm("logk/solve", 1, decomp::faults::Fault::Panic);
-        println!("armed: panic at the first solver entry");
+        arm_panic();
     }
 
-    // Mixed workload. Expectation key: W = witnessed, R = refuted,
-    // E = exact width, T = timed out, P = panicked, A = any verdict.
-    let cycle = Arc::new(families::cycle(24));
-    let grid = Arc::new(families::grid(4, 4));
-    let hard = Arc::new(families::chorded_cycle(96, 48, 3));
-    let mut workload: Vec<(&str, char, Request)> = Vec::new();
+    let mut items = Vec::new();
     if args.inject_panic {
-        // Submitted first so the one-shot fault lands here (with one
-        // executor this is deterministic; with more it usually is).
-        workload.push((
-            "cycle24 k=2 [victim]",
-            'A',
-            Request::decide(Arc::clone(&cycle), 2),
-        ));
+        // Submitted (and with one executor, executed) first, so the
+        // one-shot fault lands here.
+        items.push(victim());
     }
-    workload.extend([
-        ("cycle24 k=2", 'W', Request::decide(Arc::clone(&cycle), 2)),
-        ("cycle24 k=1", 'R', Request::decide(Arc::clone(&cycle), 1)),
-        (
-            "grid4x4 minimal width",
-            'E',
-            Request::minimal_width(Arc::clone(&grid), 4),
-        ),
-        (
-            "chorded(96,48) k=3, 30 ms deadline",
-            'T',
-            Request::decide(Arc::clone(&hard), 3).with_deadline(Duration::from_millis(30)),
-        ),
-        (
-            "cycle24 k=2 (warm resubmit)",
-            'W',
-            Request::decide(Arc::clone(&cycle), 2),
-        ),
-    ]);
+    items.extend(workload());
 
     let mut failures = 0;
     let mut panicked_seen = 0;
-    let tickets: Vec<_> = workload
+    let tickets: Vec<_> = items
         .into_iter()
-        .map(|(name, expect, req)| (name, expect, server.submit(req)))
+        .map(|item| {
+            let hg = Arc::new(hypergraph::Hypergraph::from_edge_lists(&item.edges));
+            let mut req = if item.decide {
+                Request::decide(hg, item.k as usize)
+            } else {
+                Request::minimal_width(hg, item.k as usize)
+            };
+            if let Some(d) = item.deadline {
+                req = req.with_deadline(d);
+            }
+            (item.name, item.expect, server.submit(req))
+        })
         .collect();
     for (name, expect, ticket) in tickets {
         let Ok(ticket) = ticket else {
@@ -176,6 +291,109 @@ fn main() {
     println!("hub: {:?}", server.hub_snapshot());
     let stats = server.drain();
     println!("stats: {stats}");
+    failures
+}
+
+/// Phase 2: the same workload over a loopback socket through the
+/// retrying wire client.
+fn run_over_wire(args: &Args) -> usize {
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        WireConfig {
+            service: service_config(args),
+            ..WireConfig::default()
+        },
+    )
+    .expect("bind wire server");
+    let addr = server.local_addr();
+    println!("[wire] same workload via {addr} through htdwire::WireClient");
+    let client = WireClient::new(addr, ClientConfig::default());
+
+    let mut failures = 0;
+    let mut panicked_seen = 0;
+
+    #[cfg(feature = "fault-injection")]
+    if args.inject_panic {
+        arm_panic();
+    }
+    if args.inject_panic {
+        // Run the victim to completion first so the one-shot fault
+        // deterministically lands on it even with many executors.
+        let item = victim();
+        let spec = JobSpec::decide(item.edges, item.k);
+        match client.request(spec) {
+            Ok(reply) => {
+                let (_, panicked) = judge_wire(item.expect, &reply.outcome);
+                if panicked {
+                    panicked_seen += 1;
+                }
+                println!("  {:<40} {}", item.name, describe_wire(&reply.outcome));
+            }
+            Err(e) => {
+                println!("  {:<40} CLIENT ERROR: {e}", item.name);
+                failures += 1;
+            }
+        }
+    }
+
+    for item in workload() {
+        let mut spec = if item.decide {
+            JobSpec::decide(item.edges, item.k)
+        } else {
+            JobSpec::minimal_width(item.edges, item.k)
+        };
+        if let Some(d) = item.deadline {
+            spec = spec.with_deadline(d);
+        }
+        match client.request(spec) {
+            Ok(reply) => {
+                let (ok, panicked) = judge_wire(item.expect, &reply.outcome);
+                if panicked {
+                    panicked_seen += 1;
+                }
+                if !ok {
+                    failures += 1;
+                }
+                println!(
+                    "  {:<40} {:<28} [queue {:?}, solve {:?}, attempts {}]{}",
+                    item.name,
+                    describe_wire(&reply.outcome),
+                    reply.queue_wait,
+                    reply.solve_time,
+                    reply.attempts,
+                    if ok { "" } else { "  << UNEXPECTED" },
+                );
+            }
+            Err(e) => {
+                println!("  {:<40} CLIENT ERROR: {e}", item.name);
+                failures += 1;
+            }
+        }
+    }
+
+    if args.inject_panic && panicked_seen != 1 {
+        println!("expected exactly one contained panic over the wire, saw {panicked_seen}");
+        failures += 1;
+    }
+
+    let report = server.drain();
+    println!(
+        "wire: {} connection(s), {} replies, {} rejects",
+        report.wire.connections_accepted, report.wire.replies_sent, report.wire.rejects_sent
+    );
+    println!("stats: {}", report.service);
+    failures
+}
+
+fn main() {
+    let args = parse_args();
+    if args.inject_panic && cfg!(not(feature = "fault-injection")) {
+        eprintln!("--inject-panic needs --features fault-injection");
+        std::process::exit(2);
+    }
+
+    let mut failures = run_in_process(&args);
+    failures += run_over_wire(&args);
 
     if failures > 0 {
         eprintln!("{failures} unexpected verdict(s)");

@@ -49,6 +49,7 @@
 //! named solver checkpoints and asserts the blast radius stays one
 //! request wide.
 
+pub mod queue;
 pub mod server;
 pub mod stats;
 pub mod tables;

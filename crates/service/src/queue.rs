@@ -1,0 +1,215 @@
+//! Bounded, deadline-ordered admission queue.
+//!
+//! PR 6 queued admitted requests FIFO through an `mpsc::sync_channel`,
+//! which is exactly wrong under deadline pressure: a burst of
+//! short-deadline requests parks behind earlier long-deadline work and
+//! expires in the queue while the executors burn time on requests that
+//! could have afforded to wait. `DeadlineQueue` replaces it with
+//! earliest-deadline-first ordering:
+//!
+//! * entries are ordered by their control's **effective deadline**
+//!   (parent deadlines already folded in), earliest first;
+//! * deadline-less entries sort after every deadline and FIFO among
+//!   themselves (submission sequence breaks all ties, so ordering is
+//!   total and starvation-free for equal deadlines);
+//! * capacity is a hard bound enforced at push — the submit path sheds
+//!   with `Overloaded` exactly as the old bounded channel did;
+//! * already-expired entries are the *first* thing an executor sees
+//!   (an expired deadline is the earliest deadline of all), so hopeless
+//!   requests are shed at dequeue in O(log n) each, before any solve
+//!   starts, instead of lingering behind live work.
+//!
+//! The queue is a plain `Mutex<BinaryHeap>` + `Condvar`. Admission and
+//! dequeue are O(log n) with one uncontended lock each; the executors'
+//! solve time dwarfs that by orders of magnitude (the queue hand-off
+//! replaced an mpsc channel that also took a lock per transfer).
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why [`DeadlineQueue::try_push`] refused an item.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError<T> {
+    /// The queue holds `capacity` items; nothing was enqueued.
+    Full(T),
+    /// [`DeadlineQueue::close`] was called; nothing was enqueued.
+    Closed(T),
+}
+
+struct Entry<T> {
+    /// Effective deadline; `None` sorts after every `Some`.
+    deadline: Option<Instant>,
+    /// Submission sequence number: total-order tie-break (FIFO among
+    /// equal deadlines and among deadline-less entries).
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    /// `BinaryHeap` is a max-heap, so "greatest" must mean "dequeue
+    /// next": earlier deadlines (and, within a deadline class, earlier
+    /// sequence numbers) compare *greater*.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let urgency = match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        urgency.then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    closed: bool,
+    next_seq: u64,
+}
+
+/// Bounded earliest-deadline-first queue (see the module docs).
+pub(crate) struct DeadlineQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on push and on close.
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> DeadlineQueue<T> {
+    /// An open queue holding at most `capacity.max(1)` items.
+    pub(crate) fn new(capacity: usize) -> Self {
+        DeadlineQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                closed: false,
+                next_seq: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item` under `deadline`, or sheds it synchronously.
+    pub(crate) fn try_push(&self, deadline: Option<Instant>, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.heap.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(Entry {
+            deadline,
+            seq,
+            item,
+        });
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the most urgent item; `None` once the queue is closed
+    /// **and** drained (items enqueued before `close` are still handed
+    /// out — the drain path depends on that).
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(e) = s.heap.pop() {
+                return Some(e.item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, and every blocked and
+    /// future `pop` returns `None` once the backlog is drained.
+    pub(crate) fn close(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.closed = true;
+        drop(s);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn orders_by_deadline_then_fifo() {
+        let q = DeadlineQueue::new(8);
+        let t0 = Instant::now();
+        let at = |ms| Some(t0 + Duration::from_millis(ms));
+        q.try_push(at(300), "late").unwrap();
+        q.try_push(None, "never-a").unwrap();
+        q.try_push(at(100), "early").unwrap();
+        q.try_push(None, "never-b").unwrap();
+        q.try_push(at(200), "mid").unwrap();
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["early", "mid", "late", "never-a", "never-b"]);
+    }
+
+    #[test]
+    fn equal_deadlines_stay_fifo() {
+        let q = DeadlineQueue::new(8);
+        let d = Some(Instant::now() + Duration::from_millis(50));
+        for i in 0..5 {
+            q.try_push(d, i).unwrap();
+        }
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_sheds_and_close_rejects() {
+        let q = DeadlineQueue::new(2);
+        q.try_push(None, 1).unwrap();
+        q.try_push(None, 2).unwrap();
+        assert_eq!(q.try_push(None, 3), Err(PushError::Full(3)));
+        q.close();
+        assert_eq!(q.try_push(None, 4), Err(PushError::Closed(4)));
+        // The backlog survives the close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(DeadlineQueue::<u32>::new(2));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(None, 7).unwrap();
+        q.close();
+        let mut got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, [None, None, Some(7)]);
+    }
+}

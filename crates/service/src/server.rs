@@ -4,7 +4,7 @@
 //! # Request lifecycle
 //!
 //! ```text
-//! submit ──(closed? headroom? queue full?)──▶ bounded queue
+//! submit ──(closed? headroom? queue full?)──▶ bounded EDF queue
 //!                   │ shed                        │
 //!                   ▼                             ▼ executor dequeues
 //!              Err(Rejected)               pre-flight checkpoint
@@ -13,6 +13,13 @@
 //!                                                 │
 //!                                          Response { Outcome }
 //! ```
+//!
+//! The queue is **deadline-ordered** (earliest effective deadline first,
+//! FIFO among deadline-less requests — see [`crate::queue`]): under
+//! backlog, urgent work overtakes patient work, and a request that
+//! expired while queued is the first thing an executor sees — it is shed
+//! at the pre-flight checkpoint (counted in
+//! [`ServiceStats::expired_in_queue`]) before any solve starts.
 //!
 //! Every request gets a [`decomp::Control`] *child* of the server's root
 //! control at submit time, capped at the request's deadline — the
@@ -31,7 +38,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::process;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,6 +51,7 @@ use logk::{
 };
 use rayon::ThreadPool;
 
+use crate::queue::{DeadlineQueue, PushError};
 use crate::stats::{add_duration, ServiceCounters, ServiceStats};
 use crate::tables::{HubSnapshot, TableHub};
 
@@ -320,12 +328,16 @@ struct Inner {
 ///
 /// Owns the executor threads, the shared worker pool and the shared
 /// memo-table hub. See the [module docs](self) for the request
-/// lifecycle; see `crates/harness`'s `serve` binary for a demo driver.
+/// lifecycle; see `crates/harness`'s `serve` binary for a demo driver
+/// and the `htdwire` crate for the TCP frontend.
 pub struct Server {
     inner: Arc<Inner>,
-    /// `Some` while accepting; dropped (closing the queue) on stop.
-    tx: Option<SyncSender<Queued>>,
-    executors: Vec<JoinHandle<()>>,
+    /// Deadline-ordered admission queue; closed on stop.
+    queue: Arc<DeadlineQueue<Queued>>,
+    /// Executor join handles, drained exactly once by whichever stop
+    /// path runs first (interior mutability so a frontend holding the
+    /// server behind an `Arc` can stop it through `&self`).
+    executors: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -333,7 +345,7 @@ impl Server {
     /// and begins accepting requests.
     pub fn start(cfg: ServerConfig) -> Server {
         let pool = (cfg.workers > 0).then(|| logk::shared_pool(cfg.workers));
-        let (tx, rx) = mpsc::sync_channel(cfg.queue_depth.max(1));
+        let queue = Arc::new(DeadlineQueue::new(cfg.queue_depth));
         let executors = cfg.executors.max(1);
         let inner = Arc::new(Inner {
             root: Arc::new(Control::unlimited()),
@@ -344,21 +356,20 @@ impl Server {
             next_id: AtomicU64::new(0),
             cfg,
         });
-        let rx = Arc::new(Mutex::new(rx));
         let executors = (0..executors)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("htdserve-exec-{i}"))
-                    .spawn(move || run_executor(&inner, &rx))
+                    .spawn(move || run_executor(&inner, &queue))
                     .expect("executor thread spawn cannot fail under normal limits")
             })
             .collect();
         Server {
             inner,
-            tx: Some(tx),
-            executors,
+            queue,
+            executors: Mutex::new(executors),
         }
     }
 
@@ -390,6 +401,7 @@ impl Server {
         }
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
+        let deadline = ctrl.deadline();
         let queued = Queued {
             hg: req.hg,
             job: req.job,
@@ -398,19 +410,15 @@ impl Server {
             enqueued: Instant::now(),
             id,
         };
-        let tx = self
-            .tx
-            .as_ref()
-            .expect("queue is open while the handle is live");
-        match tx.try_send(queued) {
+        match self.queue.try_push(deadline, queued) {
             Ok(()) => Ok(Ticket { id, rx }),
-            Err(TrySendError::Full(_)) => {
+            Err(PushError::Full(_)) => {
                 inner.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
                 Err(Rejected::Overloaded {
                     queue_depth: inner.cfg.queue_depth.max(1),
                 })
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(PushError::Closed(_)) => {
                 inner
                     .counters
                     .rejected_closed
@@ -433,26 +441,57 @@ impl Server {
     /// Stops accepting, **cancels** every queued and in-flight request
     /// through the control chain, waits for the executors to finish
     /// delivering (cancellation) responses, and returns the final stats.
-    pub fn shutdown(mut self) -> ServiceStats {
-        self.stop(true);
-        self.inner.counters.snapshot()
+    pub fn shutdown(self) -> ServiceStats {
+        self.halt(true)
     }
 
     /// Graceful variant of [`Self::shutdown`]: stops accepting but lets
     /// queued and in-flight requests run to their natural verdicts.
-    pub fn drain(mut self) -> ServiceStats {
-        self.stop(false);
+    pub fn drain(self) -> ServiceStats {
+        self.halt(false)
+    }
+
+    /// Closes admission *without* stopping the executors: subsequent
+    /// submits shed with [`Rejected::ShuttingDown`] while queued and
+    /// in-flight requests run to their natural verdicts. First phase of
+    /// a graceful frontend drain — follow with [`Self::halt`] (or
+    /// [`Self::drain`]) once attached clients have been seen off.
+    pub fn begin_drain(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+
+    /// Closes admission **and** cancels every queued and in-flight
+    /// request through the control chain, without stopping the
+    /// executors: blocked [`Ticket::wait`]s resolve to
+    /// [`Outcome::Cancelled`] promptly. First phase of a frontend
+    /// shutdown — follow with [`Self::halt`] (or [`Self::shutdown`]).
+    pub fn begin_shutdown(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.root.cancel();
+    }
+
+    /// Full stop through a shared reference (for frontends holding the
+    /// server behind an `Arc`): closes admission, cancels when `cancel`,
+    /// closes the queue, joins the executors, and returns the final
+    /// stats. Idempotent — later calls (and the drop guard) see the
+    /// executor list already drained and return immediately.
+    pub fn halt(&self, cancel: bool) -> ServiceStats {
+        self.stop(cancel);
         self.inner.counters.snapshot()
     }
 
-    fn stop(&mut self, cancel: bool) {
+    fn stop(&self, cancel: bool) {
         self.inner.closed.store(true, Ordering::Release);
         if cancel {
             self.inner.root.cancel();
         }
         // Closing the queue lets executors drain the backlog, then stop.
-        drop(self.tx.take());
-        for h in self.executors.drain(..) {
+        self.queue.close();
+        let handles: Vec<_> = {
+            let mut ex = self.executors.lock().unwrap_or_else(|e| e.into_inner());
+            ex.drain(..).collect()
+        };
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -505,20 +544,11 @@ impl Inner {
     }
 }
 
-/// Executor main loop: dequeue, execute, repeat until the queue closes.
-fn run_executor(inner: &Arc<Inner>, rx: &Arc<Mutex<Receiver<Queued>>>) {
-    loop {
-        // Holding the lock across `recv` is the standard shared-receiver
-        // pattern: the blocked holder releases it as soon as an item (or
-        // disconnect) arrives, so only the dequeue handoff serialises.
-        let next = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv()
-        };
-        match next {
-            Ok(q) => execute_one(inner, q),
-            Err(_) => break, // queue closed and drained
-        }
+/// Executor main loop: dequeue most-urgent-first, execute, repeat until
+/// the queue closes and drains.
+fn run_executor(inner: &Arc<Inner>, queue: &Arc<DeadlineQueue<Queued>>) {
+    while let Some(q) = queue.pop() {
+        execute_one(inner, q);
     }
 }
 
@@ -531,10 +561,16 @@ fn execute_one(inner: &Arc<Inner>, q: Queued) {
     add_duration(&c.queue_wait_ns, queue_wait);
 
     // Pre-flight: the deadline may have expired (or shutdown fired)
-    // while the request sat queued — don't start a doomed solve.
+    // while the request sat queued — don't start a doomed solve. With
+    // EDF ordering, expired requests are the most urgent of all, so a
+    // backlog of hopeless work is shed here in one cheap pass instead of
+    // interleaving with live solves.
     let preempted = match q.ctrl.checkpoint() {
         Ok(()) => None,
-        Err(Interrupted::Timeout) => Some(Outcome::TimedOut),
+        Err(Interrupted::Timeout) => {
+            c.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+            Some(Outcome::TimedOut)
+        }
         Err(Interrupted::Cancelled) => Some(Outcome::Cancelled),
     };
 

@@ -17,6 +17,7 @@ pub(crate) struct ServiceCounters {
     pub shed_expired: AtomicU64,
     pub rejected_closed: AtomicU64,
     pub admitted: AtomicU64,
+    pub expired_in_queue: AtomicU64,
     pub completed: AtomicU64,
     pub timed_out: AtomicU64,
     pub cancelled: AtomicU64,
@@ -36,6 +37,7 @@ impl ServiceCounters {
             shed_expired: ld(&self.shed_expired),
             rejected_closed: ld(&self.rejected_closed),
             admitted: ld(&self.admitted),
+            expired_in_queue: ld(&self.expired_in_queue),
             completed: ld(&self.completed),
             timed_out: ld(&self.timed_out),
             cancelled: ld(&self.cancelled),
@@ -67,6 +69,15 @@ pub(crate) fn add_duration(counter: &AtomicU64, d: Duration) {
 /// requests: a request that panics once and succeeds on retry moves
 /// `panicked`, `retried` *and* `completed`. [`Self::failed`] counts
 /// requests whose final outcome was a panic verdict.
+///
+/// Deadline expiry is split by *where* it was caught:
+/// [`Self::shed_expired`] counts requests shed **at submit** (they were
+/// never admitted), while [`Self::expired_in_queue`] counts admitted
+/// requests whose deadline passed **while queued** — those are shed at
+/// the executor's pre-flight checkpoint without starting a solve, and
+/// their terminal outcome is `TimedOut`, so `expired_in_queue ≤
+/// timed_out` always (the difference is requests that expired
+/// mid-solve).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests offered to [`crate::Server::submit`].
@@ -80,6 +91,10 @@ pub struct ServiceStats {
     pub rejected_closed: u64,
     /// Requests dequeued by an executor (admission succeeded).
     pub admitted: u64,
+    /// Admitted requests whose deadline had already passed at dequeue;
+    /// shed at pre-flight (no solve started). A subset of
+    /// [`Self::timed_out`].
+    pub expired_in_queue: u64,
     /// Requests that ran to a verdict ([`crate::Outcome::Decided`], or a
     /// [`crate::Outcome::Width`] sweep that was not cut short).
     pub completed: u64,
@@ -107,7 +122,7 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "submitted {} | shed {}+{} | closed {} | admitted {} | \
-             completed {} timed-out {} cancelled {} failed {} | \
+             completed {} timed-out {} (in-queue {}) cancelled {} failed {} | \
              panics {} retries {} | queue-wait {:?} solve {:?}",
             self.submitted,
             self.shed_overload,
@@ -116,6 +131,7 @@ impl std::fmt::Display for ServiceStats {
             self.admitted,
             self.completed,
             self.timed_out,
+            self.expired_in_queue,
             self.cancelled,
             self.failed,
             self.panicked,

@@ -270,6 +270,140 @@ fn reject_after_close() {
     // the type system already prevents use-after-shutdown here.)
 }
 
+/// Deadline-ordered admission: with the single executor pinned by a
+/// long-running request, a later-submitted request with an *earlier*
+/// deadline overtakes an earlier-submitted request with a later
+/// deadline.
+#[test]
+fn queue_is_deadline_ordered_not_fifo() {
+    let server = Server::start(ServerConfig {
+        executors: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    // Pin the executor: a refutation search that runs out its 300 ms
+    // deadline (chorded cycles at low k search exhaustively).
+    let hard = Arc::new(families::chorded_cycle(64, 24, 7));
+    let blocker = server
+        .submit(Request::decide(hard, 3).with_deadline(Duration::from_millis(300)))
+        .unwrap();
+    // Queue two easy requests while the executor is busy: FIFO would run
+    // `patient` first; EDF must run `urgent` first.
+    let patient = server
+        .submit(Request::decide(cycle(12), 2).with_deadline(Duration::from_secs(60)))
+        .unwrap();
+    let urgent = server
+        .submit(Request::decide(cycle(12), 2).with_deadline(Duration::from_secs(5)))
+        .unwrap();
+
+    // Responses arrive in execution order; queue_wait is measured from
+    // submit to dequeue, so the overtaking request must show a *smaller*
+    // gap between its wait and the blocker's runtime.
+    let urgent_resp = urgent.wait();
+    let patient_resp = patient.wait();
+    assert!(matches!(
+        urgent_resp.outcome,
+        Outcome::Decided {
+            witness: Some(_),
+            ..
+        }
+    ));
+    assert!(matches!(
+        patient_resp.outcome,
+        Outcome::Decided {
+            witness: Some(_),
+            ..
+        }
+    ));
+    assert!(
+        urgent_resp.queue_wait < patient_resp.queue_wait,
+        "urgent (submitted later, wait {:?}) must dequeue before patient \
+         (wait {:?})",
+        urgent_resp.queue_wait,
+        patient_resp.queue_wait,
+    );
+    blocker.wait();
+    let stats = server.shutdown();
+    assert_eq!(stats.completed + stats.timed_out, 3, "{stats}");
+}
+
+/// A request whose deadline passes while it is queued is shed at
+/// dequeue — counted in `expired_in_queue` (and in `timed_out`, keeping
+/// the admitted-class invariant), with no solve started.
+#[test]
+fn queued_past_deadline_is_shed_at_dequeue() {
+    let server = Server::start(ServerConfig {
+        executors: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    let hard = Arc::new(families::chorded_cycle(64, 24, 7));
+    // Pin the executor for ~150 ms...
+    let blocker = server
+        .submit(Request::decide(hard, 3).with_deadline(Duration::from_millis(150)))
+        .unwrap();
+    // Let the executor actually dequeue the blocker — otherwise EDF runs
+    // the short-deadline request first, while it is still live.
+    std::thread::sleep(Duration::from_millis(40));
+    // ...and queue a request that can only expire behind it.
+    let doomed = server
+        .submit(Request::decide(cycle(12), 2).with_deadline(Duration::from_millis(20)))
+        .unwrap();
+    assert!(matches!(doomed.wait().outcome, Outcome::TimedOut));
+    assert!(matches!(blocker.wait().outcome, Outcome::TimedOut));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.expired_in_queue, 1, "{stats}");
+    // Both timed out, but only the queued one counts as in-queue expiry;
+    // the invariant admitted = completed + timed_out + cancelled + failed
+    // still holds with the split counter.
+    assert_eq!(stats.timed_out, 2, "{stats}");
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.timed_out + stats.cancelled + stats.failed,
+        "{stats}"
+    );
+    assert!(stats.expired_in_queue <= stats.timed_out);
+    assert_eq!(stats.shed_expired, 0, "at-submit shedding is separate");
+}
+
+/// Deadline-less requests keep FIFO order among themselves and never
+/// starve: they run after deadlined work, in submission order.
+#[test]
+fn deadline_less_requests_fifo_after_deadlined() {
+    let server = Server::start(ServerConfig {
+        executors: 1,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    });
+    let hard = Arc::new(families::chorded_cycle(64, 24, 7));
+    let blocker = server
+        .submit(Request::decide(hard, 3).with_deadline(Duration::from_millis(200)))
+        .unwrap();
+    let no_deadline = server.submit(Request::decide(cycle(12), 2)).unwrap();
+    let deadlined = server
+        .submit(Request::decide(cycle(12), 2).with_deadline(Duration::from_secs(60)))
+        .unwrap();
+    let no_deadline_resp = no_deadline.wait();
+    let deadlined_resp = deadlined.wait();
+    assert!(
+        deadlined_resp.queue_wait < no_deadline_resp.queue_wait,
+        "deadlined request (wait {:?}) must overtake the deadline-less \
+         one (wait {:?})",
+        deadlined_resp.queue_wait,
+        no_deadline_resp.queue_wait,
+    );
+    assert!(matches!(
+        no_deadline_resp.outcome,
+        Outcome::Decided {
+            witness: Some(_),
+            ..
+        }
+    ));
+    blocker.wait();
+    server.shutdown();
+}
+
 /// The parallel configuration (shared pool across executors) produces
 /// the same verdicts as sequential.
 #[test]

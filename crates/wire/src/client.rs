@@ -1,0 +1,517 @@
+//! The retrying wire client.
+//!
+//! [`WireClient::request`] runs one job to a verdict across connection
+//! failures and server backpressure:
+//!
+//! * **Jittered exponential backoff.** Retryable failures wait
+//!   `random(0 ..= base·2^attempt)` (full jitter, capped), never less
+//!   than the server's `retry_after_ms` hint when one came with an
+//!   [`WireError::Overloaded`] reject.
+//! * **Bounded retries.** At most [`ClientConfig::max_attempts`]
+//!   attempts; terminal rejections ([`WireError::is_backpressure`]
+//!   `== false`) stop immediately.
+//! * **Idempotency honesty.** If a connection dies *after* the submit
+//!   frame was (possibly partially) written and the job was marked
+//!   non-idempotent, the client refuses to blind-retry and returns
+//!   [`ClientError::Ambiguous`] — the server may or may not have run
+//!   it. Idempotent jobs (all decomposition queries are) retry freely.
+//! * **Hedged resubmission.** With [`ClientConfig::hedge_after`] set,
+//!   an idempotent request that hasn't answered within the hedge delay
+//!   is raced by a second, independent attempt; first verdict wins.
+//!   Non-idempotent jobs are never hedged. (Duplicated work is cheap
+//!   server-side: the service canonicalises content-equal instances,
+//!   so the loser mostly hits warm tables.)
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::codec::FrameDecoder;
+use crate::net;
+use crate::proto::{Message, WireError, WireJob, WireOutcome, MAX_VERSION, MIN_VERSION};
+
+/// Configuration for [`WireClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read poll granularity while waiting for frames.
+    pub read_tick: Duration,
+    /// Per-attempt cap on waiting for the verdict once submitted.
+    /// `None` trusts the server's deadline handling (recommended when
+    /// requests carry deadlines).
+    pub reply_timeout: Option<Duration>,
+    /// Total attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Hedge delay: race a second attempt for idempotent requests that
+    /// haven't answered within this long. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Decoder payload cap (must be ≥ the server's replies).
+    pub max_payload: u32,
+    /// Seed for backoff jitter (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_tick: Duration::from_millis(10),
+            reply_timeout: None,
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            hedge_after: None,
+            max_payload: crate::codec::DEFAULT_MAX_PAYLOAD,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// One job to run over the wire.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// What to compute.
+    pub job: WireJob,
+    /// The instance as vertex-index edge lists.
+    pub edges: Vec<Vec<u32>>,
+    /// Deadline budget, measured from server admission.
+    pub deadline: Option<Duration>,
+    /// Whether blind retry/hedging is safe. Decomposition queries are
+    /// pure, so this defaults to `true`; flip it to model effectful
+    /// requests and exercise the ambiguity path.
+    pub idempotent: bool,
+}
+
+impl JobSpec {
+    /// A `hw(H) ≤ k` decision for the instance given as edge lists.
+    pub fn decide(edges: Vec<Vec<u32>>, k: u32) -> Self {
+        JobSpec {
+            job: WireJob::Decide { k },
+            edges,
+            deadline: None,
+            idempotent: true,
+        }
+    }
+
+    /// A minimal-width sweep up to `k_max`.
+    pub fn minimal_width(edges: Vec<Vec<u32>>, k_max: u32) -> Self {
+        JobSpec {
+            job: WireJob::MinimalWidth { k_max },
+            edges,
+            deadline: None,
+            idempotent: true,
+        }
+    }
+
+    /// Caps the request at `budget` from server admission.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Marks the job unsafe to blind-retry (see [`ClientError::Ambiguous`]).
+    pub fn non_idempotent(mut self) -> Self {
+        self.idempotent = false;
+        self
+    }
+}
+
+/// A verdict, with both server- and client-side accounting.
+#[derive(Clone, Debug)]
+pub struct ClientReply {
+    /// The verdict.
+    pub outcome: WireOutcome,
+    /// Server-side queue wait.
+    pub queue_wait: Duration,
+    /// Server-side solve time.
+    pub solve_time: Duration,
+    /// Contained-panic re-executions the server consumed.
+    pub server_retries: u32,
+    /// Connection/submit attempts this client made (1 = first try won).
+    pub attempts: u32,
+    /// Whether the hedge (not the primary) produced this verdict.
+    pub hedged: bool,
+}
+
+/// Why [`WireClient::request`] gave up.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// Terminal rejection from the server.
+    Rejected(WireError),
+    /// The peer broke protocol (bad frame, wrong id, wrong kind).
+    Protocol(String),
+    /// A non-idempotent submit may or may not have executed; the
+    /// client refuses to guess.
+    Ambiguous {
+        /// Attempts made before ambiguity stopped the retry loop.
+        attempts: u32,
+    },
+    /// All attempts failed with retryable errors.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the final failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected(e) => write!(f, "rejected: {e}"),
+            ClientError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            ClientError::Ambiguous { attempts } => write!(
+                f,
+                "non-idempotent request outcome unknown after {attempts} attempt(s)"
+            ),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What one attempt produced (internal).
+enum AttemptError {
+    /// Server said no, typed.
+    Reject(WireError),
+    /// Transport failed; `submitted` = the submit frame had (possibly
+    /// partially) left the client.
+    Io { submitted: bool, err: io::Error },
+    /// Peer broke protocol — not retryable.
+    Protocol(String),
+}
+
+struct Inner {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    rng: Mutex<StdRng>,
+    next_id: AtomicU64,
+}
+
+/// The retrying client. Cheap to clone handles are not provided —
+/// wrap in `Arc` to share, or create one per thread (connections are
+/// per-request anyway).
+pub struct WireClient {
+    inner: Arc<Inner>,
+}
+
+impl WireClient {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr, cfg: ClientConfig) -> WireClient {
+        WireClient {
+            inner: Arc::new(Inner {
+                addr,
+                cfg: ClientConfig {
+                    max_attempts: cfg.max_attempts.max(1),
+                    ..cfg
+                },
+                rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Runs `spec` to a verdict, retrying and (if configured) hedging.
+    pub fn request(&self, spec: JobSpec) -> Result<ClientReply, ClientError> {
+        match self.inner.cfg.hedge_after {
+            Some(delay) if spec.idempotent => self.request_hedged(spec, delay),
+            _ => self.inner.retry_loop(&spec).map(|mut r| {
+                r.hedged = false;
+                r
+            }),
+        }
+    }
+
+    /// Races a second attempt after `delay`; first verdict wins. The
+    /// loser keeps running detached (its reply is discarded). Hedging
+    /// covers *slowness*; outright failures are the retry loop's job —
+    /// a primary that fails before the hedge delay elapses just
+    /// reports its error.
+    fn request_hedged(&self, spec: JobSpec, delay: Duration) -> Result<ClientReply, ClientError> {
+        let (tx, rx) = mpsc::channel::<(bool, Result<ClientReply, ClientError>)>();
+        let spawn_racer = |hedged: bool| {
+            let inner = Arc::clone(&self.inner);
+            let spec = spec.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send((hedged, inner.retry_loop(&spec)));
+            });
+        };
+        spawn_racer(false);
+        let (first, racers) = match rx.recv_timeout(delay) {
+            Ok(res) => (res, 1),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                spawn_racer(true);
+                let res = rx.recv().expect("a racer always reports");
+                (res, 2)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("tx is still held by this frame")
+            }
+        };
+        match first {
+            (who, Ok(mut reply)) => {
+                reply.hedged = who;
+                Ok(reply)
+            }
+            (_, Err(first_err)) if racers == 2 => {
+                // First finisher failed but a second racer is live: its
+                // verdict decides.
+                match rx.recv().expect("second racer always reports") {
+                    (who, Ok(mut reply)) => {
+                        reply.hedged = who;
+                        Ok(reply)
+                    }
+                    (_, Err(_)) => Err(first_err),
+                }
+            }
+            (_, Err(first_err)) => Err(first_err),
+        }
+    }
+}
+
+impl Inner {
+    fn retry_loop(&self, spec: &JobSpec) -> Result<ClientReply, ClientError> {
+        let mut last = String::from("no attempt made");
+        let mut attempt = 0u32;
+        while attempt < self.cfg.max_attempts {
+            attempt += 1;
+            match self.attempt(spec) {
+                Ok((outcome, queue_wait, solve_time, server_retries)) => {
+                    return Ok(ClientReply {
+                        outcome,
+                        queue_wait,
+                        solve_time,
+                        server_retries,
+                        attempts: attempt,
+                        hedged: false,
+                    })
+                }
+                Err(AttemptError::Reject(e)) if e.is_backpressure() => {
+                    let hint = match &e {
+                        WireError::Overloaded { retry_after_ms, .. } => {
+                            Duration::from_millis(*retry_after_ms as u64)
+                        }
+                        _ => Duration::ZERO,
+                    };
+                    last = format!("backpressure: {e}");
+                    if attempt < self.cfg.max_attempts {
+                        std::thread::sleep(self.backoff(attempt, hint));
+                    }
+                }
+                Err(AttemptError::Reject(e)) => return Err(ClientError::Rejected(e)),
+                Err(AttemptError::Io { submitted, err }) => {
+                    if submitted && !spec.idempotent {
+                        return Err(ClientError::Ambiguous { attempts: attempt });
+                    }
+                    last = format!("transport: {err}");
+                    if attempt < self.cfg.max_attempts {
+                        std::thread::sleep(self.backoff(attempt, Duration::ZERO));
+                    }
+                }
+                Err(AttemptError::Protocol(s)) => return Err(ClientError::Protocol(s)),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: attempt,
+            last,
+        })
+    }
+
+    /// Full-jitter exponential backoff, floored at the server's hint.
+    fn backoff(&self, attempt: u32, hint: Duration) -> Duration {
+        let exp = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cfg.max_backoff);
+        let jittered = {
+            let mut rng = self.rng.lock().expect("rng");
+            Duration::from_nanos(rng.random_range(0..=exp.as_nanos() as u64))
+        };
+        jittered.max(hint)
+    }
+
+    /// One connect → hello → submit → reply cycle.
+    #[allow(clippy::type_complexity)]
+    fn attempt(
+        &self,
+        spec: &JobSpec,
+    ) -> Result<(WireOutcome, Duration, Duration, u32), AttemptError> {
+        let io_err = |submitted: bool| move |err: io::Error| AttemptError::Io { submitted, err };
+        let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
+            .map_err(io_err(false))?;
+        stream.set_nodelay(true).map_err(io_err(false))?;
+        stream
+            .set_read_timeout(Some(self.cfg.read_tick))
+            .map_err(io_err(false))?;
+        let mut conn = Conn {
+            stream,
+            decoder: FrameDecoder::new(self.cfg.max_payload),
+            tick: self.cfg.read_tick,
+        };
+
+        // Version handshake.
+        let hello = Message::Hello {
+            min_version: MIN_VERSION,
+            max_version: MAX_VERSION,
+        };
+        conn.write(&hello).map_err(io_err(false))?;
+        match conn.read_message(None).map_err(io_err(false))? {
+            Message::HelloAck { version } if (MIN_VERSION..=MAX_VERSION).contains(&version) => {}
+            Message::HelloAck { version } => {
+                return Err(AttemptError::Protocol(format!(
+                    "server acked unoffered version {version}"
+                )))
+            }
+            Message::Reject { error, .. } => return Err(AttemptError::Reject(error)),
+            other => {
+                return Err(AttemptError::Protocol(format!(
+                    "expected HelloAck, got {:?}",
+                    other.kind()
+                )))
+            }
+        }
+
+        // Submit. From the first byte written, the server may have the
+        // request: any later transport failure is ambiguous.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let submit = Message::Submit {
+            id,
+            job: spec.job,
+            deadline_ms: spec.deadline.map(|d| d.as_millis().max(1) as u64),
+            idempotent: spec.idempotent,
+            edges: spec.edges.clone(),
+        };
+        conn.write(&submit).map_err(io_err(true))?;
+
+        let wait_cap = self.cfg.reply_timeout;
+        match conn.read_message(wait_cap).map_err(io_err(true))? {
+            Message::Reply {
+                id: rid,
+                outcome,
+                queue_wait_ns,
+                solve_ns,
+                retries,
+            } => {
+                if rid != id {
+                    return Err(AttemptError::Protocol(format!(
+                        "reply for id {rid}, expected {id}"
+                    )));
+                }
+                Ok((
+                    outcome,
+                    Duration::from_nanos(queue_wait_ns),
+                    Duration::from_nanos(solve_ns),
+                    retries,
+                ))
+            }
+            Message::Reject { id: rid, error } => {
+                if rid != id && rid != crate::proto::NO_REQUEST {
+                    return Err(AttemptError::Protocol(format!(
+                        "reject for id {rid}, expected {id}"
+                    )));
+                }
+                Err(AttemptError::Reject(error))
+            }
+            Message::Goodbye { .. } => {
+                // The server is closing without answering; whether
+                // the job ran is unknown → transport-class failure.
+                Err(AttemptError::Io {
+                    submitted: true,
+                    err: io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "server said goodbye before replying",
+                    ),
+                })
+            }
+            other => Err(AttemptError::Protocol(format!(
+                "unexpected frame {:?} while awaiting reply",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// One live connection: a stream plus its frame decoder.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    tick: Duration,
+}
+
+impl Conn {
+    fn write(&mut self, msg: &Message) -> io::Result<()> {
+        net::write_frame(&mut self.stream, &msg.encode_frame(), "wire/client/write")
+    }
+
+    /// Blocks (in `tick` steps) until one whole message arrives.
+    /// `cap` bounds the total wait when `Some`.
+    fn read_message(&mut self, cap: Option<Duration>) -> io::Result<Message> {
+        let start = Instant::now();
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    return Message::decode_payload(frame.kind, &frame.payload).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("undecodable frame from server: {e}"),
+                        )
+                    })
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad frame from server: {e}"),
+                    ))
+                }
+            }
+            if let Some(cap) = cap {
+                if start.elapsed() >= cap {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no reply within the per-attempt cap",
+                    ));
+                }
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        if self.decoder.pending() > 0 {
+                            "connection closed mid-frame"
+                        } else {
+                            "connection closed"
+                        },
+                    ))
+                }
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Tick elapsed; loop re-checks the cap.
+                    let _ = self.tick;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

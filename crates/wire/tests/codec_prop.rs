@@ -1,0 +1,209 @@
+//! Property coverage for the frame codec and message payload codecs:
+//! no input — adversarial, truncated, or randomly chunked — may panic
+//! the decoder, and every well-formed encoding round-trips exactly.
+
+use proptest::prelude::*;
+
+use htdwire::codec::{crc32, encode_frame, FrameDecoder, FrameError, FrameKind, HEADER_LEN};
+use htdwire::proto::{Message, WireDecomp, WireError, WireJob, WireOutcome};
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    (1u8..=6).prop_map(|k| match k {
+        1 => FrameKind::Hello,
+        2 => FrameKind::HelloAck,
+        3 => FrameKind::Submit,
+        4 => FrameKind::Reply,
+        5 => FrameKind::Reject,
+        _ => FrameKind::Goodbye,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, fed in arbitrary chunkings, never panic the
+    /// decoder — it either yields frames, recoverable errors, or goes
+    /// fatal and sticks there.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..300),
+        chunk in 1usize..17,
+    ) {
+        let mut dec = FrameDecoder::new(1024);
+        for piece in bytes.chunks(chunk) {
+            dec.feed(piece);
+            // Pump until quiescent; a fatal error keeps returning
+            // fatally rather than panicking or resyncing silently.
+            for _ in 0..bytes.len() + 1 {
+                if let Ok(None) = dec.next_frame() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// encode → feed (in arbitrary chunks) → decode is the identity on
+    /// frames, for any payload bytes.
+    #[test]
+    fn frame_roundtrip_is_exact(
+        kind in arb_kind(),
+        payload in prop::collection::vec(0u8..=255, 0..200),
+        chunk in 1usize..32,
+    ) {
+        let encoded = encode_frame(kind, &payload);
+        prop_assert_eq!(encoded.len(), HEADER_LEN + payload.len());
+        let mut dec = FrameDecoder::new(1024);
+        let mut got = None;
+        for piece in encoded.chunks(chunk) {
+            dec.feed(piece);
+            if let Some(f) = dec.next_frame().unwrap() {
+                prop_assert!(got.is_none(), "one frame in, one frame out");
+                got = Some(f);
+            }
+        }
+        let frame = got.expect("whole frame fed");
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, payload);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A frame whose declared length exceeds the cap is a typed fatal
+    /// error, regardless of payload; a truncated frame is silently
+    /// incomplete (pending bytes), never a panic or a bogus frame.
+    #[test]
+    fn oversize_and_truncation_are_typed(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut in 0usize..80,
+    ) {
+        let encoded = encode_frame(FrameKind::Submit, &payload);
+        // Truncation: feeding a strict prefix yields no frame and no error.
+        let cut = cut.min(encoded.len().saturating_sub(1));
+        let mut dec = FrameDecoder::new(1024);
+        dec.feed(&encoded[..cut]);
+        prop_assert!(matches!(dec.next_frame(), Ok(None)));
+        prop_assert_eq!(dec.pending(), cut);
+
+        // Oversize: cap below the payload length → TooLarge, fatal.
+        if !payload.is_empty() {
+            let mut dec = FrameDecoder::new(payload.len() as u32 - 1);
+            dec.feed(&encoded);
+            match dec.next_frame() {
+                Err(e @ FrameError::TooLarge { declared, cap }) => {
+                    prop_assert_eq!(declared, payload.len() as u32);
+                    prop_assert_eq!(cap, payload.len() as u32 - 1);
+                    prop_assert!(e.is_fatal());
+                }
+                other => prop_assert!(false, "expected TooLarge, got {other:?}"),
+            }
+        }
+    }
+
+    /// A corrupted payload byte is always caught by the checksum, and
+    /// the error is recoverable: the decoder consumes the bad frame and
+    /// decodes the next one cleanly.
+    #[test]
+    fn corruption_is_caught_and_contained(
+        payload in prop::collection::vec(0u8..=255, 1..100),
+        flip in 0usize..100,
+        bit in 0u8..8,
+    ) {
+        let mut encoded = encode_frame(FrameKind::Reply, &payload);
+        let flip = HEADER_LEN + (flip % payload.len());
+        encoded[flip] ^= 1 << bit;
+        let follow = encode_frame(FrameKind::Goodbye, &[0]);
+        let mut dec = FrameDecoder::new(1024);
+        dec.feed(&encoded);
+        dec.feed(&follow);
+        match dec.next_frame() {
+            Err(e @ FrameError::ChecksumMismatch { .. }) => prop_assert!(!e.is_fatal()),
+            other => prop_assert!(false, "expected checksum error, got {other:?}"),
+        }
+        let next = dec.next_frame().unwrap().expect("stream resynchronised");
+        prop_assert_eq!(next.kind, FrameKind::Goodbye);
+        prop_assert_eq!(next.payload, vec![0]);
+    }
+
+    /// Arbitrary bytes never panic the payload decoders either.
+    #[test]
+    fn arbitrary_payloads_never_panic_message_decode(
+        kind in arb_kind(),
+        payload in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let _ = Message::decode_payload(kind, &payload);
+    }
+
+    /// Submit payloads round-trip exactly through the message codec for
+    /// arbitrary edge structures.
+    #[test]
+    fn submit_roundtrips_for_arbitrary_instances(
+        id in 0u64..=u64::MAX,
+        k in 0u32..100,
+        decide in 0u32..2,
+        idem in 0u32..2,
+        deadline in 0u64..10_000,
+        edges in prop::collection::vec(prop::collection::vec(0u32..500, 0..8), 0..12),
+    ) {
+        let msg = Message::Submit {
+            id,
+            job: if decide == 0 {
+                WireJob::Decide { k }
+            } else {
+                WireJob::MinimalWidth { k_max: k }
+            },
+            deadline_ms: (deadline != 0).then_some(deadline),
+            idempotent: idem == 1,
+            edges,
+        };
+        let back = Message::decode_payload(FrameKind::Submit, &msg.encode_payload()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Reply payloads round-trip exactly, witness decompositions included.
+    #[test]
+    fn reply_roundtrips_with_witnesses(
+        id in 0u64..1000,
+        nodes in prop::collection::vec(
+            (prop::collection::vec(0u32..64, 0..4), prop::collection::vec(0u32..64, 0..6)),
+            1..6,
+        ),
+        wait in 0u64..1_000_000,
+    ) {
+        // Chain shape: node i+1 is the child of node i — always a tree.
+        let n = nodes.len() as u32;
+        let children: Vec<Vec<u32>> =
+            (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let msg = Message::Reply {
+            id,
+            outcome: WireOutcome::Decided {
+                k: 3,
+                witness: Some(WireDecomp { labels: nodes, children, root: 0 }),
+            },
+            queue_wait_ns: wait,
+            solve_ns: wait / 2,
+            retries: 0,
+        };
+        let back = Message::decode_payload(FrameKind::Reply, &msg.encode_payload()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Truncating any well-formed payload at every boundary yields a
+    /// typed `DecodeError`, never a panic and never a bogus success.
+    #[test]
+    fn truncated_payloads_yield_typed_errors(cut_seed in 0usize..10_000) {
+        let msg = Message::Reject {
+            id: 7,
+            error: WireError::Malformed { detail: "injected for the property".into() },
+        };
+        let payload = msg.encode_payload();
+        let cut = cut_seed % payload.len();
+        let err = Message::decode_payload(FrameKind::Reject, &payload[..cut]);
+        prop_assert!(err.is_err());
+    }
+}
+
+/// The CRC implementation matches the IEEE 802.3 reference vector.
+#[test]
+fn crc32_reference_vector() {
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32(b""), 0);
+}
