@@ -218,6 +218,35 @@ fn bench_par_scaling(c: &mut Criterion) {
             })
         });
     }
+    // Below-children parallelism probe: a disjoint union splits into one
+    // `[λc]`-component per part at the root, so every root candidate is a
+    // sibling fan-out opportunity — the second parallel surface the
+    // fork/merge arena added to `try_as_root`/`finish_pair`. Measured at
+    // 1 and 2 workers with splitting on (default grain) and pinned off
+    // (`with_child_split(usize::MAX, 0)` — λc race only), plus an
+    // aggressive grain (`(2, 0)`, no work floor) for grain sensitivity.
+    // The t1 on/off pair is the sequential-overhead guard: at 1 worker
+    // the split gate keeps the fast path, so on ≈ off is the claim.
+    let multi = families::disjoint_union(&[families::grid(4, 4), families::grid(4, 4)]);
+    for threads in [1usize, 2] {
+        for (grain, min_components, min_size) in [
+            (
+                "children_on",
+                logk::DEFAULT_CHILD_SPLIT_MIN_COMPONENTS,
+                logk::DEFAULT_CHILD_SPLIT_MIN_SIZE,
+            ),
+            ("children_off", usize::MAX, 0),
+            ("children_eager", 2, 0),
+        ] {
+            let solver = LogK::parallel(threads).with_child_split(min_components, min_size);
+            g.bench_function(format!("dgrid4x4x2_k3_t{threads}_{grain}"), |bch| {
+                bch.iter(|| {
+                    let ctrl = Control::unlimited();
+                    black_box(solver.decide(black_box(&multi), 3, &ctrl).unwrap())
+                })
+            });
+        }
+    }
     g.finish();
 }
 

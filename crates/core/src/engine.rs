@@ -51,7 +51,7 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use decomp::{Control, Decomposition, Fragment, Interrupted};
+use decomp::{rebase_fragment, Control, Decomposition, Fragment, Interrupted};
 use detk::{DetKDecomp, DetkScratch, MemoSnapshot, SharedMemo};
 use hypergraph::subsets::{
     for_each_subset_driven_in, for_each_subset_in, for_each_subset_with_lead_in, subset_space_size,
@@ -93,6 +93,18 @@ pub const DEFAULT_POS_CACHE_MAX_FRAG: usize = 2;
 /// aggregate is bounded by the *active* recursion path (O(log n) levels
 /// by Theorem 4.2) per branch, not by every idle pooled scratch.
 const LP_MEMO_BYTES: usize = 4 << 20;
+
+/// Default component-count floor for sibling-children parallelism
+/// ([`EngineConfig::child_split_min_components`]): with fewer than two
+/// siblings there is nothing to overlap.
+pub const DEFAULT_CHILD_SPLIT_MIN_COMPONENTS: usize = 2;
+
+/// Default work floor for sibling-children parallelism
+/// ([`EngineConfig::child_split_min_size`]): sibling subproblems summing
+/// to fewer members than this are solved inline — near the leaves the
+/// per-branch tax (arena fork, scratch checkout, scope job) exceeds the
+/// work it would overlap.
+pub const DEFAULT_CHILD_SPLIT_MIN_SIZE: usize = 8;
 
 /// Complexity metric steering the hybrid handoff to `det-k-decomp`
 /// (Appendix D.2).
@@ -221,6 +233,18 @@ pub struct EngineConfig {
     /// `lambda_c_rejected`/`lambda_p_rejected` counters measure what an
     /// order saves per workload family.
     pub candidate_order: CandidateOrder,
+    /// Sibling-children parallelism grain, component-count floor: the
+    /// `try_as_root`/`finish_pair` child loops probe their sibling
+    /// subproblems concurrently only when there are at least this many of
+    /// them (and `depth < parallel_depth`, and the pool has > 1 worker).
+    /// `usize::MAX` disables below-children parallelism without touching
+    /// the λc race.
+    pub child_split_min_components: usize,
+    /// Sibling-children parallelism grain, work floor: child loops whose
+    /// sibling subproblems sum to fewer than this many members
+    /// (`|E'| + |Sp|`) stay sequential — spawning scope jobs for trivial
+    /// children costs more than solving them inline.
+    pub child_split_min_size: usize,
 }
 
 impl EngineConfig {
@@ -239,6 +263,8 @@ impl EngineConfig {
             lambda_p_incremental: false,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
+            child_split_min_components: DEFAULT_CHILD_SPLIT_MIN_COMPONENTS,
+            child_split_min_size: DEFAULT_CHILD_SPLIT_MIN_SIZE,
         }
     }
 }
@@ -341,6 +367,18 @@ pub struct EngineStats {
     /// `[χc]`-splits of `comp_down`) — the denominator the pre-filter
     /// exists to shrink.
     pub separations: AtomicU64,
+    /// Sibling-child loops (`try_as_root`/`finish_pair`) that fanned their
+    /// components out on the pool instead of recursing sequentially.
+    pub child_splits: AtomicU64,
+    /// Sibling child recursions cancelled by a fail-fast join: a sibling's
+    /// definitive rejection (or an interruption, or an outer race win)
+    /// pruned them before they produced a verdict.
+    pub child_cancels: AtomicU64,
+    /// Child-branch fragments folded back under the parent arena at a
+    /// fork/merge join (each is one `decomp::rebase_fragment` pass; under
+    /// the engines' stack discipline the pass rewrites no ids — it is the
+    /// soundness backstop of the fork/merge protocol).
+    pub arena_rebases: AtomicU64,
 }
 
 impl EngineStats {
@@ -397,6 +435,21 @@ impl EngineStats {
     /// Snapshot of `separate_into` calls performed.
     pub fn separations(&self) -> u64 {
         self.separations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of sibling-child loops fanned out on the pool.
+    pub fn child_splits(&self) -> u64 {
+        self.child_splits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of sibling child recursions cancelled by fail-fast joins.
+    pub fn child_cancels(&self) -> u64 {
+        self.child_cancels.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of child-branch fragments rebased under their parent arena.
+    pub fn arena_rebases(&self) -> u64 {
+        self.arena_rebases.load(Ordering::Relaxed)
     }
 }
 
@@ -856,6 +909,10 @@ pub struct LogKEngine<'h> {
 
 type FragResult = Result<Option<Fragment>, Stop>;
 type Found = ControlFlow<Result<Fragment, Stop>>;
+/// Outcome slot of one parallel sibling branch: the child fragment paired
+/// with the branch arena it references (kept alive for the merge/rebase
+/// pass at the join), or the branch's stop.
+type SiblingResult = Result<Option<(Fragment, SpecialArena)>, Stop>;
 
 impl<'h> LogKEngine<'h> {
     /// Creates an engine over `hg` with the given configuration.
@@ -1619,25 +1676,22 @@ impl<'h> LogKEngine<'h> {
         // Line 16: χc = ⋃λc ∩ V(H').
         down.meters.bump_grow(chi_root.copy_from(union_c));
         chi_root.intersect_with(vsub);
-        let mut children = Vec::with_capacity(seps_c.components.len());
-        for y in &seps_c.components {
-            // Line 18: Conn_y = V(y) ∩ χc.
-            down.meters
-                .bump_grow(down.conn_child.copy_from(&y.vertices));
-            down.conn_child.intersect_with(chi_root);
-            match self.decomp(
-                arena,
-                y.as_subproblem(),
-                down.conn_child,
-                allowed,
-                depth + 1,
-                prune,
-                down.stack,
-            )? {
-                Some(f) => children.push(f),
-                None => return Ok(None), // line 20
-            }
-        }
+        // Lines 17–20: solve the [λc]-components, concurrently when the
+        // grain gate passes (see `solve_siblings`).
+        let Some(children) = self.solve_siblings(
+            arena,
+            allowed,
+            depth,
+            prune,
+            chi_root,
+            &seps_c.components,
+            down.meters,
+            down.conn_child,
+            down.stack,
+        )?
+        else {
+            return Ok(None); // line 20
+        };
         let mut frag = Fragment::leaf(lam_c.to_vec(), chi_root.clone());
         for f in children {
             frag.attach_under(0, f);
@@ -1877,25 +1931,22 @@ impl<'h> LogKEngine<'h> {
             .iter()
             .all(|c| 2 * c.size() <= sub.size()));
 
-        // Lines 34–37: recurse below.
-        let mut below = Vec::with_capacity(seps_down.components.len());
-        for x in &seps_down.components {
-            // Line 35: Conn_x = V(x) ∩ χc.
-            meters.bump_grow(conn_child.copy_from(&x.vertices));
-            conn_child.intersect_with(chi_c);
-            match self.decomp(
-                arena,
-                x.as_subproblem(),
-                conn_child,
-                allowed,
-                depth + 1,
-                prune,
-                stack,
-            )? {
-                Some(f) => below.push(f),
-                None => return Ok(None),
-            }
-        }
+        // Lines 34–37: recurse below, concurrently when the grain gate
+        // passes (see `solve_siblings`).
+        let Some(below) = self.solve_siblings(
+            arena,
+            allowed,
+            depth,
+            prune,
+            chi_c,
+            &seps_down.components,
+            meters,
+            conn_child,
+            stack,
+        )?
+        else {
+            return Ok(None);
+        };
 
         // Lines 38–40: comp_up := H' \ comp_down plus the new special χc;
         // the fragment above may not use edges from below (allowed edges).
@@ -1945,5 +1996,225 @@ impl<'h> LogKEngine<'h> {
             up_frag.attach_under(c_idx, Fragment::special_leaf(s, arena.get(s).clone()));
         }
         Ok(Some(up_frag)) // line 43
+    }
+
+    /// Shared driver of lines 17–20 (root mode) and 34–37 (pair mode):
+    /// solves each component of `comps` as its own subproblem with
+    /// connector `V(comp) ∩ chi`, returning the child fragments in
+    /// component order — or `None` as soon as any child is unsolvable,
+    /// which rejects the enclosing candidate.
+    ///
+    /// The siblings are independent subproblems (they share no vertices
+    /// outside the separator), so when the grain gate passes they fan out
+    /// on the pool; otherwise — 1-worker pools, sequential engines, depths
+    /// past the racing frontier, or loops below the grain floors — they
+    /// recurse in place on the caller's arena and scratch, byte-for-byte
+    /// the pre-fork/merge loop.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_siblings(
+        &self,
+        arena: &mut SpecialArena,
+        allowed: &Arc<EdgeSet>,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        chi: &VertexSet,
+        comps: &[Component],
+        meters: &LevelMeters,
+        conn_child: &mut VertexSet,
+        stack: &mut ScratchStack,
+    ) -> Result<Option<Vec<Fragment>>, Stop> {
+        if self.split_siblings(depth, comps) {
+            return self.solve_siblings_parallel(arena, allowed, depth, prune, chi, comps);
+        }
+        let mut children = Vec::with_capacity(comps.len());
+        for y in comps {
+            // Line 18/35: Conn_y = V(y) ∩ χc.
+            meters.bump_grow(conn_child.copy_from(&y.vertices));
+            conn_child.intersect_with(chi);
+            match self.decomp(
+                arena,
+                y.as_subproblem(),
+                conn_child,
+                allowed,
+                depth + 1,
+                prune,
+                stack,
+            )? {
+                Some(f) => children.push(f),
+                None => return Ok(None), // line 20/37
+            }
+        }
+        Ok(Some(children))
+    }
+
+    /// The sibling-children grain gate: still inside the racing depths,
+    /// enough siblings, enough aggregate work, and a pool that can
+    /// actually overlap them.
+    fn split_siblings(&self, depth: usize, comps: &[Component]) -> bool {
+        depth < self.cfg.parallel_depth
+            && comps.len() >= self.cfg.child_split_min_components
+            && comps.iter().map(|c| c.size()).sum::<usize>() >= self.cfg.child_split_min_size
+            && rayon::current_num_threads() > 1
+    }
+
+    /// Probes sibling subproblems concurrently under the pool's scope.
+    ///
+    /// Each sibling runs on a [`SpecialArena::fork`] of the parent arena
+    /// (Arc-shared sealed prefix, private tail) with branch scratch drawn
+    /// from the engine pool, under a fail-fast [`Prune`] link: the first
+    /// definitive `None` (or external interruption) cancels the remaining
+    /// siblings at their next poll. Verdict folding at the join, in
+    /// precedence order:
+    ///
+    /// * any child `Ok(None)` → `Ok(None)` — that child exhaustively
+    ///   rejected its own subspace, so the enclosing candidate is rejected
+    ///   no matter what the cancelled siblings would have said;
+    /// * else any external interruption → propagated;
+    /// * else any pruned sibling → `Err(Stop::Pruned)` — only an enclosing
+    ///   λc race can have caused it;
+    /// * else all succeeded → each branch fragment is folded back under
+    ///   the parent arena ([`decomp::rebase_fragment`]) and the fragments
+    ///   return in component order.
+    fn solve_siblings_parallel(
+        &self,
+        arena: &mut SpecialArena,
+        allowed: &Arc<EdgeSet>,
+        depth: usize,
+        prune: Option<&Prune<'_>>,
+        chi: &VertexSet,
+        comps: &[Component],
+    ) -> Result<Option<Vec<Fragment>>, Stop> {
+        decomp::faults::hit_ctrl("logk/engine/child_split", self.ctrl);
+        self.stats.child_splits.fetch_add(1, Ordering::Relaxed);
+        let checkpoint = arena.len();
+        // One fork per sibling, taken up front: the first seals the
+        // parent's tail into the shared prefix, the rest are refcount
+        // bumps.
+        let forks: Vec<SpecialArena> = comps.iter().map(|_| arena.fork()).collect();
+        self.stats
+            .arena_branch_clones
+            .fetch_add(comps.len() as u64, Ordering::Relaxed);
+        let failed = AtomicBool::new(false);
+        let join = Prune {
+            flag: &failed,
+            parent: prune,
+        };
+        let slots: Vec<std::sync::Mutex<Option<SiblingResult>>> =
+            comps.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        rayon::scope(|s| {
+            for ((slot, comp), barena) in slots.iter().zip(comps).zip(forks) {
+                let join = &join;
+                s.spawn(move |_| {
+                    let res = self.solve_sibling_branch(barena, comp, chi, allowed, depth, join);
+                    if matches!(res, Ok(None) | Err(Stop::External(_))) {
+                        // Fail-fast: this verdict decides the join — stop
+                        // the siblings at their next poll.
+                        join.flag.store(true, Ordering::Relaxed);
+                    }
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+                });
+            }
+        });
+        decomp::faults::hit_ctrl("logk/engine/child_join", self.ctrl);
+        let mut children = Vec::with_capacity(comps.len());
+        let mut rejected = false;
+        let mut external: Option<Stop> = None;
+        let mut cancelled = 0u64;
+        for slot in slots {
+            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(Ok(Some(child))) => children.push(child),
+                Some(Ok(None)) => rejected = true,
+                Some(Err(e @ Stop::External(_))) => external = external.or(Some(e)),
+                Some(Err(Stop::Pruned)) | None => cancelled += 1,
+            }
+        }
+        self.stats
+            .child_cancels
+            .fetch_add(cancelled, Ordering::Relaxed);
+        if rejected {
+            // Sound despite the cancelled siblings: the rejecting child
+            // exhausted its own subspace, and one unsolvable child rejects
+            // the enclosing candidate outright.
+            return Ok(None);
+        }
+        if let Some(e) = external {
+            return Err(e);
+        }
+        if cancelled > 0 {
+            // No sibling failed locally, so an enclosing race pruned them.
+            debug_assert!(prune.is_some_and(|p| p.is_set()));
+            return Err(Stop::Pruned);
+        }
+        // All children succeeded: fold each branch's fragment back under
+        // the parent arena before the caller stitches it. Under the stack
+        // discipline this is a verification walk (children restore their
+        // arenas before returning, so fragments only reference shared
+        // pre-fork ids) — see `decomp::rebase_fragment`.
+        let mut out = Vec::with_capacity(children.len());
+        for (mut frag, barena) in children {
+            rebase_fragment(&mut frag, &barena, checkpoint, arena);
+            out.push(frag);
+        }
+        self.stats
+            .arena_rebases
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(Some(out))
+    }
+
+    /// One parallel sibling: checks out branch scratch from the engine
+    /// pool, computes the child connector `V(comp) ∩ chi` and recurses on
+    /// the forked arena. A successful child's fragment returns together
+    /// with its branch arena so the join can rebase it under the parent.
+    fn solve_sibling_branch(
+        &self,
+        mut barena: SpecialArena,
+        comp: &Component,
+        chi: &VertexSet,
+        allowed: &Arc<EdgeSet>,
+        depth: usize,
+        join: &Prune<'_>,
+    ) -> SiblingResult {
+        decomp::faults::hit_ctrl("logk/engine/child_branch", self.ctrl);
+        // Fail-fast before any work: a sibling (or an outer race) may have
+        // decided the join while this branch sat on a deque.
+        poll(self.ctrl, Some(join))?;
+        let recycled = self
+            .branch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        let mut branch = recycled.unwrap_or_else(|| {
+            self.stats.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+            BranchScratch::default()
+        });
+        let result = {
+            let BranchScratch {
+                stack,
+                lvl,
+                reported: _,
+            } = &mut branch;
+            // Line 18/35 on branch scratch: Conn_y = V(y) ∩ χc.
+            lvl.meters
+                .bump_grow(lvl.conn_child.copy_from(&comp.vertices));
+            lvl.conn_child.intersect_with(chi);
+            self.decomp(
+                &mut barena,
+                comp.as_subproblem(),
+                &lvl.conn_child,
+                allowed,
+                depth + 1,
+                Some(join),
+                stack,
+            )
+        };
+        let totals = branch.totals();
+        self.fold_meters(totals - branch.reported);
+        branch.reported = totals;
+        branch.lvl.retire_lp_memo();
+        self.branch_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(branch);
+        result.map(|o| o.map(|frag| (frag, barena)))
     }
 }

@@ -24,7 +24,8 @@ pub use basic::{decide_basic, decompose_basic, SolveResult};
 pub use cache::{CacheSnapshot, Probe, SubproblemCache};
 pub use engine::{
     CandidateOrder, EngineConfig, EngineStats, HybridConfig, HybridMetric, LogKEngine,
-    DEFAULT_CACHE_BYTES, DEFAULT_DETK_CACHE_CAP,
+    DEFAULT_CACHE_BYTES, DEFAULT_CHILD_SPLIT_MIN_COMPONENTS, DEFAULT_CHILD_SPLIT_MIN_SIZE,
+    DEFAULT_DETK_CACHE_CAP,
 };
 pub use solver::{
     shared_pool, width_bounds_with, LogK, SharedTables, SolveStats, Variant, WidthBounds,

@@ -16,7 +16,8 @@ use rayon::ThreadPool;
 use crate::cache::{CacheSnapshot, SubproblemCache};
 use crate::engine::{
     CandidateOrder, EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
-    DEFAULT_DETK_CACHE_CAP, DEFAULT_POS_CACHE_MAX_FRAG,
+    DEFAULT_CHILD_SPLIT_MIN_COMPONENTS, DEFAULT_CHILD_SPLIT_MIN_SIZE, DEFAULT_DETK_CACHE_CAP,
+    DEFAULT_POS_CACHE_MAX_FRAG,
 };
 use detk::{MemoSnapshot, SharedMemo};
 
@@ -182,6 +183,13 @@ pub struct LogK {
     /// λc/λp candidate enumeration order.
     /// See [`EngineConfig::candidate_order`].
     pub candidate_order: CandidateOrder,
+    /// Sibling-children parallelism grain, component-count floor.
+    /// See [`EngineConfig::child_split_min_components`]; `usize::MAX`
+    /// disables below-children parallelism without touching the λc race.
+    pub child_split_min_components: usize,
+    /// Sibling-children parallelism grain, aggregate-work floor.
+    /// See [`EngineConfig::child_split_min_size`].
+    pub child_split_min_size: usize,
     /// Cross-solve memo tables attached by [`Self::with_shared_tables`];
     /// consulted only for solves they apply to (matching `k` and, when
     /// instance-bound, matching hypergraph).
@@ -204,6 +212,8 @@ impl LogK {
             lambda_p_incremental: false,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
+            child_split_min_components: DEFAULT_CHILD_SPLIT_MIN_COMPONENTS,
+            child_split_min_size: DEFAULT_CHILD_SPLIT_MIN_SIZE,
             shared_tables: None,
         }
     }
@@ -299,6 +309,17 @@ impl LogK {
         self
     }
 
+    /// Replaces the sibling-children parallelism grain: child loops fan
+    /// their component subproblems out on the pool only with at least
+    /// `min_components` siblings summing to at least `min_size` members.
+    /// `(usize::MAX, _)` pins the child loops sequential without touching
+    /// the λc race (the seq≡par differential suite compares both modes).
+    pub fn with_child_split(mut self, min_components: usize, min_size: usize) -> Self {
+        self.child_split_min_components = min_components;
+        self.child_split_min_size = min_size;
+        self
+    }
+
     /// Attaches cross-solve memo tables: solves the pair applies to
     /// (matching width and, for instance-bound pairs, matching
     /// hypergraph — see [`SharedTables`]) memoise into it instead of a
@@ -347,6 +368,8 @@ impl LogK {
             lambda_p_incremental: self.lambda_p_incremental,
             pos_cache_max_frag: self.pos_cache_max_frag,
             candidate_order: self.candidate_order,
+            child_split_min_components: self.child_split_min_components,
+            child_split_min_size: self.child_split_min_size,
             ..EngineConfig::sequential(k)
         }
     }
@@ -427,6 +450,9 @@ impl LogK {
                         scratch_allocs: engine.stats().scratch_allocs(),
                         scratch_grow_events: engine.stats().scratch_grow_events(),
                         arena_branch_clones: engine.stats().arena_branch_clones(),
+                        child_splits: engine.stats().child_splits(),
+                        child_cancels: engine.stats().child_cancels(),
+                        arena_rebases: engine.stats().arena_rebases(),
                         lambda_c_rejected: engine.stats().lambda_c_rejected(),
                         lambda_p_rejected: engine.stats().lambda_p_rejected(),
                         lambda_p_prefiltered: engine.stats().lambda_p_prefiltered(),
@@ -645,6 +671,19 @@ pub struct SolveStats {
     /// Arena checkpoints handed to parallel branches (Arc bumps, not deep
     /// copies).
     pub arena_branch_clones: u64,
+    /// Child loops (`try_as_root`/`finish_pair`) that fanned their sibling
+    /// subproblems out on the pool instead of recursing sequentially —
+    /// 0 for sequential engines, 1-worker pools, and loops below the
+    /// [`LogK::with_child_split`] grain floors.
+    pub child_splits: u64,
+    /// Sibling branches cancelled at a child join point by the fail-fast
+    /// link (a sibling's definitive rejection or interruption, or an
+    /// enclosing λc race ending) before producing a verdict.
+    pub child_cancels: u64,
+    /// Branch fragments folded back under their parent arena at child
+    /// join points (`decomp::rebase_fragment` passes; under the stack
+    /// discipline each pass verifies rather than rewrites).
+    pub arena_rebases: u64,
     /// λc candidates enumerated but rejected — the number the
     /// candidate-order heuristic (descending arity) exists to cut.
     pub lambda_c_rejected: u64,

@@ -23,6 +23,7 @@
 use hypergraph::{Edge, SpecialArena, SpecialId, VertexSet};
 
 use crate::fragment::{FragLabel, FragNode, Fragment};
+use crate::rewrite::SpecialClaims;
 
 /// Label of a portable node: real edges, or a special leaf resolved to its
 /// vertex set.
@@ -113,21 +114,12 @@ impl PortableFragment {
         arena: &SpecialArena,
         specials: &[SpecialId],
     ) -> Option<(Fragment, u64)> {
-        let mut used = vec![false; specials.len()];
-        let mut rewrites = 0u64;
+        let mut claims = SpecialClaims::new(arena, specials);
         let mut nodes = Vec::with_capacity(self.nodes.len());
         for n in &self.nodes {
             let label = match &n.label {
                 PortableLabel::Edges(l) => FragLabel::Edges(l.clone()),
-                PortableLabel::Special(set) => {
-                    let slot = specials
-                        .iter()
-                        .enumerate()
-                        .position(|(i, &s)| !used[i] && arena.get(s) == set)?;
-                    used[slot] = true;
-                    rewrites += 1;
-                    FragLabel::Special(specials[slot])
-                }
+                PortableLabel::Special(set) => FragLabel::Special(claims.claim(set)?),
             };
             nodes.push(FragNode {
                 label,
@@ -140,7 +132,7 @@ impl PortableFragment {
                 nodes,
                 root: self.root,
             },
-            rewrites,
+            claims.claims(),
         ))
     }
 }

@@ -103,6 +103,15 @@ pub struct EngineCounters {
     pub scratch_grow_events: u64,
     /// Cheap (Arc-bump) arena checkpoints handed to parallel branches.
     pub arena_branch_clones: u64,
+    /// Child loops that fanned their sibling subproblems out on the pool
+    /// (below-children parallelism) instead of recursing sequentially.
+    pub child_splits: u64,
+    /// Sibling branches cancelled at child join points by the fail-fast
+    /// link before producing a verdict.
+    pub child_cancels: u64,
+    /// Branch fragments folded back under their parent arena at child
+    /// join points (rebase passes).
+    pub arena_rebases: u64,
 }
 
 impl From<&SolveStats> for EngineCounters {
@@ -132,6 +141,9 @@ impl From<&SolveStats> for EngineCounters {
             scratch_allocs: s.scratch_allocs,
             scratch_grow_events: s.scratch_grow_events,
             arena_branch_clones: s.arena_branch_clones,
+            child_splits: s.child_splits,
+            child_cancels: s.child_cancels,
+            arena_rebases: s.arena_rebases,
         }
     }
 }
@@ -169,6 +181,9 @@ impl EngineCounters {
         self.scratch_allocs += other.scratch_allocs;
         self.scratch_grow_events += other.scratch_grow_events;
         self.arena_branch_clones += other.arena_branch_clones;
+        self.child_splits += other.child_splits;
+        self.child_cancels += other.child_cancels;
+        self.arena_rebases += other.arena_rebases;
     }
 
     /// Total subproblem-cache hits (positive + negative).
@@ -193,6 +208,7 @@ impl EngineCounters {
              detk: {} handoffs, memo {}/{} hits, peak {}/{}; \
              candidates rejected: {} λc + {} λp ({} λp pre-filtered, {} separations run); \
              sched: {} steals, {} parks; \
+             children: {} splits, {} cancels, {} rebases; \
              alloc: {} scratch bundles ({} regrowths), {} arena checkpoints",
             self.decomp_calls,
             self.max_depth,
@@ -216,6 +232,9 @@ impl EngineCounters {
             self.separations,
             self.sched_steals,
             self.sched_parks,
+            self.child_splits,
+            self.child_cancels,
+            self.arena_rebases,
             self.scratch_allocs,
             self.scratch_grow_events,
             self.arena_branch_clones,
@@ -260,6 +279,9 @@ mod tests {
             separations: 17,
             sched_steals: 19,
             sched_parks: 23,
+            child_splits: 29,
+            child_cancels: 31,
+            arena_rebases: 37,
             ..Default::default()
         };
         s.cache.pos_hits = 2;
@@ -288,6 +310,9 @@ mod tests {
         assert_eq!(a.separations, 34);
         assert_eq!(a.sched_steals, 38);
         assert_eq!(a.sched_parks, 46);
+        assert_eq!(a.child_splits, 58);
+        assert_eq!(a.child_cancels, 62);
+        assert_eq!(a.arena_rebases, 74);
         assert!((a.hit_rate() - 0.75).abs() < 1e-12);
 
         let mut b = EngineCounters::default();

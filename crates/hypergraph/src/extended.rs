@@ -89,12 +89,42 @@ impl SpecialArena {
         if len >= self.prefix_live {
             self.tail.truncate(len - self.prefix_live);
         } else {
-            // Shrinking into the shared prefix: mark the cut-off logically;
-            // the dead prefix entries stay allocated until the last sharer
-            // drops the `Arc`. Subsequent pushes land in the tail.
             self.tail.clear();
             self.prefix_live = len;
+            // Shrinking into the prefix: when we are the sole owner the dead
+            // entries can be released right away. With sharers alive the
+            // cut-off stays logical — the dead prefix entries remain
+            // allocated until the last sharer drops the `Arc` (or until a
+            // later sole-owner `truncate`/`seal` compacts them). Subsequent
+            // pushes land in the tail either way.
+            if let Some(owned) = Arc::get_mut(&mut self.prefix) {
+                owned.truncate(len);
+            }
         }
+    }
+
+    /// Forks the arena for a parallel sibling branch.
+    ///
+    /// Seals first (so ids `0..len()` live in the `Arc`-shared prefix) and
+    /// returns a branch arena sharing that prefix with an empty private
+    /// tail. The first fork at a given state pays the seal fold; every
+    /// subsequent fork is a reference-count bump. A branch pushes and
+    /// truncates privately above the fork point; ids below it resolve
+    /// identically in parent and branch, which is what lets fragments built
+    /// by a branch be stitched under the parent (after rebasing any id at
+    /// or above the fork point — see `decomp`'s rebase helper).
+    pub fn fork(&mut self) -> SpecialArena {
+        self.seal();
+        self.clone()
+    }
+
+    /// Entries physically allocated in the shared prefix, dead or alive.
+    ///
+    /// Diagnostics for the truncate-into-shared-prefix path: entries
+    /// between [`len()`](Self::len) and this value are logically dead but
+    /// still allocated because another sharer pins the `Arc`.
+    pub fn prefix_allocated(&self) -> usize {
+        self.prefix.len()
     }
 
     /// Folds the owned tail into the shared prefix, so that subsequent
@@ -272,6 +302,71 @@ mod tests {
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.get(SpecialId(0)).to_vec(), vec![Vertex(0)]);
         assert_eq!(arena.get(SpecialId(1)).to_vec(), vec![Vertex(7)]);
+    }
+
+    #[test]
+    fn truncate_compacts_dead_prefix_when_sole_owner() {
+        let mut arena = SpecialArena::new();
+        for v in 0..4u32 {
+            arena.push(VertexSet::from_iter(8, [Vertex(v)]));
+        }
+        arena.seal();
+        assert_eq!(arena.prefix_allocated(), 4);
+
+        // Sole owner: truncating into the prefix releases the dead entries
+        // eagerly instead of leaving them allocated behind the Arc.
+        arena.truncate(1);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.prefix_allocated(), 1, "dead prefix not compacted");
+        assert_eq!(arena.get(SpecialId(0)).to_vec(), vec![Vertex(0)]);
+    }
+
+    #[test]
+    fn truncate_keeps_dead_prefix_alive_for_sharers_then_compacts() {
+        let mut arena = SpecialArena::new();
+        for v in 0..4u32 {
+            arena.push(VertexSet::from_iter(8, [Vertex(v)]));
+        }
+        arena.seal();
+        let branch = arena.clone();
+
+        // A sharer pins the Arc: the cut-off must stay logical so the
+        // branch keeps seeing all four entries.
+        arena.truncate(1);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.prefix_allocated(), 4);
+        assert_eq!(branch.get(SpecialId(3)).to_vec(), vec![Vertex(3)]);
+
+        // Once the last sharer is gone, the next truncate-into-prefix
+        // compacts what is left.
+        drop(branch);
+        arena.truncate(0);
+        assert_eq!(arena.prefix_allocated(), 0);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn fork_shares_prefix_and_isolates_tails() {
+        let mut parent = SpecialArena::new();
+        let a = parent.push(VertexSet::from_iter(8, [Vertex(0)]));
+        let mut left = parent.fork();
+        let mut right = parent.fork();
+        let checkpoint = parent.len();
+        assert_eq!(checkpoint, 1);
+
+        // Branch pushes are private and id-collide across branches.
+        let l = left.push(VertexSet::from_iter(8, [Vertex(2)]));
+        let r = right.push(VertexSet::from_iter(8, [Vertex(3)]));
+        assert_eq!(l, r);
+        assert_eq!(parent.len(), 1, "parent unaffected by branch pushes");
+        assert_eq!(left.get(a).to_vec(), vec![Vertex(0)]);
+        assert_eq!(right.get(a).to_vec(), vec![Vertex(0)]);
+
+        // The parent can keep pushing after the fork without disturbing
+        // the branches (its pushes land in its own tail).
+        let p = parent.push(VertexSet::from_iter(8, [Vertex(7)]));
+        assert_eq!(p, l);
+        assert_eq!(left.get(l).to_vec(), vec![Vertex(2)]);
     }
 
     #[test]

@@ -133,6 +133,23 @@ pub fn random_csp(seed: u64, n: u32, m: u32, max_arity: u32) -> Hypergraph {
     Hypergraph::from_edge_lists(&edges)
 }
 
+/// The disjoint union of `parts` on renamed (offset) vertices:
+/// `hw = max` over the parts, and the union splits into one
+/// `[λc]`-component per part at the root — the canonical multi-component
+/// workload for the engines' sibling-subproblem parallelism.
+pub fn disjoint_union(parts: &[Hypergraph]) -> Hypergraph {
+    assert!(!parts.is_empty());
+    let mut edges: Vec<Vec<u32>> = Vec::new();
+    let mut offset = 0u32;
+    for hg in parts {
+        for e in hg.edge_ids() {
+            edges.push(hg.edge(e).iter().map(|v| v.0 + offset).collect());
+        }
+        offset += hg.num_vertices() as u32;
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +193,19 @@ mod tests {
         let d = chorded_cycle(12, 3, 7);
         for e in c.edge_ids() {
             assert_eq!(c.edge(e), d.edge(e));
+        }
+    }
+
+    #[test]
+    fn disjoint_union_offsets_vertices() {
+        let h = disjoint_union(&[cycle(4), path(2)]);
+        assert_eq!(h.num_edges(), 6);
+        assert_eq!(h.num_vertices(), 7);
+        // No edge straddles the part boundary.
+        for e in h.edge_ids() {
+            let left = h.edge(e).iter().all(|v| v.0 < 4);
+            let right = h.edge(e).iter().all(|v| v.0 >= 4);
+            assert!(left || right, "edge straddles the union boundary");
         }
     }
 

@@ -40,6 +40,14 @@ fn hard_basic() -> Hypergraph {
     families::chorded_cycle(48, 20, 5)
 }
 
+/// A hard *multi-component* instance: the root connector is empty, so
+/// every root-mode candidate fans its sibling components out on the pool
+/// (below-children parallelism) — interruption must propagate through
+/// the child-join path, not just the λc race.
+fn hard_multi_component() -> Hypergraph {
+    families::disjoint_union(&[hard_logk(), families::chorded_cycle(96, 48, 4)])
+}
+
 /// Keeps the SAT baseline solving for ~300 ms release at `k = 2`.
 fn hard_sat() -> Hypergraph {
     families::grid(7, 7)
@@ -123,6 +131,42 @@ fn logk_parallel_cancels() {
     let hg = hard_logk();
     assert_cancels("logk/par2", |c| {
         logk::LogK::parallel(2).decide(&hg, 3, c).err()
+    });
+}
+
+// ---- log-k-decomp, sibling-children fan-out (multi-component) ----
+
+#[test]
+fn logk_child_parallel_times_out() {
+    let hg = hard_multi_component();
+    assert_times_out("logk/children2", |c| {
+        logk::LogK::parallel(2).decide(&hg, 3, c).err()
+    });
+}
+
+#[test]
+fn logk_child_parallel_cancels() {
+    let hg = hard_multi_component();
+    assert_cancels("logk/children2", |c| {
+        logk::LogK::parallel(2).decide(&hg, 3, c).err()
+    });
+}
+
+#[test]
+fn logk_child_sequential_fallback_times_out() {
+    // 1-worker pool: the split gate must keep the child loops on the
+    // sequential fast path, and the stop contract must hold regardless.
+    let hg = hard_multi_component();
+    assert_times_out("logk/children1", |c| {
+        logk::LogK::parallel(1).decide(&hg, 3, c).err()
+    });
+}
+
+#[test]
+fn logk_child_sequential_fallback_cancels() {
+    let hg = hard_multi_component();
+    assert_cancels("logk/children1", |c| {
+        logk::LogK::parallel(1).decide(&hg, 3, c).err()
     });
 }
 
