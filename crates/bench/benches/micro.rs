@@ -35,6 +35,55 @@ fn bench_bitsets(c: &mut Criterion) {
     g.bench_function("iter_4096", |bch| {
         bch.iter(|| black_box(&a).iter().map(|v| v.0 as u64).sum::<u64>())
     });
+
+    // Wide-instance group: the fused one-pass kernels against the chained
+    // public-API sequence they replaced (copy + difference + intersect +
+    // union — the pre-fusion engine hot path), at word-sized (64-bit),
+    // 8-word (512-bit) and 32-word (2048-bit) set widths. The λp `bad`-set
+    // assembly and the prefilter's exclusion count are the two shapes the
+    // engine runs per λp candidate; the 32-word pair is the acceptance
+    // measurement (fused ≥ 1.5× chained).
+    for (label, nbits) in [("1w", 64usize), ("8w", 512), ("32w", 2048)] {
+        let up = VertexSet::from_iter(nbits, (0..nbits).step_by(3).map(|v| Vertex(v as u32)));
+        let uc = VertexSet::from_iter(nbits, (0..nbits).step_by(5).map(|v| Vertex(v as u32)));
+        let vs = VertexSet::from_iter(nbits, (0..nbits).step_by(2).map(|v| Vertex(v as u32)));
+        let cuc = VertexSet::from_iter(nbits, (0..nbits).step_by(7).map(|v| Vertex(v as u32)));
+        let mut bad = VertexSet::empty(nbits);
+        let mut tmp = VertexSet::empty(nbits);
+        g.bench_function(format!("lp_bad_chained_{label}"), |bch| {
+            bch.iter(|| {
+                bad.copy_from(black_box(&up));
+                bad.difference_with(black_box(&uc));
+                bad.intersect_with(black_box(&vs));
+                tmp.copy_from(black_box(&cuc));
+                tmp.difference_with(black_box(&up));
+                bad.union_with(&tmp);
+                black_box(!bad.is_empty())
+            })
+        });
+        g.bench_function(format!("lp_bad_fused_{label}"), |bch| {
+            bch.iter(|| {
+                let (_, nonempty) = bad.assign_lp_bad(
+                    black_box(&up),
+                    black_box(&uc),
+                    black_box(&vs),
+                    black_box(&cuc),
+                );
+                black_box(nonempty)
+            })
+        });
+        g.bench_function(format!("count_and_or_chained_{label}"), |bch| {
+            bch.iter(|| {
+                tmp.copy_from(black_box(&up));
+                tmp.intersect_with(black_box(&uc));
+                tmp.union_with(black_box(&vs));
+                black_box(tmp.len())
+            })
+        });
+        g.bench_function(format!("count_and_or_fused_{label}"), |bch| {
+            bch.iter(|| black_box(&up).count_intersect_union(black_box(&uc), black_box(&vs)))
+        });
+    }
     g.finish();
 }
 
@@ -190,6 +239,35 @@ fn bench_lp_prune(c: &mut Criterion) {
         bch.iter(|| {
             let ctrl = Control::unlimited();
             black_box(unfiltered.decide(black_box(&grid), 3, &ctrl).unwrap())
+        })
+    });
+
+    // Wide variant: the 260-vertex cycle at its true width k = 2. Every
+    // vertex set spans five 64-bit words, so this is the regime where the
+    // incremental mode's full-width stack copies amortise — the
+    // measurement behind the `LpMode::Auto` word threshold (see
+    // BENCHMARKS.md). `with_lambda_p_mode` pins the modes explicitly;
+    // the default engine would resolve `Auto` to incremental here.
+    let wide = families::cycle(260);
+    let wide_pp = LogK::sequential().with_lambda_p_mode(logk::LpMode::Never);
+    let wide_inc = LogK::sequential().with_lambda_p_mode(logk::LpMode::Always);
+    let wide_unf = LogK::sequential().with_lambda_p_prefilter(false);
+    g.bench_function("cycle260_k2_prefiltered", |bch| {
+        bch.iter(|| {
+            let ctrl = Control::unlimited();
+            black_box(wide_pp.decide(black_box(&wide), 2, &ctrl).unwrap())
+        })
+    });
+    g.bench_function("cycle260_k2_inc_prefiltered", |bch| {
+        bch.iter(|| {
+            let ctrl = Control::unlimited();
+            black_box(wide_inc.decide(black_box(&wide), 2, &ctrl).unwrap())
+        })
+    });
+    g.bench_function("cycle260_k2_unfiltered", |bch| {
+        bch.iter(|| {
+            let ctrl = Control::unlimited();
+            black_box(wide_unf.decide(black_box(&wide), 2, &ctrl).unwrap())
         })
     });
     g.finish();

@@ -190,8 +190,10 @@ impl Basic<'_> {
                 return ControlFlow::Continue(()); // line 21
             };
             let comp_down = &seps_p.components[i];
-            // Line 22: connectedness check for Conn against λp.
-            if !comp_down.vertices.intersection(conn).is_subset_of(&up) {
+            // Line 22: connectedness check for Conn against λp —
+            // `(V(comp_down) ∩ Conn) \ ⋃λp = ∅`, one fused pass, nothing
+            // materialised.
+            if comp_down.vertices.intersects_outside(conn, &up) {
                 return ControlFlow::Continue(()); // line 23
             }
 
@@ -231,8 +233,8 @@ impl Basic<'_> {
         // Line 25: χc = ⋃λc ∩ V(comp_down) (minimal χ, Definition 3.5(3)).
         let mut chi_c = self.hg.union_of_slice(lam_c);
         chi_c.intersect_with(&comp_down.vertices);
-        // Line 26: connectedness check.
-        if !comp_down.vertices.intersection(up).is_subset_of(&chi_c) {
+        // Line 26: connectedness check, fused like line 22.
+        if comp_down.vertices.intersects_outside(up, &chi_c) {
             return ControlFlow::Continue(()); // line 27
         }
         // Line 28: [χc]-components of comp_down.

@@ -58,8 +58,8 @@ use hypergraph::subsets::{
     SubsetStep,
 };
 use hypergraph::{
-    separate_into, Component, Edge, EdgeSet, Hypergraph, LevelStack, Scratch, Separation,
-    SpecialArena, Subproblem, VertexSet,
+    separate_into, Component, Edge, EdgeSet, Hypergraph, LevelStack, MaskMatrix, Scratch,
+    Separation, SpecialArena, Subproblem, VertexSet,
 };
 
 use crate::cache::{CacheSnapshot, Probe, SubproblemCache};
@@ -164,7 +164,40 @@ pub enum CandidateOrder {
     /// edges, which separate more of the subproblem per λ slot — a
     /// discriminating order even when every edge has the same arity.
     DegreeCoverage,
+    /// Per-subproblem: descending `|e ∩ Conn|` (ties by the static
+    /// arity rank). Edges covering more of the current connector are
+    /// likelier to reach the root case (`Conn ⊆ ⋃λc`) early, at the
+    /// cost of one `intersection_len` per candidate per `ChildLoop`.
+    /// Degenerates to [`CandidateOrder::Arity`] when `Conn = ∅` (the
+    /// top-level call).
+    ConnCoverage,
 }
+
+/// When the λp pre-filter maintains its spill-touch masks incrementally
+/// across the subset walk instead of re-walking the spill vertices per
+/// (λc, λp) pair. See [`EngineConfig::lambda_p_incremental`] for the
+/// trade-off; measured verdicts live in BENCHMARKS.md.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LpMode {
+    /// Always re-walk per pair (the word-sized-instance winner).
+    Never,
+    /// Always maintain the masks incrementally.
+    Always,
+    /// Decide per instance: incremental on wide instances (vertex
+    /// universe spanning more than [`LP_INCREMENTAL_AUTO_WORDS`] words,
+    /// where per-pair sparse walks touch many words per vertex), per-pair
+    /// below. This is the default.
+    #[default]
+    Auto,
+}
+
+/// [`LpMode::Auto`] threshold: instances whose vertex universe
+/// spans more than this many 64-bit words run the incremental λp walk.
+/// Set from the `micro/lp_prune` wide-vs-word-sized measurements
+/// (BENCHMARKS.md): the per-pair sparse walk wins below (small `bad`
+/// sets are nearly free), the word-parallel stack maintenance wins
+/// above.
+pub const LP_INCREMENTAL_AUTO_WORDS: usize = 4;
 
 /// Hybridisation policy: below `threshold` the engine switches to
 /// `det-k-decomp` on the subproblem.
@@ -222,9 +255,10 @@ pub struct EngineConfig {
     /// (`micro/lp_prune` `grid4x4_k3_inc`, BENCHMARKS.md): the sparse
     /// walk wins on word-sized instances — small `bad` sets make the
     /// per-pair walk nearly free while the stack copies are pure
-    /// overhead — so the default stays per-pair; the incremental walk is
-    /// the candidate for wide-bitset instances with large spills.
-    pub lambda_p_incremental: bool,
+    /// overhead — while on wide-bitset instances with large spills the
+    /// incremental walk wins. [`LpMode::Auto`] (the default)
+    /// picks per instance size.
+    pub lambda_p_incremental: LpMode,
     /// Largest fragment (node count) stored by a positive cache insert;
     /// `usize::MAX` stores every found fragment, `0` disables positive
     /// inserts. See [`DEFAULT_POS_CACHE_MAX_FRAG`].
@@ -260,7 +294,7 @@ impl EngineConfig {
             cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             lambda_p_prefilter: true,
-            lambda_p_incremental: false,
+            lambda_p_incremental: LpMode::Auto,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
             child_split_min_components: DEFAULT_CHILD_SPLIT_MIN_COMPONENTS,
@@ -595,11 +629,13 @@ struct LevelScratch {
     /// Edges touching the uncovered connector part (per λp): the only
     /// coverage walk left on the incremental pre-filter path.
     touch_uncov: EdgeSet,
-    /// Per-candidate coverage masks for the incremental λp walk:
-    /// `spill_touch[i]` holds the edges touching `(cands_p[i] \ ⋃λc) ∩
-    /// V(H')`, computed once per λc instead of re-walking the spill
-    /// vertices for every (λc, λp) pair.
-    spill_touch: Vec<EdgeSet>,
+    /// Per-candidate coverage masks for the incremental λp walk: row `i`
+    /// holds the edges touching `(cands_p[i] \ ⋃λc) ∩ V(H')`, computed
+    /// once per λc instead of re-walking the spill vertices for every
+    /// (λc, λp) pair. SoA layout: all rows in one contiguous allocation,
+    /// so the per-push mask folds stream adjacent cache lines instead of
+    /// chasing per-candidate heap pointers.
+    spill_touch: MaskMatrix<Edge>,
     /// Depth-indexed stack of `⋃` of the current λp prefix, maintained
     /// across the subset walk (one union per push, not `|λp|` per
     /// candidate).
@@ -690,7 +726,7 @@ struct ChildCtx<'a> {
     x_conn: &'a mut VertexSet,
     conn_uc: &'a mut VertexSet,
     touch_x: &'a mut EdgeSet,
-    spill_touch: &'a mut Vec<EdgeSet>,
+    spill_touch: &'a mut MaskMatrix<Edge>,
     lp_union_stack: &'a mut Vec<VertexSet>,
     lp_touch_stack: &'a mut Vec<EdgeSet>,
     pair: PairCtx<'a>,
@@ -905,6 +941,10 @@ pub struct LogKEngine<'h> {
     /// Entry cap of each node-local λp split memo, derived from
     /// [`LP_MEMO_BYTES`] and this instance's per-entry bitset footprint.
     lp_memo_cap: usize,
+    /// [`EngineConfig::lambda_p_incremental`] resolved against this
+    /// instance's width ([`LpMode::Auto`] picks per vertex-universe
+    /// size, so the decision is made once here, not per candidate).
+    lp_incremental: bool,
 }
 
 type FragResult = Result<Option<Fragment>, Stop>;
@@ -920,7 +960,9 @@ impl<'h> LogKEngine<'h> {
         assert!(cfg.k >= 1, "width parameter k must be at least 1");
         let mut order: Vec<Edge> = hg.edge_ids().collect();
         match cfg.candidate_order {
-            CandidateOrder::Arity => {
+            // ConnCoverage re-sorts per subproblem in `child_loop`; its
+            // static rank (the tie-break) is the arity order.
+            CandidateOrder::Arity | CandidateOrder::ConnCoverage => {
                 order.sort_unstable_by_key(|&e| (std::cmp::Reverse(hg.edge(e).len()), e.0));
             }
             CandidateOrder::DegreeCoverage => {
@@ -961,6 +1003,11 @@ impl<'h> LogKEngine<'h> {
         let es_bytes = hg.num_edges().div_ceil(64) * 8;
         let entry_bytes = 2 * vs_bytes + 2 * es_bytes + 96;
         let lp_memo_cap = (LP_MEMO_BYTES / entry_bytes).clamp(16, 1 << 15);
+        let lp_incremental = match cfg.lambda_p_incremental {
+            LpMode::Never => false,
+            LpMode::Always => true,
+            LpMode::Auto => hg.num_vertices().div_ceil(64) > LP_INCREMENTAL_AUTO_WORDS,
+        };
         LogKEngine {
             hg,
             ctrl,
@@ -972,6 +1019,7 @@ impl<'h> LogKEngine<'h> {
             branch_pool: std::sync::Mutex::new(Vec::new()),
             detk_pool: std::sync::Mutex::new(Vec::new()),
             lp_memo_cap,
+            lp_incremental,
         }
     }
 
@@ -1231,6 +1279,17 @@ impl<'h> LogKEngine<'h> {
         cands.clear();
         cands.extend(allowed.iter().filter(|&e| self.hg.edge(e).intersects(vsub)));
         cands.sort_unstable_by_key(|&e| self.edge_rank[e.0 as usize]);
+        if self.cfg.candidate_order == CandidateOrder::ConnCoverage && !conn.is_empty() {
+            // Per-subproblem refinement: candidates covering more of the
+            // current connector first (one fused intersection count per
+            // candidate), static rank as the tie-break.
+            cands.sort_unstable_by_key(|&e| {
+                (
+                    std::cmp::Reverse(self.hg.edge(e).intersection_len(conn)),
+                    self.edge_rank[e.0 as usize],
+                )
+            });
+        }
         ctx.meters.bump_grow(cands.capacity() > cands_cap);
 
         let checkpoint = arena.len();
@@ -1531,13 +1590,10 @@ impl<'h> LogKEngine<'h> {
         // only when the full separation would reject it too).
         let prefilter = if self.cfg.lambda_p_prefilter {
             // Exclusion baseline: members touching `X = Conn \ ⋃λc` can
-            // never lie in `comp_down`.
-            meters.bump_grow(x_conn.copy_from(conn));
-            x_conn.difference_with(union_c);
-            x_conn.intersect_with(vsub);
-            meters.bump_grow(conn_uc.copy_from(conn));
-            conn_uc.intersect_with(union_c);
-            conn_uc.intersect_with(vsub);
+            // never lie in `comp_down`. Both per-λc sets are assembled in
+            // one fused pass each.
+            meters.bump_grow(x_conn.assign_diff_and(conn, union_c, vsub));
+            meters.bump_grow(conn_uc.assign_and3(conn, union_c, vsub));
             meters.bump_grow(self.hg.edges_touching_into(x_conn, touch_x));
             touch_x.intersect_with(&sub.edges);
             let base_excluded = touch_x.len()
@@ -1567,7 +1623,7 @@ impl<'h> LogKEngine<'h> {
             None
         };
         let lam_p_cap = lam_buf_p.capacity();
-        let found = if let (Some(pf), true) = (prefilter.as_ref(), self.cfg.lambda_p_incremental) {
+        let found = if let (Some(pf), true) = (prefilter.as_ref(), self.lp_incremental) {
             // Incremental pre-filter walk: the coverage-touch mask of the
             // λp spill — a vertex walk over `(⋃λp \ ⋃λc) ∩ V(H')`
             // recomputed for every (λc, λp) pair in the default mode — is
@@ -1578,18 +1634,13 @@ impl<'h> LogKEngine<'h> {
             // stack tops. Depth-indexed stacks make pops free (the next
             // push at a depth overwrites it).
             let k = self.cfg.k;
-            if spill_touch.len() < cands_p.len() {
-                let cap = spill_touch.capacity();
-                spill_touch.resize_with(cands_p.len(), EdgeSet::default);
-                meters.bump_grow(spill_touch.capacity() > cap);
-            }
+            meters.bump_grow(spill_touch.reset(cands_p.len(), self.hg.num_edges()));
             for (i, &e) in cands_p.iter().enumerate() {
                 // spill_e = (V(e) \ ⋃λc) ∩ V(H'), assembled in `bad`
-                // (free at this point: the walk below owns it per λp).
-                meters.bump_grow(pair.bad.copy_from(self.hg.edge(e)));
-                pair.bad.difference_with(union_c);
-                pair.bad.intersect_with(vsub);
-                meters.bump_grow(self.hg.edges_touching_into(pair.bad, &mut spill_touch[i]));
+                // (free at this point: the walk below owns it per λp),
+                // its touch mask written straight into SoA row `i`.
+                meters.bump_grow(pair.bad.assign_diff_and(self.hg.edge(e), union_c, vsub));
+                self.hg.edges_touching_into_row(pair.bad, spill_touch, i);
             }
             if lp_union_stack.len() < k {
                 lp_union_stack.resize_with(k, VertexSet::default);
@@ -1603,14 +1654,14 @@ impl<'h> LogKEngine<'h> {
                 } => {
                     if d == 0 {
                         meters.bump_grow(lp_union_stack[0].copy_from(self.hg.edge(edge)));
-                        meters.bump_grow(lp_touch_stack[0].copy_from(&spill_touch[index]));
+                        meters.bump_grow(spill_touch.copy_row_into(index, &mut lp_touch_stack[0]));
                     } else {
                         let (head, tail) = lp_union_stack.split_at_mut(d);
                         meters.bump_grow(tail[0].copy_from(&head[d - 1]));
                         tail[0].union_with(self.hg.edge(edge));
                         let (head, tail) = lp_touch_stack.split_at_mut(d);
                         meters.bump_grow(tail[0].copy_from(&head[d - 1]));
-                        tail[0].union_with(&spill_touch[index]);
+                        spill_touch.or_row_into(index, &mut tail[0]);
                     }
                     ControlFlow::Continue(())
                 }
@@ -1673,9 +1724,8 @@ impl<'h> LogKEngine<'h> {
         chi_root: &mut VertexSet,
         down: &mut DownCtx<'_>,
     ) -> FragResult {
-        // Line 16: χc = ⋃λc ∩ V(H').
-        down.meters.bump_grow(chi_root.copy_from(union_c));
-        chi_root.intersect_with(vsub);
+        // Line 16: χc = ⋃λc ∩ V(H'), one fused pass.
+        down.meters.bump_grow(chi_root.assign_and(union_c, vsub));
         // Lines 17–20: solve the [λc]-components, concurrently when the
         // grain gate passes (see `solve_siblings`).
         let Some(children) = self.solve_siblings(
@@ -1757,18 +1807,16 @@ impl<'h> LogKEngine<'h> {
         // incremental mode reads the walk's stack and only walks the
         // (small) uncovered-connector part — but reject identically.
         if let Some(pf) = lp.prefilter() {
-            // spill = (⋃λp \ ⋃λc) ∩ V(H')
-            meters.bump_grow(bad.copy_from(union_p));
-            bad.difference_with(union_c);
-            bad.intersect_with(vsub);
-            // uncov = Conn ∩ ⋃λc ∩ V(H') \ ⋃λp
-            meters.bump_grow(bad_tmp.copy_from(pf.conn_uc));
-            bad_tmp.difference_with(union_p);
-            bad.union_with(bad_tmp);
+            // `bad = ((⋃λp \ ⋃λc) ∩ V(H')) ∪ ((Conn ∩ ⋃λc ∩ V(H')) \ ⋃λp)`
+            // in one fused pass over the four operands, its emptiness a
+            // by-product — previously five chained two-operand passes
+            // plus an emptiness scan.
+            let (grew, nonempty) = bad.assign_lp_bad(union_p, union_c, vsub, pf.conn_uc);
+            meters.bump_grow(grew);
             // With `bad` empty the λp-independent baseline already passed
             // the half-size test in `try_child`, so rejection is
             // impossible — go straight to the separation.
-            if !bad.is_empty() {
+            if nonempty {
                 match &lp {
                     LpFilter::Off => unreachable!("prefilter() returned Some"),
                     LpFilter::PerPair(_) => {
@@ -1776,15 +1824,19 @@ impl<'h> LogKEngine<'h> {
                     }
                     LpFilter::Incremental(i) => {
                         meters.bump_grow(touch_bad.copy_from(i.touch_spill));
+                        // uncov = (Conn ∩ ⋃λc ∩ V(H')) \ ⋃λp — the only
+                        // coverage walk left on the incremental path.
+                        meters.bump_grow(bad_tmp.copy_from(pf.conn_uc));
+                        bad_tmp.difference_with(union_p);
                         if !bad_tmp.is_empty() {
                             meters.bump_grow(self.hg.edges_touching_into(bad_tmp, touch_uncov));
                             touch_bad.union_with(touch_uncov);
                         }
                     }
                 }
-                touch_bad.intersect_with(&sub.edges);
-                touch_bad.union_with(pf.touch_x);
-                let excluded = touch_bad.len()
+                // `|(touch_bad ∩ E') ∪ touch_x|` in one counting pass
+                // (`touch_x` is already ⊆ E'), nothing materialised.
+                let excluded = touch_bad.count_intersect_union(&sub.edges, pf.touch_x)
                     + sub
                         .specials
                         .iter()
@@ -1864,9 +1916,8 @@ impl<'h> LogKEngine<'h> {
         down: &mut DownCtx<'_>,
     ) -> Found {
         let meters = down.meters;
-        // Line 28: χc = ⋃λc ∩ V(comp_down).
-        meters.bump_grow(chi_pair.copy_from(union_c));
-        chi_pair.intersect_with(&comp_down.vertices);
+        // Line 28: χc = ⋃λc ∩ V(comp_down), one fused pass.
+        meters.bump_grow(chi_pair.assign_and(union_c, &comp_down.vertices));
         // Lines 29–30: Conn connectedness against λp —
         // `(V(comp_down) ∩ Conn) ⊆ ⋃λp`, checked word-parallel without
         // materialising the intersection.

@@ -15,9 +15,9 @@ use rayon::ThreadPool;
 
 use crate::cache::{CacheSnapshot, SubproblemCache};
 use crate::engine::{
-    CandidateOrder, EngineConfig, HybridConfig, HybridMetric, LogKEngine, DEFAULT_CACHE_BYTES,
-    DEFAULT_CHILD_SPLIT_MIN_COMPONENTS, DEFAULT_CHILD_SPLIT_MIN_SIZE, DEFAULT_DETK_CACHE_CAP,
-    DEFAULT_POS_CACHE_MAX_FRAG,
+    CandidateOrder, EngineConfig, HybridConfig, HybridMetric, LogKEngine, LpMode,
+    DEFAULT_CACHE_BYTES, DEFAULT_CHILD_SPLIT_MIN_COMPONENTS, DEFAULT_CHILD_SPLIT_MIN_SIZE,
+    DEFAULT_DETK_CACHE_CAP, DEFAULT_POS_CACHE_MAX_FRAG,
 };
 use detk::{MemoSnapshot, SharedMemo};
 
@@ -175,8 +175,9 @@ pub struct LogK {
     pub lambda_p_prefilter: bool,
     /// Incremental (walk-maintained) pre-filter touch masks instead of
     /// per-pair recomputation. See
-    /// [`EngineConfig::lambda_p_incremental`] for the measured trade-off.
-    pub lambda_p_incremental: bool,
+    /// [`EngineConfig::lambda_p_incremental`] for the measured trade-off;
+    /// the default ([`LpMode::Auto`]) decides per instance size.
+    pub lambda_p_incremental: LpMode,
     /// Largest fragment (node count) stored by a positive cache insert.
     /// See [`EngineConfig::pos_cache_max_frag`].
     pub pos_cache_max_frag: usize,
@@ -209,7 +210,7 @@ impl LogK {
             cache_bytes: DEFAULT_CACHE_BYTES,
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             lambda_p_prefilter: true,
-            lambda_p_incremental: false,
+            lambda_p_incremental: LpMode::Auto,
             pos_cache_max_frag: DEFAULT_POS_CACHE_MAX_FRAG,
             candidate_order: CandidateOrder::Arity,
             child_split_min_components: DEFAULT_CHILD_SPLIT_MIN_COMPONENTS,
@@ -286,11 +287,20 @@ impl LogK {
         self
     }
 
-    /// Switches the pre-filter's touch masks to incremental maintenance
-    /// across the λp subset walk (identical rejections, different
-    /// constant — measured in BENCHMARKS.md; per-pair stays the default).
+    /// Pins the pre-filter's touch masks to incremental maintenance
+    /// across the λp subset walk (`true` → [`LpMode::Always`]) or
+    /// to per-pair recomputation (`false` → [`LpMode::Never`]).
+    /// Identical rejections either way, different constant — measured in
+    /// BENCHMARKS.md; the unpinned default is [`LpMode::Auto`].
     pub fn with_lambda_p_incremental(mut self, on: bool) -> Self {
-        self.lambda_p_incremental = on;
+        self.lambda_p_incremental = if on { LpMode::Always } else { LpMode::Never };
+        self
+    }
+
+    /// Replaces the full λp incremental-maintenance policy (the
+    /// tri-state behind [`Self::with_lambda_p_incremental`]).
+    pub fn with_lambda_p_mode(mut self, mode: LpMode) -> Self {
+        self.lambda_p_incremental = mode;
         self
     }
 

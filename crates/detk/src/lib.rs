@@ -406,17 +406,15 @@ impl<'h> DetKDecomp<'h> {
         if !conn.is_subset_of(union) {
             return ControlFlow::Continue(());
         }
-        // Minimal bag (Def. 3.5(3)).
-        *grow += chi.copy_from(union) as u64;
-        chi.intersect_with(vsub);
+        // Minimal bag (Def. 3.5(3)), one fused pass.
+        *grow += chi.assign_and(union, vsub) as u64;
 
         separate_into(self.hg, arena, sub, chi, bfs, seps);
         children.clear();
         for comp in &seps.components {
             // Conn_C = V(C) ∩ χ(u); the recursion draws its own buffers
             // from the next level of the stack.
-            *grow += conn_c.copy_from(&comp.vertices) as u64;
-            conn_c.intersect_with(chi);
+            *grow += conn_c.assign_and(&comp.vertices, chi) as u64;
             match self.decompose(arena, comp.as_subproblem(), conn_c) {
                 Ok(Some(f)) => children.push(f),
                 Ok(None) => return ControlFlow::Continue(()),

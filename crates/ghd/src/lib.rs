@@ -168,8 +168,7 @@ impl Ghd<'_> {
             if !conn.is_subset_of(union) {
                 return ControlFlow::Continue(());
             }
-            chi.copy_from(union);
-            chi.intersect_with(vsub);
+            chi.assign_and(union, vsub);
             separate_into(self.hg, &self.arena, sub, chi, bfs, seps);
             // BalancedGo's criterion: χ must be a balanced separator.
             if seps.components.iter().any(|c| 2 * c.size() > size) {
@@ -177,8 +176,7 @@ impl Ghd<'_> {
             }
             let mut children = Vec::with_capacity(seps.components.len());
             for comp in &seps.components {
-                conn_c.copy_from(&comp.vertices);
-                conn_c.intersect_with(chi);
+                conn_c.assign_and(&comp.vertices, chi);
                 match self.decompose(comp.as_subproblem(), conn_c, depth + 1, scratch) {
                     Ok(Some(f)) => children.push(f),
                     Ok(None) => return ControlFlow::Continue(()),

@@ -10,6 +10,8 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
 
+use crate::lanes;
+
 /// An index newtype usable inside a [`TypedBitSet`].
 pub trait Ix: Copy + Eq {
     /// Converts the index to a `usize` position.
@@ -55,6 +57,15 @@ const BITS: usize = u64::BITS as usize;
 /// All binary operations require both operands to have the same capacity
 /// (the universe size of the hypergraph they belong to); this is checked
 /// with `debug_assert!` in the hot paths.
+///
+/// # Tail invariant
+///
+/// `blocks.len() == nbits.div_ceil(64)` and every bit at position
+/// `>= nbits` of the last block is **zero**. Every constructor
+/// establishes this and every mutating operation preserves it (asserted
+/// in debug builds via [`Self::tail_invariant_ok`]). The
+/// [`crate::lanes`] kernels rely on it: counting kernels popcount raw
+/// blocks without re-masking, and equality/hashing compare raw blocks.
 pub struct TypedBitSet<I> {
     blocks: Vec<u64>,
     nbits: usize,
@@ -134,6 +145,45 @@ impl<I: Ix> TypedBitSet<I> {
         }
     }
 
+    /// Checks the tail invariant: the block count matches the universe
+    /// size and no bit past `nbits` is set. Constant-time (only the last
+    /// block carries tail bits). Mutating operations `debug_assert!`
+    /// this; the lane kernels and raw-block consumers rely on it.
+    pub fn tail_invariant_ok(&self) -> bool {
+        if self.blocks.len() != self.nbits.div_ceil(BITS) {
+            return false;
+        }
+        let used = self.nbits % BITS;
+        if used == 0 {
+            return true;
+        }
+        match self.blocks.last() {
+            Some(&last) => last & !((1u64 << used) - 1) == 0,
+            None => true,
+        }
+    }
+
+    #[inline]
+    fn debug_assert_tail(&self) {
+        debug_assert!(
+            self.tail_invariant_ok(),
+            "bitset tail invariant violated: bits past len {} are set",
+            self.nbits
+        );
+    }
+
+    /// The raw 64-bit blocks backing the set, low indices first. The
+    /// tail invariant guarantees bits past [`Self::capacity`] are zero.
+    #[inline]
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    #[inline]
+    pub(crate) fn as_blocks_mut(&mut self) -> &mut [u64] {
+        &mut self.blocks
+    }
+
     /// The universe size this set was created with.
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -148,6 +198,7 @@ impl<I: Ix> TypedBitSet<I> {
         let (w, b) = (idx / BITS, idx % BITS);
         let had = self.blocks[w] & (1 << b) != 0;
         self.blocks[w] |= 1 << b;
+        self.debug_assert_tail();
         !had
     }
 
@@ -175,7 +226,7 @@ impl<I: Ix> TypedBitSet<I> {
     /// Number of elements in the set.
     #[inline]
     pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        lanes::count_ones(&self.blocks)
     }
 
     /// Whether the set is empty.
@@ -223,27 +274,37 @@ impl<I: Ix> TypedBitSet<I> {
     #[inline]
     pub fn union_with(&mut self, other: &Self) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a |= b;
-        }
+        lanes::or_assign(&mut self.blocks, &other.blocks);
+        self.debug_assert_tail();
     }
 
     /// In-place intersection: `self ∩= other`.
     #[inline]
     pub fn intersect_with(&mut self, other: &Self) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= b;
-        }
+        lanes::and_assign(&mut self.blocks, &other.blocks);
+        self.debug_assert_tail();
     }
 
     /// In-place difference: `self \= other`.
     #[inline]
     pub fn difference_with(&mut self, other: &Self) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= !b;
-        }
+        lanes::andnot_assign(&mut self.blocks, &other.blocks);
+        self.debug_assert_tail();
+    }
+
+    /// Unions `src` into both `a` and `b` in one pass over `src`'s
+    /// blocks (the component BFS absorbs every member row into the
+    /// component's vertex set *and* the next frontier — fused, `src` is
+    /// loaded once).
+    #[inline]
+    pub fn union_into_both(a: &mut Self, b: &mut Self, src: &Self) {
+        debug_assert_eq!(a.nbits, src.nbits);
+        debug_assert_eq!(b.nbits, src.nbits);
+        lanes::or_assign2(&mut a.blocks, &mut b.blocks, &src.blocks);
+        a.debug_assert_tail();
+        b.debug_assert_tail();
     }
 
     /// Returns `self ∪ other` as a new set.
@@ -274,20 +335,14 @@ impl<I: Ix> TypedBitSet<I> {
     #[inline]
     pub fn is_subset_of(&self, other: &Self) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .all(|(a, b)| a & !b == 0)
+        !lanes::any_andnot(&self.blocks, &other.blocks)
     }
 
     /// Disjointness test: `self ∩ other = ∅`.
     #[inline]
     pub fn is_disjoint_from(&self, other: &Self) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .all(|(a, b)| a & b == 0)
+        !lanes::any_and(&self.blocks, &other.blocks)
     }
 
     /// Non-empty intersection test.
@@ -300,11 +355,99 @@ impl<I: Ix> TypedBitSet<I> {
     #[inline]
     pub fn intersection_len(&self, other: &Self) -> usize {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        lanes::and_count(&self.blocks, &other.blocks)
+    }
+
+    /// `|(self ∩ b) ∪ c|` in one pass, nothing materialised — the λp
+    /// pre-filter's exclusion count (members touching the inadmissible
+    /// set, unioned with the λc-level baseline), previously an
+    /// `intersect_with` + `union_with` + `len` chain that destroyed the
+    /// mask buffer.
+    #[inline]
+    pub fn count_intersect_union(&self, b: &Self, c: &Self) -> usize {
+        debug_assert_eq!(self.nbits, b.nbits);
+        debug_assert_eq!(self.nbits, c.nbits);
+        lanes::count_and_or(&self.blocks, &b.blocks, &c.blocks)
+    }
+
+    /// `self = a ∩ b` in one fused pass, resizing to `a`'s universe.
+    /// Returns `true` if the block buffer had to grow (see
+    /// [`Self::reset`]).
+    #[inline]
+    pub fn assign_and(&mut self, a: &Self, b: &Self) -> bool {
+        debug_assert_eq!(a.nbits, b.nbits);
+        let grew = self.reset_uninit(a.nbits);
+        lanes::assign_and(&mut self.blocks, &a.blocks, &b.blocks);
+        self.debug_assert_tail();
+        grew
+    }
+
+    /// `self = (a \ b) ∩ c` in one fused pass, resizing to `a`'s
+    /// universe. Returns the grow flag.
+    #[inline]
+    pub fn assign_diff_and(&mut self, a: &Self, b: &Self, c: &Self) -> bool {
+        debug_assert_eq!(a.nbits, b.nbits);
+        debug_assert_eq!(a.nbits, c.nbits);
+        let grew = self.reset_uninit(a.nbits);
+        lanes::assign_diff_and(&mut self.blocks, &a.blocks, &b.blocks, &c.blocks);
+        self.debug_assert_tail();
+        grew
+    }
+
+    /// `self = a ∩ b ∩ c` in one fused pass, resizing to `a`'s universe.
+    /// Returns the grow flag.
+    #[inline]
+    pub fn assign_and3(&mut self, a: &Self, b: &Self, c: &Self) -> bool {
+        debug_assert_eq!(a.nbits, b.nbits);
+        debug_assert_eq!(a.nbits, c.nbits);
+        let grew = self.reset_uninit(a.nbits);
+        lanes::assign_and3(&mut self.blocks, &a.blocks, &b.blocks, &c.blocks);
+        self.debug_assert_tail();
+        grew
+    }
+
+    /// `self = ((up \ uc) ∩ vs) ∪ (cuc \ up)` in one fused pass — the λp
+    /// pre-filter's inadmissible-vertex set assembled per candidate pair.
+    /// Returns `(grew, nonempty)`.
+    #[inline]
+    pub fn assign_lp_bad(&mut self, up: &Self, uc: &Self, vs: &Self, cuc: &Self) -> (bool, bool) {
+        debug_assert_eq!(up.nbits, uc.nbits);
+        debug_assert_eq!(up.nbits, vs.nbits);
+        debug_assert_eq!(up.nbits, cuc.nbits);
+        let grew = self.reset_uninit(up.nbits);
+        let nonempty = lanes::lp_bad_assign(
+            &mut self.blocks,
+            &up.blocks,
+            &uc.blocks,
+            &vs.blocks,
+            &cuc.blocks,
+        );
+        self.debug_assert_tail();
+        (grew, nonempty)
+    }
+
+    /// Sizes `self` for `nbits` without zeroing: every block is about to
+    /// be overwritten by a fused assigning kernel. Same grow metering as
+    /// [`Self::reset`].
+    #[inline]
+    fn reset_uninit(&mut self, nbits: usize) -> bool {
+        let words = nbits.div_ceil(BITS);
+        let grew = words > self.blocks.capacity();
+        self.blocks.resize(words, 0);
+        self.nbits = nbits;
+        grew
+    }
+
+    /// Makes `self` the set over `nbits` elements whose raw blocks are
+    /// `blocks` (a [`crate::matrix::MaskMatrix`] row). Returns the grow
+    /// flag, like [`Self::reset`].
+    #[inline]
+    pub(crate) fn assign_blocks(&mut self, nbits: usize, blocks: &[u64]) -> bool {
+        debug_assert_eq!(blocks.len(), nbits.div_ceil(BITS));
+        let grew = self.reset_uninit(nbits);
+        self.blocks.copy_from_slice(blocks);
+        self.debug_assert_tail();
+        grew
     }
 
     /// `(self \ other).is_empty()` without allocating — i.e. subset test.
@@ -320,11 +463,7 @@ impl<I: Ix> TypedBitSet<I> {
     pub fn intersects_outside(&self, other: &Self, exclude: &Self) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
         debug_assert_eq!(self.nbits, exclude.nbits);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .zip(&exclude.blocks)
-            .any(|((a, b), e)| a & b & !e != 0)
+        lanes::any_and_andnot(&self.blocks, &other.blocks, &exclude.blocks)
     }
 
     /// Number of 64-bit blocks backing the set.
@@ -518,6 +657,84 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.first(), None);
         assert_eq!(s.iter().count(), 0);
+    }
+
+    /// Regression for the tail-invariant audit: every mutating op must
+    /// keep bits past `len` cleared, at ragged universe sizes straddling
+    /// word and lane-chunk boundaries. The lane kernels (raw-block
+    /// popcounts, equality on raw blocks) rely on this.
+    #[test]
+    fn mutating_ops_preserve_tail_invariant() {
+        for n in [1usize, 63, 64, 65, 130, 255, 256, 257] {
+            let universe: Vec<u32> = (0..n as u32).collect();
+            let evens: Vec<u32> = universe.iter().copied().filter(|v| v % 2 == 0).collect();
+            let a = vs(n, &evens);
+            let b = VertexSet::full(n);
+            assert!(a.tail_invariant_ok());
+            assert!(b.tail_invariant_ok());
+
+            let mut s = a.clone();
+            s.union_with(&b);
+            assert!(s.tail_invariant_ok());
+            assert_eq!(s.len(), n, "full ∪ evens must be the whole universe");
+            s.difference_with(&a);
+            assert!(s.tail_invariant_ok());
+            s.intersect_with(&b);
+            assert!(s.tail_invariant_ok());
+
+            let mut s = VertexSet::default();
+            s.assign_and(&a, &b);
+            assert!(s.tail_invariant_ok());
+            assert_eq!(s, a);
+            s.assign_diff_and(&b, &a, &b);
+            assert!(s.tail_invariant_ok());
+            assert_eq!(s.len(), n - evens.len());
+            s.assign_and3(&a, &b, &b);
+            assert!(s.tail_invariant_ok());
+            let (_, nonempty) = s.assign_lp_bad(&b, &a, &b, &a);
+            assert!(s.tail_invariant_ok());
+            // ((full \ evens) ∩ full) ∪ (evens \ full) = odds.
+            assert_eq!(nonempty, n > 1);
+            assert_eq!(s.len(), n - evens.len());
+
+            let mut t = a.clone();
+            let mut u = VertexSet::empty(n);
+            VertexSet::union_into_both(&mut t, &mut u, &b);
+            assert!(t.tail_invariant_ok() && u.tail_invariant_ok());
+            assert_eq!(u, b);
+
+            let mut r = b.clone();
+            r.insert(Vertex(0));
+            r.remove(Vertex(0));
+            assert!(r.tail_invariant_ok());
+            r.clear();
+            assert!(r.tail_invariant_ok());
+            r.reset(n + 3);
+            assert!(r.tail_invariant_ok());
+            r.copy_from(&a);
+            assert!(r.tail_invariant_ok());
+        }
+    }
+
+    /// The fused counting kernels must agree with the materialising
+    /// set algebra — including at ragged tails where a stale tail bit
+    /// would skew a raw-block popcount.
+    #[test]
+    fn fused_counts_match_materialised_sets() {
+        for n in [5usize, 64, 70, 130, 300] {
+            let a = vs(n, &[0, 1, 4, (n as u32) - 1]);
+            let b = vs(n, &[1, 4, (n as u32) - 1]);
+            let c = vs(n, &[0, 2 % n as u32]);
+            assert_eq!(
+                a.count_intersect_union(&b, &c),
+                a.intersection(&b).union(&c).len()
+            );
+            assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+            assert_eq!(
+                a.intersects_outside(&b, &c),
+                !a.intersection(&b).difference(&c).is_empty()
+            );
+        }
     }
 
     #[test]

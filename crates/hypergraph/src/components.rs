@@ -258,8 +258,11 @@ pub fn separate_into(
                         bits &= bits - 1;
                         scratch.remaining_edges.remove(e);
                         comp.sub.edges.insert(e);
-                        comp.vertices.union_with(hg.edge(e));
-                        scratch.next.union_with(hg.edge(e));
+                        VertexSet::union_into_both(
+                            &mut comp.vertices,
+                            &mut scratch.next,
+                            hg.edge(e),
+                        );
                     }
                 }
             }
@@ -270,8 +273,11 @@ pub fn separate_into(
                         *alive = false;
                         alive_specials -= 1;
                         comp.sub.specials.push(s);
-                        comp.vertices.union_with(arena.get(s));
-                        scratch.next.union_with(arena.get(s));
+                        VertexSet::union_into_both(
+                            &mut comp.vertices,
+                            &mut scratch.next,
+                            arena.get(s),
+                        );
                     }
                 }
             }

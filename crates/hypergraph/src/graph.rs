@@ -4,6 +4,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::bitset::{Edge, EdgeSet, Vertex, VertexSet};
+use crate::lanes;
+use crate::matrix::MaskMatrix;
 
 /// A hypergraph `H = (V(H), E(H))`.
 ///
@@ -22,6 +24,14 @@ pub struct Hypergraph {
     edges: Vec<VertexSet>,
     /// `incidence[v]` is the set of edges containing vertex `v`.
     incidence: Vec<EdgeSet>,
+    /// SoA mirror of `edges`: row `e` is edge `e`'s vertex blocks, all
+    /// rows in one contiguous allocation. The union folds
+    /// ([`Self::union_of_into`] and friends) stream these rows instead
+    /// of chasing per-edge heap pointers.
+    edge_rows: MaskMatrix<Vertex>,
+    /// SoA mirror of `incidence`, streamed by the
+    /// [`Self::edges_touching_into`] folds.
+    incidence_rows: MaskMatrix<Edge>,
 }
 
 impl Hypergraph {
@@ -105,7 +115,7 @@ impl Hypergraph {
     pub fn union_of_into(&self, edges: &EdgeSet, out: &mut VertexSet) -> bool {
         let grew = out.reset(self.num_vertices());
         for e in edges {
-            out.union_with(self.edge(e));
+            self.edge_rows.or_row_into(e.0 as usize, out);
         }
         grew
     }
@@ -119,7 +129,7 @@ impl Hypergraph {
     pub fn union_of_slice_into(&self, edges: &[Edge], out: &mut VertexSet) -> bool {
         let grew = out.reset(self.num_vertices());
         for &e in edges {
-            out.union_with(self.edge(e));
+            self.edge_rows.or_row_into(e.0 as usize, out);
         }
         grew
     }
@@ -146,9 +156,23 @@ impl Hypergraph {
     pub fn edges_touching_into(&self, vs: &VertexSet, out: &mut EdgeSet) -> bool {
         let grew = out.reset(self.num_edges());
         for v in vs {
-            out.union_with(&self.incidence[v.0 as usize]);
+            self.incidence_rows.or_row_into(v.0 as usize, out);
         }
         grew
+    }
+
+    /// Like [`Self::edges_touching_into`], but the destination is row
+    /// `row` of a caller-owned [`MaskMatrix`] — the λp pre-filter stores
+    /// one touching-mask per candidate edge and this writes each mask
+    /// straight into its SoA slot, incidence rows and destination both
+    /// contiguous.
+    pub fn edges_touching_into_row(&self, vs: &VertexSet, m: &mut MaskMatrix<Edge>, row: usize) {
+        debug_assert_eq!(m.row_bits(), self.num_edges());
+        m.clear_row(row);
+        let out = m.row_mut(row);
+        for v in vs {
+            lanes::or_assign(out, self.incidence_rows.row(v.0 as usize));
+        }
     }
 
     /// Name of vertex `v`.
@@ -328,11 +352,23 @@ impl HypergraphBuilder {
             }
             edges.push(set);
         }
+        let mut edge_rows = MaskMatrix::new();
+        edge_rows.reset(m, n);
+        for (ei, set) in edges.iter().enumerate() {
+            edge_rows.set_row(ei, set);
+        }
+        let mut incidence_rows = MaskMatrix::new();
+        incidence_rows.reset(n, m);
+        for (vi, set) in incidence.iter().enumerate() {
+            incidence_rows.set_row(vi, set);
+        }
         Hypergraph {
             vertex_names: self.vertex_names,
             edge_names: self.edge_names,
             edges,
             incidence,
+            edge_rows,
+            incidence_rows,
         }
     }
 }
@@ -392,6 +428,34 @@ mod tests {
             assert!(!h.edges_touching_into(&vs, &mut out));
             assert_eq!(out, mask);
         }
+    }
+
+    #[test]
+    fn matrix_backed_folds_agree_with_per_set_loops() {
+        let h = Hypergraph::from_edge_lists(&[vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![5, 6]]);
+        // union_of_into streams edge_rows; compare against a naive fold
+        // over the per-edge bitsets.
+        let mut es = h.edge_set();
+        es.insert(Edge(0));
+        es.insert(Edge(2));
+        let mut fast = h.vertex_set();
+        h.union_of_into(&es, &mut fast);
+        let mut naive = h.vertex_set();
+        for e in &es {
+            naive.union_with(h.edge(e));
+        }
+        assert_eq!(fast, naive);
+        assert!(fast.tail_invariant_ok());
+
+        // edges_touching_into_row writes the same mask as the set variant.
+        let vs = VertexSet::from_iter(h.num_vertices(), [Vertex(2), Vertex(5)]);
+        let mut m: MaskMatrix<Edge> = MaskMatrix::new();
+        m.reset(2, h.num_edges());
+        h.edges_touching_into_row(&vs, &mut m, 1);
+        let mut row = h.edge_set();
+        m.copy_row_into(1, &mut row);
+        assert_eq!(row, h.edges_touching(&vs));
+        assert!(m.row_is_empty(0));
     }
 
     #[test]

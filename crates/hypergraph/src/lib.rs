@@ -4,6 +4,12 @@
 //!
 //! * [`bitset`] — dense, typed bitsets ([`VertexSet`], [`EdgeSet`]) whose
 //!   word-parallel operations are the hot loops of every solver;
+//! * [`lanes`] — the lane-chunked `u64` kernels those operations lower
+//!   to: fused multi-operand single-pass loops shaped for
+//!   autovectorization;
+//! * [`matrix`] — [`MaskMatrix`], a structure-of-arrays block of bitset
+//!   rows sharing one contiguous allocation (per-candidate masks, edge /
+//!   incidence storage);
 //! * [`graph`] — the interned [`Hypergraph`] type and its builder;
 //! * [`parse`] — HyperBench and PACE 2019 readers/writers;
 //! * [`extended`] — extended subhypergraphs `⟨E', Sp, Conn⟩`
@@ -24,7 +30,9 @@ pub mod components;
 pub mod extended;
 pub mod graph;
 pub mod gyo;
+pub mod lanes;
 pub mod levels;
+pub mod matrix;
 pub mod parse;
 pub mod subsets;
 
@@ -34,4 +42,5 @@ pub use extended::{SpecialArena, SpecialId, Subproblem};
 pub use graph::{Hypergraph, HypergraphBuilder};
 pub use gyo::{gyo, is_acyclic, GyoResult};
 pub use levels::LevelStack;
+pub use matrix::MaskMatrix;
 pub use parse::{parse_hyperbench, parse_pace, write_hyperbench, write_pace, ParseError};

@@ -133,6 +133,145 @@ pub fn random_csp(seed: u64, n: u32, m: u32, max_arity: u32) -> Hypergraph {
     Hypergraph::from_edge_lists(&edges)
 }
 
+/// The `nx × ny × nz` solid grid with binary edges along all three axes.
+/// Treewidth grows with the smaller cross-section (`≈ min` of the three
+/// pairwise products), so thin-but-long boxes stay tractable while the
+/// vertex count reaches into the hundreds — the wide-instance analogue of
+/// [`grid`].
+pub fn grid3d(nx: u32, ny: u32, nz: u32) -> Hypergraph {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1 && nx * ny * nz >= 2);
+    let v = |x: u32, y: u32, z: u32| (z * ny + y) * nx + x;
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push(vec![v(x, y, z), v(x + 1, y, z)]);
+                }
+                if y + 1 < ny {
+                    edges.push(vec![v(x, y, z), v(x, y + 1, z)]);
+                }
+                if z + 1 < nz {
+                    edges.push(vec![v(x, y, z), v(x, y, z + 1)]);
+                }
+            }
+        }
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// The `dim`-dimensional hypercube graph `Q_dim`: `2^dim` vertices,
+/// `dim · 2^(dim-1)` binary edges. Width grows roughly like
+/// `2^dim / √dim`, making it a dense high-width stressor whose bitsets
+/// span many words.
+pub fn hypercube(dim: u32) -> Hypergraph {
+    assert!((1..=16).contains(&dim));
+    let n = 1u32 << dim;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for b in 0..dim {
+            let w = v ^ (1 << b);
+            if v < w {
+                edges.push(vec![v, w]);
+            }
+        }
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A band CQ: `m` relations of arity `a`, adjacent relations sharing
+/// `overlap` variables — the wide-arity generalisation of [`chain`].
+/// Acyclic (`hw = 1`), with `m·(a−overlap) + overlap` vertices.
+pub fn band_cq(m: u32, a: u32, overlap: u32) -> Hypergraph {
+    assert!(m >= 1 && a >= 2 && overlap >= 1 && overlap < a);
+    let step = a - overlap;
+    let edges: Vec<Vec<u32>> = (0..m).map(|i| (i * step..i * step + a).collect()).collect();
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// A closed band: like [`band_cq`] but the last relation wraps around to
+/// share `overlap` variables with the first. Cyclic for `m ≥ 3`, the
+/// wide-arity generalisation of [`cycle`] (width stays small — a pair of
+/// opposite relations separates the band).
+pub fn band_cycle(m: u32, a: u32, overlap: u32) -> Hypergraph {
+    assert!(m >= 3 && a >= 2 && overlap >= 1 && overlap < a);
+    let step = a - overlap;
+    let n = m * step;
+    assert!(a <= n, "arity exceeds the wrapped vertex count");
+    let edges: Vec<Vec<u32>> = (0..m)
+        .map(|i| (0..a).map(|j| (i * step + j) % n).collect())
+        .collect();
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// λp-spill stressor (promoted from the differential suites' proptest
+/// shapes): `cores` wide hub relations partition a hub set, and `m` spoke
+/// relations each pick `picks` hub vertices — straddling core boundaries —
+/// plus `tail` private vertices. Parent candidates routinely cover
+/// vertices outside `⋃λc` (the spokes' private tails), which is exactly
+/// the `bad`-set spill path the λp pre-filter has to count.
+pub fn spill(
+    seed: u64,
+    cores: u32,
+    hubs_per_core: u32,
+    m: u32,
+    picks: u32,
+    tail: u32,
+) -> Hypergraph {
+    assert!(cores >= 1 && hubs_per_core >= 1 && picks >= 1);
+    let hubs = cores * hubs_per_core;
+    assert!(picks <= hubs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Vec<u32>> = (0..cores)
+        .map(|c| (c * hubs_per_core..(c + 1) * hubs_per_core).collect())
+        .collect();
+    let mut next = hubs;
+    for _ in 0..m {
+        let mut e: Vec<u32> = Vec::with_capacity((picks + tail) as usize);
+        while e.len() < picks as usize {
+            let h = rng.random_range(0..hubs);
+            if !e.contains(&h) {
+                e.push(h);
+            }
+        }
+        for _ in 0..tail {
+            e.push(next);
+            next += 1;
+        }
+        edges.push(e);
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
+/// Overlap-heavy stressor: `m` relations of arity `a` over `n` vertices,
+/// each biased to include about half of a `kernel`-sized shared core, so
+/// pairwise intersections are large. Exercises the fused
+/// intersect/union/count kernels on many-word sets where naive chained
+/// passes are most expensive.
+pub fn overlap_heavy(seed: u64, n: u32, m: u32, a: u32, kernel: u32) -> Hypergraph {
+    assert!(n >= 2 && a >= 2 && kernel <= n && a <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let mut e: Vec<u32> = Vec::with_capacity(a as usize);
+        // Roughly half the kernel, then random fill from the whole pool.
+        for v in 0..kernel {
+            if e.len() + 1 < a as usize && rng.random_range(0..2u32) == 0 {
+                e.push(v);
+            }
+        }
+        while e.len() < a as usize {
+            let v = rng.random_range(0..n);
+            if !e.contains(&v) {
+                e.push(v);
+            }
+        }
+        e.sort_unstable();
+        edges.push(e);
+    }
+    Hypergraph::from_edge_lists(&edges)
+}
+
 /// The disjoint union of `parts` on renamed (offset) vertices:
 /// `hw = max` over the parts, and the union splits into one
 /// `[λc]`-component per part at the root — the canonical multi-component
@@ -206,6 +345,60 @@ mod tests {
             let left = h.edge(e).iter().all(|v| v.0 < 4);
             let right = h.edge(e).iter().all(|v| v.0 >= 4);
             assert!(left || right, "edge straddles the union boundary");
+        }
+    }
+
+    #[test]
+    fn wide_families_have_expected_shapes() {
+        // 3D grid: vertex count is the product, edge count is the sum of
+        // axis-aligned links.
+        let (nx, ny, nz) = (2u32, 3, 4);
+        let g = grid3d(nx, ny, nz);
+        assert_eq!(g.num_vertices(), 24);
+        assert_eq!(
+            g.num_edges(),
+            ((nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1)) as usize
+        );
+        assert!(!is_acyclic(&g));
+
+        let q = hypercube(4);
+        assert_eq!(q.num_vertices(), 16);
+        assert_eq!(q.num_edges(), 32);
+        assert!(!is_acyclic(&q));
+
+        // Band CQ: acyclic, wide, adjacent relations share `overlap` vars.
+        let b = band_cq(50, 6, 2);
+        assert_eq!(b.num_vertices(), 50 * 4 + 2);
+        assert!(is_acyclic(&b));
+        for i in 0..49u32 {
+            let x = b.edge(hypergraph::Edge(i));
+            let y = b.edge(hypergraph::Edge(i + 1));
+            assert_eq!(x.intersection_len(y), 2);
+        }
+
+        // Closed band: cyclic, wraps to exactly `m·(a−overlap)` vertices.
+        let c = band_cycle(40, 6, 2);
+        assert_eq!(c.num_vertices(), 160);
+        assert!(!is_acyclic(&c));
+    }
+
+    #[test]
+    fn adversarial_generators_are_wide_and_deterministic() {
+        let s1 = spill(9, 2, 8, 40, 3, 6);
+        let s2 = spill(9, 2, 8, 40, 3, 6);
+        assert_eq!(s1.num_vertices(), 16 + 40 * 6);
+        assert_eq!(s1.num_edges(), 2 + 40);
+        for e in s1.edge_ids() {
+            assert_eq!(s1.edge(e), s2.edge(e));
+        }
+
+        let o1 = overlap_heavy(5, 300, 24, 20, 40);
+        let o2 = overlap_heavy(5, 300, 24, 20, 40);
+        assert_eq!(o1.num_edges(), 24);
+        assert!(o1.num_vertices() <= 300);
+        for e in o1.edge_ids() {
+            assert_eq!(o1.edge(e).len(), 20);
+            assert_eq!(o1.edge(e), o2.edge(e));
         }
     }
 

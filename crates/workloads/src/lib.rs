@@ -17,7 +17,8 @@ pub mod families;
 pub mod known_width;
 
 pub use corpus::{
-    hb_large_like, hyperbench_like, CorpusConfig, Instance, Origin, SizeBand, HYPERBENCH_GROUPS,
+    hb_large_like, hyperbench_like, wide_corpus, CorpusConfig, Instance, Origin, SizeBand,
+    WideConfig, HYPERBENCH_GROUPS,
 };
 pub use export::{export_corpus, ExportFormat};
 pub use known_width::{known_width, KnownWidthConfig};

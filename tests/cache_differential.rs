@@ -12,7 +12,7 @@
 use decomp::{validate_hd_width, Control};
 use logk::LogK;
 use proptest::prelude::*;
-use workloads::{hyperbench_like, CorpusConfig};
+use workloads::{hyperbench_like, wide_corpus, CorpusConfig, WideConfig};
 
 /// Cached and uncached engines across the workloads corpus, sequential
 /// and parallel. Also asserts the acceptance criteria that the cache is
@@ -318,6 +318,35 @@ fn cross_policy_tiny_limits_stay_sound() {
             }
         }
     }
+}
+
+/// Wide corpus: cached and uncached engines agree at the certified
+/// widths on instances whose bitsets span many 64-bit words, where the
+/// cache keys hash multi-word masks and positive fragments carry wide
+/// bags. The answers must not depend on the lane-chunked substrate.
+#[test]
+fn wide_corpus_cached_matches_uncached() {
+    let ctrl = Control::unlimited();
+    let cached = LogK::sequential();
+    let uncached = LogK::sequential().with_cache_bytes(0);
+    let mut checked = 0usize;
+    for inst in wide_corpus(WideConfig::default()) {
+        let Some(k) = inst.width_upper else { continue };
+        let (dc, _) = cached.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+        let b = uncached.decide(&inst.hg, k, &ctrl).unwrap();
+        assert_eq!(
+            dc.is_some(),
+            b,
+            "cached and uncached disagree on {} at k={k}",
+            inst.name
+        );
+        if let Some(d) = &dc {
+            validate_hd_width(&inst.hg, d, k)
+                .unwrap_or_else(|e| panic!("invalid witness on {}: {e:?}", inst.name));
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "wide corpus slice unexpectedly small");
 }
 
 fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {

@@ -1,8 +1,9 @@
-//! Candidate-order heuristics, phase 2: the degree/coverage-based
-//! `CandidateOrder::DegreeCoverage` knob against the arity-descending
+//! Candidate-order heuristics: the degree/coverage-based
+//! `CandidateOrder::DegreeCoverage` knob and the per-subproblem
+//! `CandidateOrder::ConnCoverage` knob against the arity-descending
 //! default.
 //!
-//! Both orders only permute the candidate enumeration, so verdicts (and
+//! All orders only permute the candidate enumeration, so verdicts (and
 //! witness validity) must be identical — pinned differentially here over
 //! a corpus slice and the structured families. The *point* of an order is
 //! the `lambda_c_rejected`/`lambda_p_rejected` cut it buys per workload
@@ -15,7 +16,7 @@
 
 use decomp::{validate_hd_width, Control};
 use logk::{CandidateOrder, LogK};
-use workloads::{families, hyperbench_like, CorpusConfig};
+use workloads::{families, hyperbench_like, wide_corpus, CorpusConfig, WideConfig};
 
 /// Corpus slice: the degree/coverage order decides exactly like the
 /// arity order, and its witnesses validate.
@@ -75,6 +76,88 @@ fn degree_coverage_order_matches_arity_on_families() {
     }
 }
 
+/// Corpus slice + structured families: the per-subproblem connector-
+/// coverage order decides exactly like the arity order, and its
+/// witnesses validate. (When the connector is empty — at the root and on
+/// detached components — the order degenerates to the arity rank, so the
+/// differential covers both branches.)
+#[test]
+fn conn_coverage_order_matches_arity() {
+    let ctrl = Control::unlimited();
+    let arity = LogK::sequential();
+    let conn = LogK::sequential().with_candidate_order(CandidateOrder::ConnCoverage);
+    let corpus = hyperbench_like(CorpusConfig {
+        seed: 7,
+        scale: 1.0 / 120.0,
+    });
+    let mut checked = 0usize;
+    for inst in corpus.iter().filter(|i| i.hg.num_edges() <= 30) {
+        for k in 1..=3usize {
+            let da = arity.decide(&inst.hg, k, &ctrl).unwrap();
+            let dc = conn.decompose(&inst.hg, k, &ctrl).unwrap();
+            assert_eq!(
+                da,
+                dc.is_some(),
+                "orders disagree on {} at k={k}",
+                inst.name
+            );
+            if let Some(d) = &dc {
+                validate_hd_width(&inst.hg, d, k).unwrap();
+            }
+            if da {
+                break;
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked > 10, "corpus slice unexpectedly small");
+
+    for (name, hg, k_true) in [
+        ("grid3x3", families::grid(3, 3), 2usize),
+        ("grid4x4", families::grid(4, 4), 3),
+        ("cycle12", families::cycle(12), 2),
+        ("chain20a3", families::chain(20, 3), 2),
+        ("csp60", families::random_csp(5, 60, 45, 4), 3),
+    ] {
+        for k in (k_true.saturating_sub(1).max(1))..=k_true {
+            let da = arity.decide(&hg, k, &ctrl).unwrap();
+            let dc = conn.decompose(&hg, k, &ctrl).unwrap();
+            assert_eq!(da, dc.is_some(), "orders disagree on {name} at k={k}");
+            if let Some(d) = &dc {
+                validate_hd_width(&hg, d, k).unwrap();
+            }
+        }
+    }
+}
+
+/// Wide corpus at the certified widths: connector-coverage ordering must
+/// not change any verdict where connectors span many bitset words (the
+/// per-subproblem sort keys on `|e ∩ Conn|` computed by the fused count
+/// kernel).
+#[test]
+fn conn_coverage_order_matches_arity_on_wide_corpus() {
+    let ctrl = Control::unlimited();
+    let arity = LogK::sequential();
+    let conn = LogK::sequential().with_candidate_order(CandidateOrder::ConnCoverage);
+    let mut checked = 0usize;
+    for inst in wide_corpus(WideConfig::default()) {
+        let Some(k) = inst.width_upper else { continue };
+        let da = arity.decide(&inst.hg, k, &ctrl).unwrap();
+        let dc = conn.decompose(&inst.hg, k, &ctrl).unwrap();
+        assert_eq!(
+            da,
+            dc.is_some(),
+            "orders disagree on {} at k={k}",
+            inst.name
+        );
+        if let Some(d) = &dc {
+            validate_hd_width(&inst.hg, d, k).unwrap();
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "wide corpus slice unexpectedly small");
+}
+
 /// Reporter behind the BENCHMARKS.md table: per family and order, the
 /// rejected-candidate counters of the full (failing k−1 + succeeding k)
 /// width search. Run with `--ignored --nocapture`.
@@ -82,42 +165,53 @@ fn degree_coverage_order_matches_arity_on_families() {
 #[ignore = "reporter for BENCHMARKS.md, not an assertion"]
 fn report_rejected_candidate_cut_per_family() {
     let ctrl = Control::unlimited();
+    let orders = [
+        ("arity", CandidateOrder::Arity),
+        ("degree", CandidateOrder::DegreeCoverage),
+        ("conn", CandidateOrder::ConnCoverage),
+    ];
     println!(
-        "{:<12} {:>2} | {:>12} {:>12} | {:>12} {:>12} | cut",
-        "family", "k", "λc rej (ari)", "λp rej (ari)", "λc rej (deg)", "λp rej (deg)"
+        "{:<14} {:>2} {:<8} | {:>12} {:>12} | cut vs arity",
+        "family", "k", "order", "λc rejected", "λp rejected"
     );
-    for (name, hg, k_true) in [
-        ("grid4x4", families::grid(4, 4), 3usize),
-        ("grid4x5", families::grid(4, 5), 3),
-        ("cycle16", families::cycle(16), 2),
-        ("chain24a3", families::chain(24, 3), 2),
-        ("snowflake", families::snowflake(3, 4), 3),
-        ("csp60", families::random_csp(5, 60, 45, 4), 3),
-        ("csp100", families::random_csp(7, 120, 100, 4), 3),
-    ] {
-        let mut row = [[0u64; 2]; 2];
-        for (i, order) in [CandidateOrder::Arity, CandidateOrder::DegreeCoverage]
-            .into_iter()
-            .enumerate()
-        {
+    let mut wide: Vec<(String, hypergraph::Hypergraph, usize)> = vec![
+        ("grid4x4".into(), families::grid(4, 4), 3usize),
+        ("grid4x5".into(), families::grid(4, 5), 3),
+        ("cycle16".into(), families::cycle(16), 2),
+        ("chain24a3".into(), families::chain(24, 3), 2),
+        ("snowflake".into(), families::snowflake(3, 4), 3),
+        ("csp60".into(), families::random_csp(5, 60, 45, 4), 3),
+        ("csp100".into(), families::random_csp(7, 120, 100, 4), 3),
+    ];
+    for inst in wide_corpus(WideConfig::default()) {
+        if let Some(k) = inst.width_upper {
+            wide.push((inst.name, inst.hg, k));
+        }
+    }
+    for (name, hg, k_true) in wide {
+        let mut base = 0u64;
+        for (label, order) in orders {
             let solver = LogK::sequential().with_candidate_order(order);
+            let mut row = [0u64; 2];
             // Full width search up to the known optimum, like the sweeps.
             for k in 1..=k_true {
                 let (_, stats) = solver.decompose_with_stats(&hg, k, &ctrl).unwrap();
-                row[i][0] += stats.lambda_c_rejected;
-                row[i][1] += stats.lambda_p_rejected;
+                row[0] += stats.lambda_c_rejected;
+                row[1] += stats.lambda_p_rejected;
             }
+            let tot = row[0] + row[1];
+            let cut = if label == "arity" {
+                base = tot;
+                0.0
+            } else if base > 0 {
+                100.0 * (base as f64 - tot as f64) / base as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<14} {:>2} {:<8} | {:>12} {:>12} | {:+.1}%",
+                name, k_true, label, row[0], row[1], cut
+            );
         }
-        let tot = |r: [u64; 2]| r[0] + r[1];
-        let (a, d) = (tot(row[0]), tot(row[1]));
-        let cut = if a > 0 {
-            100.0 * (a as f64 - d as f64) / a as f64
-        } else {
-            0.0
-        };
-        println!(
-            "{:<12} {:>2} | {:>12} {:>12} | {:>12} {:>12} | {:+.1}%",
-            name, k_true, row[0][0], row[0][1], row[1][0], row[1][1], cut
-        );
     }
 }

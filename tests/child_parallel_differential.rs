@@ -17,7 +17,7 @@
 use decomp::{validate_hd_width, Control};
 use logk::LogK;
 use proptest::prelude::*;
-use workloads::{families, hyperbench_like, CorpusConfig};
+use workloads::{families, hyperbench_like, wide_corpus, CorpusConfig, WideConfig};
 
 /// Parallel-children engines across the workloads corpus: identical
 /// verdicts to the sequential engine and to the λc-race-only parallel
@@ -145,6 +145,50 @@ fn rejection_verdicts_agree_under_child_parallelism() {
         .decide(&hg, 2, &ctrl);
     let dq = LogK::sequential().decide(&hg, 2, &ctrl);
     assert_eq!(dp.unwrap(), dq.unwrap());
+}
+
+/// Wide corpus under child parallelism: the fork/merge arena discipline
+/// moves multi-word bitsets across branch scratch spaces; verdicts and
+/// witnesses must match the sequential engine on every wide instance.
+/// A disjoint union of two wide bands additionally forces the sibling
+/// fan-out itself to run at many-word widths.
+#[test]
+fn wide_corpus_par_children_matches_sequential() {
+    let ctrl = Control::unlimited();
+    let seq = LogK::sequential();
+    let par_split = LogK::parallel(2).with_child_split(2, 0);
+    let mut checked = 0usize;
+    for inst in wide_corpus(WideConfig::default()) {
+        let Some(k) = inst.width_upper else { continue };
+        let (ds, _) = seq.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+        let (dp, _) = par_split.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+        assert_eq!(
+            ds.is_some(),
+            dp.is_some(),
+            "children-split parallel disagrees on {} at k={k}",
+            inst.name
+        );
+        for d in [&ds, &dp].into_iter().flatten() {
+            validate_hd_width(&inst.hg, d, k)
+                .unwrap_or_else(|e| panic!("invalid witness on {}: {e:?}", inst.name));
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "wide corpus slice unexpectedly small");
+
+    // 524 vertices across two components: the root fan-out itself.
+    let hg =
+        families::disjoint_union(&[families::band_cq(130, 4, 2), families::band_cq(130, 4, 2)]);
+    let (d, stats) = LogK::parallel(2)
+        .with_child_split(2, 0)
+        .decompose_with_stats(&hg, 1, &ctrl)
+        .unwrap();
+    validate_hd_width(&hg, &d.expect("bands are acyclic"), 1).unwrap();
+    let ds = seq.decide(&hg, 1, &ctrl).unwrap();
+    assert!(ds);
+    if stats.child_splits == 0 {
+        assert_eq!(stats.child_cancels, 0, "cancels require splits");
+    }
 }
 
 fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {

@@ -10,9 +10,9 @@
 //! and that it erases the majority of `separate_into` calls.
 
 use decomp::{validate_hd_width, Control};
-use logk::LogK;
+use logk::{LogK, LpMode};
 use proptest::prelude::*;
-use workloads::{families, hyperbench_like, CorpusConfig};
+use workloads::{families, hyperbench_like, wide_corpus, CorpusConfig, WideConfig};
 
 /// Pre-filtered and unfiltered engines across the workloads corpus,
 /// sequential and parallel: identical verdicts, valid witnesses, and the
@@ -203,6 +203,88 @@ fn incremental_mode_is_counter_identical_to_per_pair() {
         }
     }
     assert!(fired > 0, "the incremental filter must actually fire");
+}
+
+/// Wide corpus (hundreds of vertices, multi-word bitsets): all three λp
+/// modes — per-pair, incremental, and `Auto` (which resolves to the
+/// incremental walk above the word threshold) — agree with the
+/// unfiltered engine at the known width, stay counter-identical
+/// sequentially, and produce valid witnesses. This is the regime the
+/// lane-chunked kernels and the SoA spill-touch matrix were built for.
+#[test]
+fn wide_corpus_lp_modes_agree_at_known_width() {
+    let ctrl = Control::unlimited();
+    let per_pair = LogK::sequential().with_lambda_p_mode(LpMode::Never);
+    let incremental = LogK::sequential().with_lambda_p_mode(LpMode::Always);
+    let auto = LogK::sequential(); // LpMode::Auto by default
+    let unfiltered = LogK::sequential().with_lambda_p_prefilter(false);
+    let mut checked = 0usize;
+    for inst in wide_corpus(WideConfig::default()) {
+        let Some(k) = inst.width_upper else { continue };
+        let (dp, sp) = per_pair.decompose_with_stats(&inst.hg, k, &ctrl).unwrap();
+        let (di, si) = incremental
+            .decompose_with_stats(&inst.hg, k, &ctrl)
+            .unwrap();
+        let da = auto.decompose(&inst.hg, k, &ctrl).unwrap();
+        let b = unfiltered.decide(&inst.hg, k, &ctrl).unwrap();
+        assert!(
+            dp.is_some() && b,
+            "{} must decompose at its certified width {k}",
+            inst.name
+        );
+        assert_eq!(dp.is_some(), di.is_some(), "{}", inst.name);
+        assert_eq!(dp.is_some(), da.is_some(), "{}", inst.name);
+        assert_eq!(
+            sp.separations, si.separations,
+            "{}: incremental mode changed the separation count",
+            inst.name
+        );
+        assert_eq!(
+            sp.lambda_p_prefiltered, si.lambda_p_prefiltered,
+            "{}: incremental mode changed the pre-filter cut",
+            inst.name
+        );
+        for d in [&dp, &di, &da].into_iter().flatten() {
+            validate_hd_width(&inst.hg, d, k)
+                .unwrap_or_else(|e| panic!("invalid witness on {}: {e:?}", inst.name));
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "wide corpus slice unexpectedly small");
+}
+
+/// Reporter behind the BENCHMARKS.md λp phase-3 verdict: wall-clock per
+/// λp mode on every fast wide instance. Run with
+/// `cargo test --release --test lp_prefilter_differential -- --ignored --nocapture`.
+#[test]
+#[ignore = "reporter for BENCHMARKS.md, not an assertion"]
+fn report_lp_mode_timings_on_wide_corpus() {
+    let ctrl = Control::unlimited();
+    let modes = [("per_pair", LpMode::Never), ("incremental", LpMode::Always)];
+    println!(
+        "{:<22} {:>2} {:>6} | {:<12} {:>10}",
+        "instance", "k", "words", "mode", "median"
+    );
+    for inst in wide_corpus(WideConfig::default()) {
+        let Some(k) = inst.width_upper else { continue };
+        let words = inst.hg.num_vertices().div_ceil(64);
+        for (label, mode) in modes {
+            let solver = LogK::sequential().with_lambda_p_mode(mode);
+            solver.decide(&inst.hg, k, &ctrl).unwrap(); // warm-up
+            let mut times: Vec<std::time::Duration> = (0..5)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(solver.decide(&inst.hg, k, &ctrl).unwrap());
+                    t.elapsed()
+                })
+                .collect();
+            times.sort();
+            println!(
+                "{:<22} {:>2} {:>6} | {:<12} {:>10.2?}",
+                inst.name, k, words, label, times[2]
+            );
+        }
+    }
 }
 
 fn arb_hypergraph() -> impl Strategy<Value = hypergraph::Hypergraph> {

@@ -82,6 +82,43 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a dependent strategy from each generated value — the
+    /// standard way to generate same-length collections or a width
+    /// shared by several sets.
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        let v = self.inner.generate(rng);
+        (self.f)(v).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -140,6 +177,8 @@ macro_rules! impl_tuple_strategy {
 impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
 
 /// String strategy from a "regex" literal. The pattern is ignored except
 /// that generated text is printable (no control characters), matching the
@@ -239,7 +278,7 @@ pub mod prelude {
 
     pub use crate::prop;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 /// Asserts a condition inside a `proptest!` body.
@@ -328,6 +367,18 @@ mod tests {
         #[test]
         fn map_applies(s in prop::collection::vec(1usize..4, 2..6).prop_map(|v| v.len())) {
             prop_assert!((2..6).contains(&s));
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_lengths(
+            (n, v, w) in (0usize..9).prop_flat_map(|n| (
+                Just(n),
+                prop::collection::vec(0u64..10, n),
+                prop::collection::vec(0u64..10, n),
+            ))
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert_eq!(w.len(), n);
         }
 
         #[test]
