@@ -405,6 +405,112 @@ fn bench_subsets(c: &mut Criterion) {
     g.finish();
 }
 
+/// The racing layer (PR 10): the speculative k-sweep against the
+/// sequential sweep it shadows, plus the full algorithm portfolio, on
+/// three corpus families with deliberately different per-width cost
+/// profiles.
+///
+/// * `grid6x6_b700` — the slice-burn family and the headline win. With a
+///   700 ms per-width budget, k = 3 is undecidable inside its slice
+///   (refuting it takes ~1.6 s alone) while k = 4 witnesses in ~300 ms.
+///   The sequential sweep pays the burn and the witness **serially**
+///   (~1.0 s); the speculative sweep overlaps the k = 4 witness search
+///   with k = 3's slice burn and finishes when the slice expires
+///   (~0.7 s) — same certified bounds `[3, 4]`, same recorded timeout.
+///   A per-width wall-clock deadline burns wall time, not CPU, so the
+///   overlap is a genuine win even pinned to one core.
+/// * `band_cycle120` — the all-fast contrast (hw = 2, every width
+///   millisecond-scale): speculation has nothing to overlap, so this
+///   pins the coordination tax of the racing path (probe threads +
+///   channel) at its worst, and its spec-2 sweep is where the
+///   witness-cancels-speculative-probe path fires (the k = 3 probe
+///   launched ahead of the k = 2 witness gets cancelled when the
+///   witness lands — `race_cancels` in the stderr report).
+/// * `chorded48` — a pure refutation ladder (every width up to `k_max`
+///   refuted): no probe is ever redundant, so speculative and
+///   sequential do identical total work and the sweep must stay at
+///   parity.
+///
+/// The `*_sweep_seq` arms call the racing entry point with
+/// `speculation = 1`: the grain gate routes that to the sequential
+/// `width_bounds_with` loop itself, so seq-vs-spec2 here *is* the
+/// 1-worker-parity / 2-worker-win acceptance comparison. The
+/// `*_portfolio_k*` arms race the full 1-thread registry (logk-seq,
+/// det-k, ghd, htd-sat) at a fixed width. Each configuration also runs
+/// once outside the timing loop to report verdicts, winners and
+/// race counters to stderr.
+fn bench_race(c: &mut Criterion) {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut g = c.benchmark_group("micro/race");
+    let fams: Vec<(&str, hypergraph::Hypergraph, usize, Option<Duration>, usize)> = vec![
+        (
+            "grid6x6_b700",
+            families::grid(6, 6),
+            4,
+            Some(Duration::from_millis(700)),
+            2,
+        ),
+        ("band_cycle120", families::band_cycle(120, 4, 2), 4, None, 2),
+        ("chorded48", families::chorded_cycle(48, 16, 3), 3, None, 3),
+    ];
+    for (name, hg, k_max, budget, port_k) in &fams {
+        for (mode, spec) in [("sweep_seq", 1usize), ("sweep_spec2", 2)] {
+            let ctrl = Arc::new(Control::unlimited());
+            let b = logk::width_bounds_racing(hg, *k_max, &ctrl, *budget, spec, |_| {
+                LogK::sequential()
+            });
+            eprintln!(
+                "micro/race {name}_{mode}: bounds=[{}, {:?}] witness={} \
+                 probes={} race_cancels={} speculative_wasted={}",
+                b.proven_lower,
+                b.best_upper,
+                b.witness.is_some(),
+                b.race.probes,
+                b.race.race_cancels,
+                b.race.speculative_wasted,
+            );
+            g.bench_function(format!("{name}_{mode}"), |bch| {
+                bch.iter(|| {
+                    let ctrl = Arc::new(Control::unlimited());
+                    black_box(logk::width_bounds_racing(
+                        black_box(hg),
+                        *k_max,
+                        &ctrl,
+                        *budget,
+                        spec,
+                        |_| LogK::sequential(),
+                    ))
+                })
+            });
+        }
+        let port = portfolio::Portfolio::full(1);
+        let ctrl = Arc::new(Control::unlimited());
+        let out = port.race(hg, *port_k, &ctrl);
+        eprintln!(
+            "micro/race {name}_portfolio_k{port_k}: verdict={} winner={} \
+             probes={} race_cancels={} speculative_wasted={}",
+            match &out.verdict {
+                Ok(Some(_)) => "witness",
+                Ok(None) => "refuted",
+                Err(_) => "interrupted",
+            },
+            out.winner.map_or("none", |w| w.name()),
+            out.stats.probes,
+            out.stats.race_cancels,
+            out.stats.speculative_wasted,
+        );
+        g.bench_function(format!("{name}_portfolio_k{port_k}"), |bch| {
+            bch.iter(|| {
+                let ctrl = Arc::new(Control::unlimited());
+                black_box(port.race(black_box(hg), *port_k, &ctrl))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_gyo(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/gyo");
     for (name, hg) in [
@@ -428,6 +534,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache, bench_pos_cache, bench_lp_prune, bench_par_scaling, bench_ctrl_overhead
+    targets = bench_bitsets, bench_components, bench_subsets, bench_gyo, bench_neg_cache, bench_pos_cache, bench_lp_prune, bench_par_scaling, bench_ctrl_overhead, bench_race
 }
 criterion_main!(benches);

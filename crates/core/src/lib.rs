@@ -13,6 +13,7 @@
 pub mod basic;
 pub mod cache;
 pub mod engine;
+pub mod race;
 pub mod solver;
 
 #[cfg(test)]
@@ -27,6 +28,7 @@ pub use engine::{
     DEFAULT_CACHE_BYTES, DEFAULT_CHILD_SPLIT_MIN_COMPONENTS, DEFAULT_CHILD_SPLIT_MIN_SIZE,
     DEFAULT_DETK_CACHE_CAP, LP_INCREMENTAL_AUTO_WORDS,
 };
+pub use race::{width_bounds_racing, RaceStats};
 pub use solver::{
     shared_pool, width_bounds_with, LogK, SharedTables, SolveStats, Variant, WidthBounds,
 };

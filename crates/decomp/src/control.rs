@@ -214,6 +214,38 @@ impl Control {
         Ok(())
     }
 
+    /// Poll for **coarse-grained** pollers: always consults the clock
+    /// when a deadline is set.
+    ///
+    /// [`checkpoint`](Self::checkpoint) amortises the `Instant::now()`
+    /// cost over [`CLOCK_STRIDE`] polls, which is right for loops that
+    /// poll every few nanoseconds — and wrong for callers that poll
+    /// once per *batch* of work (the SAT solver polls once per 64
+    /// conflicts): a sparse poller may never accumulate a full stride,
+    /// so its deadline would only fire through the one-shot first-poll
+    /// consult, which any earlier checkpoint on the same control
+    /// consumes. At a coarse cadence the clock read is noise; pay it
+    /// every time and keep the latency bound.
+    pub fn checkpoint_coarse(&self) -> Result<(), Interrupted> {
+        if self.stop.load(Ordering::Relaxed) {
+            return Err(self.kind());
+        }
+        let mut ancestor = self.parent.as_deref();
+        while let Some(p) = ancestor {
+            if p.stop.load(Ordering::Relaxed) {
+                return Err(self.latch(p.kind()));
+            }
+            ancestor = p.parent.as_deref();
+        }
+        if let Some(deadline) = self.deadline {
+            self.armed.store(true, Ordering::Relaxed);
+            if Instant::now() >= deadline {
+                return Err(self.latch(Interrupted::Timeout));
+            }
+        }
+        Ok(())
+    }
+
     /// Whether the control has fired (for display/bookkeeping). Only
     /// reflects *observed* interruptions: an ancestor's `cancel()` or a
     /// passed deadline registers here once a checkpoint has seen it.
@@ -248,6 +280,30 @@ mod tests {
         // without needing CLOCK_STRIDE polls.
         let c = Control::with_timeout(Duration::from_millis(0));
         assert_eq!(c.checkpoint(), Err(Interrupted::Timeout));
+    }
+
+    #[test]
+    fn coarse_checkpoint_fires_after_first_poll_was_consumed() {
+        // Regression: a sparse poller (fewer than CLOCK_STRIDE polls
+        // over the whole solve) must still observe its deadline even
+        // when an earlier checkpoint consumed the one-shot first-poll
+        // clock consult. `checkpoint` alone cannot promise that —
+        // `checkpoint_coarse` consults the clock unconditionally.
+        let c = Control::with_timeout(Duration::from_millis(1));
+        let _ = c.checkpoint(); // consumes the armed first consult
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(c.checkpoint_coarse(), Err(Interrupted::Timeout));
+        // And the verdict latches for the plain fast path too.
+        assert_eq!(c.checkpoint(), Err(Interrupted::Timeout));
+    }
+
+    #[test]
+    fn coarse_checkpoint_sees_ancestor_cancel() {
+        let root = Arc::new(Control::unlimited());
+        let child = root.child();
+        assert!(child.checkpoint_coarse().is_ok());
+        root.cancel();
+        assert_eq!(child.checkpoint_coarse(), Err(Interrupted::Cancelled));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //!
 //! Starts a [`htdwire::WireServer`] on an ephemeral port, drives it
 //! with sustained mixed traffic (fast decisions, minimal-width sweeps,
-//! and deadline-doomed hard instances) from many concurrent
-//! connections, and reports client-observed latency percentiles, shed
-//! rate and goodput as JSON.
+//! portfolio races, and deadline-doomed hard instances) from many
+//! concurrent connections, and reports client-observed latency
+//! percentiles, shed rate and goodput as JSON.
 //!
 //! Flags: `--workers N` service executors (2), `--clients N` concurrent
 //! client threads (8), `--duration-ms N` sustained-load window (2000),
@@ -157,10 +157,12 @@ fn main() {
                 let mut local = Vec::new();
                 while Instant::now() < until {
                     let roll: u32 = rng.random_range(0..100);
-                    let (class, spec) = if roll < 60 {
+                    let (class, spec) = if roll < 50 {
                         ("decide_small", JobSpec::decide(small.clone(), 2))
-                    } else if roll < 85 {
+                    } else if roll < 70 {
                         ("width_grid", JobSpec::minimal_width(grid.clone(), 4))
+                    } else if roll < 85 {
+                        ("race_small", JobSpec::race(small.clone(), 2))
                     } else {
                         ("decide_hard", JobSpec::decide(hard.clone(), 3))
                     };
@@ -170,7 +172,8 @@ fn main() {
                     let kind = match &result {
                         Ok(reply) => match &reply.outcome {
                             htdwire::WireOutcome::Decided { .. }
-                            | htdwire::WireOutcome::Width { .. } => Kind::Ok,
+                            | htdwire::WireOutcome::Width { .. }
+                            | htdwire::WireOutcome::Raced { .. } => Kind::Ok,
                             htdwire::WireOutcome::TimedOut => Kind::TimedOut,
                             _ => Kind::Error,
                         },
@@ -219,7 +222,7 @@ fn main() {
     let goodput_rps = ok as f64 / wall.as_secs_f64();
 
     let mut per_class = String::new();
-    for class in ["decide_small", "width_grid", "decide_hard"] {
+    for class in ["decide_small", "width_grid", "race_small", "decide_hard"] {
         let n = samples.iter().filter(|s| s.class == class).count();
         let n_ok = samples
             .iter()
@@ -252,9 +255,12 @@ fn main() {
             "  \"goodput_rps\": {goodput:.1},\n",
             "  \"service\": {{\"submitted\": {submitted}, \"shed_overload\": {shed_overload}, ",
             "\"shed_expired\": {shed_expired}, \"completed\": {completed}, ",
-            "\"timed_out\": {svc_timed_out}, \"expired_in_queue\": {expired_in_queue}}},\n",
+            "\"timed_out\": {svc_timed_out}, \"expired_in_queue\": {expired_in_queue}, ",
+            "\"coalesced\": {coalesced}, \"races\": {races}, ",
+            "\"race_cancels\": {race_cancels}, \"speculative_wasted\": {speculative_wasted}, ",
+            "\"races_won_by\": {races_won_by}}},\n",
             "  \"wire\": {{\"connections\": {conns}, \"replies\": {replies}, ",
-            "\"rejects\": {rejects}}}\n",
+            "\"race_replies\": {race_replies}, \"rejects\": {rejects}}}\n",
             "}}\n",
         ),
         workers = args.workers,
@@ -279,8 +285,26 @@ fn main() {
         completed = report.service.completed,
         svc_timed_out = report.service.timed_out,
         expired_in_queue = report.service.expired_in_queue,
+        coalesced = report.service.coalesced,
+        races = report.service.races,
+        race_cancels = report.service.race_cancels,
+        speculative_wasted = report.service.speculative_wasted,
+        races_won_by = {
+            let wins: Vec<String> = report
+                .service
+                .races_won_by
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    let name = portfolio::EngineKind::from_index(i).map_or("?", |e| e.name());
+                    format!("{{\"engine\": \"{name}\", \"wins\": {n}}}")
+                })
+                .collect();
+            format!("[{}]", wins.join(", "))
+        },
         conns = report.wire.connections_accepted,
         replies = report.wire.replies_sent,
+        race_replies = report.wire.race_replies_sent,
         rejects = report.wire.rejects_sent,
     );
     std::fs::write(&args.out, &json).expect("write loadgen report");

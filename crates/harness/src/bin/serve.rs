@@ -54,15 +54,26 @@ fn parse_args() -> Args {
     args
 }
 
+/// Which service entry point an [`Item`] exercises.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// Decide `hw ≤ k` with the default engine.
+    Decide,
+    /// Sweep widths up to `k`.
+    Sweep,
+    /// Decide `hw ≤ k` by racing the whole algorithm portfolio.
+    Race,
+}
+
 /// Expectation key: W = witnessed, R = refuted, E = exact width,
 /// T = timed out, P = panicked, A = any verdict.
 struct Item {
     name: &'static str,
     expect: char,
     edges: Vec<Vec<u32>>,
-    /// `(k, decide?)`: decide `hw ≤ k` or sweep widths up to `k`.
+    /// Width to decide / largest width to sweep.
     k: u32,
-    decide: bool,
+    kind: JobKind,
     deadline: Option<Duration>,
 }
 
@@ -85,7 +96,7 @@ fn workload() -> Vec<Item> {
             expect: 'W',
             edges: cycle.clone(),
             k: 2,
-            decide: true,
+            kind: JobKind::Decide,
             deadline: None,
         },
         Item {
@@ -93,7 +104,7 @@ fn workload() -> Vec<Item> {
             expect: 'R',
             edges: cycle.clone(),
             k: 1,
-            decide: true,
+            kind: JobKind::Decide,
             deadline: None,
         },
         Item {
@@ -101,7 +112,7 @@ fn workload() -> Vec<Item> {
             expect: 'E',
             edges: grid,
             k: 4,
-            decide: false,
+            kind: JobKind::Sweep,
             deadline: None,
         },
         Item {
@@ -109,15 +120,31 @@ fn workload() -> Vec<Item> {
             expect: 'T',
             edges: hard,
             k: 3,
-            decide: true,
+            kind: JobKind::Decide,
             deadline: Some(Duration::from_millis(30)),
         },
         Item {
             name: "cycle24 k=2 (warm resubmit)",
             expect: 'W',
-            edges: cycle,
+            edges: cycle.clone(),
             k: 2,
-            decide: true,
+            kind: JobKind::Decide,
+            deadline: None,
+        },
+        Item {
+            name: "cycle24 race k=2 (portfolio)",
+            expect: 'W',
+            edges: cycle.clone(),
+            k: 2,
+            kind: JobKind::Race,
+            deadline: None,
+        },
+        Item {
+            name: "cycle24 race k=1 (portfolio)",
+            expect: 'R',
+            edges: cycle,
+            k: 1,
+            kind: JobKind::Race,
             deadline: None,
         },
     ]
@@ -129,7 +156,7 @@ fn victim() -> Item {
         expect: 'A',
         edges: edge_lists(&families::cycle(24)),
         k: 2,
-        decide: true,
+        kind: JobKind::Decide,
         deadline: None,
     }
 }
@@ -145,6 +172,16 @@ fn describe(outcome: &Outcome) -> String {
         Outcome::TimedOut => "timed out".into(),
         Outcome::Cancelled => "cancelled".into(),
         Outcome::Panicked { message } => format!("panicked: {message}"),
+        Outcome::Raced {
+            k,
+            winner,
+            witness: Some(_),
+        } => format!("hw ≤ {k} ({} won the race)", winner.name()),
+        Outcome::Raced {
+            k,
+            winner,
+            witness: None,
+        } => format!("hw > {k} ({} won the race)", winner.name()),
     }
 }
 
@@ -163,6 +200,15 @@ fn describe_wire(outcome: &WireOutcome) -> String {
         WireOutcome::TimedOut => "timed out".into(),
         WireOutcome::Cancelled => "cancelled".into(),
         WireOutcome::Panicked { message } => format!("panicked: {message}"),
+        WireOutcome::Raced { k, winner, witness } => {
+            let name = portfolio::EngineKind::from_index(*winner as usize)
+                .map_or("unknown-engine", |e| e.name());
+            if witness.is_some() {
+                format!("hw ≤ {k} ({name} won the race)")
+            } else {
+                format!("hw > {k} ({name} won the race)")
+            }
+        }
     }
 }
 
@@ -173,9 +219,15 @@ fn judge_wire(expect: char, outcome: &WireOutcome) -> (bool, bool) {
             'W',
             WireOutcome::Decided {
                 witness: Some(_), ..
+            }
+            | WireOutcome::Raced {
+                witness: Some(_), ..
             },
         ) => true,
-        ('R', WireOutcome::Decided { witness: None, .. }) => true,
+        (
+            'R',
+            WireOutcome::Decided { witness: None, .. } | WireOutcome::Raced { witness: None, .. },
+        ) => true,
         (
             'E',
             WireOutcome::Width {
@@ -237,10 +289,10 @@ fn run_in_process(args: &Args) -> usize {
         .into_iter()
         .map(|item| {
             let hg = Arc::new(hypergraph::Hypergraph::from_edge_lists(&item.edges));
-            let mut req = if item.decide {
-                Request::decide(hg, item.k as usize)
-            } else {
-                Request::minimal_width(hg, item.k as usize)
+            let mut req = match item.kind {
+                JobKind::Decide => Request::decide(hg, item.k as usize),
+                JobKind::Sweep => Request::minimal_width(hg, item.k as usize),
+                JobKind::Race => Request::race(hg, item.k as usize),
             };
             if let Some(d) = item.deadline {
                 req = req.with_deadline(d);
@@ -260,9 +312,15 @@ fn run_in_process(args: &Args) -> usize {
                 'W',
                 Outcome::Decided {
                     witness: Some(_), ..
+                }
+                | Outcome::Raced {
+                    witness: Some(_), ..
                 },
             ) => true,
-            ('R', Outcome::Decided { witness: None, .. }) => true,
+            (
+                'R',
+                Outcome::Decided { witness: None, .. } | Outcome::Raced { witness: None, .. },
+            ) => true,
             ('E', Outcome::Width(b)) => b.exact(),
             ('T', Outcome::TimedOut) => true,
             ('A', _) => true,
@@ -337,10 +395,10 @@ fn run_over_wire(args: &Args) -> usize {
     }
 
     for item in workload() {
-        let mut spec = if item.decide {
-            JobSpec::decide(item.edges, item.k)
-        } else {
-            JobSpec::minimal_width(item.edges, item.k)
+        let mut spec = match item.kind {
+            JobKind::Decide => JobSpec::decide(item.edges, item.k),
+            JobKind::Sweep => JobSpec::minimal_width(item.edges, item.k),
+            JobKind::Race => JobSpec::race(item.edges, item.k),
         };
         if let Some(d) = item.deadline {
             spec = spec.with_deadline(d);
@@ -378,8 +436,11 @@ fn run_over_wire(args: &Args) -> usize {
 
     let report = server.drain();
     println!(
-        "wire: {} connection(s), {} replies, {} rejects",
-        report.wire.connections_accepted, report.wire.replies_sent, report.wire.rejects_sent
+        "wire: {} connection(s), {} replies ({} raced), {} rejects",
+        report.wire.connections_accepted,
+        report.wire.replies_sent,
+        report.wire.race_replies_sent,
+        report.wire.rejects_sent
     );
     println!("stats: {}", report.service);
     failures

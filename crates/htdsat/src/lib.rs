@@ -59,6 +59,57 @@ impl std::error::Error for HtdSatError {}
 /// Default clause budget (≈ a few hundred MB of clause storage).
 pub const DEFAULT_CLAUSE_BUDGET: u64 = 3_000_000;
 
+/// Configured SAT-baseline solver — the pooled, `Control`-scoped entry
+/// point symmetric with the other engines' façades (a `LogK`-style
+/// builder with one `decide` call), so an algorithm portfolio can treat
+/// it interchangeably and cancel it within the bounded latency the
+/// interruption suite pins.
+#[derive(Clone, Debug, Default)]
+pub struct HtdSat {
+    clause_budget: Option<u64>,
+    pool: Option<std::sync::Arc<rayon::ThreadPool>>,
+}
+
+impl HtdSat {
+    /// Solver with the default clause budget, running on the caller's
+    /// thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides [`DEFAULT_CLAUSE_BUDGET`].
+    pub fn with_clause_budget(mut self, budget: u64) -> Self {
+        self.clause_budget = Some(budget);
+        self
+    }
+
+    /// Runs `decide` calls under `pool` (the encode + CDCL search still
+    /// occupies one worker — the SAT core is sequential — but the solve
+    /// is accounted to the pool like every other engine's, and nested
+    /// parallel constructs would target it).
+    pub fn with_pool(mut self, pool: std::sync::Arc<rayon::ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Decides `ghw(H) ≤ k` under `ctrl`, returning a witness GHD on
+    /// success. Identical verdict contract to [`decide_ghw`]; the
+    /// control is polled throughout the CDCL search, so cancellation
+    /// latency is bounded exactly as the interruption suite pins it.
+    pub fn decide(
+        &self,
+        hg: &Hypergraph,
+        k: usize,
+        ctrl: &Control,
+    ) -> Result<Option<Decomposition>, HtdSatError> {
+        let budget = self.clause_budget.unwrap_or(DEFAULT_CLAUSE_BUDGET);
+        match &self.pool {
+            Some(pool) => pool.install(|| decide_ghw_with_budget(hg, k, ctrl, budget)),
+            None => decide_ghw_with_budget(hg, k, ctrl, budget),
+        }
+    }
+}
+
 /// Decides `ghw(H) ≤ k`; on success returns a witness GHD.
 pub fn decide_ghw(
     hg: &Hypergraph,
@@ -76,6 +127,11 @@ pub fn decide_ghw_with_budget(
     budget: u64,
 ) -> Result<Option<Decomposition>, HtdSatError> {
     assert!(k >= 1);
+    // Bail before paying for an encoding nobody will solve: a portfolio
+    // race may have cancelled this engine while it sat queued.
+    if let Err(e) = ctrl.checkpoint_coarse() {
+        return Err(HtdSatError::Interrupted(e));
+    }
     if hg.num_edges() == 0 {
         return Ok(Some(Decomposition::singleton(vec![], hg.vertex_set())));
     }
@@ -87,10 +143,13 @@ pub fn decide_ghw_with_budget(
     }
     let mut solver = Solver::new();
     let enc = encode(hg, k, &mut solver);
-    match solver.solve_with(|| ctrl.checkpoint().is_err()) {
+    // The solver polls once per batch of conflicts — far too sparse for
+    // the stride-amortised `checkpoint`, whose deadline consult would
+    // then hinge on the control's one-shot first poll (consumed above).
+    match solver.solve_with(|| ctrl.checkpoint_coarse().is_err()) {
         Status::Unsat => Ok(None),
         Status::Interrupted => Err(HtdSatError::Interrupted(
-            ctrl.checkpoint()
+            ctrl.checkpoint_coarse()
                 .expect_err("solver only interrupts when ctrl fired"),
         )),
         Status::Sat => Ok(Some(decode(hg, &enc, &solver))),

@@ -1,0 +1,423 @@
+//! Algorithm portfolio: every engine in the workspace racing the *same*
+//! `hw(H) ≤ k` question, first definitive verdict wins.
+//!
+//! BalancedGo ships exactly this shape — a solver registry racing its
+//! engines with first-verdict-wins cancellation — and the det-k baseline
+//! is frequently the fastest engine on small-width instances, so racing
+//! it against `log-k-decomp` is a wall-clock win, not redundancy. Each
+//! racer runs on its own thread under its own [`Control::child`] of the
+//! race control; the moment one produces a **definitive** verdict the
+//! others are cancelled through the child chain (the same kill mechanism
+//! the engines' sibling parallelism uses), within the bounded latency
+//! the interruption suite pins.
+//!
+//! # Verdict authority
+//!
+//! The race decides *hypertree width*: `hw(H) ≤ k`. The engines differ
+//! in what their raw answers prove, and the coordinator only accepts
+//! what is actually sound:
+//!
+//! | engine            | positive answer            | negative answer |
+//! |-------------------|----------------------------|-----------------|
+//! | `logk` (seq/par/hybrid), `detk` | definitive (HD witness) | definitive |
+//! | `ghd`             | definitive *iff* the witness validates as an HD of width ≤ k; otherwise advisory | **advisory** (the balanced-separator search is one-sided: a miss proves nothing) |
+//! | `htdsat`          | definitive *iff* the GHD witness validates as an HD | definitive (`ghw > k` ⇒ `hw > k`, since every HD is a GHD) |
+//!
+//! Every positive witness — whatever the engine — is re-validated with
+//! [`decomp::validate_hd_width`] before it is allowed to win; a witness
+//! that fails (a GHD violating the special condition) demotes the answer
+//! to advisory rather than corrupting the verdict.
+//!
+//! # Join precedence
+//!
+//! Rejection dominates interruption, mirroring the engines'
+//! `solve_siblings_parallel`: a definitive verdict (either polarity)
+//! arriving *after* other racers timed out still wins — `Err` is
+//! returned only when **no** racer reached a definitive verdict. A
+//! panicking racer is contained on its own thread (fault site
+//! `portfolio/engine`); the surviving racers' verdict stands.
+
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use decomp::{validate_hd_width, Control, Decomposition, Interrupted};
+use hypergraph::Hypergraph;
+use logk::{LogK, RaceStats, SharedTables};
+
+/// One engine in the portfolio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Sequential Algorithm 2 (`logk`).
+    LogkSeq,
+    /// Parallel Algorithm 2 on the shared pool.
+    LogkPar,
+    /// Parallel `logk` with det-k handoff below the size threshold.
+    LogkHybrid,
+    /// det-k-decomp (Gottlob–Leone–Scarcello).
+    Detk,
+    /// Balanced-separator GHD search (one-sided).
+    Ghd,
+    /// SAT encoding of `ghw ≤ k` (HtdLEO substitute).
+    HtdSat,
+}
+
+impl EngineKind {
+    /// Every engine, in wire-tag order (see [`Self::index`]).
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::LogkSeq,
+        EngineKind::LogkPar,
+        EngineKind::LogkHybrid,
+        EngineKind::Detk,
+        EngineKind::Ghd,
+        EngineKind::HtdSat,
+    ];
+
+    /// Number of engines — [`Self::ALL`]'s length, for sizing per-engine
+    /// counter arrays (`races_won_by` and friends).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable short name (used in stats, reports and the wire protocol).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::LogkSeq => "logk-seq",
+            EngineKind::LogkPar => "logk-par",
+            EngineKind::LogkHybrid => "logk-hybrid",
+            EngineKind::Detk => "detk",
+            EngineKind::Ghd => "ghd",
+            EngineKind::HtdSat => "htdsat",
+        }
+    }
+
+    /// Stable index into [`Self::ALL`] (doubles as the wire tag).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&e| e == self).expect("in ALL")
+    }
+
+    /// Inverse of [`Self::index`].
+    pub fn from_index(i: usize) -> Option<EngineKind> {
+        Self::ALL.get(i).copied()
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of one portfolio race.
+#[derive(Clone, Debug)]
+pub struct RaceOutcome {
+    /// The race's answer to `hw(H) ≤ k`: `Ok(Some)` with a validated HD
+    /// witness, `Ok(None)` for a definitive refutation, `Err` when no
+    /// racer reached a definitive verdict before the control fired.
+    pub verdict: Result<Option<Decomposition>, Interrupted>,
+    /// The engine whose verdict won (`None` on `Err`).
+    pub winner: Option<EngineKind>,
+    /// Racer/cancellation accounting (`probes` = racers launched).
+    pub stats: RaceStats,
+}
+
+/// A configured engine registry. Build with [`Portfolio::full`] (every
+/// engine the deployment can run) or [`Portfolio::new`] (an explicit
+/// selection), then [`race`](Self::race) instances against it.
+#[derive(Clone, Debug)]
+pub struct Portfolio {
+    engines: Vec<EngineKind>,
+    threads: usize,
+    clause_budget: Option<u64>,
+    tables: Option<SharedTables>,
+}
+
+impl Portfolio {
+    /// A portfolio over an explicit engine selection (deduplicated,
+    /// order preserved). An empty selection falls back to
+    /// [`EngineKind::LogkSeq`] so a race always has a complete engine.
+    pub fn new(engines: Vec<EngineKind>) -> Self {
+        let mut seen = HashSet::new();
+        let mut engines: Vec<_> = engines.into_iter().filter(|e| seen.insert(*e)).collect();
+        if engines.is_empty() {
+            engines.push(EngineKind::LogkSeq);
+        }
+        Portfolio {
+            engines,
+            threads: 1,
+            clause_budget: None,
+            tables: None,
+        }
+    }
+
+    /// The full registry for a deployment with `threads` pool workers:
+    /// `logk` sequential, `detk`, `ghd` and `htdsat` always; the
+    /// parallel and hybrid `logk` variants when `threads >= 2` (on one
+    /// worker they are the sequential engine plus scheduling tax).
+    pub fn full(threads: usize) -> Self {
+        let mut engines = vec![EngineKind::LogkSeq];
+        if threads >= 2 {
+            engines.push(EngineKind::LogkPar);
+            engines.push(EngineKind::LogkHybrid);
+        }
+        engines.extend([EngineKind::Detk, EngineKind::Ghd, EngineKind::HtdSat]);
+        Portfolio {
+            threads: threads.max(1),
+            ..Self::new(engines)
+        }
+    }
+
+    /// The engines that will race, in launch order.
+    pub fn engines(&self) -> &[EngineKind] {
+        &self.engines
+    }
+
+    /// Attaches shared memo tables for the `logk`-family racers (the
+    /// striped tables are concurrency-safe, so racers warm each other
+    /// mid-race and across races). The pair must apply to the raced
+    /// instance and width — `LogK` enforces this and skips it otherwise.
+    pub fn with_shared_tables(mut self, tables: SharedTables) -> Self {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// Clause budget for the `htdsat` racer (default
+    /// [`htdsat::DEFAULT_CLAUSE_BUDGET`]).
+    pub fn with_clause_budget(mut self, budget: u64) -> Self {
+        self.clause_budget = Some(budget);
+        self
+    }
+
+    /// Races every configured engine on `hg` at width `k` under `ctrl`.
+    /// See the [module docs](self) for verdict authority and join
+    /// precedence. Never panics on a panicking racer — the panic is
+    /// contained on the racer's thread and the race continues.
+    pub fn race(&self, hg: &Hypergraph, k: usize, ctrl: &Arc<Control>) -> RaceOutcome {
+        let race_root = ctrl.child();
+        let _guard = CancelOnDrop(&race_root);
+        let mut stats = RaceStats::default();
+        let mut verdict: Option<(EngineKind, Option<Decomposition>)> = None;
+        let mut interrupted: Option<Interrupted> = None;
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, EngineVerdict)>();
+            let mut killed: HashSet<usize> = HashSet::new();
+            let mut children: Vec<Arc<Control>> = Vec::with_capacity(self.engines.len());
+            for (i, &kind) in self.engines.iter().enumerate() {
+                decomp::faults::hit_ctrl("portfolio/spawn", ctrl);
+                let child = race_root.child();
+                let tx = tx.clone();
+                let engine_ctrl = Arc::clone(&child);
+                children.push(child);
+                stats.probes += 1;
+                let runner = self.clone();
+                scope.spawn(move || {
+                    let msg = match panic::catch_unwind(AssertUnwindSafe(|| {
+                        decomp::faults::hit_ctrl("portfolio/engine", &engine_ctrl);
+                        runner.run_engine(kind, hg, k, &engine_ctrl)
+                    })) {
+                        Ok(v) => v,
+                        Err(_) => EngineVerdict::Panicked,
+                    };
+                    let _ = tx.send((i, msg));
+                });
+            }
+            drop(tx);
+            for _ in 0..self.engines.len() {
+                // A racer that died without reporting (it cannot under
+                // the containment above, but defence in depth) reads as
+                // a closed channel once the others have reported — the
+                // race ends on the verdicts it has.
+                let Ok((i, msg)) = rx.recv() else { break };
+                decomp::faults::hit_ctrl("portfolio/join", ctrl);
+                let was_killed = killed.contains(&i);
+                match msg {
+                    EngineVerdict::Definitive(answer) => {
+                        if verdict.is_none() {
+                            verdict = Some((self.engines[i], answer));
+                            // First definitive verdict: the rest of the
+                            // field is redundant — kill it now.
+                            for (j, child) in children.iter().enumerate() {
+                                if j != i && killed.insert(j) {
+                                    child.cancel();
+                                }
+                            }
+                        } else {
+                            stats.speculative_wasted += 1;
+                        }
+                    }
+                    EngineVerdict::Advisory => stats.speculative_wasted += 1,
+                    EngineVerdict::Interrupted(e) => {
+                        if was_killed {
+                            stats.race_cancels += 1;
+                        } else {
+                            interrupted = Some(e);
+                        }
+                    }
+                    EngineVerdict::Panicked => {}
+                }
+            }
+        });
+
+        match verdict {
+            Some((winner, answer)) => RaceOutcome {
+                verdict: Ok(answer),
+                winner: Some(winner),
+                stats,
+            },
+            None => RaceOutcome {
+                // No racer was definitive. Normally that means the
+                // control fired; the all-advisory corner (every racer
+                // demoted) reports as a cancellation for want of a
+                // verdict.
+                verdict: Err(interrupted.unwrap_or(Interrupted::Cancelled)),
+                winner: None,
+                stats,
+            },
+        }
+    }
+
+    /// Runs one engine to its (classified) verdict. See the module docs
+    /// for which raw answers are definitive.
+    fn run_engine(
+        &self,
+        kind: EngineKind,
+        hg: &Hypergraph,
+        k: usize,
+        ctrl: &Arc<Control>,
+    ) -> EngineVerdict {
+        let logk_with = |mut solver: LogK| {
+            if let Some(tables) = &self.tables {
+                solver = solver.with_shared_tables(tables.clone());
+            }
+            classify_exact(solver.decompose(hg, k, ctrl), hg, k)
+        };
+        match kind {
+            EngineKind::LogkSeq => logk_with(LogK::sequential()),
+            EngineKind::LogkPar => logk_with(LogK::parallel(self.threads)),
+            EngineKind::LogkHybrid => logk_with(LogK::hybrid(self.threads)),
+            EngineKind::Detk => classify_exact(detk::decompose_detk(hg, k, ctrl), hg, k),
+            EngineKind::Ghd => match ghd::decompose_ghd(hg, k, ctrl) {
+                // One-sided search: only an HD-validating witness is
+                // definitive, and a miss proves nothing at all.
+                Ok(Some(d)) if validate_hd_width(hg, &d, k).is_ok() => {
+                    EngineVerdict::Definitive(Some(d))
+                }
+                Ok(_) => EngineVerdict::Advisory,
+                Err(e) => EngineVerdict::Interrupted(e),
+            },
+            EngineKind::HtdSat => {
+                let solver = match self.clause_budget {
+                    Some(b) => htdsat::HtdSat::new().with_clause_budget(b),
+                    None => htdsat::HtdSat::new(),
+                };
+                match solver.decide(hg, k, ctrl) {
+                    Ok(Some(d)) if validate_hd_width(hg, &d, k).is_ok() => {
+                        EngineVerdict::Definitive(Some(d))
+                    }
+                    // A GHD-only witness proves ghw ≤ k, not hw ≤ k.
+                    Ok(Some(_)) => EngineVerdict::Advisory,
+                    // Unsat: ghw > k, hence hw > k — definitive.
+                    Ok(None) => EngineVerdict::Definitive(None),
+                    Err(htdsat::HtdSatError::Interrupted(e)) => EngineVerdict::Interrupted(e),
+                    Err(htdsat::HtdSatError::EncodingTooLarge { .. }) => EngineVerdict::Advisory,
+                }
+            }
+        }
+    }
+}
+
+/// Classifies an exact-hw engine's raw answer (`logk`, `detk`): both
+/// polarities are definitive; positive witnesses are still re-validated
+/// in depth as defence against an engine bug corrupting a race verdict.
+fn classify_exact(
+    res: Result<Option<Decomposition>, Interrupted>,
+    hg: &Hypergraph,
+    k: usize,
+) -> EngineVerdict {
+    match res {
+        Ok(Some(d)) => {
+            debug_assert!(validate_hd_width(hg, &d, k).is_ok());
+            if validate_hd_width(hg, &d, k).is_ok() {
+                EngineVerdict::Definitive(Some(d))
+            } else {
+                EngineVerdict::Advisory
+            }
+        }
+        Ok(None) => EngineVerdict::Definitive(None),
+        Err(e) => EngineVerdict::Interrupted(e),
+    }
+}
+
+/// What one racer reported.
+enum EngineVerdict {
+    /// A sound answer to `hw(H) ≤ k` (witness already HD-validated).
+    Definitive(Option<Decomposition>),
+    /// The engine finished but proved nothing about hw (one-sided miss,
+    /// GHD-only witness, encoding memout).
+    Advisory,
+    /// The engine's control fired (its own, the race cancelling it, or
+    /// the overall deadline).
+    Interrupted(Interrupted),
+    /// The engine panicked; contained on its thread.
+    Panicked,
+}
+
+/// Cancels the race's intermediate control when dropped, so no racer
+/// outlives an unwinding coordinator.
+struct CancelOnDrop<'a>(&'a Arc<Control>);
+
+impl Drop for CancelOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::families;
+
+    #[test]
+    fn race_decides_positive_with_witness() {
+        let hg = families::cycle(12);
+        let ctrl = Arc::new(Control::unlimited());
+        let out = Portfolio::full(1).race(&hg, 2, &ctrl);
+        let witness = out.verdict.expect("definitive").expect("cycle has hw 2");
+        assert!(validate_hd_width(&hg, &witness, 2).is_ok());
+        assert!(out.winner.is_some());
+        assert_eq!(out.stats.probes, 4);
+    }
+
+    #[test]
+    fn race_decides_negative() {
+        let hg = families::cycle(12);
+        let ctrl = Arc::new(Control::unlimited());
+        let out = Portfolio::full(1).race(&hg, 1, &ctrl);
+        assert!(matches!(out.verdict, Ok(None)), "cycles have hw 2");
+        assert!(out.winner.is_some());
+    }
+
+    #[test]
+    fn cancelled_race_reports_interruption() {
+        let hg = families::chorded_cycle(96, 48, 3);
+        let ctrl = Arc::new(Control::unlimited());
+        ctrl.cancel();
+        let out = Portfolio::full(1).race(&hg, 3, &ctrl);
+        assert!(matches!(out.verdict, Err(Interrupted::Cancelled)));
+        assert!(out.winner.is_none());
+    }
+
+    #[test]
+    fn engine_kind_indices_round_trip() {
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::from_index(e.index()), Some(e));
+        }
+        assert_eq!(EngineKind::from_index(EngineKind::ALL.len()), None);
+    }
+
+    #[test]
+    fn empty_selection_falls_back_to_a_complete_engine() {
+        let p = Portfolio::new(vec![]);
+        assert_eq!(p.engines(), &[EngineKind::LogkSeq]);
+    }
+}

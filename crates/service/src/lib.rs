@@ -21,7 +21,21 @@
 //!   would be unsound).
 //! * **Anytime answers** — [`Job::MinimalWidth`] returns
 //!   [`logk::WidthBounds`]: whatever the sweep proved before the
-//!   deadline, not nothing.
+//!   deadline, not nothing. With [`ServerConfig::speculation`] `> 1`
+//!   the sweep races adjacent widths concurrently
+//!   ([`logk::width_bounds_racing`]) and cancels probes a neighbour's
+//!   verdict makes redundant.
+//! * **Portfolio racing** — [`Job::Race`] answers `hw(H) ≤ k` by
+//!   racing every engine in the workspace ([`portfolio::Portfolio`]);
+//!   the first definitive verdict cancels the losers, and
+//!   [`ServiceStats::races_won_by`] records which engine carries which
+//!   workload.
+//! * **In-flight coalescing** — admitted requests asking the exact
+//!   question of the exact instance another executor is *currently*
+//!   solving park on that solve and share its verdict (one solve, N
+//!   replies; [`ServiceStats::coalesced`]). Only sound, run-independent
+//!   verdicts are shared — a leader's timeout promotes a live waiter
+//!   instead of condemning it.
 //!
 //! ```no_run
 //! use std::sync::Arc;

@@ -35,6 +35,7 @@
 //! on. A second panic *while containing the first* aborts the process
 //! rather than unwinding into unaccounted state.
 
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::process;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,14 +47,14 @@ use std::time::{Duration, Instant};
 use decomp::{Control, Decomposition, Interrupted};
 use hypergraph::Hypergraph;
 use logk::{
-    width_bounds_with, LogK, SharedTables, Variant, WidthBounds, DEFAULT_CACHE_BYTES,
-    DEFAULT_DETK_CACHE_CAP,
+    LogK, SharedTables, Variant, WidthBounds, DEFAULT_CACHE_BYTES, DEFAULT_DETK_CACHE_CAP,
 };
+use portfolio::{EngineKind, Portfolio};
 use rayon::ThreadPool;
 
 use crate::queue::{DeadlineQueue, PushError};
 use crate::stats::{add_duration, ServiceCounters, ServiceStats};
-use crate::tables::{HubSnapshot, TableHub};
+use crate::tables::{fingerprint, same_instance, HubSnapshot, TableHub};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -86,9 +87,15 @@ pub struct ServerConfig {
     /// Distinct instances the table hub keeps warm (LRU beyond this).
     pub max_instances: usize,
     /// Per-width sub-deadline for minimal-width sweeps (see
-    /// [`width_bounds_with`]); `None` lets each width run to the
+    /// [`logk::width_bounds_with`]); `None` lets each width run to the
     /// request deadline.
     pub width_slice: Option<Duration>,
+    /// Concurrent width probes a minimal-width sweep may keep in flight
+    /// ([`logk::width_bounds_racing`]). `≤ 1` keeps the sequential
+    /// sweep. When the server runs a shared pool (`workers > 0`) the
+    /// effective value is capped at `workers` — parallel probe solves
+    /// beyond that would serialise on the pool and only burn slices.
+    pub speculation: usize,
     /// Solver template; each request's engine is built from a clone with
     /// the hub's shared tables (and the shared pool, when `workers > 0`)
     /// attached.
@@ -108,13 +115,18 @@ impl Default for ServerConfig {
             detk_cache_cap: DEFAULT_DETK_CACHE_CAP,
             max_instances: 4,
             width_slice: None,
+            speculation: 2,
             solver: LogK::sequential(),
         }
     }
 }
 
 /// What to compute for one hypergraph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` because `(instance fingerprint, Job)` keys the in-flight
+/// coalescing registry: two admitted requests coalesce only when they
+/// ask the *same question* of the *same instance*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Job {
     /// Decide `hw(H) ≤ k`, returning a witness when it holds.
     Decide {
@@ -125,6 +137,13 @@ pub enum Job {
     MinimalWidth {
         /// Largest width the sweep tries.
         k_max: usize,
+    },
+    /// Decide `hw(H) ≤ k` by racing the full algorithm portfolio
+    /// ([`portfolio::Portfolio`]): every engine attacks the same
+    /// question, the first definitive verdict cancels the rest.
+    Race {
+        /// Width bound to race.
+        k: usize,
     },
 }
 
@@ -160,6 +179,15 @@ impl Request {
         }
     }
 
+    /// A `hw(H) ≤ k` decision raced across the algorithm portfolio.
+    pub fn race(hg: Arc<Hypergraph>, k: usize) -> Self {
+        Request {
+            hg,
+            job: Job::Race { k },
+            deadline: None,
+        }
+    }
+
     /// Caps the request at `budget` from submit time.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
@@ -181,6 +209,18 @@ pub enum Outcome {
     /// Minimal-width verdict — possibly partial bounds if the sweep was
     /// cut short (check [`WidthBounds::interrupted`]).
     Width(WidthBounds),
+    /// A portfolio race reached a definitive verdict: `witness` is
+    /// `Some` iff `hw(H) ≤ k`, and `winner` names the engine whose
+    /// verdict it is. Races cut short by the deadline report
+    /// [`Outcome::TimedOut`] / [`Outcome::Cancelled`] like any solve.
+    Raced {
+        /// The width bound that was raced.
+        k: usize,
+        /// The engine that produced the winning verdict.
+        winner: EngineKind,
+        /// Validated witness decomposition, when one exists.
+        witness: Option<Decomposition>,
+    },
     /// The deadline expired before a verdict (possibly while queued).
     TimedOut,
     /// The request's control was cancelled (server shutdown, or the
@@ -199,6 +239,7 @@ impl Outcome {
     pub fn witness(&self) -> Option<&Decomposition> {
         match self {
             Outcome::Decided { witness, .. } => witness.as_ref(),
+            Outcome::Raced { witness, .. } => witness.as_ref(),
             Outcome::Width(b) => b.witness.as_ref(),
             _ => None,
         }
@@ -309,6 +350,39 @@ struct Queued {
     id: u64,
 }
 
+/// Coalescing key: instance content fingerprint plus the exact job.
+type CoalesceKey = (u64, Job);
+
+/// A request parked on another in-flight request's verdict.
+struct Waiter {
+    q: Queued,
+    /// The waiter's own measured queue wait (for its response).
+    queue_wait: Duration,
+    /// When it attached — its response's `solve_time` is the span from
+    /// here to delivery (time spent waiting on the shared solve).
+    attached: Instant,
+}
+
+/// Registry slot for one in-flight `(instance, job)` solve.
+struct InflightEntry {
+    /// The leader's instance, for exact-content confirmation (the
+    /// fingerprint alone could collide).
+    hg: Arc<Hypergraph>,
+    waiters: Vec<Waiter>,
+}
+
+/// What [`Inner::coalesce_claim`] decided for a dequeued request.
+enum Claim {
+    /// First in: registered under the key; caller solves and answers
+    /// any waiters that accumulate meanwhile.
+    Lead(Queued),
+    /// Fingerprint collision with a different in-flight instance: solve
+    /// unregistered (correct, just not shared).
+    Standalone(Queued),
+    /// Parked on the in-flight leader; its executor delivers the reply.
+    Attached,
+}
+
 /// State shared between the handle, the submit path and the executors.
 struct Inner {
     cfg: ServerConfig,
@@ -320,6 +394,11 @@ struct Inner {
     /// Shared work-stealing pool (when `workers > 0`); all executors'
     /// parallel solves run on it concurrently.
     pool: Option<Arc<ThreadPool>>,
+    /// In-flight coalescing registry: `(fingerprint, job)` → the leader
+    /// currently solving it plus the requests parked on its verdict.
+    /// Entries live exactly as long as their leader is inside
+    /// `execute_one`, so a drained server always has an empty registry.
+    inflight: Mutex<HashMap<CoalesceKey, InflightEntry>>,
     closed: AtomicBool,
     next_id: AtomicU64,
 }
@@ -352,6 +431,7 @@ impl Server {
             counters: ServiceCounters::default(),
             hub: TableHub::new(cfg.cache_bytes, cfg.detk_cache_cap, cfg.max_instances),
             pool,
+            inflight: Mutex::new(HashMap::new()),
             closed: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             cfg,
@@ -518,6 +598,17 @@ impl Inner {
         solver
     }
 
+    /// Width probes a minimal-width sweep keeps in flight: the
+    /// configured speculation, capped at the pool's worker count when
+    /// one is running (beyond that, parallel probe solves serialise on
+    /// the pool and speculation only burns deadline slices).
+    fn effective_speculation(&self) -> usize {
+        match self.cfg.workers {
+            0 => self.cfg.speculation,
+            w => self.cfg.speculation.min(w),
+        }
+    }
+
     /// Runs one request to a verdict (the panic-unsafe part wrapped by
     /// `execute_one`'s `catch_unwind`).
     fn solve(&self, q: &Queued) -> Outcome {
@@ -534,13 +625,80 @@ impl Inner {
                 // Canonicalise once so the sweep solves the instance the
                 // per-width table pairs are bound to.
                 let (hg, _) = self.hub.checkout(&q.hg, 1);
-                let bounds = width_bounds_with(&hg, k_max, &q.ctrl, self.cfg.width_slice, |k| {
-                    let (_, tables) = self.hub.checkout(&q.hg, k);
-                    self.solver_for(tables)
-                });
+                let bounds = logk::width_bounds_racing(
+                    &hg,
+                    k_max,
+                    &q.ctrl,
+                    self.cfg.width_slice,
+                    self.effective_speculation(),
+                    |k| {
+                        let (_, tables) = self.hub.checkout(&q.hg, k);
+                        self.solver_for(tables)
+                    },
+                );
+                let c = &self.counters;
+                c.race_cancels
+                    .fetch_add(bounds.race.race_cancels, Ordering::Relaxed);
+                c.speculative_wasted
+                    .fetch_add(bounds.race.speculative_wasted, Ordering::Relaxed);
                 Outcome::Width(bounds)
             }
+            Job::Race { k } => {
+                let (hg, tables) = self.hub.checkout(&q.hg, k);
+                let threads = self.cfg.workers.max(1);
+                let registry = Portfolio::full(threads).with_shared_tables(tables);
+                let c = &self.counters;
+                c.races.fetch_add(1, Ordering::Relaxed);
+                let out = registry.race(&hg, k, &q.ctrl);
+                c.race_cancels
+                    .fetch_add(out.stats.race_cancels, Ordering::Relaxed);
+                c.speculative_wasted
+                    .fetch_add(out.stats.speculative_wasted, Ordering::Relaxed);
+                match out.verdict {
+                    Ok(witness) => {
+                        let winner = out.winner.expect("definitive verdicts name their engine");
+                        c.races_won_by[winner.index()].fetch_add(1, Ordering::Relaxed);
+                        Outcome::Raced { k, winner, witness }
+                    }
+                    Err(Interrupted::Timeout) => Outcome::TimedOut,
+                    Err(Interrupted::Cancelled) => Outcome::Cancelled,
+                }
+            }
         }
+    }
+
+    /// Registers a dequeued request in the coalescing registry, or parks
+    /// it on the in-flight solve already answering its exact question.
+    fn coalesce_claim(&self, key: CoalesceKey, q: Queued, queue_wait: Duration) -> Claim {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get_mut(&key) {
+            Some(entry) if same_instance(&entry.hg, &q.hg) => {
+                entry.waiters.push(Waiter {
+                    q,
+                    queue_wait,
+                    attached: Instant::now(),
+                });
+                Claim::Attached
+            }
+            Some(_) => Claim::Standalone(q),
+            None => {
+                map.insert(
+                    key,
+                    InflightEntry {
+                        hg: Arc::clone(&q.hg),
+                        waiters: Vec::new(),
+                    },
+                );
+                Claim::Lead(q)
+            }
+        }
+    }
+
+    /// Unregisters a finished leader, collecting the waiters that
+    /// attached while it solved.
+    fn coalesce_finish(&self, key: &CoalesceKey) -> Vec<Waiter> {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        map.remove(key).map(|e| e.waiters).unwrap_or_default()
     }
 }
 
@@ -552,8 +710,31 @@ fn run_executor(inner: &Arc<Inner>, queue: &Arc<DeadlineQueue<Queued>>) {
     }
 }
 
-/// Runs one dequeued request: pre-flight deadline check, panic-contained
-/// execution with retries, accounting, reply.
+/// Runs one dequeued request: pre-flight deadline check, coalescing
+/// claim, panic-contained execution with retries, accounting, reply.
+///
+/// # Coalescing
+///
+/// After pre-flight, the request claims its `(fingerprint, job)` slot in
+/// the in-flight registry. A request whose exact question is already
+/// being solved parks as a *waiter* and this call returns — the leader's
+/// executor delivers its reply. The leader solves, unregisters, and:
+///
+/// * a **shareable** verdict (a definitive decision, race win, or
+///   completed sweep — sound facts about the instance, independent of
+///   whose deadline computed them) is broadcast to every waiter, each
+///   counted in `coalesced` and classified terminally like any request;
+/// * a **non-shareable** verdict (timeout, cancellation, panic — those
+///   are facts about the *leader's* run, not the instance) is delivered
+///   to the leader alone, and the first waiter whose control is still
+///   live is promoted to solve under its own deadline; dead waiters are
+///   shed terminally along the way. Promoted leaders run unregistered —
+///   new duplicates arriving meanwhile simply elect a fresh leader.
+///
+/// Every waiter is answered before the leader's `execute_one` returns,
+/// so draining the queue drains the registry too (the drain invariant:
+/// `admitted = completed + timed_out + cancelled + failed` holds with
+/// coalescing exactly as without).
 fn execute_one(inner: &Arc<Inner>, q: Queued) {
     let c = &inner.counters;
     c.admitted.fetch_add(1, Ordering::Relaxed);
@@ -565,47 +746,137 @@ fn execute_one(inner: &Arc<Inner>, q: Queued) {
     // EDF ordering, expired requests are the most urgent of all, so a
     // backlog of hopeless work is shed here in one cheap pass instead of
     // interleaving with live solves.
-    let preempted = match q.ctrl.checkpoint() {
-        Ok(()) => None,
+    match q.ctrl.checkpoint() {
+        Ok(()) => {}
         Err(Interrupted::Timeout) => {
             c.expired_in_queue.fetch_add(1, Ordering::Relaxed);
-            Some(Outcome::TimedOut)
+            deliver(c, q, Outcome::TimedOut, queue_wait, Duration::ZERO, 0);
+            return;
         }
-        Err(Interrupted::Cancelled) => Some(Outcome::Cancelled),
-    };
+        Err(Interrupted::Cancelled) => {
+            deliver(c, q, Outcome::Cancelled, queue_wait, Duration::ZERO, 0);
+            return;
+        }
+    }
 
-    let started = Instant::now();
-    let mut retries = 0u32;
-    let outcome = match preempted {
-        Some(o) => o,
-        None => loop {
-            match panic::catch_unwind(AssertUnwindSafe(|| inner.solve(&q))) {
-                Ok(outcome) => break outcome,
-                Err(payload) => {
-                    // A panic *while containing this panic* (exotic
-                    // payload Drop, poisoned accounting) must abort the
-                    // process, not unwind the executor into silence.
-                    let guard = AbortOnPanic;
-                    let message = panic_message(payload.as_ref());
-                    drop(payload);
-                    c.panicked.fetch_add(1, Ordering::Relaxed);
-                    let retry = retries < inner.cfg.max_retries && q.ctrl.checkpoint().is_ok();
-                    std::mem::forget(guard);
-                    if retry {
-                        retries += 1;
-                        c.retried.fetch_add(1, Ordering::Relaxed);
-                        continue;
+    let key = (fingerprint(&q.hg), q.job);
+    let (mut lead, mut registered) = match inner.coalesce_claim(key, q, queue_wait) {
+        Claim::Attached => return,
+        Claim::Lead(q) => (q, true),
+        Claim::Standalone(q) => (q, false),
+    };
+    let mut lead_wait = queue_wait;
+    let mut waiters: Vec<Waiter> = Vec::new();
+
+    loop {
+        let started = Instant::now();
+        let (outcome, retries) = solve_contained(inner, &lead);
+        let solve_time = started.elapsed();
+        add_duration(&c.solve_ns, solve_time);
+        if registered {
+            waiters.extend(inner.coalesce_finish(&key));
+            registered = false;
+        }
+        let share = shareable(&outcome);
+        let shared = outcome.clone();
+        deliver(c, lead, outcome, lead_wait, solve_time, retries);
+        if waiters.is_empty() {
+            return;
+        }
+        if share {
+            for w in waiters {
+                c.coalesced.fetch_add(1, Ordering::Relaxed);
+                deliver(
+                    c,
+                    w.q,
+                    shared.clone(),
+                    w.queue_wait,
+                    w.attached.elapsed(),
+                    0,
+                );
+            }
+            return;
+        }
+        // Non-shareable: promote the first waiter still worth solving
+        // for; shed the ones whose controls already fired.
+        loop {
+            let w = waiters.remove(0);
+            match w.q.ctrl.checkpoint() {
+                Ok(()) => {
+                    lead = w.q;
+                    lead_wait = w.queue_wait;
+                    break;
+                }
+                Err(e) => {
+                    let o = match e {
+                        Interrupted::Timeout => {
+                            c.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+                            Outcome::TimedOut
+                        }
+                        Interrupted::Cancelled => Outcome::Cancelled,
+                    };
+                    deliver(c, w.q, o, w.queue_wait, w.attached.elapsed(), 0);
+                    if waiters.is_empty() {
+                        return;
                     }
-                    break Outcome::Panicked { message };
                 }
             }
-        },
-    };
-    let solve_time = started.elapsed();
-    add_duration(&c.solve_ns, solve_time);
+        }
+    }
+}
 
+/// Panic-contained execution with retries (the solve loop previously
+/// inline in `execute_one`, shared by leaders and promoted waiters).
+fn solve_contained(inner: &Arc<Inner>, q: &Queued) -> (Outcome, u32) {
+    let c = &inner.counters;
+    let mut retries = 0u32;
+    loop {
+        match panic::catch_unwind(AssertUnwindSafe(|| inner.solve(q))) {
+            Ok(outcome) => return (outcome, retries),
+            Err(payload) => {
+                // A panic *while containing this panic* (exotic payload
+                // Drop, poisoned accounting) must abort the process, not
+                // unwind the executor into silence.
+                let guard = AbortOnPanic;
+                let message = panic_message(payload.as_ref());
+                drop(payload);
+                c.panicked.fetch_add(1, Ordering::Relaxed);
+                let retry = retries < inner.cfg.max_retries && q.ctrl.checkpoint().is_ok();
+                std::mem::forget(guard);
+                if retry {
+                    retries += 1;
+                    c.retried.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                return (Outcome::Panicked { message }, retries);
+            }
+        }
+    }
+}
+
+/// Whether a leader's verdict is a sound answer for *every* request
+/// asking the same question — definitive decisions, race wins and
+/// completed sweeps are facts about the instance; timeouts,
+/// cancellations and panics are facts about one run.
+fn shareable(o: &Outcome) -> bool {
+    match o {
+        Outcome::Decided { .. } | Outcome::Raced { .. } => true,
+        Outcome::Width(b) => b.exact() || b.interrupted.is_none(),
+        Outcome::TimedOut | Outcome::Cancelled | Outcome::Panicked { .. } => false,
+    }
+}
+
+/// Classifies `outcome` into its terminal counter and sends the reply.
+fn deliver(
+    c: &ServiceCounters,
+    q: Queued,
+    outcome: Outcome,
+    queue_wait: Duration,
+    solve_time: Duration,
+    retries: u32,
+) {
     let class = match &outcome {
-        Outcome::Decided { .. } => &c.completed,
+        Outcome::Decided { .. } | Outcome::Raced { .. } => &c.completed,
         // A sweep counts as completed when it proved what it was asked
         // (exact) or ran out of widths, as timed-out/cancelled when the
         // interruption cut it short of that.

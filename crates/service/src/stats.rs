@@ -24,6 +24,11 @@ pub(crate) struct ServiceCounters {
     pub panicked: AtomicU64,
     pub failed: AtomicU64,
     pub retried: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub races: AtomicU64,
+    pub races_won_by: [AtomicU64; portfolio::EngineKind::COUNT],
+    pub race_cancels: AtomicU64,
+    pub speculative_wasted: AtomicU64,
     pub queue_wait_ns: AtomicU64,
     pub solve_ns: AtomicU64,
 }
@@ -44,6 +49,11 @@ impl ServiceCounters {
             panicked: ld(&self.panicked),
             failed: ld(&self.failed),
             retried: ld(&self.retried),
+            coalesced: ld(&self.coalesced),
+            races: ld(&self.races),
+            races_won_by: std::array::from_fn(|i| ld(&self.races_won_by[i])),
+            race_cancels: ld(&self.race_cancels),
+            speculative_wasted: ld(&self.speculative_wasted),
             queue_wait: Duration::from_nanos(ld(&self.queue_wait_ns)),
             solve_time: Duration::from_nanos(ld(&self.solve_ns)),
         }
@@ -78,6 +88,20 @@ pub(crate) fn add_duration(counter: &AtomicU64, d: Duration) {
 /// their terminal outcome is `TimedOut`, so `expired_in_queue ≤
 /// timed_out` always (the difference is requests that expired
 /// mid-solve).
+///
+/// Coalescing does not bend the invariants: a coalesced request is still
+/// an *admitted* request and still lands in exactly one terminal class
+/// (it shares the leader's verdict, so in practice `completed`) —
+/// [`Self::coalesced`] only records that its verdict was computed once
+/// rather than per-copy, hence `coalesced ≤ completed`.
+///
+/// Race accounting ([`Self::races`], [`Self::races_won_by`],
+/// [`Self::race_cancels`], [`Self::speculative_wasted`]) aggregates over
+/// both racing shapes the server runs: the multi-engine portfolio behind
+/// [`crate::Job::Race`], and the speculative width sweep behind
+/// [`crate::Job::MinimalWidth`] when the configured speculation admits
+/// it (the sweep contributes cancel/waste counts but no `races` /
+/// `races_won_by` entries — its racers are widths, not engines).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests offered to [`crate::Server::submit`].
@@ -109,6 +133,24 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Re-executions after a contained panic.
     pub retried: u64,
+    /// Admitted requests answered from another in-flight request's
+    /// verdict (same instance content, same job) instead of their own
+    /// solve. See the type docs; always `≤ completed`.
+    pub coalesced: u64,
+    /// Portfolio races run ([`crate::Job::Race`] solves that reached the
+    /// racing coordinator; pre-flight sheds don't count).
+    pub races: u64,
+    /// Race wins per engine, indexed by
+    /// [`portfolio::EngineKind::index`]. Sums to the number of races
+    /// that produced a definitive verdict (`≤ races`).
+    pub races_won_by: [u64; portfolio::EngineKind::COUNT],
+    /// Racers (portfolio engines or speculative sweep probes) cancelled
+    /// because a concurrent verdict made them redundant.
+    pub race_cancels: u64,
+    /// Racers that ran to completion only to find their verdict
+    /// redundant — the true overhead of speculation (cancelled racers
+    /// stop early; wasted ones burned their full slice).
+    pub speculative_wasted: u64,
     /// Aggregate time requests spent queued between admission and
     /// execution start.
     pub queue_wait: Duration,
@@ -123,7 +165,8 @@ impl std::fmt::Display for ServiceStats {
             f,
             "submitted {} | shed {}+{} | closed {} | admitted {} | \
              completed {} timed-out {} (in-queue {}) cancelled {} failed {} | \
-             panics {} retries {} | queue-wait {:?} solve {:?}",
+             panics {} retries {} | coalesced {} | races {} (cancels {} wasted {}{}) | \
+             queue-wait {:?} solve {:?}",
             self.submitted,
             self.shed_overload,
             self.shed_expired,
@@ -136,6 +179,20 @@ impl std::fmt::Display for ServiceStats {
             self.failed,
             self.panicked,
             self.retried,
+            self.coalesced,
+            self.races,
+            self.race_cancels,
+            self.speculative_wasted,
+            {
+                let mut wins = String::new();
+                for (i, &n) in self.races_won_by.iter().enumerate() {
+                    if n > 0 {
+                        let kind = portfolio::EngineKind::from_index(i).expect("array is sized by COUNT");
+                        wins.push_str(&format!("; {} x{}", kind.name(), n));
+                    }
+                }
+                wins
+            },
             self.queue_wait,
             self.solve_time,
         )

@@ -180,8 +180,9 @@ impl std::fmt::Debug for TableHub {
 
 /// Content fingerprint: vertex count plus every edge's vertex list, in
 /// edge order (edge numbering is part of verdict identity, so order
-/// matters — no sorting).
-fn fingerprint(hg: &Hypergraph) -> u64 {
+/// matters — no sorting). Doubles as the in-flight coalescing key in
+/// `server` (paired with [`same_instance`] against collisions).
+pub(crate) fn fingerprint(hg: &Hypergraph) -> u64 {
     let mut h = DefaultHasher::new();
     hg.num_vertices().hash(&mut h);
     hg.num_edges().hash(&mut h);
@@ -196,7 +197,7 @@ fn fingerprint(hg: &Hypergraph) -> u64 {
 }
 
 /// Exact content equality (guards against fingerprint collisions).
-fn same_instance(a: &Hypergraph, b: &Hypergraph) -> bool {
+pub(crate) fn same_instance(a: &Hypergraph, b: &Hypergraph) -> bool {
     if std::ptr::eq(a, b) {
         return true;
     }

@@ -308,3 +308,111 @@ fn shutdown_reaches_a_stalled_solve() {
     assert!(matches!(queued.wait().outcome, Outcome::Cancelled));
     faults::reset();
 }
+
+/// Deterministic coalescing: a `Delay` at the leader's first solver
+/// checkpoint holds it in flight while content-equal duplicates are
+/// dequeued by the second executor — all of them must park on the
+/// leader and share its verdict, giving exactly one solve for four
+/// requests.
+#[test]
+fn duplicates_coalesce_onto_delayed_leader() {
+    let _g = armed();
+    let server = Server::start(ServerConfig {
+        executors: 2,
+        ..ServerConfig::default()
+    });
+    let hg = || Arc::new(families::grid(6, 6));
+
+    faults::arm("logk/solve", 1, Fault::Delay(Duration::from_millis(300)));
+    let leader = server.submit(Request::decide(hg(), 2)).unwrap();
+    // Let the leader enter the delayed solve before the duplicates
+    // arrive (fresh allocations: coalescing keys on content).
+    std::thread::sleep(Duration::from_millis(50));
+    let dups: Vec<_> = (0..3)
+        .map(|_| server.submit(Request::decide(hg(), 2)).unwrap())
+        .collect();
+
+    assert!(matches!(
+        leader.wait().outcome,
+        Outcome::Decided { witness: None, .. }
+    ));
+    for (i, t) in dups.into_iter().enumerate() {
+        let resp = t.wait();
+        assert!(
+            matches!(resp.outcome, Outcome::Decided { witness: None, .. }),
+            "duplicate {i}: {:?}",
+            resp.outcome
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.admitted, 4, "{stats}");
+    assert_eq!(stats.completed, 4, "{stats}");
+    assert_eq!(stats.coalesced, 3, "one solve, three shared replies: {stats}");
+    faults::reset();
+}
+
+/// A leader's timeout is a fact about *its* deadline, not the instance:
+/// the waiter parked on it must be promoted and solve to its own clean
+/// verdict, never inherit the leader's `TimedOut`.
+#[test]
+fn leader_timeout_promotes_live_waiter() {
+    let _g = armed();
+    let server = Server::start(ServerConfig {
+        executors: 2,
+        ..ServerConfig::default()
+    });
+    let hg = || Arc::new(families::grid(6, 6));
+
+    // The delay outlasts the leader's deadline, so its post-delay
+    // checkpoint observes `Timeout` — deterministically non-shareable.
+    faults::arm("logk/solve", 1, Fault::Delay(Duration::from_millis(400)));
+    let leader = server
+        .submit(Request::decide(hg(), 2).with_deadline(Duration::from_millis(100)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let waiter = server.submit(Request::decide(hg(), 2)).unwrap();
+
+    assert!(matches!(leader.wait().outcome, Outcome::TimedOut));
+    match waiter.wait().outcome {
+        Outcome::Decided { witness: None, .. } => {}
+        other => panic!("promoted waiter must reach its own verdict, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timed_out, 1, "{stats}");
+    assert_eq!(stats.completed, 1, "{stats}");
+    assert_eq!(stats.coalesced, 0, "a timeout must not be shared: {stats}");
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.timed_out + stats.cancelled + stats.failed,
+        "drain invariant: {stats}"
+    );
+    faults::reset();
+}
+
+/// A panicking portfolio racer is contained on its own thread: the
+/// surviving engines' verdict wins the race and the request completes.
+#[test]
+fn panicking_racer_does_not_poison_the_race() {
+    let _g = armed();
+    let server = Server::start(ServerConfig {
+        max_retries: 0,
+        ..ServerConfig::default()
+    });
+
+    faults::arm("portfolio/engine", 1, Fault::Panic);
+    let t = server.submit(Request::race(cycle(12), 2)).unwrap();
+    match t.wait().outcome {
+        Outcome::Raced {
+            witness: Some(_), ..
+        } => {}
+        other => panic!("survivors' verdict must win, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1, "{stats}");
+    assert_eq!(stats.failed, 0, "the panic stays inside the race: {stats}");
+    assert_eq!(stats.races, 1, "{stats}");
+    faults::reset();
+}

@@ -437,3 +437,80 @@ fn parallel_pool_round_trip() {
     let stats = server.shutdown();
     assert_eq!(stats.completed, 4);
 }
+
+/// `Job::Race` runs the full portfolio and reports the winning engine;
+/// both polarities come back definitive on an unpressured instance.
+#[test]
+fn race_round_trip() {
+    let server = Server::start(ServerConfig::default());
+    let hg = cycle(12);
+
+    let yes = server.submit(Request::race(Arc::clone(&hg), 2)).unwrap();
+    let no = server.submit(Request::race(Arc::clone(&hg), 1)).unwrap();
+
+    match yes.wait().outcome {
+        Outcome::Raced {
+            k: 2,
+            winner,
+            witness: Some(_),
+        } => {
+            // Winner is whichever engine got there first; it must be a
+            // registered one.
+            assert!(portfolio::EngineKind::ALL.contains(&winner));
+        }
+        other => panic!("expected raced k=2 witness, got {other:?}"),
+    }
+    assert!(matches!(
+        no.wait().outcome,
+        Outcome::Raced {
+            k: 1,
+            witness: None,
+            ..
+        }
+    ));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.races, 2, "{stats}");
+    assert_eq!(stats.completed, 2, "{stats}");
+    let wins: u64 = stats.races_won_by.iter().sum();
+    assert_eq!(wins, 2, "every definitive race names a winner: {stats}");
+}
+
+/// Duplicate in-flight requests coalesce onto one solve: with two
+/// executors, the duplicates of a slow refutation park on the leader
+/// and share its verdict instead of redoing the search. (The exact
+/// count is pinned deterministically in the fault-injection suite; here
+/// the leader's multi-millisecond solve dwarfs the attach window.)
+#[test]
+fn duplicate_requests_coalesce_onto_one_solve() {
+    let server = Server::start(ServerConfig {
+        executors: 2,
+        ..ServerConfig::default()
+    });
+    // Fresh allocation each submit: coalescing must key on content.
+    let grid = || Arc::new(families::grid(10, 10));
+    let tickets: Vec<_> = (0..4)
+        .map(|_| server.submit(Request::decide(grid(), 2)).unwrap())
+        .collect();
+    for t in tickets {
+        match t.wait().outcome {
+            Outcome::Decided {
+                k: 2,
+                witness: None,
+            } => {}
+            other => panic!("expected refuted k=2, got {other:?}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.admitted, 4, "{stats}");
+    assert_eq!(stats.completed, 4, "{stats}");
+    assert!(
+        stats.coalesced >= 1,
+        "duplicates should have parked on the in-flight leader: {stats}"
+    );
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.timed_out + stats.cancelled + stats.failed,
+        "drain invariant: {stats}"
+    );
+}

@@ -34,7 +34,9 @@ use rand::{RngExt, SeedableRng};
 
 use crate::codec::FrameDecoder;
 use crate::net;
-use crate::proto::{Message, WireError, WireJob, WireOutcome, MAX_VERSION, MIN_VERSION};
+use crate::proto::{
+    Message, WireError, WireJob, WireOutcome, MAX_VERSION, MIN_VERSION, RACE_VERSION,
+};
 
 /// Configuration for [`WireClient`].
 #[derive(Clone, Debug)]
@@ -108,6 +110,19 @@ impl JobSpec {
     pub fn minimal_width(edges: Vec<Vec<u32>>, k_max: u32) -> Self {
         JobSpec {
             job: WireJob::MinimalWidth { k_max },
+            edges,
+            deadline: None,
+            idempotent: true,
+        }
+    }
+
+    /// A portfolio-race decision of `hw(H) ≤ k` (needs a v2 server;
+    /// against a v1 server the request fails with a terminal
+    /// [`WireError::Unsupported`] rejection instead of being sent).
+    /// Races are pure decisions, so blind retry and hedging are safe.
+    pub fn race(edges: Vec<Vec<u32>>, k: u32) -> Self {
+        JobSpec {
+            job: WireJob::Race { k },
             edges,
             deadline: None,
             idempotent: true,
@@ -372,7 +387,17 @@ impl Inner {
         };
         conn.write(&hello).map_err(io_err(false))?;
         match conn.read_message(None).map_err(io_err(false))? {
-            Message::HelloAck { version } if (MIN_VERSION..=MAX_VERSION).contains(&version) => {}
+            Message::HelloAck { version } if (MIN_VERSION..=MAX_VERSION).contains(&version) => {
+                // Never send a job the negotiated session can't carry:
+                // a v1 server would reject a Race submit anyway, so
+                // fail it here as the same terminal rejection.
+                if matches!(spec.job, WireJob::Race { .. }) && version < RACE_VERSION {
+                    return Err(AttemptError::Reject(WireError::Unsupported {
+                        server_min: version,
+                        server_max: version,
+                    }));
+                }
+            }
             Message::HelloAck { version } => {
                 return Err(AttemptError::Protocol(format!(
                     "server acked unoffered version {version}"

@@ -23,9 +23,15 @@
 /// Frame magic: `b"HTDW"`.
 pub const MAGIC: [u8; 4] = *b"HTDW";
 
-/// Protocol version this build speaks (see [`crate::proto`] for the
-/// negotiation rules).
-pub const PROTO_VERSION: u8 = 1;
+/// Frame-*layout* version, written into header byte 4 of every frame.
+///
+/// This is deliberately distinct from the negotiated *session* version
+/// ([`crate::proto::MIN_VERSION`]`..=`[`crate::proto::MAX_VERSION`]):
+/// the session version governs which messages a peer may send (v2 adds
+/// the `Race` job and `Raced` outcome), while this byte only changes if
+/// the 16-byte header shape itself ever does. Every session version so
+/// far shares frame layout 1, so mixed-version peers still frame-sync.
+pub const FRAME_VERSION: u8 = 1;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -88,8 +94,11 @@ pub enum FrameError {
         /// The four bytes found where the magic should be.
         found: [u8; 4],
     },
-    /// A version this build does not speak. Fatal (framing may differ
-    /// between versions, so no resync is possible).
+    /// A frame-layout version this build does not speak. Fatal (the
+    /// header shape may differ, so no resync is possible). Note this is
+    /// the *layout* version ([`FRAME_VERSION`]), not the negotiated
+    /// session version — session mismatches are handled politely at the
+    /// message layer.
     BadVersion {
         /// The version byte found.
         found: u8,
@@ -200,7 +209,7 @@ pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     let len = u32::try_from(payload.len()).expect("payload length must fit in u32");
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(PROTO_VERSION);
+    out.push(FRAME_VERSION);
     out.push(kind as u8);
     out.extend_from_slice(&0u16.to_le_bytes()); // reserved
     out.extend_from_slice(&len.to_le_bytes());
@@ -265,7 +274,7 @@ impl FrameDecoder {
                 found: [header[0], header[1], header[2], header[3]],
             });
         }
-        if header[4] != PROTO_VERSION {
+        if header[4] != FRAME_VERSION {
             return Err(FrameError::BadVersion { found: header[4] });
         }
         let reserved = u16::from_le_bytes([header[6], header[7]]);

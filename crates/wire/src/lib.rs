@@ -28,8 +28,9 @@ pub mod proto;
 pub mod server;
 
 pub use client::{ClientConfig, ClientError, ClientReply, JobSpec, WireClient};
-pub use codec::{Frame, FrameDecoder, FrameError, FrameKind, DEFAULT_MAX_PAYLOAD, PROTO_VERSION};
+pub use codec::{Frame, FrameDecoder, FrameError, FrameKind, DEFAULT_MAX_PAYLOAD, FRAME_VERSION};
 pub use proto::{
     GoodbyeReason, Message, WireDecomp, WireError, WireInterrupt, WireJob, WireOutcome,
+    MAX_VERSION, MIN_VERSION, RACE_VERSION,
 };
 pub use server::{WireConfig, WireReport, WireServer, WireStats};

@@ -1,9 +1,13 @@
 //! Protocol specification and message codecs.
 //!
-//! # `htdwire` protocol, version 1
+//! # `htdwire` protocol, versions 1–2
 //!
 //! A connection carries a bidirectional stream of *frames* over TCP.
 //! All integers are **little-endian**; there is no padding.
+//!
+//! Version 2 adds portfolio racing: the `Race` job (Submit job tag 2)
+//! and the `Raced` reply outcome (tag 5). Everything else is identical
+//! to version 1, including the frame layout.
 //!
 //! ## Frame layout
 //!
@@ -11,13 +15,19 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic, ASCII "HTDW"
-//!      4     1  protocol version (currently 1)
+//!      4     1  frame-layout version (1 for every session version)
 //!      5     1  frame kind (table below)
 //!      6     2  reserved, must be zero
 //!      8     4  payload length N (u32; strict cap, default 16 MiB)
 //!     12     4  CRC-32 (IEEE 802.3) of the payload bytes
 //!     16     N  payload
 //! ```
+//!
+//! Header byte 4 is the *layout* version ([`crate::codec::FRAME_VERSION`]),
+//! not the negotiated session version: it only changes if the header
+//! shape itself does, so v1 and v2 peers always stay frame-synchronised
+//! and version mismatches surface as polite message-level rejects
+//! instead of torn connections.
 //!
 //! | kind | name       | direction | payload |
 //! |------|------------|-----------|---------|
@@ -35,19 +45,26 @@
 //! highest version inside the intersection, or `Reject` with error
 //! code 6 (`Unsupported`, carrying the server's own range) and closes.
 //! Every subsequent frame on the connection uses the agreed version.
-//! A `Submit` before `Hello` is rejected as `Malformed`.
+//! A `Submit` before `Hello` is rejected as `Malformed`; a `Race`
+//! submit on a session that negotiated version 1 is rejected as
+//! `Unsupported` (the payload still *decodes* — decoding is
+//! version-blind — but the server refuses to run it).
 //!
 //! ## Submit payload
 //!
 //! ```text
 //! id: u64            client-chosen correlation id, echoed in the reply
 //! flags: u8          bit 0: idempotent (safe to retry/hedge blindly)
-//! job: u8            0 = Decide, 1 = MinimalWidth
+//! job: u8            0 = Decide, 1 = MinimalWidth, 2 = Race (v2+)
 //! k: u32             width to decide / largest width to sweep
 //! deadline_ms: u64   0 = no deadline, else budget from server receipt
 //! num_edges: u32     hypergraph as plain vertex-index edge lists
 //! repeat num_edges:  { arity: u32, vertices: u32 × arity }
 //! ```
+//!
+//! `Race` decides `hw(H) ≤ k` like `Decide`, but by racing the
+//! server's whole algorithm portfolio; the reply names the winning
+//! engine.
 //!
 //! ## Reply payload
 //!
@@ -57,13 +74,20 @@
 //! solve_ns: u64      server-side execution time (including retries)
 //! retries: u32       contained-panic re-executions consumed
 //! outcome: u8        0 Decided / 1 Width / 2 TimedOut / 3 Cancelled
-//!                    / 4 Panicked
+//!                    / 4 Panicked / 5 Raced (v2+)
 //! Decided:  k: u32, has_witness: u8, [decomposition]
 //! Width:    proven_lower: u32, has_upper: u8, [best_upper: u32],
 //!           has_witness: u8, [decomposition],
 //!           interrupted: u8 (0 none / 1 timeout / 2 cancelled)
 //! Panicked: msg_len: u32, msg: utf-8 × msg_len
+//! Raced:    k: u32, winner: u8, has_witness: u8, [decomposition]
 //! ```
+//!
+//! `Raced.winner` is the portfolio engine index (`portfolio::EngineKind`
+//! order: 0 logk-seq, 1 logk-par, 2 logk-hybrid, 3 det-k, 4 ghd,
+//! 5 htd-sat). Servers may add engines over time, so clients MUST
+//! tolerate winner values they do not recognise — the verdict
+//! (`has_witness`) is authoritative regardless of who produced it.
 //!
 //! A decomposition is encoded as:
 //!
@@ -106,12 +130,17 @@
 
 use decomp::{Decomposition, Interrupted};
 
-use crate::codec::{FrameKind, PROTO_VERSION};
+use crate::codec::FrameKind;
 
-/// Lowest protocol version this build can speak.
-pub const MIN_VERSION: u8 = PROTO_VERSION;
-/// Highest protocol version this build can speak.
-pub const MAX_VERSION: u8 = PROTO_VERSION;
+/// Lowest session version this build can speak.
+pub const MIN_VERSION: u8 = 1;
+/// Highest session version this build can speak (2 adds portfolio
+/// racing: the `Race` job and the `Raced` outcome).
+pub const MAX_VERSION: u8 = 2;
+
+/// First session version that understands [`WireJob::Race`] and
+/// [`WireOutcome::Raced`].
+pub const RACE_VERSION: u8 = 2;
 
 /// Correlation id used by connection-level [`WireError`]s that reject
 /// no particular request.
@@ -129,6 +158,12 @@ pub enum WireJob {
     MinimalWidth {
         /// Largest width the sweep tries.
         k_max: u32,
+    },
+    /// Decide `hw(H) ≤ k` by racing the server's algorithm portfolio
+    /// (session version ≥ [`RACE_VERSION`] only).
+    Race {
+        /// Width bound to decide.
+        k: u32,
     },
 }
 
@@ -279,6 +314,17 @@ pub enum WireOutcome {
     Panicked {
         /// Final attempt's panic message.
         message: String,
+    },
+    /// Portfolio-race decision verdict (session version ≥
+    /// [`RACE_VERSION`]); `witness` is `Some` iff `hw(H) ≤ k`.
+    Raced {
+        /// The width bound that was decided.
+        k: u32,
+        /// Engine index of the race winner (see the module docs for
+        /// the table). Clients must tolerate unknown values.
+        winner: u8,
+        /// Witness decomposition, when one exists.
+        witness: Option<WireDecomp>,
     },
 }
 
@@ -638,6 +684,10 @@ impl Message {
                         w.u8(1);
                         w.u32(*k_max);
                     }
+                    WireJob::Race { k } => {
+                        w.u8(2);
+                        w.u32(*k);
+                    }
                 }
                 w.u64(deadline_ms.unwrap_or(0));
                 w.u32(edges.len() as u32);
@@ -702,6 +752,18 @@ impl Message {
                         w.u8(4);
                         w.u32(message.len() as u32);
                         w.bytes(message.as_bytes());
+                    }
+                    WireOutcome::Raced { k, winner, witness } => {
+                        w.u8(5);
+                        w.u32(*k);
+                        w.u8(*winner);
+                        match witness {
+                            Some(d) => {
+                                w.u8(1);
+                                encode_decomp(&mut w, d);
+                            }
+                            None => w.u8(0),
+                        }
                     }
                 }
             }
@@ -782,6 +844,9 @@ impl Message {
                 let job = match job_tag {
                     0 => WireJob::Decide { k },
                     1 => WireJob::MinimalWidth { k_max: k },
+                    // Decoding is version-blind; the server enforces
+                    // the negotiated session version at dispatch.
+                    2 => WireJob::Race { k },
                     other => return Err(DecodeError::invalid("submit/job", other as u64)),
                 };
                 let deadline_raw = r.u64("submit/deadline")?;
@@ -855,6 +920,18 @@ impl Message {
                     4 => WireOutcome::Panicked {
                         message: r.utf8("reply/message")?,
                     },
+                    5 => {
+                        let k = r.u32("reply/k")?;
+                        let winner = r.u8("reply/winner")?;
+                        let witness = match r.u8("reply/has_witness")? {
+                            0 => None,
+                            1 => Some(decode_decomp(&mut r)?),
+                            other => {
+                                return Err(DecodeError::invalid("reply/has_witness", other as u64))
+                            }
+                        };
+                        WireOutcome::Raced { k, winner, witness }
+                    }
                     other => return Err(DecodeError::invalid("reply/outcome", other as u64)),
                 };
                 Message::Reply {
@@ -941,6 +1018,13 @@ mod tests {
             idempotent: false,
             edges: vec![vec![0]],
         });
+        roundtrip(Message::Submit {
+            id: 8,
+            job: WireJob::Race { k: 2 },
+            deadline_ms: Some(250),
+            idempotent: true,
+            edges: vec![vec![0, 1], vec![1, 2]],
+        });
         let decomp = WireDecomp {
             labels: vec![(vec![0], vec![0, 1, 2]), (vec![1], vec![2, 3])],
             children: vec![vec![1], vec![]],
@@ -976,6 +1060,34 @@ mod tests {
             queue_wait_ns: 0,
             solve_ns: 9,
             retries: 2,
+        });
+        roundtrip(Message::Reply {
+            id: 5,
+            outcome: WireOutcome::Raced {
+                k: 3,
+                winner: 4,
+                witness: Some(WireDecomp {
+                    labels: vec![(vec![0], vec![0, 1])],
+                    children: vec![vec![]],
+                    root: 0,
+                }),
+            },
+            queue_wait_ns: 11,
+            solve_ns: 22,
+            retries: 0,
+        });
+        roundtrip(Message::Reply {
+            id: 6,
+            outcome: WireOutcome::Raced {
+                k: 1,
+                // An engine index this build doesn't know — must still
+                // roundtrip (forward compatibility).
+                winner: 250,
+                witness: None,
+            },
+            queue_wait_ns: 0,
+            solve_ns: 0,
+            retries: 0,
         });
         roundtrip(Message::Reject {
             id: 3,
@@ -1023,6 +1135,30 @@ mod tests {
         lying.extend_from_slice(&u32::MAX.to_le_bytes()); // num_edges lie
         let err = Message::decode_payload(FrameKind::Submit, &lying).unwrap_err();
         assert!(err.truncated);
+
+        // The v2 Raced reply follows the same discipline.
+        let raced = Message::Reply {
+            id: 1,
+            outcome: WireOutcome::Raced {
+                k: 2,
+                winner: 0,
+                witness: Some(WireDecomp {
+                    labels: vec![(vec![0], vec![0])],
+                    children: vec![vec![]],
+                    root: 0,
+                }),
+            },
+            queue_wait_ns: 0,
+            solve_ns: 0,
+            retries: 0,
+        };
+        let payload = raced.encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                Message::decode_payload(FrameKind::Reply, &payload[..cut]).is_err(),
+                "cut at {cut} must fail, not panic"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::codec::{FrameDecoder, FrameError};
 use crate::net;
 use crate::proto::{
     GoodbyeReason, Message, WireDecomp, WireError, WireInterrupt, WireJob, WireOutcome,
-    MAX_VERSION, MIN_VERSION, NO_REQUEST,
+    MAX_VERSION, MIN_VERSION, NO_REQUEST, RACE_VERSION,
 };
 
 /// Largest vertex id a `Submit` may mention. Edge lists are index-based,
@@ -100,6 +100,10 @@ pub struct WireStats {
     pub frames_rejected: u64,
     /// Requests answered with a [`Message::Reply`].
     pub replies_sent: u64,
+    /// Replies carrying a portfolio-race verdict ([`WireOutcome::Raced`]);
+    /// a subset of `replies_sent`. Per-engine win counts live in the
+    /// service's [`ServiceStats::races_won_by`].
+    pub race_replies_sent: u64,
     /// Requests answered with a [`Message::Reject`].
     pub rejects_sent: u64,
 }
@@ -121,6 +125,7 @@ struct Counters {
     idle_reaped: AtomicU64,
     frames_rejected: AtomicU64,
     replies_sent: AtomicU64,
+    race_replies_sent: AtomicU64,
     rejects_sent: AtomicU64,
 }
 
@@ -133,6 +138,7 @@ impl Counters {
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
             replies_sent: self.replies_sent.load(Ordering::Relaxed),
+            race_replies_sent: self.race_replies_sent.load(Ordering::Relaxed),
             rejects_sent: self.rejects_sent.load(Ordering::Relaxed),
         }
     }
@@ -482,12 +488,20 @@ fn dispatch(
             idempotent: _,
             edges,
         } => {
-            let reply = serve_submit(shared, version.is_some(), id, job, deadline_ms, &edges);
+            let reply = serve_submit(shared, *version, id, job, deadline_ms, &edges);
             match &reply {
-                Message::Reply { .. } => {
-                    shared.counters.replies_sent.fetch_add(1, Ordering::Relaxed)
+                Message::Reply { outcome, .. } => {
+                    shared.counters.replies_sent.fetch_add(1, Ordering::Relaxed);
+                    if matches!(outcome, WireOutcome::Raced { .. }) {
+                        shared
+                            .counters
+                            .race_replies_sent
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                _ => shared.counters.rejects_sent.fetch_add(1, Ordering::Relaxed),
+                _ => {
+                    shared.counters.rejects_sent.fetch_add(1, Ordering::Relaxed);
+                }
             };
             send(stream, &reply).is_ok()
         }
@@ -517,17 +531,30 @@ fn dispatch(
 /// to write back.
 fn serve_submit(
     shared: &Shared,
-    hello_done: bool,
+    version: Option<u8>,
     id: u64,
     job: WireJob,
     deadline_ms: Option<u64>,
     edges: &[Vec<u32>],
 ) -> Message {
-    if !hello_done {
+    let Some(version) = version else {
         return Message::Reject {
             id,
             error: WireError::Malformed {
                 detail: "submit before hello".into(),
+            },
+        };
+    };
+    // Race submits decode on any session (decoding is version-blind)
+    // but only *run* on sessions that negotiated v2: a v1 peer that
+    // sends one is confused, and the reject's version range tells it
+    // the fix is renegotiation, not a different request.
+    if matches!(job, WireJob::Race { .. }) && version < RACE_VERSION {
+        return Message::Reject {
+            id,
+            error: WireError::Unsupported {
+                server_min: MIN_VERSION,
+                server_max: MAX_VERSION,
             },
         };
     }
@@ -565,6 +592,7 @@ fn serve_submit(
             WireJob::MinimalWidth { k_max } => Job::MinimalWidth {
                 k_max: k_max as usize,
             },
+            WireJob::Race { k } => Job::Race { k: k as usize },
         },
         deadline: None,
     };
@@ -616,5 +644,10 @@ fn wire_outcome(outcome: Outcome) -> WireOutcome {
         Outcome::TimedOut => WireOutcome::TimedOut,
         Outcome::Cancelled => WireOutcome::Cancelled,
         Outcome::Panicked { message } => WireOutcome::Panicked { message },
+        Outcome::Raced { k, winner, witness } => WireOutcome::Raced {
+            k: k as u32,
+            winner: winner.index() as u8,
+            witness: witness.as_ref().map(WireDecomp::from_decomposition),
+        },
     }
 }

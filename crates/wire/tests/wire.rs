@@ -326,6 +326,23 @@ fn version_negotiation_acks_or_rejects() {
     );
     assert!(matches!(
         read_msg(&mut ok, &mut dec),
+        Message::HelloAck {
+            version: htdwire::MAX_VERSION
+        }
+    ));
+
+    // A v1-only client still negotiates: the server downgrades.
+    let mut old = raw_connect(addr);
+    let mut dec = FrameDecoder::new(htdwire::DEFAULT_MAX_PAYLOAD);
+    send_msg(
+        &mut old,
+        &Message::Hello {
+            min_version: 1,
+            max_version: 1,
+        },
+    );
+    assert!(matches!(
+        read_msg(&mut old, &mut dec),
         Message::HelloAck { version: 1 }
     ));
 
@@ -345,8 +362,8 @@ fn version_negotiation_acks_or_rejects() {
             m,
             Message::Reject {
                 error: WireError::Unsupported {
-                    server_min: 1,
-                    server_max: 1
+                    server_min: htdwire::MIN_VERSION,
+                    server_max: htdwire::MAX_VERSION
                 },
                 ..
             }
@@ -376,6 +393,80 @@ fn version_negotiation_acks_or_rejects() {
     ));
 
     server.shutdown();
+}
+
+#[test]
+fn race_roundtrips_on_v2_and_is_rejected_on_v1_sessions() {
+    let server = WireServer::start("127.0.0.1:0", WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // The default client negotiates v2, so a portfolio race runs end to
+    // end and the reply names the winning engine.
+    let reply = client(addr)
+        .request(JobSpec::race(small_cycle(), 2))
+        .expect("race round trip");
+    match &reply.outcome {
+        WireOutcome::Raced { k: 2, witness, .. } => {
+            let wire = witness.clone().expect("hw(cycle) ≤ 2 has a witness");
+            let hg = hypergraph::Hypergraph::from_edge_lists(&small_cycle());
+            let d = wire.into_decomposition(&hg).expect("well-formed witness");
+            decomp::validate::validate_hd_width(&hg, &d, 2).expect("witness validates");
+        }
+        other => panic!("expected Raced{{k=2}}, got {other:?}"),
+    }
+
+    // A session that negotiated v1 can frame a Race submit (decoding is
+    // version-blind) but the server refuses to run it, pointing at its
+    // own version range; the connection survives for supported jobs.
+    let mut old = raw_connect(addr);
+    let mut dec = FrameDecoder::new(htdwire::DEFAULT_MAX_PAYLOAD);
+    handshake(&mut old, &mut dec); // pins the session at v1
+    send_msg(
+        &mut old,
+        &Message::Submit {
+            id: 11,
+            job: htdwire::WireJob::Race { k: 2 },
+            deadline_ms: None,
+            idempotent: true,
+            edges: small_cycle(),
+        },
+    );
+    assert!(matches!(
+        read_msg(&mut old, &mut dec),
+        Message::Reject {
+            id: 11,
+            error: WireError::Unsupported {
+                server_min: htdwire::MIN_VERSION,
+                server_max: htdwire::MAX_VERSION,
+            },
+        }
+    ));
+    send_msg(
+        &mut old,
+        &Message::Submit {
+            id: 12,
+            job: htdwire::WireJob::Decide { k: 2 },
+            deadline_ms: None,
+            idempotent: true,
+            edges: small_cycle(),
+        },
+    );
+    assert!(matches!(
+        read_msg(&mut old, &mut dec),
+        Message::Reply { id: 12, .. }
+    ));
+
+    let report = server.shutdown();
+    assert_eq!(report.wire.race_replies_sent, 1);
+    assert!(report.wire.rejects_sent >= 1);
+    assert_eq!(report.service.races, 1);
+    assert_eq!(
+        report.service.races_won_by.iter().sum::<u64>(),
+        1,
+        "exactly one engine won the one race: {:?}",
+        report.service.races_won_by
+    );
+    assert_invariants(&report.service);
 }
 
 #[test]
